@@ -1,0 +1,151 @@
+// Command nimble-cli is an interactive XML-QL shell over the demo
+// deployment (the same one nimbled serves). Queries may span multiple
+// lines and end with a blank line; meta-commands start with a dot:
+//
+//	.sources            list registered sources
+//	.schemas            list mediated schemas
+//	.materialize NAME   store a schema locally
+//	.refresh [NAME]     refresh one or all materialized schemas
+//	.drop NAME          drop a local copy
+//	.explain            toggle plan explanation output
+//	.quit
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	nimble "repro"
+	"repro/internal/workload"
+)
+
+func main() {
+	customers := flag.Int("customers", 200, "demo dataset size")
+	flag.Parse()
+
+	sys := nimble.New(nimble.Config{CacheEntries: 32})
+	if err := sys.AddRelationalSource("crmdb", workload.CustomerDB("crm", *customers, 3, 1)); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := sys.DefineSchema("customers", `
+		WHERE <customer><id>$i</id><name>$n</name><city>$c</city><tier>$t</tier></customer> IN "crmdb"
+		CONSTRUCT <cust><cid>$i</cid><who>$n</who><where>$c</where><tier>$t</tier></cust>`); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Println("nimble-cli — XML-QL shell. End a query with a blank line; .help for commands.")
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf []string
+	explain := false
+	ctx := context.Background()
+	prompt := func() {
+		if len(buf) == 0 {
+			fmt.Print("nimble> ")
+		} else {
+			fmt.Print("   ...> ")
+		}
+	}
+	prompt()
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if len(buf) == 0 && strings.HasPrefix(trimmed, ".") {
+			if !meta(ctx, os.Stdout, sys, trimmed, &explain) {
+				return
+			}
+			prompt()
+			continue
+		}
+		if trimmed != "" {
+			buf = append(buf, line)
+			prompt()
+			continue
+		}
+		if len(buf) == 0 {
+			prompt()
+			continue
+		}
+		q := strings.Join(buf, "\n")
+		buf = nil
+		res, err := sys.Query(ctx, q)
+		if err != nil {
+			fmt.Println("error:", err)
+		} else {
+			fmt.Println(res.XML())
+			if !res.Complete {
+				fmt.Printf("warning: incomplete — sources failed: %v\n", res.FailedSources)
+			}
+			if explain {
+				fmt.Printf("rewrites=%d fetches=%d tuples=%d\n",
+					res.Stats.Rewrites, res.Stats.Fetches, res.Stats.TuplesEmitted)
+				for _, e := range res.Stats.Explain {
+					fmt.Println("  plan:", e)
+				}
+			}
+		}
+		prompt()
+	}
+}
+
+// meta handles dot-commands; it returns false to exit.
+func meta(ctx context.Context, out io.Writer, sys *nimble.System, cmd string, explain *bool) bool {
+	fields := strings.Fields(cmd)
+	switch fields[0] {
+	case ".quit", ".exit":
+		return false
+	case ".help":
+		fmt.Fprintln(out, ".sources .schemas .materialize NAME .refresh [NAME] .drop NAME .explain .quit")
+	case ".sources":
+		for _, s := range sys.Sources() {
+			fmt.Fprintln(out, " ", s)
+		}
+	case ".schemas":
+		mat := map[string]bool{}
+		for _, m := range sys.Materialized() {
+			mat[m] = true
+		}
+		for _, s := range sys.Schemas() {
+			suffix := ""
+			if mat[s] {
+				suffix = " (materialized)"
+			}
+			fmt.Fprintln(out, " ", s+suffix)
+		}
+	case ".materialize":
+		if len(fields) < 2 {
+			fmt.Fprintln(out, "usage: .materialize NAME")
+			break
+		}
+		if err := sys.Materialize(ctx, fields[1]); err != nil {
+			fmt.Fprintln(out, "error:", err)
+		}
+	case ".refresh":
+		name := ""
+		if len(fields) > 1 {
+			name = fields[1]
+		}
+		if err := sys.Refresh(ctx, name); err != nil {
+			fmt.Fprintln(out, "error:", err)
+		}
+	case ".drop":
+		if len(fields) < 2 {
+			fmt.Fprintln(out, "usage: .drop NAME")
+			break
+		}
+		sys.Drop(fields[1])
+	case ".explain":
+		*explain = !*explain
+		fmt.Fprintln(out, "explain:", *explain)
+	default:
+		fmt.Fprintln(out, "unknown command; .help for the list")
+	}
+	return true
+}

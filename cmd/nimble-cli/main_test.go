@@ -1,0 +1,52 @@
+package main
+
+import (
+	"context"
+	"io"
+	"testing"
+
+	nimble "repro"
+)
+
+func cliSystem(t *testing.T) *nimble.System {
+	t.Helper()
+	sys := nimble.New(nimble.Config{})
+	db := nimble.NewDatabase("crm")
+	db.MustExec(`CREATE TABLE customers (id INT PRIMARY KEY, name VARCHAR)`)
+	db.MustExec(`INSERT INTO customers VALUES (1, 'Ada')`)
+	if err := sys.AddRelationalSource("crmdb", db); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.DefineSchema("customers",
+		`WHERE <customer><name>$n</name></customer> IN "crmdb" CONSTRUCT <cust><who>$n</who></cust>`); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestMetaCommands(t *testing.T) {
+	sys := cliSystem(t)
+	ctx := context.Background()
+	explain := false
+
+	// .quit returns false; everything else true.
+	if meta(ctx, io.Discard, sys, ".quit", &explain) || meta(ctx, io.Discard, sys, ".exit", &explain) {
+		t.Error("quit should return false")
+	}
+	for _, cmd := range []string{
+		".help", ".sources", ".schemas", ".explain",
+		".materialize customers", ".schemas", ".refresh customers", ".refresh",
+		".drop customers", ".materialize", ".drop", ".refresh nosuch",
+		".materialize nosuch", ".unknowncmd",
+	} {
+		if !meta(ctx, io.Discard, sys, cmd, &explain) {
+			t.Errorf("%s should keep the shell running", cmd)
+		}
+	}
+	if !explain {
+		t.Error(".explain should toggle on")
+	}
+	if len(sys.Materialized()) != 0 {
+		t.Errorf("materialized = %v after drop", sys.Materialized())
+	}
+}

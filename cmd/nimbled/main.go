@@ -1,0 +1,95 @@
+// Command nimbled serves the integration system over HTTP: the query
+// endpoint, lenses, catalog listing, statistics, and the admin
+// materialization endpoints. It boots the demo customer-integration
+// deployment (three sources, two mediated schemas, two lenses) so the
+// server is explorable immediately:
+//
+//	nimbled -addr :8080 -instances 2 &
+//	curl -XPOST -d 'WHERE <cust><who>$w</who></cust> IN "customers" CONSTRUCT <r>$w</r>' localhost:8080/query
+//	curl 'localhost:8080/lens/by-city?city=Seattle&device=web'
+//	curl -XPOST 'localhost:8080/admin/materialize?schema=customers&token=admin'
+//	curl localhost:8080/stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	nimble "repro"
+	"repro/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	instances := flag.Int("instances", 2, "engine instances behind the load balancer")
+	cacheSize := flag.Int("cache", 64, "query cache entries (0 disables)")
+	adminToken := flag.String("admin-token", "admin", "token for /admin endpoints")
+	customers := flag.Int("customers", 500, "demo dataset size")
+	flag.Parse()
+
+	sys := nimble.New(nimble.Config{Instances: *instances, CacheEntries: *cacheSize})
+	if err := boot(sys, *customers); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("nimbled: %d sources, %d schemas, %d engine instances, listening on %s",
+		len(sys.Sources()), len(sys.Schemas()), sys.Instances(), *addr)
+	log.Fatal(http.ListenAndServe(*addr, sys.HTTPHandler(*adminToken)))
+}
+
+// boot assembles the demo deployment.
+func boot(sys *nimble.System, customers int) error {
+	if err := sys.AddRelationalSource("crmdb", workload.CustomerDB("crm", customers, 3, 1)); err != nil {
+		return err
+	}
+	if err := sys.AddXMLSource("tickets", `<tickets>
+		<ticket pri="high"><cust>1</cust><subject>Integration demo escalation</subject></ticket>
+		<ticket pri="low"><cust>2</cust><subject>Question about lenses</subject></ticket>
+	</tickets>`); err != nil {
+		return err
+	}
+	dir, err := sys.AddDirectorySource("staff", "org")
+	if err != nil {
+		return err
+	}
+	dir.Put("support/eva", map[string]string{"mail": "eva@example.com", "region": "west"})
+	dir.Put("support/omar", map[string]string{"mail": "omar@example.com", "region": "east"})
+
+	if err := sys.DefineSchema("customers", `
+		WHERE <customer><id>$i</id><name>$n</name><city>$c</city><tier>$t</tier></customer> IN "crmdb"
+		CONSTRUCT <cust><cid>$i</cid><who>$n</who><where>$c</where><tier>$t</tier></cust>`); err != nil {
+		return err
+	}
+	if err := sys.DefineSchema("goldcust", `
+		WHERE <cust><who>$w</who><where>$c</where><tier>"gold"</tier></cust> IN "customers"
+		CONSTRUCT <vip><name>$w</name><city>$c</city></vip>`); err != nil {
+		return err
+	}
+
+	if err := sys.PublishLens(&nimble.Lens{
+		Name:  "by-city",
+		Title: "Customers by city",
+		Queries: []string{`WHERE <cust><who>$w</who><where>$p</where></cust> IN "customers", $p = "${city}"
+			CONSTRUCT <hit><name>$w</name><city>$p</city></hit>`},
+		Params: []nimble.LensParam{{Name: "city", Required: true}},
+		Rules: []nimble.LensRule{
+			{Match: "hit", Template: `<p><b>{child:name}</b> — {child:city}</p>`},
+		},
+	}); err != nil {
+		return err
+	}
+	if err := sys.PublishLens(&nimble.Lens{
+		Name:      "vips",
+		Title:     "Gold-tier customers (authenticated)",
+		Queries:   []string{`WHERE <vip><name>$n</name><city>$c</city></vip> IN "goldcust" CONSTRUCT <hit><name>$n</name><city>$c</city></hit>`},
+		AuthToken: "vip-secret",
+	}); err != nil {
+		return err
+	}
+	fmt.Println("demo queries:")
+	fmt.Println(`  curl -XPOST -d 'WHERE <cust><who>$w</who></cust> IN "customers" CONSTRUCT <r>$w</r>' localhost:8080/query`)
+	fmt.Println(`  curl 'localhost:8080/lens/by-city?city=Seattle&device=web'`)
+	fmt.Println(`  curl 'localhost:8080/lens/vips?auth=vip-secret&device=plain'`)
+	return nil
+}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	nimble "repro"
+)
+
+func TestBootAndServe(t *testing.T) {
+	sys := nimble.New(nimble.Config{Instances: 2, CacheEntries: 8})
+	if err := boot(sys, 50); err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.Sources()) != 3 || len(sys.Schemas()) != 2 {
+		t.Fatalf("boot: sources=%v schemas=%v", sys.Sources(), sys.Schemas())
+	}
+	ts := httptest.NewServer(sys.HTTPHandler("admin"))
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/query", "text/plain",
+		strings.NewReader(`WHERE <cust><who>$w</who></cust> IN "customers" CONSTRUCT <r>$w</r>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(body), "<results>") {
+		t.Errorf("query: %d %s", resp.StatusCode, body)
+	}
+
+	resp, err = http.Get(ts.URL + "/lens/by-city?city=Seattle&device=web")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(body), "<html>") {
+		t.Errorf("lens: %d", resp.StatusCode)
+	}
+
+	// The authenticated VIP lens rejects without its token.
+	resp, _ = http.Get(ts.URL + "/lens/vips")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Errorf("vips without token: %d", resp.StatusCode)
+	}
+	resp, _ = http.Get(ts.URL + "/lens/vips?auth=vip-secret&device=plain")
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("vips with token: %d", resp.StatusCode)
+	}
+}

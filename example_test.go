@@ -1,0 +1,101 @@
+package nimble_test
+
+import (
+	"context"
+	"fmt"
+
+	nimble "repro"
+)
+
+// Example shows the minimal integration setup: one relational source,
+// one mediated schema, one query with pushdown.
+func Example() {
+	sys := nimble.New(nimble.Config{})
+
+	db := nimble.NewDatabase("crm")
+	db.MustExec(`CREATE TABLE customers (id INT PRIMARY KEY, name VARCHAR, city VARCHAR)`)
+	db.MustExec(`INSERT INTO customers VALUES (1, 'Ada Lovelace', 'London'), (2, 'Alan Turing', 'Cambridge')`)
+	sys.AddRelationalSource("crmdb", db)
+
+	sys.DefineSchema("customers", `
+		WHERE <customer><name>$n</name><city>$c</city></customer> IN "crmdb"
+		CONSTRUCT <cust><who>$n</who><where>$c</where></cust>`)
+
+	res, _ := sys.Query(context.Background(), `
+		WHERE <cust><who>$w</who><where>$p</where></cust> IN "customers", $p = "London"
+		CONSTRUCT <londoner>$w</londoner>`)
+	fmt.Println(res.XML())
+	// Output:
+	// <results>
+	//   <londoner>Ada Lovelace</londoner>
+	// </results>
+}
+
+// ExampleSystem_Materialize shows the compound architecture: a schema
+// answered from a local materialized copy until it is refreshed.
+func ExampleSystem_Materialize() {
+	sys := nimble.New(nimble.Config{})
+	db := nimble.NewDatabase("crm")
+	db.MustExec(`CREATE TABLE customers (id INT PRIMARY KEY, name VARCHAR)`)
+	db.MustExec(`INSERT INTO customers VALUES (1, 'Ada')`)
+	sys.AddRelationalSource("crmdb", db)
+	sys.DefineSchema("customers", `
+		WHERE <customer><name>$n</name></customer> IN "crmdb"
+		CONSTRUCT <cust><who>$n</who></cust>`)
+
+	ctx := context.Background()
+	sys.Materialize(ctx, "customers")
+
+	// A source-side insert is invisible until refresh: local copies
+	// trade freshness for latency (§3.3).
+	db.MustExec(`INSERT INTO customers VALUES (2, 'Alan')`)
+	res, _ := sys.Query(ctx, `WHERE <cust><who>$w</who></cust> IN "customers" CONSTRUCT <r>$w</r>`)
+	fmt.Println("before refresh:", len(res.Values))
+
+	sys.Refresh(ctx, "customers")
+	res, _ = sys.Query(ctx, `WHERE <cust><who>$w</who></cust> IN "customers" CONSTRUCT <r>$w</r>`)
+	fmt.Println("after refresh:", len(res.Values))
+	// Output:
+	// before refresh: 1
+	// after refresh: 2
+}
+
+// ExampleSystem_RenderLens shows the lens front end rendering for a
+// small-screen device.
+func ExampleSystem_RenderLens() {
+	sys := nimble.New(nimble.Config{})
+	sys.AddXMLSource("bib", `<bib>
+		<book><title>Data on the Web</title><year>2000</year></book>
+		<book><title>TCP/IP Illustrated</title><year>1994</year></book>
+	</bib>`)
+	sys.PublishLens(&nimble.Lens{
+		Name: "recent",
+		Queries: []string{`
+			WHERE <book><title>$t</title><year>$y</year></book> IN "bib", $y >= ${since}
+			CONSTRUCT <hit><title>$t</title><year>$y</year></hit>`},
+		Params: []nimble.LensParam{{Name: "since", Default: "1990"}},
+	})
+	out, _ := sys.RenderLens(context.Background(), "recent",
+		map[string]string{"since": "1999"}, nimble.DevicePlain, "")
+	fmt.Print(out)
+	// Output:
+	// title=Data on the Web | year=2000
+}
+
+// ExampleSystem_Query_partialResults shows §3.4's behaviour: a down
+// source yields a flagged partial answer instead of an error.
+func ExampleSystem_Query_partialResults() {
+	sys := nimble.New(nimble.Config{})
+	sys.AddXMLSource("live", `<d><row><v>1</v></row></d>`)
+	dead, _ := nimble.NewXMLSource("legacy", `<l><row><v>2</v></row></l>`)
+	sys.AddSource(nimble.WrapNetwork(dead, 0, 0 /* availability */, 1))
+	sys.DefineSchema("all", `WHERE <row><v>$x</v></row> IN "live" CONSTRUCT <u>$x</u>`)
+	sys.DefineSchema("all", `WHERE <row><v>$x</v></row> IN "legacy" CONSTRUCT <u>$x</u>`)
+
+	res, err := sys.Query(context.Background(), `WHERE <u>$x</u> IN "all" CONSTRUCT <r>$x</r>`)
+	fmt.Println("err:", err)
+	fmt.Println("answers:", len(res.Values), "complete:", res.Complete, "failed:", res.FailedSources)
+	// Output:
+	// err: <nil>
+	// answers: 1 complete: false failed: [legacy]
+}

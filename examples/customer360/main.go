@@ -1,0 +1,116 @@
+// customer360 is the paper's motivating scenario (§2): "information
+// about the customers of a company is scattered across multiple
+// databases in the organization, and the company would like to learn
+// more about its customers (by integrating all the data into one view)".
+// Four sources — two relational databases from different acquisitions,
+// an XML support feed, and an LDAP-style staff directory — integrate
+// behind one hierarchical stack of mediated schemas, with partial
+// results when a source is down.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	nimble "repro"
+)
+
+func main() {
+	sys := nimble.New(nimble.Config{Instances: 2, CacheEntries: 32})
+	ctx := context.Background()
+
+	// --- Sources: the organizational sprawl -------------------------------
+	crm := nimble.NewDatabase("crm")
+	crm.MustExec(`CREATE TABLE customers (id INT PRIMARY KEY, name VARCHAR, city VARCHAR)`)
+	crm.MustExec(`INSERT INTO customers VALUES
+		(1, 'Ada Lovelace', 'London'), (2, 'Alan Turing', 'Cambridge'), (3, 'Grace Hopper', 'New York')`)
+	must(sys.AddRelationalSource("crmdb", crm))
+
+	// The acquired company's system: different schema, different ids.
+	acq := nimble.NewDatabase("acq")
+	acq.MustExec(`CREATE TABLE clients (cid INT PRIMARY KEY, fullname VARCHAR, location VARCHAR)`)
+	acq.MustExec(`INSERT INTO clients VALUES (7, 'Edsger Dijkstra', 'Austin'), (8, 'Barbara Liskov', 'Boston')`)
+	must(sys.AddRelationalSource("acqdb", acq))
+
+	must(sys.AddXMLSource("tickets", `<tickets>
+		<ticket pri="high"><cust>Ada Lovelace</cust><subject>Engine overheats</subject></ticket>
+		<ticket pri="high"><cust>Edsger Dijkstra</cust><subject>Goto considered harmful</subject></ticket>
+		<ticket pri="low"><cust>Alan Turing</cust><subject>Manual unclear</subject></ticket>
+	</tickets>`))
+
+	dir, err := sys.AddDirectorySource("staff", "org")
+	must(err)
+	dir.Put("support/eva", map[string]string{"name": "Eva", "covers": "London"})
+	dir.Put("support/omar", map[string]string{"name": "Omar", "covers": "Austin"})
+
+	// --- Mediated schemas: the unified customer view ----------------------
+	// Two view definitions union into one schema: integration done
+	// incrementally by different parts of the organization (§2).
+	must(sys.DefineSchema("customers", `
+		WHERE <customer><name>$n</name><city>$c</city></customer> IN "crmdb"
+		CONSTRUCT <cust><who>$n</who><where>$c</where><origin>"crm"</origin></cust>`))
+	must(sys.DefineSchema("customers", `
+		WHERE <client><fullname>$n</fullname><location>$c</location></client> IN "acqdb"
+		CONSTRUCT <cust><who>$n</who><where>$c</where><origin>"acquisition"</origin></cust>`))
+
+	// A second-level schema joining customers with their escalations —
+	// views over views, the hierarchical composition of §2.1.
+	must(sys.DefineSchema("escalations", `
+		WHERE <cust><who>$n</who><where>$c</where></cust> IN "customers",
+		      <ticket pri="high"><cust>$n</cust><subject>$s</subject></ticket> IN "tickets"
+		CONSTRUCT <esc><who>$n</who><city>$c</city><issue>$s</issue></esc>`))
+
+	// --- The unified view --------------------------------------------------
+	fmt.Println("== all customers, both origins ==")
+	res, err := sys.Query(ctx, `
+		WHERE <cust><who>$w</who><where>$p</where><origin>$o</origin></cust> IN "customers"
+		CONSTRUCT <row><name>$w</name><city>$p</city><from>$o</from></row>
+		ORDER-BY $w`)
+	must(err)
+	fmt.Println(res.XML())
+
+	fmt.Println("== open escalations with the responsible support engineer ==")
+	// The wildcard pattern binds name and coverage area from the same
+	// directory entry; $c joins it with the escalation's city.
+	res, err = sys.Query(ctx, `
+		WHERE <esc><who>$n</who><city>$c</city><issue>$s</issue></esc> IN "escalations",
+		      <*><covers>$c</covers><name>$e</name></> IN "staff"
+		CONSTRUCT <assigned><customer>$n</customer><issue>$s</issue><engineer>$e</engineer></assigned>`)
+	must(err)
+	fmt.Println(res.XML())
+
+	fmt.Println("== per-customer order of magnitude (nested grouping + aggregates) ==")
+	res, err = sys.Query(ctx, `
+		WHERE <cust><who>$w</who></cust> IN "customers"
+		CONSTRUCT <profile name=$w>
+			<tickets>{ count({ WHERE <ticket><cust>$w</cust></ticket> IN "tickets" CONSTRUCT <t/> }) }</tickets>
+		</profile>
+		ORDER-BY $w`)
+	must(err)
+	fmt.Println(res.XML())
+
+	// --- Partial results ----------------------------------------------------
+	// The acquired system goes offline; the integrated view still answers.
+	fmt.Println("== with acqdb down: partial results, flagged ==")
+	down := nimble.New(nimble.Config{})
+	must(down.AddRelationalSource("crmdb", crm))
+	acqSrc := nimble.NewRelationalSource("acqdb", acq)
+	must(down.AddSource(nimble.WrapNetwork(acqSrc, 0, 0.0, 1))) // availability 0
+	must(down.DefineSchema("customers", `
+		WHERE <customer><name>$n</name></customer> IN "crmdb"
+		CONSTRUCT <cust><who>$n</who></cust>`))
+	must(down.DefineSchema("customers", `
+		WHERE <client><fullname>$n</fullname></client> IN "acqdb"
+		CONSTRUCT <cust><who>$n</who></cust>`))
+	res, err = down.Query(ctx, `WHERE <cust><who>$w</who></cust> IN "customers" CONSTRUCT <r>$w</r>`)
+	must(err)
+	fmt.Println(res.XML())
+	fmt.Printf("complete=%v failed=%v\n", res.Complete, res.FailedSources)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,138 @@
+package algebra
+
+import (
+	"fmt"
+
+	"repro/internal/xmldm"
+	"repro/internal/xmlql"
+)
+
+// BuildResult instantiates a CONSTRUCT template under one binding and
+// returns the constructed element. Nodes spliced from bindings are
+// deep-copied: constructed trees own their children, and the source
+// documents must never be mutated (the paper's virtual integration
+// leaves "the source data unchanged", §3.2).
+func BuildResult(ctx *Context, tmpl *xmlql.TmplElem, b Binding) (*xmldm.Node, error) {
+	n, err := buildElem(ctx, tmpl, b)
+	if err != nil {
+		return nil, err
+	}
+	xmldm.Finalize(n)
+	return n, nil
+}
+
+func buildElem(ctx *Context, tmpl *xmlql.TmplElem, b Binding) (*xmldm.Node, error) {
+	name := tmpl.Tag
+	if tmpl.TagVar != "" {
+		v, ok := b.Get(tmpl.TagVar)
+		if !ok {
+			return nil, fmt.Errorf("algebra: construct tag variable $%s is unbound", tmpl.TagVar)
+		}
+		name = xmldm.Stringify(v)
+		if name == "" {
+			return nil, fmt.Errorf("algebra: construct tag variable $%s is empty", tmpl.TagVar)
+		}
+	}
+	n := &xmldm.Node{Name: name}
+	for _, a := range tmpl.Attrs {
+		v, err := Eval(ctx, a.Value, b)
+		if err != nil {
+			return nil, err
+		}
+		n.Attrs = append(n.Attrs, xmldm.Attr{Name: a.Name, Value: xmldm.Stringify(v)})
+	}
+	for _, item := range tmpl.Content {
+		switch it := item.(type) {
+		case *xmlql.TmplChild:
+			child, err := buildElem(ctx, it.Elem, b)
+			if err != nil {
+				return nil, err
+			}
+			child.Parent = n
+			n.Children = append(n.Children, child)
+		case *xmlql.TmplText:
+			n.Children = append(n.Children, xmldm.String(it.Text))
+		case *xmlql.TmplExpr:
+			v, err := Eval(ctx, it.Expr, b)
+			if err != nil {
+				return nil, err
+			}
+			spliceValue(n, v)
+		case *xmlql.TmplQuery:
+			if ctx == nil || ctx.SubqueryEval == nil {
+				return nil, fmt.Errorf("algebra: nested query requires a subquery evaluator")
+			}
+			vals, err := ctx.SubqueryEval(it.Query, b)
+			if err != nil {
+				return nil, err
+			}
+			for _, v := range vals {
+				spliceValue(n, v)
+			}
+		default:
+			return nil, fmt.Errorf("algebra: unknown template content %T", item)
+		}
+	}
+	return n, nil
+}
+
+// spliceValue appends a computed value into constructed content: nodes
+// are deep-copied, collections splice item by item, nulls vanish, atoms
+// become text.
+func spliceValue(n *xmldm.Node, v xmldm.Value) {
+	switch x := v.(type) {
+	case nil, xmldm.Null:
+		// nothing
+	case *xmldm.Node:
+		c := CopyNode(x)
+		c.Parent = n
+		n.Children = append(n.Children, c)
+	case *xmldm.Collection:
+		for _, it := range x.Items() {
+			spliceValue(n, it)
+		}
+	case *xmldm.Tuple:
+		c := xmldm.TupleToNode("tuple", x)
+		c.Parent = n
+		n.Children = append(n.Children, c)
+	case xmldm.String:
+		if x != "" {
+			n.Children = append(n.Children, x)
+		}
+	default:
+		n.Children = append(n.Children, xmldm.String(v.String()))
+	}
+}
+
+// CopyNode returns a deep copy of a node subtree with fresh parent
+// pointers (ordinals are assigned when the enclosing result is
+// finalized).
+func CopyNode(n *xmldm.Node) *xmldm.Node {
+	c := &xmldm.Node{Name: n.Name}
+	if len(n.Attrs) > 0 {
+		c.Attrs = append([]xmldm.Attr(nil), n.Attrs...)
+	}
+	for _, child := range n.Children {
+		if e, ok := child.(*xmldm.Node); ok {
+			ce := CopyNode(e)
+			ce.Parent = c
+			c.Children = append(c.Children, ce)
+		} else {
+			c.Children = append(c.Children, child)
+		}
+	}
+	return c
+}
+
+// ConstructAll builds one result per binding.
+func ConstructAll(ctx *Context, tmpl *xmlql.TmplElem, bindings []Binding) ([]xmldm.Value, error) {
+	out := make([]xmldm.Value, 0, len(bindings))
+	for _, b := range bindings {
+		n, err := BuildResult(ctx, tmpl, b)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

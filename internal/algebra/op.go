@@ -1,0 +1,205 @@
+// Package algebra implements the physical algebra of the integration
+// engine. As §3.1 of the paper describes, the system deliberately has no
+// logical algebra: queries compile from the XML-QL AST through a
+// normalized internal form directly to trees of the physical operators
+// defined here, which the query processor executes.
+//
+// Operators are demand-driven (Volcano-style) iterators over bindings. A
+// binding is an xmldm.Tuple mapping variable names to values; operators
+// extend, filter, join, reorder, and finally Construct turns bindings
+// into result XML.
+package algebra
+
+import (
+	"errors"
+	"sync/atomic"
+
+	"repro/internal/xmldm"
+	"repro/internal/xmlql"
+)
+
+// Binding is one assignment of values to query variables.
+type Binding = *xmldm.Tuple
+
+// Context carries per-query execution state through an operator tree.
+type Context struct {
+	// SubqueryEval evaluates a correlated nested query (used by nested
+	// construct templates and aggregate expressions) under the given
+	// outer binding, returning the constructed values. The execution
+	// layer installs it; a nil SubqueryEval makes nested queries fail.
+	SubqueryEval func(q *xmlql.Query, outer Binding) ([]xmldm.Value, error)
+
+	// Funcs adds or overrides scalar functions visible to expression
+	// evaluation; cleaning installs normalization functions here so that
+	// queries can call them "dynamically" (§3.2).
+	Funcs map[string]func(args []xmldm.Value) (xmldm.Value, error)
+
+	stats Stats
+}
+
+// Stats counts work done under one Context.
+type Stats struct {
+	TuplesEmitted  int64 // bindings produced by leaf operators
+	PatternMatches int64 // element pattern match attempts
+}
+
+// AddTuples adds to the emitted-tuple counter (atomically).
+func (c *Context) AddTuples(n int64) { atomic.AddInt64(&c.stats.TuplesEmitted, n) }
+
+// AddMatches adds to the pattern-match counter (atomically).
+func (c *Context) AddMatches(n int64) { atomic.AddInt64(&c.stats.PatternMatches, n) }
+
+// Snapshot returns a copy of the counters.
+func (c *Context) Snapshot() Stats {
+	return Stats{
+		TuplesEmitted:  atomic.LoadInt64(&c.stats.TuplesEmitted),
+		PatternMatches: atomic.LoadInt64(&c.stats.PatternMatches),
+	}
+}
+
+// Operator is a physical operator: Open, a sequence of Next calls each
+// returning one binding (nil at end of stream), then Close. Operators
+// are single-consumer and not safe for concurrent Next calls.
+type Operator interface {
+	Open(ctx *Context) error
+	Next() (Binding, error)
+	Close() error
+}
+
+// ErrNotOpen is returned by Next on an operator that was never opened.
+var ErrNotOpen = errors.New("algebra: operator not open")
+
+// Drain runs an operator to completion and returns all bindings.
+func Drain(ctx *Context, op Operator) ([]Binding, error) {
+	if err := op.Open(ctx); err != nil {
+		return nil, err
+	}
+	defer op.Close()
+	var out []Binding
+	for {
+		b, err := op.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return out, nil
+		}
+		out = append(out, b)
+	}
+}
+
+// TupleScan replays a materialized slice of bindings; it is the leaf for
+// locally stored data and for testing operator trees.
+type TupleScan struct {
+	Tuples []Binding
+	ctx    *Context
+	pos    int
+}
+
+// Open implements Operator.
+func (s *TupleScan) Open(ctx *Context) error {
+	s.ctx = ctx
+	s.pos = 0
+	return nil
+}
+
+// Next implements Operator.
+func (s *TupleScan) Next() (Binding, error) {
+	if s.ctx == nil {
+		return nil, ErrNotOpen
+	}
+	if s.pos >= len(s.Tuples) {
+		return nil, nil
+	}
+	b := s.Tuples[s.pos]
+	s.pos++
+	s.ctx.AddTuples(1)
+	return b, nil
+}
+
+// Close implements Operator.
+func (s *TupleScan) Close() error {
+	s.ctx = nil
+	return nil
+}
+
+// FuncScan adapts a pull function into a leaf operator; source wrappers
+// and caches plug in here.
+type FuncScan struct {
+	// OpenFn is called at Open and returns the pull function; each call
+	// to the pull function returns the next binding or nil at end.
+	OpenFn func(ctx *Context) (func() (Binding, error), error)
+	// CloseFn, if set, is called at Close.
+	CloseFn func() error
+
+	ctx  *Context
+	pull func() (Binding, error)
+}
+
+// Open implements Operator.
+func (s *FuncScan) Open(ctx *Context) error {
+	pull, err := s.OpenFn(ctx)
+	if err != nil {
+		return err
+	}
+	s.ctx = ctx
+	s.pull = pull
+	return nil
+}
+
+// Next implements Operator.
+func (s *FuncScan) Next() (Binding, error) {
+	if s.pull == nil {
+		return nil, ErrNotOpen
+	}
+	b, err := s.pull()
+	if err != nil {
+		return nil, err
+	}
+	if b != nil {
+		s.ctx.AddTuples(1)
+	}
+	return b, nil
+}
+
+// Close implements Operator.
+func (s *FuncScan) Close() error {
+	s.pull = nil
+	s.ctx = nil
+	if s.CloseFn != nil {
+		return s.CloseFn()
+	}
+	return nil
+}
+
+// Singleton emits exactly one empty binding: the identity input for a
+// query whose first pattern scans a source.
+type Singleton struct {
+	done bool
+	open bool
+}
+
+// Open implements Operator.
+func (s *Singleton) Open(*Context) error {
+	s.done = false
+	s.open = true
+	return nil
+}
+
+// Next implements Operator.
+func (s *Singleton) Next() (Binding, error) {
+	if !s.open {
+		return nil, ErrNotOpen
+	}
+	if s.done {
+		return nil, nil
+	}
+	s.done = true
+	return xmldm.NewTuple(), nil
+}
+
+// Close implements Operator.
+func (s *Singleton) Close() error {
+	s.open = false
+	return nil
+}

@@ -1,0 +1,191 @@
+package algebra
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xmldm"
+	"repro/internal/xmlql"
+)
+
+// randomDataDoc builds a random two-level document of <rec> elements
+// with a fixed small vocabulary, the shape integration queries see.
+func randomDataDoc(rng *rand.Rand) *xmldm.Node {
+	b := xmldm.NewBuilder()
+	vals := []string{"x", "y", "z"}
+	var kids []any
+	n := 1 + rng.Intn(12)
+	for i := 0; i < n; i++ {
+		var fields []any
+		// 1-3 fields out of {a, b, c}, possibly repeated.
+		k := 1 + rng.Intn(3)
+		for j := 0; j < k; j++ {
+			name := string(rune('a' + rng.Intn(3)))
+			fields = append(fields, b.Elem(name, vals[rng.Intn(len(vals))]))
+		}
+		kids = append(kids, b.Elem("rec", fields...))
+	}
+	return b.Elem("doc", kids...)
+}
+
+// TestTextContentEqualsVarPlusSelect_Property: matching a pattern with a
+// literal text constraint must produce exactly the bindings of the same
+// pattern with a variable, filtered by equality on that variable. This
+// ties the matcher's literal path to its binding path through the
+// expression evaluator.
+func TestTextContentEqualsVarPlusSelect_Property(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		doc := randomDataDoc(rng)
+		field := string(rune('a' + rng.Intn(3)))
+		lit := []string{"x", "y", "z"}[rng.Intn(3)]
+
+		litPat := xmlql.MustParse(fmt.Sprintf(
+			`WHERE <rec><%s>%q</%s></rec> ELEMENT_AS $e IN "d" CONSTRUCT <r/>`,
+			field, lit, field)).Where[0].(*xmlql.PatternCond).Pattern
+		varPat := xmlql.MustParse(fmt.Sprintf(
+			`WHERE <rec><%s>$v</%s></rec> ELEMENT_AS $e IN "d" CONSTRUCT <r/>`,
+			field, field)).Where[0].(*xmlql.PatternCond).Pattern
+
+		ctx := &Context{}
+		litBs, err := MatchPattern(ctx, doc, litPat, xmldm.NewTuple())
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		varBs, err := MatchPattern(ctx, doc, varPat, xmldm.NewTuple())
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		pred := xmlql.MustParse(fmt.Sprintf(
+			`WHERE <a>$q</a> IN "s", $v = %q CONSTRUCT <r/>`, lit)).Where[1].(*xmlql.PredicateCond).Expr
+		filtered, err := Drain(ctx, &Select{Input: &TupleScan{Tuples: varBs}, Pred: pred})
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		if len(litBs) != len(filtered) {
+			t.Logf("seed %d: literal %d vs var+select %d (field %s lit %s)\ndoc: %s",
+				seed, len(litBs), len(filtered), field, lit, doc)
+			return false
+		}
+		// Same elements bound, in the same order.
+		for i := range litBs {
+			le, _ := litBs[i].Get("e")
+			fe, _ := filtered[i].Get("e")
+			if le.(*xmldm.Node) != fe.(*xmldm.Node) {
+				t.Logf("seed %d: element %d differs", seed, i)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNestedPatternEqualsElementAsRematch_Property: matching a nested
+// pattern in one shot equals matching the outer element, binding it
+// with ELEMENT_AS, and re-matching the inner pattern within it via the
+// Match operator's SourceVar path — the equivalence the planner relies
+// on when it chains variable-targeted groups.
+func TestNestedPatternEqualsElementAsRematch_Property(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		doc := randomDataDoc(rng)
+		field := string(rune('a' + rng.Intn(3)))
+
+		oneShot := xmlql.MustParse(fmt.Sprintf(
+			`WHERE <rec><%s>$v</%s></rec> IN "d" CONSTRUCT <r/>`, field, field)).
+			Where[0].(*xmlql.PatternCond).Pattern
+		ctx := &Context{}
+		direct, err := MatchPattern(ctx, doc, oneShot, xmldm.NewTuple())
+		if err != nil {
+			return false
+		}
+
+		outer := xmlql.MustParse(`WHERE <rec/> ELEMENT_AS $e IN "d" CONSTRUCT <r/>`).
+			Where[0].(*xmlql.PatternCond).Pattern
+		inner := xmlql.MustParse(fmt.Sprintf(
+			`WHERE <%s>$v</%s> IN $e CONSTRUCT <r/>`, field, field)).
+			Where[0].(*xmlql.PatternCond).Pattern
+		m1 := &Match{Input: &Singleton{}, Pattern: outer,
+			Roots: func(*Context) ([]xmldm.Value, error) { return []xmldm.Value{doc}, nil }}
+		m2 := &Match{Input: m1, Pattern: inner, SourceVar: "e"}
+		chained, err := Drain(ctx, m2)
+		if err != nil {
+			return false
+		}
+		if len(direct) != len(chained) {
+			t.Logf("seed %d: direct %d vs chained %d\ndoc: %s", seed, len(direct), len(chained), doc)
+			return false
+		}
+		for i := range direct {
+			dv, _ := direct[i].Get("v")
+			cv, _ := chained[i].Get("v")
+			if !xmldm.Equal(dv, cv) {
+				t.Logf("seed %d: binding %d: %v vs %v", seed, i, dv, cv)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHashJoinEqualsNestedLoop_Property: the two join implementations
+// agree on shared-variable joins (up to order, both are deterministic
+// here because inputs replay in order).
+func TestHashJoinEqualsNestedLoop_Property(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mk := func(n int) []Binding {
+			out := make([]Binding, n)
+			for i := range out {
+				out[i] = xmldm.NewTuple(
+					xmldm.Field{Name: "k", Value: xmldm.Int(int64(rng.Intn(4)))},
+					xmldm.Field{Name: fmt.Sprintf("u%d", seed%2), Value: xmldm.Int(int64(i))},
+				)
+			}
+			return out
+		}
+		left, right := mk(rng.Intn(8)), mk(rng.Intn(8))
+		ctx := &Context{}
+		h, err := Drain(ctx, &HashJoin{Left: &TupleScan{Tuples: left}, Right: &TupleScan{Tuples: right}})
+		if err != nil {
+			return false
+		}
+		nl, err := Drain(ctx, &NestedLoopJoin{Left: &TupleScan{Tuples: left}, Right: &TupleScan{Tuples: right}})
+		if err != nil {
+			return false
+		}
+		if len(h) != len(nl) {
+			t.Logf("seed %d: hash %d vs nested-loop %d", seed, len(h), len(nl))
+			return false
+		}
+		// Compare as multisets of rendered bindings.
+		count := map[string]int{}
+		for _, b := range h {
+			count[b.String()]++
+		}
+		for _, b := range nl {
+			count[b.String()]--
+		}
+		for _, c := range count {
+			if c != 0 {
+				t.Logf("seed %d: multiset mismatch", seed)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

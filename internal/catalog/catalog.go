@@ -1,0 +1,395 @@
+// Package catalog is the metadata server of the integration system
+// (§2.1): it registers data sources with their capability descriptions,
+// and holds the mediated schemas — global-as-view definitions written in
+// XML-QL over sources or over other mediated schemas, composable
+// hierarchically so that "we can define successive schemas as views over
+// other underlying schemas".
+package catalog
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/xmldm"
+	"repro/internal/xmlql"
+)
+
+// Capabilities describes the query processing a source can perform, so
+// the optimizer can "address the varying query capabilities of different
+// data sources" (§4).
+type Capabilities struct {
+	// Selection: the source can evaluate comparison predicates.
+	Selection bool
+	// Projection: the source can return a subset of fields.
+	Projection bool
+	// Join: the source can join its own collections (e.g. SQL joins).
+	Join bool
+	// Ordering: the source can sort results.
+	Ordering bool
+	// KeyLookupOnly: the source only supports lookups by key/path (e.g.
+	// a hierarchical directory); full scans must be requested explicitly.
+	KeyLookupOnly bool
+}
+
+// Request is a compiled query fragment for one source. For capable
+// sources Native carries the fragment translated into the source's own
+// language (SQL for relational sources, a path for hierarchical ones);
+// for sources without query capability Native is empty and the source
+// returns its whole document for the mediator to match.
+type Request struct {
+	Native string
+	// Collection optionally narrows the request to one named collection
+	// (table, subtree) of the source.
+	Collection string
+}
+
+// Cost summarizes a source's answer for the optimizer's statistics.
+type Cost struct {
+	RowsReturned int
+	BytesMoved   int
+}
+
+// Source is a wrapper around one external data source. Fetch returns the
+// result as an XML document in the source's export schema.
+type Source interface {
+	// Name is the unique source name used in IN clauses and mappings.
+	Name() string
+	// Capabilities reports what the source can evaluate.
+	Capabilities() Capabilities
+	// Fetch executes a request. The returned node is owned by the caller
+	// (sources return fresh trees or stable documents that callers must
+	// not mutate).
+	Fetch(ctx context.Context, req Request) (*xmldm.Node, Cost, error)
+}
+
+// RelationalDescriptor describes how a relational source exports a table
+// as XML, which is what the compiler needs to translate pattern
+// fragments to SQL: "the compiler considers both the type of the
+// underlying source [and] information concerning the layout of the data
+// within the sources" (§2.1).
+type RelationalDescriptor struct {
+	// Table is the SQL table name.
+	Table string
+	// RowElement is the element name each row is exported as.
+	RowElement string
+	// ColumnElements maps exported child-element names to column names.
+	ColumnElements map[string]string
+	// KeyColumn is the primary key column, if any.
+	KeyColumn string
+	// IndexedColumns lists columns with indexes (including the key).
+	IndexedColumns []string
+}
+
+// Relational is implemented by sources that accept SQL; the compiler
+// checks for it when translating fragments.
+type Relational interface {
+	Source
+	// Descriptors lists the exported tables.
+	Descriptors() []RelationalDescriptor
+}
+
+// ViewDef is one global-as-view definition: the mediated schema's
+// content is defined by Query, whose IN clauses reference sources or
+// other mediated schemas.
+type ViewDef struct {
+	// Name of the mediated schema this view contributes to.
+	Schema string
+	// Query computes (part of) the schema's document.
+	Query *xmlql.Query
+}
+
+// Catalog registers sources and mediated schemas. Safe for concurrent use.
+type Catalog struct {
+	mu      sync.RWMutex
+	sources map[string]Source
+	views   map[string][]*ViewDef // by schema name
+}
+
+// ErrUnknownName is wrapped by lookups of unregistered sources/schemas.
+var ErrUnknownName = errors.New("catalog: unknown source or schema")
+
+// New creates an empty catalog.
+func New() *Catalog {
+	return &Catalog{
+		sources: make(map[string]Source),
+		views:   make(map[string][]*ViewDef),
+	}
+}
+
+// AddSource registers a source; the name must be unused by sources and
+// schemas alike.
+func (c *Catalog) AddSource(s Source) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := strings.ToLower(s.Name())
+	if key == "" {
+		return errors.New("catalog: source must have a name")
+	}
+	if _, ok := c.sources[key]; ok {
+		return fmt.Errorf("catalog: source %q already registered", s.Name())
+	}
+	if _, ok := c.views[key]; ok {
+		return fmt.Errorf("catalog: name %q already names a mediated schema", s.Name())
+	}
+	c.sources[key] = s
+	return nil
+}
+
+// Source returns the named source.
+func (c *Catalog) Source(name string) (Source, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	s, ok := c.sources[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("%w: source %q", ErrUnknownName, name)
+	}
+	return s, nil
+}
+
+// DefineView adds a view definition to a mediated schema, creating the
+// schema on first definition. Multiple definitions union: each
+// contributes elements to the schema's document, which is how different
+// parts of an organization integrate "in an incremental fashion" (§2).
+func (c *Catalog) DefineView(schema string, q *xmlql.Query) error {
+	if q == nil || q.Construct == nil {
+		return errors.New("catalog: view definition needs a CONSTRUCT clause")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := strings.ToLower(schema)
+	if key == "" {
+		return errors.New("catalog: schema must have a name")
+	}
+	if _, ok := c.sources[key]; ok {
+		return fmt.Errorf("catalog: name %q already names a source", schema)
+	}
+	c.views[key] = append(c.views[key], &ViewDef{Schema: schema, Query: q})
+	return nil
+}
+
+// DefineViewQL parses src as XML-QL and defines it as a view.
+func (c *Catalog) DefineViewQL(schema, src string) error {
+	q, err := xmlql.Parse(src)
+	if err != nil {
+		return err
+	}
+	return c.DefineView(schema, q)
+}
+
+// DefineViewQLChecked defines a view and verifies the schema hierarchy
+// stays acyclic, removing the new definition again if it would create a
+// cycle — the safe entry point for management tools taking definitions
+// at runtime.
+func (c *Catalog) DefineViewQLChecked(schema, src string) error {
+	if err := c.DefineViewQL(schema, src); err != nil {
+		return err
+	}
+	if err := c.CheckAcyclic(); err != nil {
+		c.mu.Lock()
+		key := strings.ToLower(schema)
+		if defs := c.views[key]; len(defs) > 0 {
+			c.views[key] = defs[:len(defs)-1]
+			if len(c.views[key]) == 0 {
+				delete(c.views, key)
+			}
+		}
+		c.mu.Unlock()
+		return err
+	}
+	return nil
+}
+
+// Views returns the view definitions of a mediated schema.
+func (c *Catalog) Views(schema string) ([]*ViewDef, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	vs, ok := c.views[strings.ToLower(schema)]
+	if !ok {
+		return nil, fmt.Errorf("%w: schema %q", ErrUnknownName, schema)
+	}
+	return vs, nil
+}
+
+// IsSchema reports whether name names a mediated schema.
+func (c *Catalog) IsSchema(name string) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	_, ok := c.views[strings.ToLower(name)]
+	return ok
+}
+
+// IsSource reports whether name names a registered source.
+func (c *Catalog) IsSource(name string) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	_, ok := c.sources[strings.ToLower(name)]
+	return ok
+}
+
+// SourceNames returns the registered source names, sorted.
+func (c *Catalog) SourceNames() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var names []string
+	for _, s := range c.sources {
+		names = append(names, s.Name())
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SchemaNames returns the mediated schema names, sorted.
+func (c *Catalog) SchemaNames() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var names []string
+	for name, defs := range c.views {
+		if len(defs) > 0 {
+			names = append(names, defs[0].Schema)
+		} else {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// CheckAcyclic verifies that no mediated schema depends on itself through
+// its view definitions — hierarchical composition must be a DAG.
+func (c *Catalog) CheckAcyclic() error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make(map[string]int)
+	var visit func(name string, trail []string) error
+	visit = func(name string, trail []string) error {
+		key := strings.ToLower(name)
+		switch color[key] {
+		case grey:
+			return fmt.Errorf("catalog: cyclic schema definition: %s -> %s", strings.Join(trail, " -> "), name)
+		case black:
+			return nil
+		}
+		color[key] = grey
+		for _, def := range c.views[key] {
+			for _, dep := range queryDeps(def.Query) {
+				if _, isView := c.views[strings.ToLower(dep)]; isView {
+					if err := visit(dep, append(trail, name)); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		color[key] = black
+		return nil
+	}
+	for name := range c.views {
+		if err := visit(name, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// queryDeps returns the source/schema names a query references, at any
+// nesting depth.
+func queryDeps(q *xmlql.Query) []string {
+	var out []string
+	seen := map[string]bool{}
+	var walkQuery func(*xmlql.Query)
+	var walkTmpl func(*xmlql.TmplElem)
+	var walkExpr func(xmlql.Expr)
+	walkQuery = func(q *xmlql.Query) {
+		for _, cond := range q.Where {
+			switch x := cond.(type) {
+			case *xmlql.PatternCond:
+				if x.Source.Name != "" && !seen[strings.ToLower(x.Source.Name)] {
+					seen[strings.ToLower(x.Source.Name)] = true
+					out = append(out, x.Source.Name)
+				}
+			case *xmlql.PredicateCond:
+				walkExpr(x.Expr)
+			}
+		}
+		if q.Construct != nil {
+			walkTmpl(q.Construct)
+		}
+	}
+	walkTmpl = func(t *xmlql.TmplElem) {
+		for _, c := range t.Content {
+			switch x := c.(type) {
+			case *xmlql.TmplChild:
+				walkTmpl(x.Elem)
+			case *xmlql.TmplQuery:
+				walkQuery(x.Query)
+			case *xmlql.TmplExpr:
+				walkExpr(x.Expr)
+			}
+		}
+	}
+	walkExpr = func(e xmlql.Expr) {
+		switch x := e.(type) {
+		case *xmlql.BinExpr:
+			walkExpr(x.L)
+			walkExpr(x.R)
+		case *xmlql.FuncExpr:
+			for _, a := range x.Args {
+				walkExpr(a)
+			}
+		case *xmlql.AggExpr:
+			walkQuery(x.Query)
+		}
+	}
+	walkQuery(q)
+	return out
+}
+
+// QueryDeps exposes queryDeps for other layers (the materializer uses it
+// to know which sources a view touches).
+func QueryDeps(q *xmlql.Query) []string { return queryDeps(q) }
+
+// StaticSource is a Source over a fixed in-memory document; useful for
+// XML file sources and tests.
+type StaticSource struct {
+	name string
+	caps Capabilities
+
+	mu  sync.RWMutex
+	doc *xmldm.Node
+}
+
+// NewStaticSource wraps a document as a source with no query capability.
+func NewStaticSource(name string, doc *xmldm.Node) *StaticSource {
+	return &StaticSource{name: name, doc: doc}
+}
+
+// Name implements Source.
+func (s *StaticSource) Name() string { return s.name }
+
+// Capabilities implements Source.
+func (s *StaticSource) Capabilities() Capabilities { return s.caps }
+
+// Fetch implements Source.
+func (s *StaticSource) Fetch(_ context.Context, _ Request) (*xmldm.Node, Cost, error) {
+	s.mu.RLock()
+	doc := s.doc
+	s.mu.RUnlock()
+	n := doc.CountElements()
+	return doc, Cost{RowsReturned: n, BytesMoved: n * 24}, nil
+}
+
+// Replace swaps the document; used to simulate source-side updates in
+// freshness experiments.
+func (s *StaticSource) Replace(doc *xmldm.Node) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.doc = doc
+}

@@ -1,0 +1,160 @@
+package catalog
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/xmldm"
+	"repro/internal/xmlql"
+)
+
+func TestAddAndLookupSource(t *testing.T) {
+	c := New()
+	doc := xmldm.NewBuilder().Elem("d")
+	if err := c.AddSource(NewStaticSource("s1", doc)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddSource(NewStaticSource("S1", doc)); err == nil {
+		t.Error("duplicate source (case-insensitive) should fail")
+	}
+	if err := c.AddSource(NewStaticSource("", doc)); err == nil {
+		t.Error("empty name should fail")
+	}
+	s, err := c.Source("s1")
+	if err != nil || s.Name() != "s1" {
+		t.Errorf("Source = %v, %v", s, err)
+	}
+	if _, err := c.Source("nope"); err == nil {
+		t.Error("unknown source should fail")
+	}
+	if !c.IsSource("s1") || c.IsSource("nope") {
+		t.Error("IsSource wrong")
+	}
+}
+
+func TestDefineViewAndHierarchy(t *testing.T) {
+	c := New()
+	doc := xmldm.NewBuilder().Elem("d")
+	if err := c.AddSource(NewStaticSource("base", doc)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DefineViewQL("level1", `WHERE <a>$x</a> IN "base" CONSTRUCT <b>$x</b>`); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DefineViewQL("level2", `WHERE <b>$x</b> IN "level1" CONSTRUCT <c>$x</c>`); err != nil {
+		t.Fatal(err)
+	}
+	if !c.IsSchema("level1") || !c.IsSchema("LEVEL2") {
+		t.Error("IsSchema wrong")
+	}
+	vs, err := c.Views("level2")
+	if err != nil || len(vs) != 1 {
+		t.Fatalf("Views = %v, %v", vs, err)
+	}
+	if err := c.CheckAcyclic(); err != nil {
+		t.Errorf("acyclic hierarchy flagged: %v", err)
+	}
+	// Multiple view defs union into one schema.
+	if err := c.DefineViewQL("level1", `WHERE <z>$x</z> IN "base" CONSTRUCT <b>$x</b>`); err != nil {
+		t.Fatal(err)
+	}
+	vs, _ = c.Views("level1")
+	if len(vs) != 2 {
+		t.Errorf("view defs = %d", len(vs))
+	}
+}
+
+func TestNameCollisionsBetweenSourcesAndSchemas(t *testing.T) {
+	c := New()
+	doc := xmldm.NewBuilder().Elem("d")
+	if err := c.AddSource(NewStaticSource("x", doc)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DefineViewQL("x", `WHERE <a>$v</a> IN "x" CONSTRUCT <b>$v</b>`); err == nil {
+		t.Error("schema with source name should fail")
+	}
+	if err := c.DefineViewQL("y", `WHERE <a>$v</a> IN "x" CONSTRUCT <b>$v</b>`); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddSource(NewStaticSource("y", doc)); err == nil {
+		t.Error("source with schema name should fail")
+	}
+}
+
+func TestCheckAcyclicDetectsCycle(t *testing.T) {
+	c := New()
+	if err := c.DefineViewQL("a", `WHERE <x>$v</x> IN "b" CONSTRUCT <y>$v</y>`); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DefineViewQL("b", `WHERE <y>$v</y> IN "a" CONSTRUCT <x>$v</x>`); err != nil {
+		t.Fatal(err)
+	}
+	err := c.CheckAcyclic()
+	if err == nil || !strings.Contains(err.Error(), "cyclic") {
+		t.Errorf("cycle not detected: %v", err)
+	}
+}
+
+func TestQueryDeps(t *testing.T) {
+	q := xmlql.MustParse(`
+		WHERE <a>$x</a> IN "s1", <b>$y</b> IN "s2", <c>$z</c> IN $x
+		CONSTRUCT <r>
+			{ WHERE <d>$w</d> IN "s3" CONSTRUCT <e>$w</e> }
+			<n>{ count({ WHERE <f>$u</f> IN "s4" CONSTRUCT <g>$u</g> }) }</n>
+		</r>`)
+	deps := QueryDeps(q)
+	want := map[string]bool{"s1": true, "s2": true, "s3": true, "s4": true}
+	if len(deps) != 4 {
+		t.Fatalf("deps = %v", deps)
+	}
+	for _, d := range deps {
+		if !want[d] {
+			t.Errorf("unexpected dep %q", d)
+		}
+	}
+}
+
+func TestStaticSourceFetchAndReplace(t *testing.T) {
+	b := xmldm.NewBuilder()
+	s := NewStaticSource("s", b.Elem("doc", b.Elem("item", "1")))
+	doc, cost, err := s.Fetch(context.Background(), Request{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Name != "doc" || cost.RowsReturned != 2 {
+		t.Errorf("doc = %s, cost = %+v", doc.Name, cost)
+	}
+	s.Replace(b.Elem("doc2"))
+	doc, _, _ = s.Fetch(context.Background(), Request{})
+	if doc.Name != "doc2" {
+		t.Error("Replace did not take effect")
+	}
+}
+
+func TestSchemaAndSourceNames(t *testing.T) {
+	c := New()
+	doc := xmldm.NewBuilder().Elem("d")
+	c.AddSource(NewStaticSource("zeta", doc))
+	c.AddSource(NewStaticSource("alpha", doc))
+	c.DefineViewQL("mid", `WHERE <a>$v</a> IN "alpha" CONSTRUCT <b>$v</b>`)
+	if got := c.SourceNames(); len(got) != 2 || got[0] != "alpha" {
+		t.Errorf("SourceNames = %v", got)
+	}
+	if got := c.SchemaNames(); len(got) != 1 || got[0] != "mid" {
+		t.Errorf("SchemaNames = %v", got)
+	}
+}
+
+func TestDefineViewValidation(t *testing.T) {
+	c := New()
+	if err := c.DefineView("s", nil); err == nil {
+		t.Error("nil view should fail")
+	}
+	if err := c.DefineViewQL("", `WHERE <a>$v</a> IN "x" CONSTRUCT <b>$v</b>`); err == nil {
+		t.Error("empty schema name should fail")
+	}
+	if err := c.DefineViewQL("s", `not xmlql`); err == nil {
+		t.Error("bad query text should fail")
+	}
+}

@@ -1,0 +1,538 @@
+package clean
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/concord"
+	"repro/internal/lineage"
+	"repro/internal/xmldm"
+	"repro/internal/xmlparse"
+)
+
+func TestNormalizers(t *testing.T) {
+	cases := []struct {
+		fn   Normalizer
+		in   string
+		want string
+	}{
+		{CollapseSpace, "  a  b\tc ", "a b c"},
+		{StripPunct, "O'Brien & Sons, Inc.", "OBrien  Sons Inc"},
+		{NormalizeName, "Dr. Robert O'Neil Jr.", "robert oneil"},
+		{NormalizeName, "Lovelace, Ada", "ada lovelace"},
+		{NormalizeName, "Bob Smith", "robert smith"},
+		{NormalizeName, "LIZ  TAYLOR", "elizabeth taylor"},
+		{NormalizeAddress, "123 N. Main St., Apt. 4", "123 north main street apartment 4"},
+		{NormalizeAddress, "55 Oak Ave", "55 oak avenue"},
+		{NormalizePhone, "+1 (206) 555-0100", "2065550100"},
+		{NormalizePhone, "206.555.0100", "2065550100"},
+		{NormalizeZip, "98102-1234", "98102"},
+		{NormalizeZip, "zip 98102", "98102"},
+	}
+	for _, c := range cases {
+		if got := c.fn(c.in); got != c.want {
+			t.Errorf("normalize(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	if _, ok := r.Normalizer("name"); !ok {
+		t.Error("built-in name normalizer missing")
+	}
+	if _, ok := r.Matcher("levenshtein"); !ok {
+		t.Error("built-in matcher missing")
+	}
+	r.RegisterNormalizer("custom", func(s string) string { return "X" + s })
+	if fn, ok := r.Normalizer("CUSTOM"); !ok || fn("a") != "Xa" {
+		t.Error("custom normalizer not registered (case-insensitive)")
+	}
+	names := r.NormalizerNames()
+	if len(names) < 7 {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestTranslateAddressFields(t *testing.T) {
+	// Multi-field -> single field.
+	r := Record{Fields: map[string]string{"street": "1 Oak St", "city": "Seattle", "state": "WA", "zip": "98102"}}
+	out := TranslateAddressFields(r)
+	if out.Fields["address"] != "1 Oak St Seattle WA 98102" {
+		t.Errorf("address = %q", out.Fields["address"])
+	}
+	// Single field -> parsed fields.
+	r2 := Record{Fields: map[string]string{"address": "1 Oak St, Seattle, WA 98102"}}
+	out2 := TranslateAddressFields(r2)
+	if out2.Fields["city"] != "Seattle" || out2.Fields["state"] != "WA" || out2.Fields["zip"] != "98102" {
+		t.Errorf("parsed = %v", out2.Fields)
+	}
+	// The original record must not be mutated.
+	if r2.Fields["city"] != "" {
+		t.Error("TranslateAddressFields mutated its input")
+	}
+}
+
+func TestLevenshtein(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0}, {"a", "", 1}, {"", "abc", 3},
+		{"kitten", "sitting", 3}, {"flaw", "lawn", 2},
+		{"same", "same", 0}, {"ab", "ba", 2},
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLevenshteinProperties(t *testing.T) {
+	f := func(a, b string) bool {
+		if len(a) > 40 {
+			a = a[:40]
+		}
+		if len(b) > 40 {
+			b = b[:40]
+		}
+		d := Levenshtein(a, b)
+		// Symmetry and identity.
+		if Levenshtein(b, a) != d {
+			return false
+		}
+		if (d == 0) != (a == b) {
+			return false
+		}
+		// Bounded by longer length (for valid UTF-8 inputs quick generates).
+		la, lb := len([]rune(a)), len([]rune(b))
+		m := la
+		if lb > m {
+			m = lb
+		}
+		return d <= m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSimilarityMatchers(t *testing.T) {
+	if s := LevenshteinSimilarity("abc", "abc"); s != 1 {
+		t.Errorf("identical = %v", s)
+	}
+	if s := LevenshteinSimilarity("abc", "xyz"); s != 0 {
+		t.Errorf("disjoint = %v", s)
+	}
+	if s := JaccardTokens("data on the web", "web data"); s <= 0 || s >= 1 {
+		t.Errorf("jaccard = %v", s)
+	}
+	if s := JaccardTokens("", ""); s != 1 {
+		t.Errorf("empty jaccard = %v", s)
+	}
+	if s := PrefixSimilarity("abcd", "abxx"); s != 0.5 {
+		t.Errorf("prefix = %v", s)
+	}
+}
+
+func TestTFIDFCosine(t *testing.T) {
+	recs := []Record{
+		{Fields: map[string]string{"name": "acme corp inc"}},
+		{Fields: map[string]string{"name": "globex corp inc"}},
+		{Fields: map[string]string{"name": "initech inc"}},
+		{Fields: map[string]string{"name": "acme manufacturing inc"}},
+	}
+	c := NewCorpus(recs, "name")
+	// "acme" is rare; "inc" ubiquitous: the acme pair scores above the
+	// pair sharing only "inc".
+	sAcme := c.CosineSimilarity("acme corp inc", "acme manufacturing inc")
+	sInc := c.CosineSimilarity("globex corp inc", "initech inc")
+	if sAcme <= sInc {
+		t.Errorf("TF-IDF weighting broken: acme pair %v <= inc pair %v", sAcme, sInc)
+	}
+	if s := c.CosineSimilarity("", ""); s != 1 {
+		t.Errorf("empty cosine = %v", s)
+	}
+	if s := c.CosineSimilarity("acme", ""); s != 0 {
+		t.Errorf("half-empty cosine = %v", s)
+	}
+}
+
+func TestCompositeMatcher(t *testing.T) {
+	m := CompositeMatcher([]FieldWeight{
+		{Field: "name", Matcher: LevenshteinSimilarity, Weight: 2},
+		{Field: "city", Matcher: LevenshteinSimilarity, Weight: 1},
+	})
+	a := Record{Fields: map[string]string{"name": "ada lovelace", "city": "london"}}
+	b := Record{Fields: map[string]string{"name": "ada lovelace", "city": "paris"}}
+	s := m(a, b)
+	if s <= 0.5 || s >= 1 {
+		t.Errorf("composite = %v", s)
+	}
+	// Missing-on-both field redistributes weight.
+	c := Record{Fields: map[string]string{"name": "ada lovelace"}}
+	d := Record{Fields: map[string]string{"name": "ada lovelace"}}
+	if m(c, d) != 1 {
+		t.Errorf("missing field should redistribute: %v", m(c, d))
+	}
+}
+
+// dirtyCustomers builds a small two-source dataset with known duplicate
+// structure: crm/1=web/a (Bob/Robert Smith), crm/2=web/b (typo), crm/3
+// unique, web/c unique.
+func dirtyCustomers() ([]Record, map[[2]string]bool) {
+	recs := []Record{
+		{Source: "crm", ID: "1", Fields: map[string]string{"name": "Bob Smith", "city": "Seattle", "phone": "(206) 555-0100"}},
+		{Source: "crm", ID: "2", Fields: map[string]string{"name": "Grace Hopper", "city": "New York", "phone": "212-555-0199"}},
+		{Source: "crm", ID: "3", Fields: map[string]string{"name": "Alan Turing", "city": "Cambridge", "phone": ""}},
+		{Source: "web", ID: "a", Fields: map[string]string{"name": "Robert Smith", "city": "Seattle", "phone": "206.555.0100"}},
+		{Source: "web", ID: "b", Fields: map[string]string{"name": "Grace Hoper", "city": "New York", "phone": "2125550199"}},
+		{Source: "web", ID: "c", Fields: map[string]string{"name": "Edsger Dijkstra", "city": "Austin", "phone": ""}},
+	}
+	truth := map[[2]string]bool{
+		{"crm/1", "web/a"}: true,
+		{"crm/2", "web/b"}: true,
+	}
+	return recs, truth
+}
+
+func customerFlow() *Flow {
+	return &Flow{
+		Name: "customers",
+		Normalize: map[string]Normalizer{
+			"name":  NormalizeName,
+			"city":  NormalizeAddress,
+			"phone": NormalizePhone,
+		},
+		BlockKey: func(r Record) string { return strings.ToLower(r.Get("city")) },
+		Matcher: CompositeMatcher([]FieldWeight{
+			{Field: "name", Matcher: LevenshteinSimilarity, Weight: 2},
+			{Field: "phone", Matcher: LevenshteinSimilarity, Weight: 1},
+		}),
+		MatchThreshold:  0.9,
+		ReviewThreshold: 0.7,
+	}
+}
+
+func TestFlowFindsDuplicates(t *testing.T) {
+	recs, truth := dirtyCustomers()
+	flow := customerFlow()
+	res, err := flow.Run(recs, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, r, f1 := PRF(PairsOf(res.Clusters), truth)
+	if p < 1 || r < 1 || f1 < 1 {
+		t.Errorf("P/R/F1 = %v/%v/%v; clusters = %v", p, r, f1, res.Clusters)
+	}
+	// Blocking on city must have compared far fewer than all pairs.
+	if res.PairsCompared >= 15 {
+		t.Errorf("blocking ineffective: %d pairs", res.PairsCompared)
+	}
+	// Merge survivorship: one merged record per cluster with provenance.
+	if len(res.Merged) != 4 {
+		t.Errorf("merged = %d", len(res.Merged))
+	}
+	for _, m := range res.Merged {
+		if strings.Contains(m.Fields["_merged_from"], ";") {
+			if !strings.Contains(m.Fields["_merged_from"], m.Key()) {
+				t.Errorf("provenance missing survivor: %v", m)
+			}
+		}
+	}
+}
+
+func TestFlowValidation(t *testing.T) {
+	bad := []*Flow{
+		{BlockKey: func(Record) string { return "" }},     // no matcher
+		{Matcher: func(a, b Record) float64 { return 0 }}, // no block key
+		{Matcher: func(a, b Record) float64 { return 0 }, BlockKey: func(Record) string { return "" }, MatchThreshold: 0.5, ReviewThreshold: 0.8}, // inverted
+	}
+	for i, f := range bad {
+		if err := f.Validate(); err == nil {
+			t.Errorf("flow %d should fail validation", i)
+		}
+	}
+}
+
+type mapOracle map[[2]string]bool
+
+func (m mapOracle) SamePair(a, b Record) bool {
+	ka, kb := a.Key(), b.Key()
+	if ka > kb {
+		ka, kb = kb, ka
+	}
+	return m[[2]string{ka, kb}]
+}
+
+func TestMiningAndExtractionPhases(t *testing.T) {
+	recs, truth := dirtyCustomers()
+	flow := customerFlow()
+	// Tighten the auto threshold so the typo pair lands in the review
+	// band and needs the oracle.
+	flow.MatchThreshold = 0.97
+	flow.ReviewThreshold = 0.6
+
+	cdb := concord.New()
+	log := lineage.New()
+
+	// Mining phase: oracle available.
+	oracle := &BudgetedOracle{Inner: mapOracle(truth), Budget: 100}
+	res1, err := flow.Run(recs, cdb, oracle, log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.OracleAsked == 0 {
+		t.Fatal("review band should have consulted the oracle")
+	}
+	if len(res1.Exceptions) != 0 {
+		t.Errorf("exceptions with oracle available: %v", res1.Exceptions)
+	}
+	if cdb.HumanDecisions() != res1.OracleAsked {
+		t.Errorf("human decisions = %d, asked = %d", cdb.HumanDecisions(), res1.OracleAsked)
+	}
+	p, r, _ := PRF(PairsOf(res1.Clusters), truth)
+	if p < 1 || r < 1 {
+		t.Errorf("mining P/R = %v/%v", p, r)
+	}
+
+	// Extraction phase: no oracle; past decisions reapplied via the
+	// concordance DB, zero new questions.
+	res2, err := flow.Run(recs, cdb, nil, log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.ConcordanceHits == 0 {
+		t.Error("extraction should reuse recorded decisions")
+	}
+	if res2.OracleAsked != 0 {
+		t.Error("extraction must not ask")
+	}
+	p2, r2, _ := PRF(PairsOf(res2.Clusters), truth)
+	if p2 < 1 || r2 < 1 {
+		t.Errorf("extraction P/R = %v/%v (decisions not reapplied)", p2, r2)
+	}
+	if len(res2.Exceptions) != 0 {
+		t.Errorf("covered pairs should not trap exceptions: %v", res2.Exceptions)
+	}
+}
+
+func TestExceptionsTrappedWithoutOracle(t *testing.T) {
+	recs, _ := dirtyCustomers()
+	flow := customerFlow()
+	flow.MatchThreshold = 0.97
+	flow.ReviewThreshold = 0.6
+	res, err := flow.Run(recs, concord.New(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Exceptions) == 0 {
+		t.Error("review-band pairs should be trapped as exceptions")
+	}
+	for _, e := range res.Exceptions {
+		if e.Score < 0.6 || e.Score >= 0.97 {
+			t.Errorf("exception score %v outside review band", e.Score)
+		}
+	}
+}
+
+func TestOracleBudgetExhaustion(t *testing.T) {
+	recs, truth := dirtyCustomers()
+	flow := customerFlow()
+	flow.MatchThreshold = 0.99
+	flow.ReviewThreshold = 0.5
+	// Budget 0: every review-band pair goes unanswered and traps.
+	oracle := &BudgetedOracle{Inner: mapOracle(truth), Budget: 0}
+	res, err := flow.Run(recs, concord.New(), oracle, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OracleAsked != 0 {
+		t.Errorf("asked = %d, budget 0", res.OracleAsked)
+	}
+	if len(res.Exceptions) == 0 {
+		t.Error("past-budget pairs should trap")
+	}
+	// With budget 1 the single review pair is answered instead.
+	oracle = &BudgetedOracle{Inner: mapOracle(truth), Budget: 1}
+	res, err = flow.Run(recs, concord.New(), oracle, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OracleAsked != 1 || len(res.Exceptions) != 0 {
+		t.Errorf("asked = %d, exceptions = %d", res.OracleAsked, len(res.Exceptions))
+	}
+}
+
+func TestMergePurgeBaseline(t *testing.T) {
+	recs, truth := dirtyCustomers()
+	// Normalize up front (merge/purge assumes standardized keys).
+	flow := customerFlow()
+	var work []Record
+	for _, r := range recs {
+		w := r.Clone()
+		for f, fn := range flow.Normalize {
+			w.Fields[f] = fn(w.Fields[f])
+		}
+		work = append(work, w)
+	}
+	mp := &MergePurge{
+		Keys: []func(Record) string{
+			func(r Record) string { return r.Get("name") },
+			func(r Record) string { return r.Get("phone") },
+		},
+		Window:    3,
+		Matcher:   flow.Matcher,
+		Threshold: 0.9,
+	}
+	res := mp.Run(work)
+	if res.Passes != 2 {
+		t.Errorf("passes = %d", res.Passes)
+	}
+	p, r, _ := PRF(PairsOf(res.Clusters), truth)
+	if p < 1 || r < 1 {
+		t.Errorf("merge/purge P/R = %v/%v", p, r)
+	}
+}
+
+func TestMergePurgeWindowMissesDistantDuplicates(t *testing.T) {
+	// With a single badly-chosen key and a tiny window, duplicates that
+	// sort far apart are missed — the known weakness of the baseline.
+	var recs []Record
+	// Ten filler records between the duplicate pair in key order.
+	recs = append(recs, Record{Source: "a", ID: "1", Fields: map[string]string{"name": "aaa zz", "k": "a"}})
+	for i := 0; i < 10; i++ {
+		recs = append(recs, Record{Source: "f", ID: string(rune('0' + i)), Fields: map[string]string{"name": "bbb " + string(rune('a'+i)), "k": "b"}})
+	}
+	recs = append(recs, Record{Source: "b", ID: "2", Fields: map[string]string{"name": "zzz aaa zz", "k": "z"}})
+	mp := &MergePurge{
+		Keys:      []func(Record) string{func(r Record) string { return r.Get("name") }},
+		Window:    2,
+		Matcher:   CompositeMatcher([]FieldWeight{{Field: "name", Matcher: JaccardTokens, Weight: 1}}),
+		Threshold: 0.5,
+	}
+	res := mp.Run(recs)
+	pairs := PairsOf(res.Clusters)
+	if pairs[[2]string{"a/1", "b/2"}] {
+		t.Error("window 2 on one key should miss the distant pair (this documents the baseline's weakness)")
+	}
+}
+
+func TestPRFEdgeCases(t *testing.T) {
+	if p, r, f := PRF(nil, nil); p != 1 || r != 1 || f != 1 {
+		t.Errorf("empty/empty = %v/%v/%v", p, r, f)
+	}
+	pred := map[[2]string]bool{{"a", "b"}: true}
+	if p, r, _ := PRF(pred, nil); p != 0 || r != 1 {
+		t.Errorf("pred only = %v/%v", p, r)
+	}
+	if p, r, _ := PRF(nil, pred); p != 0 || r != 0 {
+		t.Errorf("truth only = %v/%v", p, r)
+	}
+}
+
+func TestRecordNodeRoundTrip(t *testing.T) {
+	r := Record{Source: "crm", ID: "7", Fields: map[string]string{"id": "7", "name": "Ada", "city": ""}}
+	n := r.ToNode("customer")
+	if src, _ := n.Attr("source"); src != "crm" {
+		t.Errorf("source attr = %q", src)
+	}
+	back := FromNode("crm", n, "id")
+	if back.ID != "7" || back.Fields["name"] != "Ada" {
+		t.Errorf("round trip = %v", back)
+	}
+	// Serializes as XML.
+	if _, err := xmlparse.ParseString(xmlparse.SerializeString(n, 0)); err != nil {
+		t.Error(err)
+	}
+	var v xmldm.Value = n
+	_ = v
+}
+
+func TestRecordString(t *testing.T) {
+	r := Record{Source: "s", ID: "1", Fields: map[string]string{"b": "2", "a": "1"}}
+	s := r.String()
+	if !strings.HasPrefix(s, "s/1{") || strings.Index(s, `a="1"`) > strings.Index(s, `b="2"`) {
+		t.Errorf("String = %q (fields must be sorted)", s)
+	}
+}
+
+func TestUnionFind(t *testing.T) {
+	uf := newUnionFind(5)
+	uf.union(0, 1)
+	uf.union(3, 4)
+	uf.union(1, 3)
+	cs := uf.clusters()
+	if len(cs) != 2 {
+		t.Fatalf("clusters = %v", cs)
+	}
+	if len(cs[0]) != 4 || len(cs[1]) != 1 {
+		t.Errorf("sizes = %d, %d", len(cs[0]), len(cs[1]))
+	}
+}
+
+func TestRollbackRevokesDecisions(t *testing.T) {
+	recs, truth := dirtyCustomers()
+	flow := customerFlow()
+	flow.MatchThreshold = 0.97
+	flow.ReviewThreshold = 0.6
+	cdb := concord.New()
+	log := lineage.New()
+	mark := log.Len() - 1 // everything after this rolls back
+	oracle := &BudgetedOracle{Inner: mapOracle(truth), Budget: 100}
+	if _, err := flow.Run(recs, cdb, oracle, log); err != nil {
+		t.Fatal(err)
+	}
+	before := cdb.Len()
+	if before == 0 {
+		t.Fatal("no determinations recorded")
+	}
+	revoked, err := Rollback(log, cdb, mark)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if revoked == 0 {
+		t.Fatal("rollback revoked nothing")
+	}
+	if cdb.Len() != before-revoked {
+		t.Errorf("db len = %d, want %d", cdb.Len(), before-revoked)
+	}
+	if log.Len() != mark+1 {
+		t.Errorf("log len = %d", log.Len())
+	}
+	// The next run re-asks what was revoked.
+	oracle2 := &BudgetedOracle{Inner: mapOracle(truth), Budget: 100}
+	res, err := flow.Run(recs, cdb, oracle2, log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OracleAsked == 0 {
+		t.Error("revoked pairs should be re-examined")
+	}
+	// Out-of-range rollback surfaces the lineage error.
+	if _, err := Rollback(log, cdb, 1<<30); err == nil {
+		t.Error("bad rollback point should fail")
+	}
+}
+
+func TestParseKey(t *testing.T) {
+	if k, ok := parseKey("crm/17"); !ok || k.Source != "crm" || k.ID != "17" {
+		t.Errorf("parseKey = %+v, %v", k, ok)
+	}
+	for _, bad := range []string{"", "noslash", "/x", "x/"} {
+		if _, ok := parseKey(bad); ok {
+			t.Errorf("parseKey(%q) should fail", bad)
+		}
+	}
+}
+
+func TestSortTokens(t *testing.T) {
+	if SortTokens("Data on the Web") != "data on the web" {
+		t.Error("sort tokens")
+	}
+	if SortTokens("b a") != "a b" {
+		t.Error("reorder")
+	}
+}

@@ -1,0 +1,41 @@
+package clean_test
+
+import (
+	"fmt"
+
+	"repro/internal/clean"
+	"repro/internal/concord"
+)
+
+// Example demonstrates the two-phase cleaning of §3.2: the mining run
+// records determinations in the concordance database; the extraction
+// run reapplies them with no human available.
+func Example() {
+	records := []clean.Record{
+		{Source: "crm", ID: "1", Fields: map[string]string{"name": "Dr. Bob Smith", "city": "Seattle"}},
+		{Source: "web", ID: "a", Fields: map[string]string{"name": "Robert  Smith", "city": "Seattle"}},
+		{Source: "crm", ID: "2", Fields: map[string]string{"name": "Grace Hopper", "city": "New York"}},
+	}
+	flow := &clean.Flow{
+		Name:      "example",
+		Normalize: map[string]clean.Normalizer{"name": clean.NormalizeName},
+		BlockKey:  func(r clean.Record) string { return r.Get("city") },
+		Matcher: clean.CompositeMatcher([]clean.FieldWeight{
+			{Field: "name", Matcher: clean.LevenshteinSimilarity, Weight: 1},
+		}),
+		MatchThreshold:  0.95,
+		ReviewThreshold: 0.70,
+	}
+	cdb := concord.New()
+
+	mining, _ := flow.Run(records, cdb, nil, nil)
+	fmt.Println("clusters:", len(mining.Clusters))
+	fmt.Println("determinations recorded:", cdb.Len())
+
+	extraction, _ := flow.Run(records, cdb, nil, nil)
+	fmt.Println("reused on second run:", extraction.ConcordanceHits)
+	// Output:
+	// clusters: 2
+	// determinations recorded: 1
+	// reused on second run: 1
+}

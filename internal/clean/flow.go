@@ -1,0 +1,305 @@
+package clean
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/concord"
+	"repro/internal/lineage"
+)
+
+// Oracle answers ambiguous match questions — the human in §3.2's
+// mining phase ("incorporating human input for disambiguation when
+// necessary").
+type Oracle interface {
+	// SamePair decides whether two records denote the same object.
+	SamePair(a, b Record) bool
+}
+
+// BudgetedOracle wraps an oracle with a question budget; when the budget
+// is exhausted further questions go unanswered (ok = false), modelling
+// the limited availability of humans.
+type BudgetedOracle struct {
+	Inner  Oracle
+	Budget int
+	Asked  int
+}
+
+// Ask consumes budget; ok reports whether an answer was available.
+func (b *BudgetedOracle) Ask(x, y Record) (same, ok bool) {
+	if b.Inner == nil || b.Asked >= b.Budget {
+		return false, false
+	}
+	b.Asked++
+	return b.Inner.SamePair(x, y), true
+}
+
+// Step names a stage of a declarative flow for reporting.
+type Step struct {
+	Name   string
+	Detail string
+}
+
+// Flow is a declarative cleaning flow (§3.2 cites the declarative
+// representation of [Galhardas et al.]): a normalization map, a blocking
+// key, a record matcher with two thresholds, and merge survivorship. The
+// two thresholds split pairs into auto-match (score >= MatchThreshold),
+// review band ([ReviewThreshold, MatchThreshold): ask the oracle or trap
+// an exception), and non-match.
+type Flow struct {
+	Name string
+	// Normalize maps field name -> normalizer applied in place.
+	Normalize map[string]Normalizer
+	// Translate, if set, runs before normalization (field translation).
+	Translate func(Record) Record
+	// BlockKey buckets records; only pairs within a bucket are compared.
+	BlockKey func(Record) string
+	// Matcher scores record pairs.
+	Matcher RecordMatcher
+	// MatchThreshold and ReviewThreshold bound the review band.
+	MatchThreshold  float64
+	ReviewThreshold float64
+}
+
+// Validate checks the flow is runnable.
+func (f *Flow) Validate() error {
+	if f.Matcher == nil {
+		return errors.New("clean: flow needs a Matcher")
+	}
+	if f.BlockKey == nil {
+		return errors.New("clean: flow needs a BlockKey")
+	}
+	if !(0 <= f.ReviewThreshold && f.ReviewThreshold <= f.MatchThreshold && f.MatchThreshold <= 1) {
+		return fmt.Errorf("clean: thresholds must satisfy 0 <= review (%v) <= match (%v) <= 1", f.ReviewThreshold, f.MatchThreshold)
+	}
+	return nil
+}
+
+// Pair is a candidate duplicate pair with its score.
+type Pair struct {
+	A, B  Record
+	Score float64
+}
+
+// Result reports one flow run.
+type Result struct {
+	// Clusters groups records determined to denote the same object.
+	Clusters [][]Record
+	// Merged holds one survivor record per cluster.
+	Merged []Record
+	// Exceptions are review-band pairs left undecided (no oracle or
+	// budget exhausted) — "exceptions are trapped to allow extraction to
+	// continue with cleanup applied post-hoc" (§3.2).
+	Exceptions []Pair
+	// Counters.
+	PairsCompared   int
+	AutoMatches     int
+	OracleAsked     int
+	ConcordanceHits int
+	Steps           []Step
+}
+
+// Run executes the flow. The concordance database short-circuits pairs
+// with recorded determinations; the oracle (may be nil) answers the
+// review band, and its answers are recorded as human decisions. The
+// lineage log (may be nil) records every step.
+func (f *Flow) Run(records []Record, cdb *concord.DB, oracle *BudgetedOracle, log *lineage.Log) (*Result, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	logEvent := func(kind lineage.Kind, inputs []string, output, detail string) {
+		if log != nil {
+			log.Append(kind, inputs, output, detail)
+		}
+	}
+
+	// 1. Translate + normalize.
+	work := make([]Record, len(records))
+	for i, r := range records {
+		w := r.Clone()
+		if f.Translate != nil {
+			w = f.Translate(w)
+		}
+		for field, fn := range f.Normalize {
+			if v, ok := w.Fields[field]; ok && v != "" {
+				nv := fn(v)
+				if nv != v {
+					w.Fields[field] = nv
+				}
+			}
+		}
+		work[i] = w
+		logEvent(lineage.KindNormalize, []string{r.Key()}, w.Key(), "normalized")
+	}
+	res.Steps = append(res.Steps, Step{Name: "normalize", Detail: fmt.Sprintf("%d records", len(work))})
+
+	// 2. Block.
+	blocks := map[string][]int{}
+	for i, r := range work {
+		k := f.BlockKey(r)
+		blocks[k] = append(blocks[k], i)
+	}
+	res.Steps = append(res.Steps, Step{Name: "block", Detail: fmt.Sprintf("%d blocks", len(blocks))})
+
+	// 3. Match within blocks, consulting the concordance first.
+	uf := newUnionFind(len(work))
+	keys := make([]string, 0, len(blocks))
+	for k := range blocks {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		idxs := blocks[k]
+		for i := 0; i < len(idxs); i++ {
+			for j := i + 1; j < len(idxs); j++ {
+				a, b := work[idxs[i]], work[idxs[j]]
+				res.PairsCompared++
+				ka := concord.Key{Source: a.Source, ID: a.ID}
+				kb := concord.Key{Source: b.Source, ID: b.ID}
+				if cdb != nil {
+					if d, ok := cdb.Lookup(ka, kb); ok {
+						res.ConcordanceHits++
+						if d.Same {
+							uf.union(idxs[i], idxs[j])
+						}
+						continue
+					}
+				}
+				score := f.Matcher(a, b)
+				switch {
+				case score >= f.MatchThreshold:
+					res.AutoMatches++
+					uf.union(idxs[i], idxs[j])
+					if cdb != nil {
+						cdb.Record(ka, kb, true, concord.OriginAuto, fmt.Sprintf("score %.3f", score))
+					}
+					logEvent(lineage.KindMatch, []string{a.Key(), b.Key()}, a.Key()+"~"+b.Key(), fmt.Sprintf("auto %.3f", score))
+				case score >= f.ReviewThreshold:
+					if oracle != nil {
+						if same, ok := oracle.Ask(a, b); ok {
+							res.OracleAsked++
+							if same {
+								uf.union(idxs[i], idxs[j])
+							}
+							if cdb != nil {
+								cdb.Record(ka, kb, same, concord.OriginHuman, fmt.Sprintf("score %.3f", score))
+							}
+							logEvent(lineage.KindDecision, []string{a.Key(), b.Key()}, a.Key()+"~"+b.Key(), fmt.Sprintf("human same=%v", same))
+							continue
+						}
+					}
+					res.Exceptions = append(res.Exceptions, Pair{A: a, B: b, Score: score})
+				}
+			}
+		}
+	}
+	res.Steps = append(res.Steps, Step{Name: "match", Detail: fmt.Sprintf("%d pairs", res.PairsCompared)})
+
+	// 4. Cluster + merge.
+	clusters := uf.clusters()
+	for _, idxs := range clusters {
+		var cluster []Record
+		var inputs []string
+		for _, i := range idxs {
+			cluster = append(cluster, work[i])
+			inputs = append(inputs, work[i].Key())
+		}
+		res.Clusters = append(res.Clusters, cluster)
+		merged := MergeRecords(cluster)
+		res.Merged = append(res.Merged, merged)
+		if len(cluster) > 1 {
+			logEvent(lineage.KindMerge, inputs, merged.Key(), fmt.Sprintf("%d-way merge", len(cluster)))
+		}
+	}
+	res.Steps = append(res.Steps, Step{Name: "merge", Detail: fmt.Sprintf("%d clusters", len(res.Clusters))})
+	return res, nil
+}
+
+// MergeRecords merges a cluster into one survivor: the most complete
+// record wins per-record; per-field, the longest non-empty value
+// survives (completeness survivorship). Provenance lists every merged
+// input.
+func MergeRecords(cluster []Record) Record {
+	if len(cluster) == 0 {
+		return Record{}
+	}
+	// Deterministic survivor base: lowest key.
+	base := cluster[0]
+	for _, r := range cluster[1:] {
+		if r.Key() < base.Key() {
+			base = r
+		}
+	}
+	out := base.Clone()
+	var provenance []string
+	for _, r := range cluster {
+		provenance = append(provenance, r.Key())
+		for k, v := range r.Fields {
+			if len(v) > len(out.Fields[k]) {
+				out.Fields[k] = v
+			}
+		}
+	}
+	sort.Strings(provenance)
+	out.Fields["_merged_from"] = strings.Join(provenance, ";")
+	return out
+}
+
+// unionFind is a standard disjoint-set structure for clustering.
+type unionFind struct {
+	parent []int
+	rank   []int
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n), rank: make([]int, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+	}
+	return uf
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int) {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return
+	}
+	if u.rank[ra] < u.rank[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	if u.rank[ra] == u.rank[rb] {
+		u.rank[ra]++
+	}
+}
+
+// clusters returns the members of each disjoint set, ordered by first
+// member.
+func (u *unionFind) clusters() [][]int {
+	byRoot := map[int][]int{}
+	for i := range u.parent {
+		r := u.find(i)
+		byRoot[r] = append(byRoot[r], i)
+	}
+	roots := make([]int, 0, len(byRoot))
+	for r := range byRoot {
+		roots = append(roots, r)
+	}
+	sort.Ints(roots)
+	out := make([][]int, 0, len(roots))
+	for _, r := range roots {
+		out = append(out, byRoot[r])
+	}
+	return out
+}

@@ -1,0 +1,230 @@
+package clean
+
+import (
+	"math"
+	"sort"
+	"strings"
+)
+
+// Matcher scores the similarity of two strings in [0, 1].
+type Matcher func(a, b string) float64
+
+// Levenshtein computes the edit distance between two strings.
+func Levenshtein(a, b string) int {
+	if a == b {
+		return 0
+	}
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(cur[j-1]+1, prev[j]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+// LevenshteinSimilarity is 1 - dist/maxLen, the normalized edit
+// similarity.
+func LevenshteinSimilarity(a, b string) float64 {
+	if a == "" && b == "" {
+		return 1
+	}
+	la, lb := len([]rune(a)), len([]rune(b))
+	m := la
+	if lb > m {
+		m = lb
+	}
+	if m == 0 {
+		return 1
+	}
+	return 1 - float64(Levenshtein(a, b))/float64(m)
+}
+
+// JaccardTokens is the Jaccard similarity of the token sets.
+func JaccardTokens(a, b string) float64 {
+	ta := tokenSet(a)
+	tb := tokenSet(b)
+	if len(ta) == 0 && len(tb) == 0 {
+		return 1
+	}
+	inter := 0
+	for t := range ta {
+		if tb[t] {
+			inter++
+		}
+	}
+	union := len(ta) + len(tb) - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+func tokenSet(s string) map[string]bool {
+	out := map[string]bool{}
+	for _, t := range strings.Fields(strings.ToLower(s)) {
+		out[t] = true
+	}
+	return out
+}
+
+// PrefixSimilarity rewards shared prefixes (cheap, order-sensitive).
+func PrefixSimilarity(a, b string) float64 {
+	la, lb := len(a), len(b)
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	n := la
+	if lb < n {
+		n = lb
+	}
+	common := 0
+	for i := 0; i < n && a[i] == b[i]; i++ {
+		common++
+	}
+	m := la
+	if lb > m {
+		m = lb
+	}
+	return float64(common) / float64(m)
+}
+
+// Corpus computes TF-IDF weights over record field values, enabling the
+// token-based textual-similarity joins of Cohen [3] that §3.2's object
+// identity problem calls for: rare tokens (a surname) weigh more than
+// ubiquitous ones ("inc", "street").
+type Corpus struct {
+	docs int
+	df   map[string]int
+}
+
+// NewCorpus builds a corpus from the values of the given field across
+// records.
+func NewCorpus(records []Record, field string) *Corpus {
+	c := &Corpus{df: map[string]int{}}
+	for _, r := range records {
+		c.Add(r.Get(field))
+	}
+	return c
+}
+
+// Add indexes one document's tokens.
+func (c *Corpus) Add(text string) {
+	c.docs++
+	for t := range tokenSet(text) {
+		c.df[t]++
+	}
+}
+
+// idf is the smoothed inverse document frequency of a token.
+func (c *Corpus) idf(token string) float64 {
+	return math.Log(1 + float64(c.docs)/float64(1+c.df[token]))
+}
+
+// CosineSimilarity is the TF-IDF cosine between two strings under the
+// corpus weights.
+func (c *Corpus) CosineSimilarity(a, b string) float64 {
+	va := c.vector(a)
+	vb := c.vector(b)
+	dot := 0.0
+	for t, wa := range va {
+		if wb, ok := vb[t]; ok {
+			dot += wa * wb
+		}
+	}
+	na := norm(va)
+	nb := norm(vb)
+	if na == 0 || nb == 0 {
+		if len(va) == 0 && len(vb) == 0 {
+			return 1
+		}
+		return 0
+	}
+	return dot / (na * nb)
+}
+
+func (c *Corpus) vector(s string) map[string]float64 {
+	tf := map[string]float64{}
+	for _, t := range strings.Fields(strings.ToLower(s)) {
+		tf[t]++
+	}
+	for t := range tf {
+		tf[t] *= c.idf(t)
+	}
+	return tf
+}
+
+func norm(v map[string]float64) float64 {
+	s := 0.0
+	for _, w := range v {
+		s += w * w
+	}
+	return math.Sqrt(s)
+}
+
+// FieldWeight weights one field's matcher inside a composite matcher.
+type FieldWeight struct {
+	Field   string
+	Matcher Matcher
+	Weight  float64
+}
+
+// RecordMatcher scores the similarity of two records in [0, 1].
+type RecordMatcher func(a, b Record) float64
+
+// CompositeMatcher builds a weighted record matcher over fields; weights
+// are normalized. Fields empty on both sides are skipped (their weight
+// redistributes).
+func CompositeMatcher(fields []FieldWeight) RecordMatcher {
+	return func(a, b Record) float64 {
+		total := 0.0
+		score := 0.0
+		for _, fw := range fields {
+			va, vb := a.Get(fw.Field), b.Get(fw.Field)
+			if va == "" && vb == "" {
+				continue
+			}
+			total += fw.Weight
+			score += fw.Weight * fw.Matcher(va, vb)
+		}
+		if total == 0 {
+			return 0
+		}
+		return score / total
+	}
+}
+
+// SortTokens returns the record field's tokens sorted — a common
+// blocking key that survives token reordering.
+func SortTokens(s string) string {
+	toks := strings.Fields(strings.ToLower(s))
+	sort.Strings(toks)
+	return strings.Join(toks, " ")
+}

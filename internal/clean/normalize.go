@@ -1,0 +1,248 @@
+package clean
+
+import (
+	"sort"
+	"strings"
+	"unicode"
+)
+
+// Normalizer is one named normalization function. The framework is
+// extensible: "domain-specific and customer-provided normalization and
+// matching functions are supported" (§3.2) by registering more.
+type Normalizer func(string) string
+
+// Registry holds named normalizers and matchers.
+type Registry struct {
+	normalizers map[string]Normalizer
+	matchers    map[string]Matcher
+}
+
+// NewRegistry creates a registry preloaded with the built-in functions:
+// whitespace collapse, case folding, name standardization (titles,
+// nicknames, initials), street-address standardization, phone and zip
+// normalization.
+func NewRegistry() *Registry {
+	r := &Registry{
+		normalizers: map[string]Normalizer{},
+		matchers:    map[string]Matcher{},
+	}
+	r.RegisterNormalizer("collapse_space", CollapseSpace)
+	r.RegisterNormalizer("lower", strings.ToLower)
+	r.RegisterNormalizer("strip_punct", StripPunct)
+	r.RegisterNormalizer("name", NormalizeName)
+	r.RegisterNormalizer("address", NormalizeAddress)
+	r.RegisterNormalizer("phone", NormalizePhone)
+	r.RegisterNormalizer("zip", NormalizeZip)
+	r.RegisterMatcher("levenshtein", LevenshteinSimilarity)
+	r.RegisterMatcher("jaccard", JaccardTokens)
+	r.RegisterMatcher("prefix", PrefixSimilarity)
+	return r
+}
+
+// RegisterNormalizer adds or replaces a named normalizer.
+func (r *Registry) RegisterNormalizer(name string, fn Normalizer) {
+	r.normalizers[strings.ToLower(name)] = fn
+}
+
+// Normalizer returns the named normalizer.
+func (r *Registry) Normalizer(name string) (Normalizer, bool) {
+	fn, ok := r.normalizers[strings.ToLower(name)]
+	return fn, ok
+}
+
+// RegisterMatcher adds or replaces a named matcher.
+func (r *Registry) RegisterMatcher(name string, fn Matcher) {
+	r.matchers[strings.ToLower(name)] = fn
+}
+
+// Matcher returns the named matcher.
+func (r *Registry) Matcher(name string) (Matcher, bool) {
+	fn, ok := r.matchers[strings.ToLower(name)]
+	return fn, ok
+}
+
+// NormalizerNames lists registered normalizers, sorted.
+func (r *Registry) NormalizerNames() []string {
+	var out []string
+	for n := range r.normalizers {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CollapseSpace trims and collapses internal whitespace runs.
+func CollapseSpace(s string) string {
+	return strings.Join(strings.Fields(s), " ")
+}
+
+// StripPunct removes punctuation, keeping letters, digits and spaces.
+func StripPunct(s string) string {
+	var sb strings.Builder
+	for _, r := range s {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) || unicode.IsSpace(r) {
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}
+
+// titles dropped during name standardization.
+var titles = map[string]bool{
+	"mr": true, "mrs": true, "ms": true, "dr": true, "prof": true,
+	"sir": true, "jr": true, "sr": true, "ii": true, "iii": true,
+}
+
+// nicknames maps common nicknames to canonical given names; the kind of
+// domain table a concordance effort starts from.
+var nicknames = map[string]string{
+	"bob": "robert", "rob": "robert", "bobby": "robert",
+	"bill": "william", "will": "william", "billy": "william", "liam": "william",
+	"dick": "richard", "rick": "richard", "rich": "richard",
+	"jim": "james", "jimmy": "james",
+	"mike": "michael", "mick": "michael",
+	"tom": "thomas", "tommy": "thomas",
+	"tony": "anthony",
+	"beth": "elizabeth", "liz": "elizabeth", "betty": "elizabeth",
+	"peggy": "margaret", "meg": "margaret",
+	"kate": "katherine", "kathy": "katherine", "katie": "katherine",
+	"sue": "susan", "susie": "susan",
+	"ed": "edward", "ted": "edward", "eddie": "edward",
+	"al":   "albert",
+	"alex": "alexander",
+	"sam":  "samuel",
+	"dan":  "daniel", "danny": "daniel",
+	"dave":  "david",
+	"chris": "christopher",
+	"steve": "steven",
+	"joe":   "joseph", "joey": "joseph",
+	"chuck": "charles", "charlie": "charles",
+	"hank":  "henry",
+	"grace": "grace",
+	"ada":   "ada",
+}
+
+// NormalizeName standardizes a person name: lower-case, punctuation
+// stripped, titles removed, nicknames canonicalized, "Last, First"
+// reordered to "first last".
+func NormalizeName(s string) string {
+	s = strings.ToLower(CollapseSpace(s))
+	// "Last, First" convention.
+	if i := strings.Index(s, ","); i >= 0 {
+		s = CollapseSpace(s[i+1:] + " " + s[:i])
+	}
+	s = StripPunct(s)
+	var out []string
+	for _, tok := range strings.Fields(s) {
+		if titles[tok] {
+			continue
+		}
+		if canonical, ok := nicknames[tok]; ok {
+			tok = canonical
+		}
+		out = append(out, tok)
+	}
+	return strings.Join(out, " ")
+}
+
+// streetAbbrevs expands common street-address abbreviations — §3.2's
+// "name and address standardization" immediate need.
+var streetAbbrevs = map[string]string{
+	"st": "street", "str": "street",
+	"ave": "avenue", "av": "avenue",
+	"rd":   "road",
+	"blvd": "boulevard",
+	"dr":   "drive",
+	"ln":   "lane",
+	"ct":   "court",
+	"pl":   "place",
+	"sq":   "square",
+	"hwy":  "highway",
+	"pkwy": "parkway",
+	"apt":  "apartment",
+	"ste":  "suite",
+	"n":    "north", "s": "south", "e": "east", "w": "west",
+	"ne": "northeast", "nw": "northwest", "se": "southeast", "sw": "southwest",
+}
+
+// NormalizeAddress standardizes a street address: lower-case,
+// punctuation stripped, abbreviations expanded.
+func NormalizeAddress(s string) string {
+	s = StripPunct(strings.ToLower(CollapseSpace(s)))
+	var out []string
+	for _, tok := range strings.Fields(s) {
+		if full, ok := streetAbbrevs[tok]; ok {
+			tok = full
+		}
+		out = append(out, tok)
+	}
+	return strings.Join(out, " ")
+}
+
+// NormalizePhone keeps digits only, dropping a leading country code 1
+// from 11-digit numbers.
+func NormalizePhone(s string) string {
+	var sb strings.Builder
+	for _, r := range s {
+		if r >= '0' && r <= '9' {
+			sb.WriteRune(r)
+		}
+	}
+	d := sb.String()
+	if len(d) == 11 && d[0] == '1' {
+		d = d[1:]
+	}
+	return d
+}
+
+// NormalizeZip keeps the 5-digit prefix of US-style zip codes.
+func NormalizeZip(s string) string {
+	var sb strings.Builder
+	for _, r := range s {
+		if r >= '0' && r <= '9' {
+			sb.WriteRune(r)
+			if sb.Len() == 5 {
+				break
+			}
+		}
+	}
+	return sb.String()
+}
+
+// TranslateAddressFields handles §3.2's "translation problem": source A
+// uses several fields (street, city, state, zip) where source B uses a
+// single address field. Given a record, it synthesizes the missing
+// representation so both sources become comparable.
+func TranslateAddressFields(r Record) Record {
+	out := r.Clone()
+	if out.Fields["address"] == "" {
+		parts := []string{out.Fields["street"], out.Fields["city"], out.Fields["state"], out.Fields["zip"]}
+		var nonEmpty []string
+		for _, p := range parts {
+			if p != "" {
+				nonEmpty = append(nonEmpty, p)
+			}
+		}
+		if len(nonEmpty) > 0 {
+			out.Fields["address"] = strings.Join(nonEmpty, " ")
+		}
+	} else if out.Fields["city"] == "" {
+		// Parse the single-field form "street, city, state zip" (an
+		// information-extraction step in miniature).
+		segs := strings.Split(out.Fields["address"], ",")
+		if len(segs) >= 2 {
+			out.Fields["street"] = CollapseSpace(segs[0])
+			out.Fields["city"] = CollapseSpace(segs[1])
+		}
+		if len(segs) >= 3 {
+			rest := strings.Fields(segs[2])
+			if len(rest) > 0 {
+				out.Fields["state"] = rest[0]
+			}
+			if len(rest) > 1 {
+				out.Fields["zip"] = NormalizeZip(rest[1])
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,94 @@
+// Package clean implements the dynamic data cleaning framework of §3.2:
+// an extensible set of normalization and matching functions, declarative
+// cleaning flows (normalize → block → match → cluster → merge), the
+// two-phase split into an interactive *mining* phase (ambiguous pairs go
+// to a human) and an automatic *extraction* phase (past decisions are
+// reapplied through the concordance database and remaining ambiguities
+// are trapped as exceptions), and the merge/purge (sorted-neighborhood)
+// baseline it is evaluated against.
+package clean
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/xmldm"
+)
+
+// Record is one source record under cleaning: its provenance (source
+// name and per-source id) and its fields.
+type Record struct {
+	Source string
+	ID     string
+	Fields map[string]string
+}
+
+// Key identifies a record globally.
+func (r Record) Key() string { return r.Source + "/" + r.ID }
+
+// Get returns a field (empty string when absent).
+func (r Record) Get(field string) string { return r.Fields[field] }
+
+// Clone copies the record with an independent field map.
+func (r Record) Clone() Record {
+	f := make(map[string]string, len(r.Fields))
+	for k, v := range r.Fields {
+		f[k] = v
+	}
+	return Record{Source: r.Source, ID: r.ID, Fields: f}
+}
+
+// String renders the record compactly for logs and errors.
+func (r Record) String() string {
+	keys := make([]string, 0, len(r.Fields))
+	for k := range r.Fields {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s{", r.Key())
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%s=%q", k, r.Fields[k])
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// FromNode converts a row-shaped element (children are fields) into a
+// record; idField names the field carrying the per-source id.
+func FromNode(source string, n *xmldm.Node, idField string) Record {
+	r := Record{Source: source, Fields: map[string]string{}}
+	for _, c := range n.ChildElements() {
+		r.Fields[c.Name] = strings.TrimSpace(c.Text())
+	}
+	r.ID = r.Fields[idField]
+	return r
+}
+
+// ToNode converts a record back to a row element named elem, with the
+// provenance carried as attributes — cleaned data keeps its lineage
+// visible (§3.2's data lineage requirement at the record level).
+func (r Record) ToNode(elem string) *xmldm.Node {
+	n := &xmldm.Node{Name: elem, Attrs: []xmldm.Attr{
+		{Name: "source", Value: r.Source},
+		{Name: "id", Value: r.ID},
+	}}
+	keys := make([]string, 0, len(r.Fields))
+	for k := range r.Fields {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		c := &xmldm.Node{Name: k, Parent: n}
+		if r.Fields[k] != "" {
+			c.Children = append(c.Children, xmldm.String(r.Fields[k]))
+		}
+		n.Children = append(n.Children, c)
+	}
+	xmldm.Finalize(n)
+	return n
+}

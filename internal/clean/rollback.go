@@ -1,0 +1,46 @@
+package clean
+
+import (
+	"strings"
+
+	"repro/internal/concord"
+	"repro/internal/lineage"
+)
+
+// Rollback undoes the cleaning history after seq: the lineage log is
+// truncated and every match/decision determination recorded in the
+// dropped suffix is revoked from the concordance database, so the next
+// flow run re-examines those pairs. It implements §3.2's "recording data
+// ancestry, human decisions, and supporting roll-back whenever
+// possible" as one operation. It returns the number of revoked
+// determinations.
+func Rollback(log *lineage.Log, cdb *concord.DB, seq int) (int, error) {
+	dropped, err := log.RollbackTo(seq)
+	if err != nil {
+		return 0, err
+	}
+	revoked := 0
+	for _, e := range dropped {
+		if e.Kind != lineage.KindDecision && e.Kind != lineage.KindMatch {
+			continue
+		}
+		if len(e.Inputs) != 2 {
+			continue
+		}
+		a, okA := parseKey(e.Inputs[0])
+		b, okB := parseKey(e.Inputs[1])
+		if okA && okB && cdb.Revoke(a, b) {
+			revoked++
+		}
+	}
+	return revoked, nil
+}
+
+// parseKey splits a "source/id" record key.
+func parseKey(s string) (concord.Key, bool) {
+	i := strings.Index(s, "/")
+	if i <= 0 || i == len(s)-1 {
+		return concord.Key{}, false
+	}
+	return concord.Key{Source: s[:i], ID: s[i+1:]}, true
+}

@@ -1,0 +1,164 @@
+// Package concord implements the concordance database of §3.2: "a
+// separate data store that is created to serve to match records from two
+// or more different original data sources", recording determinations of
+// object identity so that "past human decisions are reapplied" during
+// the extraction phase. Decisions carry provenance (human or automatic)
+// and can be revoked, which is the hook the lineage subsystem's
+// rollback uses.
+package concord
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Key identifies a record in its source.
+type Key struct {
+	Source string
+	ID     string
+}
+
+// String renders the key as source/id.
+func (k Key) String() string { return k.Source + "/" + k.ID }
+
+// Origin says who made a determination.
+type Origin string
+
+// The determination origins.
+const (
+	OriginHuman Origin = "human"
+	OriginAuto  Origin = "auto"
+)
+
+// Decision is one recorded determination about a pair of records.
+type Decision struct {
+	A, B   Key
+	Same   bool
+	Origin Origin
+	At     time.Time
+	Note   string
+}
+
+// DB is an in-memory concordance database, safe for concurrent use.
+type DB struct {
+	mu        sync.RWMutex
+	decisions map[[2]Key]Decision
+	clock     func() time.Time
+
+	hits, misses int64
+}
+
+// New creates an empty concordance database.
+func New() *DB {
+	return &DB{decisions: map[[2]Key]Decision{}, clock: time.Now}
+}
+
+// SetClock replaces the time source (tests).
+func (db *DB) SetClock(fn func() time.Time) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.clock = fn
+}
+
+// pairKey orders the two keys canonically so lookups are symmetric.
+func pairKey(a, b Key) [2]Key {
+	if a.Source > b.Source || (a.Source == b.Source && a.ID > b.ID) {
+		a, b = b, a
+	}
+	return [2]Key{a, b}
+}
+
+// Record stores a determination (overwriting any previous one for the
+// pair).
+func (db *DB) Record(a, b Key, same bool, origin Origin, note string) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	pk := pairKey(a, b)
+	db.decisions[pk] = Decision{A: pk[0], B: pk[1], Same: same, Origin: origin, At: db.clock(), Note: note}
+}
+
+// Lookup returns the determination for a pair, if recorded. It counts
+// hits and misses so the decision-reuse rate is measurable (E6).
+func (db *DB) Lookup(a, b Key) (Decision, bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	d, ok := db.decisions[pairKey(a, b)]
+	if ok {
+		db.hits++
+	} else {
+		db.misses++
+	}
+	return d, ok
+}
+
+// Revoke removes a determination; rollback support.
+func (db *DB) Revoke(a, b Key) bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	pk := pairKey(a, b)
+	if _, ok := db.decisions[pk]; !ok {
+		return false
+	}
+	delete(db.decisions, pk)
+	return true
+}
+
+// Len reports the number of recorded determinations.
+func (db *DB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.decisions)
+}
+
+// Stats reports lookup hits and misses since creation.
+func (db *DB) Stats() (hits, misses int64) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.hits, db.misses
+}
+
+// Decisions returns all determinations, ordered by key.
+func (db *DB) Decisions() []Decision {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]Decision, 0, len(db.decisions))
+	for _, d := range db.decisions {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A.String() < out[j].A.String()
+		}
+		return out[i].B.String() < out[j].B.String()
+	})
+	return out
+}
+
+// HumanDecisions counts determinations with human origin.
+func (db *DB) HumanDecisions() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	n := 0
+	for _, d := range db.decisions {
+		if d.Origin == OriginHuman {
+			n++
+		}
+	}
+	return n
+}
+
+// ForSource returns the determinations touching a source, for audits.
+func (db *DB) ForSource(source string) []Decision {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var out []Decision
+	for _, d := range db.decisions {
+		if strings.EqualFold(d.A.Source, source) || strings.EqualFold(d.B.Source, source) {
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].A.String() < out[j].A.String() })
+	return out
+}

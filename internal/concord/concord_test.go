@@ -1,0 +1,157 @@
+package concord
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRecordAndLookupSymmetric(t *testing.T) {
+	db := New()
+	a := Key{Source: "crm", ID: "1"}
+	b := Key{Source: "web", ID: "x"}
+	db.Record(a, b, true, OriginHuman, "reviewed")
+	d, ok := db.Lookup(a, b)
+	if !ok || !d.Same || d.Origin != OriginHuman {
+		t.Fatalf("lookup = %+v, %v", d, ok)
+	}
+	// Symmetric lookup.
+	d2, ok := db.Lookup(b, a)
+	if !ok || d2.A != d.A || d2.B != d.B {
+		t.Errorf("reversed lookup differs: %+v", d2)
+	}
+	if db.Len() != 1 {
+		t.Errorf("len = %d", db.Len())
+	}
+}
+
+func TestOverwriteAndRevoke(t *testing.T) {
+	db := New()
+	a, b := Key{"s", "1"}, Key{"s", "2"}
+	db.Record(a, b, true, OriginAuto, "")
+	db.Record(b, a, false, OriginHuman, "corrected")
+	d, _ := db.Lookup(a, b)
+	if d.Same || d.Origin != OriginHuman {
+		t.Errorf("overwrite failed: %+v", d)
+	}
+	if !db.Revoke(a, b) {
+		t.Error("revoke should succeed")
+	}
+	if db.Revoke(a, b) {
+		t.Error("double revoke should fail")
+	}
+	if _, ok := db.Lookup(a, b); ok {
+		t.Error("revoked decision still visible")
+	}
+}
+
+func TestStatsAndCounts(t *testing.T) {
+	db := New()
+	now := time.Unix(42, 0)
+	db.SetClock(func() time.Time { return now })
+	a, b, c := Key{"s", "1"}, Key{"s", "2"}, Key{"t", "3"}
+	db.Record(a, b, true, OriginAuto, "")
+	db.Record(a, c, true, OriginHuman, "")
+	db.Lookup(a, b)
+	db.Lookup(b, c) // miss
+	hits, misses := db.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("stats = %d, %d", hits, misses)
+	}
+	if db.HumanDecisions() != 1 {
+		t.Errorf("human = %d", db.HumanDecisions())
+	}
+	ds := db.Decisions()
+	if len(ds) != 2 || !ds[0].At.Equal(now) {
+		t.Errorf("decisions = %+v", ds)
+	}
+	if got := db.ForSource("T"); len(got) != 1 {
+		t.Errorf("ForSource = %v", got)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	db := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				a := Key{"s", string(rune('a' + i%5))}
+				b := Key{"t", string(rune('a' + (i+g)%5))}
+				db.Record(a, b, i%2 == 0, OriginAuto, "")
+				db.Lookup(a, b)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestExportImportRoundTrip(t *testing.T) {
+	db := New()
+	fixed := time.Date(2001, 4, 2, 12, 0, 0, 0, time.UTC)
+	db.SetClock(func() time.Time { return fixed })
+	db.Record(Key{"crm", "1"}, Key{"web", "a"}, true, OriginHuman, "reviewed by J")
+	db.Record(Key{"crm", "2"}, Key{"web", "b"}, false, OriginAuto, `score 0.81 & "quoted"`)
+
+	var buf bytes.Buffer
+	if err := db.ExportXML(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "<concordance>") || !strings.Contains(out, `origin="human"`) {
+		t.Errorf("export = %s", out)
+	}
+
+	db2 := New()
+	n, err := db2.ImportXML(strings.NewReader(out))
+	if err != nil || n != 2 {
+		t.Fatalf("import = %d, %v", n, err)
+	}
+	if db2.Len() != 2 || db2.HumanDecisions() != 1 {
+		t.Errorf("imported state: len=%d human=%d", db2.Len(), db2.HumanDecisions())
+	}
+	d, ok := db2.Lookup(Key{"web", "a"}, Key{"crm", "1"})
+	if !ok || !d.Same || d.Note != "reviewed by J" || !d.At.Equal(fixed) {
+		t.Errorf("imported decision = %+v", d)
+	}
+	d2, _ := db2.Lookup(Key{"crm", "2"}, Key{"web", "b"})
+	if d2.Same || d2.Note != `score 0.81 & "quoted"` {
+		t.Errorf("escaping broke the note: %+v", d2)
+	}
+
+	// Re-export is stable.
+	var buf2 bytes.Buffer
+	if err := db2.ExportXML(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf2.String() != out {
+		t.Errorf("re-export differs:\n%s\nvs\n%s", out, buf2.String())
+	}
+}
+
+func TestImportErrors(t *testing.T) {
+	db := New()
+	bad := []string{
+		`not xml`,
+		`<wrong/>`,
+		`<concordance><determination same="maybe" origin="human"><a source="s" id="1"/><b source="t" id="2"/></determination></concordance>`,
+		`<concordance><determination same="true" origin="alien"><a source="s" id="1"/><b source="t" id="2"/></determination></concordance>`,
+		`<concordance><determination same="true" origin="human"><a source="s" id="1"/></determination></concordance>`,
+		`<concordance><determination same="true" origin="human"><a source="" id=""/><b source="t" id="2"/></determination></concordance>`,
+	}
+	for _, s := range bad {
+		if _, err := db.ImportXML(strings.NewReader(s)); err == nil {
+			t.Errorf("ImportXML(%q) should fail", s)
+		}
+	}
+}
+
+func TestKeyString(t *testing.T) {
+	if (Key{Source: "s", ID: "7"}).String() != "s/7" {
+		t.Error("key string")
+	}
+}

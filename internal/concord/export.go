@@ -1,0 +1,115 @@
+package concord
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"repro/internal/xmldm"
+	"repro/internal/xmlparse"
+)
+
+// Export and Import serialize the concordance database as XML. §3.2
+// notes that "large amounts of human effort may be required to develop a
+// concordance database" — that investment must survive process
+// restarts, travel between deployments, and be auditable, so the store
+// round-trips through the system's own data model.
+
+// ExportXML writes every determination as an XML document.
+func (db *DB) ExportXML(w io.Writer) error {
+	root := &xmldm.Node{Name: "concordance"}
+	for _, d := range db.Decisions() {
+		e := &xmldm.Node{Name: "determination", Parent: root, Attrs: []xmldm.Attr{
+			{Name: "same", Value: strconv.FormatBool(d.Same)},
+			{Name: "origin", Value: string(d.Origin)},
+			{Name: "at", Value: d.At.UTC().Format(time.RFC3339Nano)},
+		}}
+		addKey := func(tag string, k Key) {
+			kn := &xmldm.Node{Name: tag, Parent: e, Attrs: []xmldm.Attr{
+				{Name: "source", Value: k.Source},
+				{Name: "id", Value: k.ID},
+			}}
+			e.Children = append(e.Children, kn)
+		}
+		addKey("a", d.A)
+		addKey("b", d.B)
+		if d.Note != "" {
+			note := &xmldm.Node{Name: "note", Parent: e, Children: []xmldm.Value{xmldm.String(d.Note)}}
+			e.Children = append(e.Children, note)
+		}
+		root.Children = append(root.Children, e)
+	}
+	xmldm.Finalize(root)
+	return xmlparse.Serialize(w, root, 2)
+}
+
+// ImportXML merges determinations from an exported document into the
+// database (newer writes win over what the file carries for the same
+// pair only if imported after; Import uses Record semantics, i.e. the
+// imported determination replaces any existing one for the pair). It
+// returns the number of determinations imported.
+func (db *DB) ImportXML(r io.Reader) (int, error) {
+	doc, err := xmlparse.Parse(r)
+	if err != nil {
+		return 0, err
+	}
+	if doc.Name != "concordance" {
+		return 0, fmt.Errorf("concord: expected <concordance> root, found <%s>", doc.Name)
+	}
+	n := 0
+	for _, e := range doc.ChildrenNamed("determination") {
+		sameStr, _ := e.Attr("same")
+		same, err := strconv.ParseBool(sameStr)
+		if err != nil {
+			return n, fmt.Errorf("concord: bad same attribute %q", sameStr)
+		}
+		originStr, _ := e.Attr("origin")
+		origin := Origin(originStr)
+		if origin != OriginHuman && origin != OriginAuto {
+			return n, fmt.Errorf("concord: bad origin %q", originStr)
+		}
+		key := func(tag string) (Key, error) {
+			kn := e.Child(tag)
+			if kn == nil {
+				return Key{}, fmt.Errorf("concord: determination missing <%s>", tag)
+			}
+			src, _ := kn.Attr("source")
+			id, _ := kn.Attr("id")
+			if src == "" || id == "" {
+				return Key{}, fmt.Errorf("concord: determination with empty key")
+			}
+			return Key{Source: src, ID: id}, nil
+		}
+		a, err := key("a")
+		if err != nil {
+			return n, err
+		}
+		b, err := key("b")
+		if err != nil {
+			return n, err
+		}
+		note := ""
+		if nn := e.Child("note"); nn != nil {
+			note = nn.Text()
+		}
+		at := time.Now()
+		if atStr, ok := e.Attr("at"); ok {
+			if parsed, err := time.Parse(time.RFC3339Nano, atStr); err == nil {
+				at = parsed
+			}
+		}
+		db.recordAt(a, b, same, origin, note, at)
+		n++
+	}
+	return n, nil
+}
+
+// recordAt stores a determination with an explicit timestamp (imports
+// preserve the original decision time).
+func (db *DB) recordAt(a, b Key, same bool, origin Origin, note string, at time.Time) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	pk := pairKey(a, b)
+	db.decisions[pk] = Decision{A: pk[0], B: pk[1], Same: same, Origin: origin, At: at, Note: note}
+}

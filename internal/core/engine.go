@@ -1,0 +1,384 @@
+// Package core assembles the Nimble integration engine: the query
+// lifecycle of Figure 1. A query is parsed (xmlql), rewritten over the
+// mediated schemas (mediator), compiled into per-source fragments and a
+// physical plan (opt + sqlgen), executed with parallel source access and
+// the availability policy (exec + algebra), and finally constructed into
+// result XML.
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/algebra"
+	"repro/internal/catalog"
+	"repro/internal/exec"
+	"repro/internal/mediator"
+	"repro/internal/opt"
+	"repro/internal/xmldm"
+	"repro/internal/xmlql"
+)
+
+// maxDepth bounds recursion through nested queries and schema
+// materialization; well-formed catalogs stay far below it.
+const maxDepth = 64
+
+// Engine is one instance of the integration engine. It is safe for
+// concurrent queries; configuration methods are not meant to race with
+// queries.
+type Engine struct {
+	cat    *catalog.Catalog
+	runner *exec.Runner
+
+	mu         sync.RWMutex
+	opts       opt.Options
+	policy     exec.Policy
+	funcs      map[string]func([]xmldm.Value) (xmldm.Value, error)
+	skipUnfold func(string) bool
+
+	queriesRun atomic.Int64
+
+	// inflight guards against cyclic schema materialization: per query
+	// execution (per Access), the set of schemas being materialized.
+	inflightMu sync.Mutex
+	inflight   map[*exec.Access]map[string]bool
+}
+
+// New creates an engine over a catalog.
+func New(cat *catalog.Catalog) *Engine {
+	e := &Engine{
+		cat:      cat,
+		opts:     opt.DefaultOptions(),
+		policy:   exec.PolicyPartial,
+		funcs:    map[string]func([]xmldm.Value) (xmldm.Value, error){},
+		inflight: map[*exec.Access]map[string]bool{},
+	}
+	e.runner = &exec.Runner{Cat: cat, Materialize: e.materializeSchema}
+	return e
+}
+
+// Catalog returns the engine's catalog.
+func (e *Engine) Catalog() *catalog.Catalog { return e.cat }
+
+// SetPolicy sets the default source-availability policy.
+func (e *Engine) SetPolicy(p exec.Policy) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.policy = p
+}
+
+// SetPlannerOptions replaces the optimizer options (ablation knob).
+func (e *Engine) SetPlannerOptions(o opt.Options) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.opts = o
+}
+
+// RegisterFunc adds a scalar function visible to queries — the hook
+// through which the cleaning subsystem exposes normalization functions
+// for dynamic, query-time cleaning (§3.2).
+func (e *Engine) RegisterFunc(name string, fn func([]xmldm.Value) (xmldm.Value, error)) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.funcs[name] = fn
+}
+
+// SetLocalStore installs the local materialized store consulted before
+// any remote fetch, and the predicate naming schemas that should not be
+// unfolded because the store holds them.
+func (e *Engine) SetLocalStore(local func(source string, req catalog.Request) (*xmldm.Node, bool), skipUnfold func(string) bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.runner.Local = local
+	e.skipUnfold = skipUnfold
+}
+
+// SetObserver installs a fetch observer (the materialization advisor's
+// feed).
+func (e *Engine) SetObserver(fn func(source string, req catalog.Request, cost catalog.Cost, err error)) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.runner.Observe = fn
+}
+
+// QueriesRun reports the number of top-level queries executed (the load
+// balancer uses it).
+func (e *Engine) QueriesRun() int64 { return e.queriesRun.Load() }
+
+// Stats summarizes one query's execution.
+type Stats struct {
+	Rewrites       int
+	Fetches        int
+	TuplesEmitted  int64
+	PatternMatches int64
+	Explain        []string
+}
+
+// Result is a query's answer.
+type Result struct {
+	// Values are the constructed result elements, in result order.
+	Values []xmldm.Value
+	// Completeness reports which sources answered (§3.4).
+	Completeness exec.Completeness
+	Stats        Stats
+}
+
+// Document wraps the result values under a <results> element.
+func (r *Result) Document() *xmldm.Node {
+	root := &xmldm.Node{Name: "results"}
+	if !r.Completeness.Complete {
+		root.Attrs = append(root.Attrs, xmldm.Attr{Name: "complete", Value: "false"})
+		for _, s := range r.Completeness.FailedSources() {
+			root.Attrs = append(root.Attrs, xmldm.Attr{Name: "failed", Value: s})
+			break // first failed source in the attribute; full list in Completeness
+		}
+	}
+	for _, v := range r.Values {
+		if n, ok := v.(*xmldm.Node); ok {
+			c := algebra.CopyNode(n)
+			c.Parent = root
+			root.Children = append(root.Children, c)
+		} else {
+			root.Children = append(root.Children, v)
+		}
+	}
+	xmldm.Finalize(root)
+	return root
+}
+
+// QueryOptions tune one query execution.
+type QueryOptions struct {
+	// Policy overrides the engine default when set.
+	Policy *exec.Policy
+}
+
+// Query parses and executes an XML-QL query.
+func (e *Engine) Query(ctx context.Context, src string) (*Result, error) {
+	return e.QueryOpt(ctx, src, QueryOptions{})
+}
+
+// QueryOpt is Query with per-query options.
+func (e *Engine) QueryOpt(ctx context.Context, src string, qo QueryOptions) (*Result, error) {
+	q, err := xmlql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return e.QueryAST(ctx, q, qo)
+}
+
+// QueryAST executes a parsed query.
+func (e *Engine) QueryAST(ctx context.Context, q *xmlql.Query, qo QueryOptions) (*Result, error) {
+	e.queriesRun.Add(1)
+	e.mu.RLock()
+	policy := e.policy
+	funcs := e.funcs
+	e.mu.RUnlock()
+	// Precedence: the query's own ON-UNAVAILABLE prelude overrides the
+	// engine default; an explicit per-call option overrides both.
+	switch q.OnUnavailable {
+	case "fail":
+		policy = exec.PolicyFail
+	case "partial":
+		policy = exec.PolicyPartial
+	}
+	if qo.Policy != nil {
+		policy = *qo.Policy
+	}
+	access := e.runner.NewAccess(ctx, policy)
+	actx := &algebra.Context{Funcs: funcs}
+	res := &Result{}
+	actx.SubqueryEval = func(subq *xmlql.Query, outer algebra.Binding) ([]xmldm.Value, error) {
+		return e.run(ctx, subq, outer, access, actx, 1, nil)
+	}
+	values, err := e.run(ctx, q, nil, access, actx, 0, &res.Stats)
+	if err != nil {
+		return nil, err
+	}
+	res.Values = values
+	res.Completeness = access.Report()
+	snap := actx.Snapshot()
+	res.Stats.TuplesEmitted = snap.TuplesEmitted
+	res.Stats.PatternMatches = snap.PatternMatches
+	return res, nil
+}
+
+// run executes one query (possibly correlated under an outer binding)
+// and returns the constructed values in result order.
+func (e *Engine) run(ctx context.Context, q *xmlql.Query, outer algebra.Binding,
+	access *exec.Access, actx *algebra.Context, depth int, stats *Stats) ([]xmldm.Value, error) {
+
+	if depth > maxDepth {
+		return nil, fmt.Errorf("core: query nesting exceeds %d levels (cyclic schema definitions?)", maxDepth)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	e.mu.RLock()
+	skip := e.skipUnfold
+	opts := e.opts
+	e.mu.RUnlock()
+
+	rewrites, err := mediator.UnfoldSkip(e.cat, q, skip)
+	if err != nil {
+		return nil, err
+	}
+	if stats != nil {
+		stats.Rewrites = len(rewrites)
+	}
+
+	type item struct {
+		value xmldm.Value
+		keys  []xmldm.Value
+	}
+	var items []item
+	orderPushed := len(rewrites) == 1
+
+	for _, rw := range rewrites {
+		planner := opt.New(e.cat, access)
+		planner.Opts = opts
+		var preBound []string
+		var input algebra.Operator
+		if outer != nil {
+			preBound = outer.Names()
+			input = &algebra.TupleScan{Tuples: []algebra.Binding{outer}}
+		}
+		plan, err := planner.Plan(rw, preBound, input)
+		if err != nil {
+			return nil, err
+		}
+		if stats != nil {
+			stats.Fetches += len(plan.Fetches)
+			stats.Explain = append(stats.Explain, plan.Explain...)
+		}
+		if !plan.OrderPushed {
+			orderPushed = false
+		}
+		specs := make([]exec.FetchSpec, len(plan.Fetches))
+		for i, f := range plan.Fetches {
+			specs[i] = exec.FetchSpec{Source: f.Source, Req: f.Req}
+		}
+		if err := access.Prefetch(specs); err != nil {
+			return nil, err
+		}
+		bindings, err := algebra.Drain(actx, plan.Root)
+		if err != nil {
+			return nil, err
+		}
+		for _, b := range bindings {
+			it := item{}
+			for _, k := range plan.OrderBy {
+				v, err := algebra.Eval(actx, k.Expr, b)
+				if err != nil {
+					return nil, err
+				}
+				it.keys = append(it.keys, v)
+			}
+			v, err := algebra.BuildResult(actx, plan.Construct, b)
+			if err != nil {
+				return nil, err
+			}
+			it.value = v
+			items = append(items, it)
+		}
+	}
+
+	if len(q.OrderBy) > 0 && !orderPushed {
+		descs := make([]bool, len(q.OrderBy))
+		for i, k := range q.OrderBy {
+			descs[i] = k.Desc
+		}
+		sort.SliceStable(items, func(i, j int) bool {
+			for k := range descs {
+				if k >= len(items[i].keys) || k >= len(items[j].keys) {
+					return false
+				}
+				c := xmldm.Compare(items[i].keys[k], items[j].keys[k])
+				if c == 0 {
+					continue
+				}
+				if descs[k] {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+	}
+
+	out := make([]xmldm.Value, len(items))
+	for i, it := range items {
+		out[i] = it.value
+	}
+	return out, nil
+}
+
+// materializeSchema computes a mediated schema's full document by
+// running each of its view definitions; it is the fallback for patterns
+// that could not be unfolded, and the producer for the materialized
+// store.
+func (e *Engine) materializeSchema(ctx context.Context, schema string, access *exec.Access) (*xmldm.Node, error) {
+	e.inflightMu.Lock()
+	set := e.inflight[access]
+	if set == nil {
+		set = map[string]bool{}
+		e.inflight[access] = set
+	}
+	if set[schema] {
+		e.inflightMu.Unlock()
+		return nil, fmt.Errorf("core: cyclic materialization of schema %q", schema)
+	}
+	set[schema] = true
+	e.inflightMu.Unlock()
+	defer func() {
+		e.inflightMu.Lock()
+		delete(set, schema)
+		if len(set) == 0 {
+			delete(e.inflight, access)
+		}
+		e.inflightMu.Unlock()
+	}()
+
+	views, err := e.cat.Views(schema)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.RLock()
+	funcs := e.funcs
+	e.mu.RUnlock()
+	actx := &algebra.Context{Funcs: funcs}
+	actx.SubqueryEval = func(subq *xmlql.Query, outer algebra.Binding) ([]xmldm.Value, error) {
+		return e.run(ctx, subq, outer, access, actx, maxDepth/2+1, nil)
+	}
+	root := &xmldm.Node{Name: schema}
+	for _, vd := range views {
+		vals, err := e.run(ctx, vd.Query, nil, access, actx, maxDepth/2+1, nil)
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range vals {
+			if n, ok := v.(*xmldm.Node); ok {
+				n.Parent = root
+				root.Children = append(root.Children, n)
+			}
+		}
+	}
+	xmldm.Finalize(root)
+	return root, nil
+}
+
+// MaterializeSchema computes and returns a schema's document with a
+// fresh access (public entry for the materialized-view manager).
+func (e *Engine) MaterializeSchema(ctx context.Context, schema string) (*xmldm.Node, exec.Completeness, error) {
+	e.mu.RLock()
+	policy := e.policy
+	e.mu.RUnlock()
+	access := e.runner.NewAccess(ctx, policy)
+	doc, err := e.materializeSchema(ctx, schema, access)
+	if err != nil {
+		return nil, access.Report(), err
+	}
+	return doc, access.Report(), nil
+}

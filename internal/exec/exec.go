@@ -1,0 +1,257 @@
+// Package exec is the runtime of the integration engine: it resolves
+// plan leaves to source fetches (in parallel), applies the availability
+// policy, consults the local materialized store before going remote, and
+// produces the completeness report that lets the system "behave
+// intelligently ... by providing partial results, and indicating to the
+// user that the results were not complete" (§3.4).
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/catalog"
+	"repro/internal/sources"
+	"repro/internal/xmldm"
+)
+
+// Policy selects the behaviour when a source does not answer.
+type Policy int
+
+const (
+	// PolicyFail aborts the query on the first unavailable source.
+	PolicyFail Policy = iota
+	// PolicyPartial answers from the sources that responded and flags
+	// the result as incomplete.
+	PolicyPartial
+)
+
+// String names the policy as used in query options.
+func (p Policy) String() string {
+	if p == PolicyPartial {
+		return "partial"
+	}
+	return "fail"
+}
+
+// SourceStatus records one source's outcome during a query.
+type SourceStatus struct {
+	Source string
+	Err    string // empty when the source answered
+	Rows   int
+	Bytes  int
+	Local  bool // answered from the local materialized store
+}
+
+// Completeness is the per-query report of which sources answered.
+type Completeness struct {
+	Complete bool
+	Statuses []SourceStatus
+}
+
+// FailedSources lists the sources that did not answer.
+func (c Completeness) FailedSources() []string {
+	var out []string
+	for _, s := range c.Statuses {
+		if s.Err != "" {
+			out = append(out, s.Source)
+		}
+	}
+	return out
+}
+
+// Runner creates Access instances for query executions.
+type Runner struct {
+	Cat *catalog.Catalog
+	// Materialize computes a mediated schema's document for fallback
+	// matching (the engine wires this to itself); it shares the query's
+	// Access so source failures during materialization show up in the
+	// same completeness report.
+	Materialize func(ctx context.Context, schema string, a *Access) (*xmldm.Node, error)
+	// Local, if set, is consulted before any remote fetch; it returns a
+	// locally materialized document for the source/schema if one is
+	// fresh enough to use (§3.3's "the query processor knows to make use
+	// of local copies of data when available").
+	Local func(source string, req catalog.Request) (*xmldm.Node, bool)
+	// Observe, if set, is called after every fetch; the materialization
+	// advisor feeds on it.
+	Observe func(source string, req catalog.Request, cost catalog.Cost, err error)
+}
+
+// Access is the per-execution fetch state: it memoizes fetches (a plan
+// may reference one source several times), applies the policy, and
+// accumulates the completeness report. Safe for concurrent use.
+type Access struct {
+	runner *Runner
+	ctx    context.Context
+	policy Policy
+
+	mu       sync.Mutex
+	memo     map[string]*fetchResult
+	statuses map[string]*SourceStatus
+}
+
+type fetchResult struct {
+	once sync.Once
+	doc  *xmldm.Node
+	err  error
+}
+
+// NewAccess creates the fetch state for one query execution.
+func (r *Runner) NewAccess(ctx context.Context, policy Policy) *Access {
+	return &Access{
+		runner:   r,
+		ctx:      ctx,
+		policy:   policy,
+		memo:     make(map[string]*fetchResult),
+		statuses: make(map[string]*SourceStatus),
+	}
+}
+
+func specKey(source string, req catalog.Request) string {
+	return strings.ToLower(source) + "\x00" + req.Native + "\x00" + req.Collection
+}
+
+// Roots implements opt.Access: it fetches (memoized) and converts the
+// result document into match roots. Under PolicyPartial an unavailable
+// source yields zero roots and a completeness mark instead of an error.
+func (a *Access) Roots(source string, req catalog.Request) ([]xmldm.Value, error) {
+	doc, err := a.fetch(source, req)
+	if err != nil {
+		if a.policy == PolicyPartial && errors.Is(err, sources.ErrUnavailable) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	if doc == nil {
+		return nil, nil
+	}
+	return []xmldm.Value{doc}, nil
+}
+
+// FetchSpec names one fetch for Prefetch.
+type FetchSpec struct {
+	Source string
+	Req    catalog.Request
+}
+
+// Prefetch starts all given fetches concurrently and waits for them;
+// failures are reported per the policy at Roots time, so Prefetch only
+// returns a hard error under PolicyFail.
+func (a *Access) Prefetch(specs []FetchSpec) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(specs))
+	for i, s := range specs {
+		wg.Add(1)
+		go func(i int, source string, req catalog.Request) {
+			defer wg.Done()
+			_, errs[i] = a.fetch(source, req)
+		}(i, s.Source, s.Req)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			if a.policy == PolicyPartial && errors.Is(err, sources.ErrUnavailable) {
+				continue
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// fetch performs one memoized source fetch.
+func (a *Access) fetch(source string, req catalog.Request) (*xmldm.Node, error) {
+	key := specKey(source, req)
+	a.mu.Lock()
+	fr, ok := a.memo[key]
+	if !ok {
+		fr = &fetchResult{}
+		a.memo[key] = fr
+	}
+	a.mu.Unlock()
+	fr.once.Do(func() {
+		fr.doc, fr.err = a.doFetch(source, req)
+	})
+	return fr.doc, fr.err
+}
+
+func (a *Access) doFetch(source string, req catalog.Request) (*xmldm.Node, error) {
+	// Local materialized copy first.
+	if a.runner.Local != nil {
+		if doc, ok := a.runner.Local(source, req); ok {
+			a.record(source, SourceStatus{Source: source, Rows: doc.CountElements(), Local: true})
+			return doc, nil
+		}
+	}
+	if a.runner.Cat.IsSchema(source) {
+		if a.runner.Materialize == nil {
+			return nil, fmt.Errorf("exec: schema %q needs materialization but no materializer is configured", source)
+		}
+		doc, err := a.runner.Materialize(a.ctx, source, a)
+		if err != nil {
+			a.record(source, SourceStatus{Source: source, Err: err.Error()})
+			return nil, err
+		}
+		a.record(source, SourceStatus{Source: source, Rows: doc.CountElements()})
+		return doc, nil
+	}
+	src, err := a.runner.Cat.Source(source)
+	if err != nil {
+		return nil, err
+	}
+	doc, cost, err := src.Fetch(a.ctx, req)
+	if a.runner.Observe != nil {
+		a.runner.Observe(source, req, cost, err)
+	}
+	if err != nil {
+		a.record(source, SourceStatus{Source: source, Err: err.Error()})
+		return nil, err
+	}
+	a.record(source, SourceStatus{Source: source, Rows: cost.RowsReturned, Bytes: cost.BytesMoved})
+	return doc, nil
+}
+
+// record merges a status for a source (several fetches to one source
+// aggregate; an error on any fetch marks the source failed).
+func (a *Access) record(source string, st SourceStatus) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	key := strings.ToLower(source)
+	cur, ok := a.statuses[key]
+	if !ok {
+		cp := st
+		a.statuses[key] = &cp
+		return
+	}
+	cur.Rows += st.Rows
+	cur.Bytes += st.Bytes
+	if st.Err != "" {
+		cur.Err = st.Err
+	}
+	cur.Local = cur.Local && st.Local
+}
+
+// Report returns the completeness summary accumulated so far.
+func (a *Access) Report() Completeness {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	c := Completeness{Complete: true}
+	keys := make([]string, 0, len(a.statuses))
+	for k := range a.statuses {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		st := *a.statuses[k]
+		if st.Err != "" {
+			c.Complete = false
+		}
+		c.Statuses = append(c.Statuses, st)
+	}
+	return c
+}

@@ -1,0 +1,247 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/sources"
+	"repro/internal/xmldm"
+)
+
+// countingSource counts fetches to verify memoization and prefetching.
+type countingSource struct {
+	name    string
+	fetches atomic.Int64
+	fail    bool
+}
+
+func (c *countingSource) Name() string                       { return c.name }
+func (c *countingSource) Capabilities() catalog.Capabilities { return catalog.Capabilities{} }
+func (c *countingSource) Fetch(ctx context.Context, req catalog.Request) (*xmldm.Node, catalog.Cost, error) {
+	c.fetches.Add(1)
+	if c.fail {
+		return nil, catalog.Cost{}, fmt.Errorf("%w: %s", sources.ErrUnavailable, c.name)
+	}
+	b := xmldm.NewBuilder()
+	return b.Elem(c.name, b.Elem("row", req.Native)), catalog.Cost{RowsReturned: 1, BytesMoved: 10}, nil
+}
+
+func newRunner(t *testing.T, srcs ...catalog.Source) *Runner {
+	t.Helper()
+	cat := catalog.New()
+	for _, s := range srcs {
+		if err := cat.AddSource(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return &Runner{Cat: cat}
+}
+
+func TestRootsAndMemoization(t *testing.T) {
+	src := &countingSource{name: "s"}
+	r := newRunner(t, src)
+	a := r.NewAccess(context.Background(), PolicyFail)
+	for i := 0; i < 5; i++ {
+		roots, err := a.Roots("s", catalog.Request{Native: "q1"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(roots) != 1 {
+			t.Fatalf("roots = %d", len(roots))
+		}
+	}
+	if src.fetches.Load() != 1 {
+		t.Errorf("fetches = %d, want memoized 1", src.fetches.Load())
+	}
+	// A different request fetches again.
+	if _, err := a.Roots("s", catalog.Request{Native: "q2"}); err != nil {
+		t.Fatal(err)
+	}
+	if src.fetches.Load() != 2 {
+		t.Errorf("fetches = %d", src.fetches.Load())
+	}
+	rep := a.Report()
+	if !rep.Complete || len(rep.Statuses) != 1 || rep.Statuses[0].Rows != 2 {
+		t.Errorf("report = %+v", rep)
+	}
+}
+
+func TestPartialPolicySwallowsUnavailability(t *testing.T) {
+	up := &countingSource{name: "up"}
+	down := &countingSource{name: "down", fail: true}
+	r := newRunner(t, up, down)
+
+	a := r.NewAccess(context.Background(), PolicyPartial)
+	roots, err := a.Roots("down", catalog.Request{})
+	if err != nil || roots != nil {
+		t.Errorf("partial policy: %v, %v", roots, err)
+	}
+	if _, err := a.Roots("up", catalog.Request{}); err != nil {
+		t.Fatal(err)
+	}
+	rep := a.Report()
+	if rep.Complete {
+		t.Error("report should be incomplete")
+	}
+	if got := rep.FailedSources(); len(got) != 1 || got[0] != "down" {
+		t.Errorf("failed = %v", got)
+	}
+
+	// Fail policy surfaces the error.
+	af := r.NewAccess(context.Background(), PolicyFail)
+	if _, err := af.Roots("down", catalog.Request{}); !errors.Is(err, sources.ErrUnavailable) {
+		t.Errorf("fail policy err = %v", err)
+	}
+}
+
+func TestPrefetchParallelAndPolicied(t *testing.T) {
+	a1 := &countingSource{name: "a"}
+	b1 := &countingSource{name: "b"}
+	dead := &countingSource{name: "dead", fail: true}
+	r := newRunner(t, a1, b1, dead)
+
+	a := r.NewAccess(context.Background(), PolicyPartial)
+	specs := []FetchSpec{
+		{Source: "a", Req: catalog.Request{}},
+		{Source: "b", Req: catalog.Request{}},
+		{Source: "dead", Req: catalog.Request{}},
+	}
+	if err := a.Prefetch(specs); err != nil {
+		t.Fatalf("partial prefetch should not fail: %v", err)
+	}
+	// Roots afterwards hit the memo.
+	a.Roots("a", catalog.Request{})
+	if a1.fetches.Load() != 1 {
+		t.Errorf("prefetch + roots fetched %d times", a1.fetches.Load())
+	}
+
+	af := r.NewAccess(context.Background(), PolicyFail)
+	if err := af.Prefetch(specs); err == nil {
+		t.Error("fail-policy prefetch should surface unavailability")
+	}
+}
+
+func TestConcurrentRootsSingleFetch(t *testing.T) {
+	src := &countingSource{name: "s"}
+	r := newRunner(t, src)
+	a := r.NewAccess(context.Background(), PolicyFail)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := a.Roots("s", catalog.Request{}); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if src.fetches.Load() != 1 {
+		t.Errorf("concurrent fetches = %d, want 1", src.fetches.Load())
+	}
+}
+
+func TestLocalStoreBeforeRemote(t *testing.T) {
+	src := &countingSource{name: "s"}
+	r := newRunner(t, src)
+	b := xmldm.NewBuilder()
+	local := b.Elem("s", b.Elem("cached"))
+	r.Local = func(source string, _ catalog.Request) (*xmldm.Node, bool) {
+		if source == "s" {
+			return local, true
+		}
+		return nil, false
+	}
+	a := r.NewAccess(context.Background(), PolicyFail)
+	roots, err := a.Roots("s", catalog.Request{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if roots[0].(*xmldm.Node) != local {
+		t.Error("local store not consulted")
+	}
+	if src.fetches.Load() != 0 {
+		t.Error("remote fetched despite local copy")
+	}
+	rep := a.Report()
+	if len(rep.Statuses) != 1 || !rep.Statuses[0].Local {
+		t.Errorf("report = %+v", rep)
+	}
+}
+
+func TestSchemaMaterializationPath(t *testing.T) {
+	cat := catalog.New()
+	if err := cat.DefineViewQL("sch", `WHERE <a>$x</a> IN "s" CONSTRUCT <b>$x</b>`); err != nil {
+		t.Fatal(err)
+	}
+	called := 0
+	r := &Runner{
+		Cat: cat,
+		Materialize: func(_ context.Context, schema string, _ *Access) (*xmldm.Node, error) {
+			called++
+			b := xmldm.NewBuilder()
+			return b.Elem(schema, b.Elem("b", "1")), nil
+		},
+	}
+	a := r.NewAccess(context.Background(), PolicyFail)
+	roots, err := a.Roots("sch", catalog.Request{})
+	if err != nil || len(roots) != 1 {
+		t.Fatalf("roots = %v, %v", roots, err)
+	}
+	a.Roots("sch", catalog.Request{})
+	if called != 1 {
+		t.Errorf("materialize called %d times (memoization)", called)
+	}
+	// Without a materializer the schema fetch fails loudly.
+	r2 := &Runner{Cat: cat}
+	a2 := r2.NewAccess(context.Background(), PolicyFail)
+	if _, err := a2.Roots("sch", catalog.Request{}); err == nil || !strings.Contains(err.Error(), "materialization") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestObserverSeesFetches(t *testing.T) {
+	src := &countingSource{name: "s"}
+	r := newRunner(t, src)
+	var observed []string
+	r.Observe = func(source string, _ catalog.Request, cost catalog.Cost, err error) {
+		observed = append(observed, fmt.Sprintf("%s rows=%d err=%v", source, cost.RowsReturned, err != nil))
+	}
+	a := r.NewAccess(context.Background(), PolicyFail)
+	a.Roots("s", catalog.Request{})
+	if len(observed) != 1 || !strings.Contains(observed[0], "rows=1") {
+		t.Errorf("observed = %v", observed)
+	}
+}
+
+func TestReportAggregatesMultipleFetches(t *testing.T) {
+	src := &countingSource{name: "s"}
+	r := newRunner(t, src)
+	a := r.NewAccess(context.Background(), PolicyFail)
+	a.Roots("s", catalog.Request{Native: "q1"})
+	a.Roots("s", catalog.Request{Native: "q2"})
+	rep := a.Report()
+	if len(rep.Statuses) != 1 || rep.Statuses[0].Rows != 2 || rep.Statuses[0].Bytes != 20 {
+		t.Errorf("aggregate status = %+v", rep.Statuses)
+	}
+}
+
+func TestUnknownSourceError(t *testing.T) {
+	r := newRunner(t)
+	a := r.NewAccess(context.Background(), PolicyPartial)
+	if _, err := a.Roots("ghost", catalog.Request{}); err == nil {
+		t.Error("unknown source must error even under partial policy")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if PolicyFail.String() != "fail" || PolicyPartial.String() != "partial" {
+		t.Error("policy names")
+	}
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	nimble "repro"
+	"repro/internal/sources"
+	"repro/internal/workload"
+)
+
+// E7LoadBalance measures §2.1's scalability claim: "load balancing is
+// provided; multiple instances of the integration engine can be run
+// simultaneously on one or more servers". Each instance has a bounded
+// per-process capacity (2 concurrent queries), clients far exceed it,
+// and every query pays a simulated 2 ms source round trip; throughput
+// should scale with the instance count until clients saturate.
+func E7LoadBalance(s Scale) *Table {
+	t := &Table{
+		ID:     "E7",
+		Title:  "Throughput vs engine instances (bounded per-instance capacity)",
+		Header: []string{"instances", "clients", "queries", "throughput (q/s)", "max instance share"},
+	}
+	const clients = 8
+	const capacity = 2
+	const latency = 2 * time.Millisecond
+	total := s.Queries
+
+	for _, instances := range []int{1, 2, 4} {
+		sys := nimble.New(nimble.Config{Instances: instances})
+		db := workload.CustomerDB("crm", s.Customers/2, 1, 9)
+		sim := sources.NewNetworkSim(sources.NewRelationalSource("crmdb", db), latency, 1.0, 9)
+		if err := sys.AddSource(sim); err != nil {
+			panic(err)
+		}
+		mustDefineCustomerSchema(sys)
+		sys.LoadBalancer().SetCapacity(capacity)
+
+		queries := workload.CityQueries(total, 0.9, 13)
+		var wg sync.WaitGroup
+		work := make(chan string)
+		ctx := context.Background()
+		start := time.Now()
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for q := range work {
+					if _, err := sys.Query(ctx, q); err != nil {
+						panic(err)
+					}
+				}
+			}()
+		}
+		for _, q := range queries {
+			work <- q
+		}
+		close(work)
+		wg.Wait()
+		elapsed := time.Since(start)
+
+		loads := sys.LoadBalancer().Loads()
+		var sum, max int64
+		for _, l := range loads {
+			sum += l
+			if l > max {
+				max = l
+			}
+		}
+		share := 0.0
+		if sum > 0 {
+			share = float64(max) / float64(sum)
+		}
+		t.AddRow(instances, clients, total,
+			float64(total)/elapsed.Seconds(),
+			fmt.Sprintf("%.0f%%", share*100))
+	}
+	t.Notes = append(t.Notes,
+		"per-instance capacity 2 concurrent queries; sources add 2 ms latency per fetch",
+		"max instance share near 1/instances shows the least-loaded dispatcher spreading work evenly")
+	return t
+}

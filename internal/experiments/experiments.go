@@ -1,0 +1,111 @@
+// Package experiments implements the evaluation harness. The paper is an
+// industrial abstract with no quantitative tables, so each experiment
+// operationalizes one of its measurable claims (see DESIGN.md §4 and
+// EXPERIMENTS.md): the harness regenerates a table per claim, and the
+// root bench_test.go wraps the same code in testing.B benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one experiment's output.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cols ...any) {
+	row := make([]string, len(cols))
+	for i, c := range cols {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		case int:
+			row[i] = fmt.Sprintf("%d", v)
+		case int64:
+			row[i] = fmt.Sprintf("%d", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table in aligned plain text.
+func (t *Table) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cols []string) {
+		for i, c := range cols {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// Scale selects experiment sizes: Quick for CI/benchmarks, Full for the
+// EXPERIMENTS.md numbers.
+type Scale struct {
+	Customers int // customer-table size
+	Queries   int // queries per configuration
+	Trials    int // repetitions for stochastic experiments
+}
+
+// QuickScale keeps every experiment under a second or two.
+func QuickScale() Scale { return Scale{Customers: 300, Queries: 60, Trials: 3} }
+
+// FullScale is what EXPERIMENTS.md reports.
+func FullScale() Scale { return Scale{Customers: 2000, Queries: 400, Trials: 10} }
+
+// All runs every experiment at the given scale, in order.
+func All(s Scale) []*Table {
+	return []*Table{
+		F1Architecture(s),
+		E1WarehousingVsVirtual(s),
+		E2ViewSelection(s),
+		E3QueryCache(s),
+		E4PartialResults(s),
+		E5Pushdown(s),
+		E6Cleaning(s),
+		E7LoadBalance(s),
+		E8Algebra(s),
+		E9Hierarchy(s),
+	}
+}

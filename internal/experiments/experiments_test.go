@@ -1,0 +1,300 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// The experiment smoke tests run every table at quick scale and verify
+// the qualitative shape the paper claims — who wins, in which direction —
+// rather than absolute numbers.
+
+func cell(t *Table, row, col int) string { return t.Rows[row][col] }
+
+func cellF(tb testing.TB, t *Table, row, col int) float64 {
+	tb.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(cell(t, row, col), "%"), 64)
+	if err != nil {
+		tb.Fatalf("%s row %d col %d: %q not numeric", t.ID, row, col, cell(t, row, col))
+	}
+	return v
+}
+
+func findRow(t *Table, col int, val string) int {
+	for i, r := range t.Rows {
+		if r[col] == val {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{ID: "X", Title: "demo", Header: []string{"a", "bb"}}
+	tbl.AddRow("x", 1.5)
+	tbl.AddRow(42, "y")
+	tbl.Notes = append(tbl.Notes, "a note")
+	s := tbl.String()
+	if !strings.Contains(s, "== X: demo ==") || !strings.Contains(s, "1.500") || !strings.Contains(s, "note: a note") {
+		t.Errorf("render:\n%s", s)
+	}
+}
+
+func TestF1ArchitectureRuns(t *testing.T) {
+	tbl := F1Architecture(QuickScale())
+	if len(tbl.Rows) < 8 {
+		t.Fatalf("rows = %d:\n%s", len(tbl.Rows), tbl)
+	}
+	joined := tbl.String()
+	for _, want := range []string{"SELECT", "rewrite", "engine instances", "materialization"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("F1 missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+func TestE1Shape(t *testing.T) {
+	tbl := E1WarehousingVsVirtual(QuickScale())
+	// For each ratio: virtual latency > warehouse latency; warehouse has
+	// stale answers at low query:update ratios; virtual and hybrid never
+	// stale.
+	for _, ratio := range []string{"1:1", "5:1", "20:1"} {
+		var vLat, wLat, hLat float64
+		var vStale, wStale, hStale string
+		for _, row := range tbl.Rows {
+			if row[0] != ratio {
+				continue
+			}
+			lat, _ := strconv.ParseFloat(row[2], 64)
+			switch row[1] {
+			case "virtual":
+				vLat, vStale = lat, row[3]
+			case "warehouse":
+				wLat, wStale = lat, row[3]
+			case "hybrid":
+				hLat, hStale = lat, row[3]
+			}
+		}
+		if vLat <= wLat {
+			t.Errorf("%s: virtual (%.2fms) should be slower than warehouse (%.2fms)", ratio, vLat, wLat)
+		}
+		if !strings.HasPrefix(vStale, "0/") {
+			t.Errorf("%s: virtual must never be stale, got %s", ratio, vStale)
+		}
+		if !strings.HasPrefix(hStale, "0/") {
+			t.Errorf("%s: hybrid must never be stale, got %s", ratio, hStale)
+		}
+		if ratio == "1:1" && strings.HasPrefix(wStale, "0/") {
+			t.Errorf("warehouse at 1:1 should see stale answers, got %s", wStale)
+		}
+		_ = hLat
+	}
+}
+
+func TestE2Shape(t *testing.T) {
+	tbl := E2ViewSelection(QuickScale())
+	none := findRow(tbl, 0, "none")
+	all := findRow(tbl, 0, "all")
+	adv := findRow(tbl, 0, "advisor")
+	if none < 0 || all < 0 || adv < 0 {
+		t.Fatalf("rows:\n%s", tbl)
+	}
+	fNone := cellF(t, tbl, none, 1)
+	fAll := cellF(t, tbl, all, 1)
+	fAdv := cellF(t, tbl, adv, 1)
+	// Materialize-all only fetches at materialization time; the advisor
+	// lands between none and all.
+	if !(fAll < fAdv && fAdv < fNone) {
+		t.Errorf("fetches: none=%v advisor=%v all=%v (want all < advisor < none)", fNone, fAdv, fAll)
+	}
+	// The advisor adapts: at least 2 store changes (initial + shift).
+	if cellF(t, tbl, adv, 3) < 2 {
+		t.Errorf("advisor changes = %s", cell(tbl, adv, 3))
+	}
+}
+
+func TestE3Shape(t *testing.T) {
+	tbl := E3QueryCache(QuickScale())
+	// Within each skew: bigger cache, higher hit rate, lower latency.
+	for _, theta := range []string{"0.5", "0.9", "1.3"} {
+		var rows []int
+		for i, r := range tbl.Rows {
+			if r[0] == theta {
+				rows = append(rows, i)
+			}
+		}
+		if len(rows) != 3 {
+			t.Fatalf("theta %s rows = %d", theta, len(rows))
+		}
+		off, small, full := rows[0], rows[1], rows[2]
+		if cellF(t, tbl, off, 2) != 0 {
+			t.Errorf("cache off should have 0 hit rate")
+		}
+		if !(cellF(t, tbl, small, 2) <= cellF(t, tbl, full, 2)) {
+			t.Errorf("theta %s: hit rate should grow with cache size", theta)
+		}
+		if !(cellF(t, tbl, full, 3) < cellF(t, tbl, off, 3)) {
+			t.Errorf("theta %s: full cache should cut latency", theta)
+		}
+	}
+	// Higher skew helps the small cache.
+	smallLow, smallHigh := -1, -1
+	for i, r := range tbl.Rows {
+		if r[1] != "off" && r[1] != strconv.Itoa(len(tbl.Rows)) {
+			if r[0] == "0.5" && smallLow < 0 && r[1] != "off" {
+				smallLow = i
+			}
+			if r[0] == "1.3" && r[1] == tbl.Rows[1][1] {
+				smallHigh = i
+			}
+		}
+	}
+	if smallLow >= 0 && smallHigh >= 0 {
+		if cellF(t, tbl, smallHigh, 2) < cellF(t, tbl, smallLow, 2) {
+			t.Errorf("higher skew should raise the small-cache hit rate")
+		}
+	}
+}
+
+func TestE4Shape(t *testing.T) {
+	tbl := E4PartialResults(QuickScale())
+	for _, row := range tbl.Rows {
+		n, _ := strconv.Atoi(row[0])
+		theory, _ := strconv.ParseFloat(row[2], 64)
+		// Partial mode always answers.
+		parts := strings.Split(row[4], "/")
+		if parts[0] != parts[1] {
+			t.Errorf("partial mode should answer all queries: %v", row)
+		}
+		// Average completeness is far above the all-up probability for
+		// large N.
+		comp, _ := strconv.ParseFloat(row[5], 64)
+		if n >= 10 && comp <= theory {
+			t.Errorf("completeness %v should beat P(all up) %v at N=%d", comp, theory, n)
+		}
+		if comp < 0.5 {
+			t.Errorf("completeness %v suspiciously low: %v", comp, row)
+		}
+	}
+	// Fail-policy success degrades as N grows at fixed p.
+	firstN2 := findRow(tbl, 0, "2")
+	lastN20 := findRow(tbl, 0, "20")
+	okOf := func(i int) float64 {
+		parts := strings.Split(cell(tbl, i, 3), "/")
+		num, _ := strconv.ParseFloat(parts[0], 64)
+		den, _ := strconv.ParseFloat(parts[1], 64)
+		return num / den
+	}
+	if okOf(lastN20) > okOf(firstN2) {
+		t.Errorf("fail-policy success should degrade with N: %v vs %v", okOf(firstN2), okOf(lastN20))
+	}
+}
+
+func TestE5Shape(t *testing.T) {
+	tbl := E5Pushdown(QuickScale())
+	// At every selectivity, pushdown moves fewer rows.
+	for _, sel := range []string{"0.010", "0.100", "0.500"} {
+		var on, off float64 = -1, -1
+		for _, row := range tbl.Rows {
+			if row[1] != sel {
+				continue
+			}
+			moved, _ := strconv.ParseFloat(row[2], 64)
+			if row[0] == "pushdown on" {
+				on = moved
+			} else if row[0] == "pushdown off" {
+				off = moved
+			}
+		}
+		if on < 0 || off < 0 {
+			t.Fatalf("missing rows for sel %s:\n%s", sel, tbl)
+		}
+		if on >= off {
+			t.Errorf("sel %s: pushdown moved %v rows, no-pushdown %v", sel, on, off)
+		}
+	}
+	// Index scan touches fewer rows than full scan.
+	idx := findRow(tbl, 0, "index on tier")
+	no := findRow(tbl, 0, "no index")
+	if cellF(t, tbl, idx, 4) >= cellF(t, tbl, no, 4) {
+		t.Errorf("index should reduce rows scanned:\n%s", tbl)
+	}
+}
+
+func TestE6Shape(t *testing.T) {
+	tbl := E6Cleaning(QuickScale())
+	rows := map[string]int{}
+	for i, r := range tbl.Rows {
+		rows[r[0]] = i
+	}
+	mining := rows["flow + oracle (mining)"]
+	extraction := rows["extraction (reuse)"]
+	auto := rows["flow auto-only"]
+	mp := rows["merge/purge w=5"]
+
+	// Mining with the oracle reaches the best F1.
+	if cellF(t, tbl, mining, 3) < cellF(t, tbl, auto, 3) {
+		t.Errorf("oracle should not hurt F1:\n%s", tbl)
+	}
+	if cellF(t, tbl, mining, 3) < cellF(t, tbl, mp, 3) {
+		t.Errorf("flow+oracle should beat merge/purge:\n%s", tbl)
+	}
+	// Extraction reproduces mining quality with zero questions.
+	if cell(tbl, extraction, 5) != "0" {
+		t.Errorf("extraction asked questions:\n%s", tbl)
+	}
+	if cellF(t, tbl, extraction, 3) < cellF(t, tbl, mining, 3)-1e-9 {
+		t.Errorf("extraction should match mining F1:\n%s", tbl)
+	}
+	if cellF(t, tbl, extraction, 6) == 0 {
+		t.Errorf("extraction should hit the concordance DB:\n%s", tbl)
+	}
+}
+
+func TestE7Shape(t *testing.T) {
+	tbl := E7LoadBalance(QuickScale())
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	tp1 := cellF(t, tbl, 0, 3)
+	tp4 := cellF(t, tbl, 2, 3)
+	if tp4 <= tp1 {
+		t.Errorf("4 instances (%.0f q/s) should beat 1 (%.0f q/s)", tp4, tp1)
+	}
+}
+
+func TestE9Shape(t *testing.T) {
+	tbl := E9Hierarchy(QuickScale())
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	answer := cell(tbl, 0, 4)
+	for _, row := range tbl.Rows {
+		if row[3] != "yes" {
+			t.Errorf("pushdown must survive unfolding at depth %s:\n%s", row[0], tbl)
+		}
+		if row[4] != answer {
+			t.Errorf("answer must be depth-independent:\n%s", tbl)
+		}
+	}
+	// Unfold cost grows with depth but stays small (< 10ms at depth 8).
+	if cellF(t, tbl, 3, 1) < cellF(t, tbl, 0, 1) {
+		t.Errorf("deeper stacks should cost more to unfold:\n%s", tbl)
+	}
+	if cellF(t, tbl, 3, 1) > 10000 {
+		t.Errorf("unfold cost exploded: %s µs", cell(tbl, 3, 1))
+	}
+}
+
+func TestE8Runs(t *testing.T) {
+	tbl := E8Algebra(QuickScale())
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for _, r := range tbl.Rows {
+		if r[2] == "" || r[2] == "0" {
+			t.Errorf("zero throughput: %v", r)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+// Package lineage implements the data lineage mechanism of §3.2: the
+// cleaning system records "data ancestry, human decisions, and
+// supporting roll-back whenever possible". Every cleaning step appends
+// events linking outputs to their inputs; Ancestry walks the links
+// backwards, and RollbackTo undoes a suffix of the log, reporting which
+// decisions must be revoked in the concordance database.
+package lineage
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Kind classifies lineage events.
+type Kind string
+
+// The event kinds.
+const (
+	KindNormalize Kind = "normalize"
+	KindMatch     Kind = "match"
+	KindDecision  Kind = "decision" // a human determination
+	KindMerge     Kind = "merge"
+)
+
+// Event is one lineage record: Output was produced from Inputs by a step
+// of the given kind.
+type Event struct {
+	Seq    int
+	Kind   Kind
+	Inputs []string // record keys
+	Output string   // record key (or pair key for match/decision)
+	Detail string
+	At     time.Time
+}
+
+// Log is an append-only lineage log, safe for concurrent use.
+type Log struct {
+	mu     sync.RWMutex
+	events []Event
+	byOut  map[string][]int // output key -> event indexes
+	clock  func() time.Time
+}
+
+// New creates an empty log.
+func New() *Log {
+	return &Log{byOut: map[string][]int{}, clock: time.Now}
+}
+
+// SetClock replaces the time source (tests).
+func (l *Log) SetClock(fn func() time.Time) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.clock = fn
+}
+
+// Append records an event and returns its sequence number.
+func (l *Log) Append(kind Kind, inputs []string, output, detail string) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	seq := len(l.events)
+	l.events = append(l.events, Event{
+		Seq: seq, Kind: kind,
+		Inputs: append([]string(nil), inputs...),
+		Output: output, Detail: detail, At: l.clock(),
+	})
+	l.byOut[output] = append(l.byOut[output], seq)
+	return seq
+}
+
+// Len reports the number of events.
+func (l *Log) Len() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.events)
+}
+
+// Events returns a copy of the log.
+func (l *Log) Events() []Event {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return append([]Event(nil), l.events...)
+}
+
+// Ancestry returns every event reachable backwards from the output key:
+// the full derivation of a cleaned record, human decisions included.
+func (l *Log) Ancestry(output string) []Event {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	seen := map[int]bool{}
+	var visit func(key string)
+	var collected []int
+	visit = func(key string) {
+		for _, idx := range l.byOut[key] {
+			if seen[idx] {
+				continue
+			}
+			seen[idx] = true
+			collected = append(collected, idx)
+			for _, in := range l.events[idx].Inputs {
+				visit(in)
+			}
+		}
+	}
+	visit(output)
+	sort.Ints(collected)
+	out := make([]Event, len(collected))
+	for i, idx := range collected {
+		out[i] = l.events[idx]
+	}
+	return out
+}
+
+// RollbackTo truncates the log after seq (exclusive) and returns the
+// dropped events, most recent first — the caller revokes the
+// corresponding concordance decisions.
+func (l *Log) RollbackTo(seq int) ([]Event, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if seq < -1 || seq >= len(l.events) {
+		return nil, fmt.Errorf("lineage: rollback point %d out of range [-1, %d)", seq, len(l.events))
+	}
+	dropped := append([]Event(nil), l.events[seq+1:]...)
+	// Reverse: undo most recent first.
+	for i, j := 0, len(dropped)-1; i < j; i, j = i+1, j-1 {
+		dropped[i], dropped[j] = dropped[j], dropped[i]
+	}
+	l.events = l.events[:seq+1]
+	l.byOut = map[string][]int{}
+	for i, e := range l.events {
+		l.byOut[e.Output] = append(l.byOut[e.Output], i)
+	}
+	return dropped, nil
+}

@@ -1,0 +1,112 @@
+package lineage
+
+import (
+	"testing"
+)
+
+func TestAppendAndAncestry(t *testing.T) {
+	l := New()
+	l.Append(KindNormalize, []string{"crm/1"}, "crm/1", "normalized")
+	l.Append(KindNormalize, []string{"web/a"}, "web/a", "normalized")
+	l.Append(KindDecision, []string{"crm/1", "web/a"}, "crm/1~web/a", "human same=true")
+	l.Append(KindMerge, []string{"crm/1", "web/a"}, "merged/1", "2-way merge")
+	l.Append(KindNormalize, []string{"crm/9"}, "crm/9", "unrelated")
+
+	anc := l.Ancestry("merged/1")
+	if len(anc) != 3 {
+		t.Fatalf("ancestry = %d events: %+v", len(anc), anc)
+	}
+	// Ancestry is ordered by sequence and excludes unrelated events.
+	for _, e := range anc {
+		if e.Output == "crm/9" {
+			t.Error("unrelated event in ancestry")
+		}
+	}
+	if anc[len(anc)-1].Kind != KindMerge {
+		t.Errorf("last ancestry event = %v", anc[len(anc)-1].Kind)
+	}
+	if l.Len() != 5 {
+		t.Errorf("len = %d", l.Len())
+	}
+}
+
+func TestAncestryIncludesDecisions(t *testing.T) {
+	l := New()
+	l.Append(KindDecision, []string{"a", "b"}, "a~b", "human")
+	l.Append(KindMerge, []string{"a~b"}, "m", "")
+	anc := l.Ancestry("m")
+	found := false
+	for _, e := range anc {
+		if e.Kind == KindDecision {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("human decision missing from ancestry — §3.2 requires recording them")
+	}
+}
+
+func TestRollback(t *testing.T) {
+	l := New()
+	s0 := l.Append(KindNormalize, []string{"a"}, "a", "")
+	l.Append(KindDecision, []string{"a", "b"}, "a~b", "")
+	l.Append(KindMerge, []string{"a", "b"}, "m", "")
+
+	dropped, err := l.RollbackTo(s0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dropped) != 2 {
+		t.Fatalf("dropped = %d", len(dropped))
+	}
+	// Most recent first, so the merge precedes the decision.
+	if dropped[0].Kind != KindMerge || dropped[1].Kind != KindDecision {
+		t.Errorf("rollback order = %v, %v", dropped[0].Kind, dropped[1].Kind)
+	}
+	if l.Len() != 1 {
+		t.Errorf("len after rollback = %d", l.Len())
+	}
+	// Index rebuilt: ancestry of the dropped output is empty.
+	if anc := l.Ancestry("m"); len(anc) != 0 {
+		t.Errorf("stale index: %v", anc)
+	}
+	// Full rollback.
+	if _, err := l.RollbackTo(-1); err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 0 {
+		t.Error("rollback to -1 should empty the log")
+	}
+}
+
+func TestRollbackRangeErrors(t *testing.T) {
+	l := New()
+	l.Append(KindNormalize, nil, "a", "")
+	if _, err := l.RollbackTo(5); err == nil {
+		t.Error("out-of-range rollback should fail")
+	}
+	if _, err := l.RollbackTo(-2); err == nil {
+		t.Error("below -1 should fail")
+	}
+}
+
+func TestEventsCopy(t *testing.T) {
+	l := New()
+	l.Append(KindNormalize, nil, "a", "")
+	evs := l.Events()
+	evs[0].Output = "mutated"
+	if l.Events()[0].Output != "a" {
+		t.Error("Events must return a copy")
+	}
+}
+
+func TestCyclicAncestryTerminates(t *testing.T) {
+	// Defensive: a log with a self-referential chain must not loop.
+	l := New()
+	l.Append(KindMerge, []string{"x"}, "y", "")
+	l.Append(KindMerge, []string{"y"}, "x", "")
+	anc := l.Ancestry("x")
+	if len(anc) != 2 {
+		t.Errorf("ancestry = %d", len(anc))
+	}
+}

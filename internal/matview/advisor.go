@@ -1,0 +1,183 @@
+package matview
+
+import (
+	"context"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/catalog"
+	"repro/internal/xmlql"
+)
+
+// Advisor decides which mediated schemas to materialize under a storage
+// budget, adapting to the observed query load. It implements a greedy
+// benefit-per-size policy in the spirit of automated view selection
+// ([Agrawal et al. 2000], which §3.3 cites as the problem's nearest
+// relative), extended with the paper's complications: costs of remote
+// sources are estimated from observed fetches rather than known, and the
+// chosen set is re-evaluated as the load shifts.
+type Advisor struct {
+	cat *catalog.Catalog
+
+	mu sync.Mutex
+	// load counts queries per schema within the current window.
+	load map[string]int
+	// remoteCost accumulates observed bytes moved per schema's sources.
+	remoteCost map[string]int
+	// size is the last known materialized size (elements) per schema.
+	size map[string]int
+	// decay halves history each window so the advisor adapts.
+	windows int
+}
+
+// NewAdvisor creates an advisor over a catalog.
+func NewAdvisor(cat *catalog.Catalog) *Advisor {
+	return &Advisor{
+		cat:        cat,
+		load:       map[string]int{},
+		remoteCost: map[string]int{},
+		size:       map[string]int{},
+	}
+}
+
+// NoteQuery records the schemas a query references; call it per query.
+func (a *Advisor) NoteQuery(q *xmlql.Query) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, dep := range catalog.QueryDeps(q) {
+		if a.cat.IsSchema(dep) {
+			a.load[strings.ToLower(dep)]++
+		}
+	}
+}
+
+// NoteCost records an observed remote fetch cost attributed to a schema
+// (callers attribute fetches to the schema being answered).
+func (a *Advisor) NoteCost(schema string, bytes int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.remoteCost[strings.ToLower(schema)] += bytes
+}
+
+// NoteSize records a schema's materialized size in elements.
+func (a *Advisor) NoteSize(schema string, elements int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.size[strings.ToLower(schema)] = elements
+}
+
+// EndWindow halves all counters, so old load decays and the advisor
+// adapts "over time depending on the query load" (§3.3).
+func (a *Advisor) EndWindow() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for k, v := range a.load {
+		a.load[k] = v / 2
+	}
+	for k, v := range a.remoteCost {
+		a.remoteCost[k] = v / 2
+	}
+	a.windows++
+}
+
+// Candidate is one schema with its computed benefit.
+type Candidate struct {
+	Schema  string
+	Queries int
+	Cost    int
+	Size    int
+	Benefit float64
+}
+
+// Decide returns the schemas to materialize, greedily by benefit per
+// size until the element budget is exhausted. Benefit of a schema is
+// (queries in window) × (observed remote cost); unqueried schemas have
+// zero benefit and are never chosen.
+func (a *Advisor) Decide(budgetElements int) []Candidate {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var cands []Candidate
+	for schema, q := range a.load {
+		if q == 0 {
+			continue
+		}
+		cost := a.remoteCost[schema]
+		if cost == 0 {
+			cost = 1
+		}
+		size := a.size[schema]
+		if size == 0 {
+			size = 1 // unknown size: optimistic until measured
+		}
+		cands = append(cands, Candidate{
+			Schema:  schema,
+			Queries: q,
+			Cost:    cost,
+			Size:    size,
+			Benefit: float64(q) * float64(cost) / float64(size),
+		})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].Benefit != cands[j].Benefit {
+			return cands[i].Benefit > cands[j].Benefit
+		}
+		return cands[i].Schema < cands[j].Schema
+	})
+	var chosen []Candidate
+	used := 0
+	for _, c := range cands {
+		if used+c.Size > budgetElements {
+			continue
+		}
+		used += c.Size
+		chosen = append(chosen, c)
+	}
+	return chosen
+}
+
+// Apply reconciles the manager's store with a decision: materializes
+// newly chosen schemas and drops no-longer-chosen ones. It returns the
+// number of changes made.
+func (a *Advisor) Apply(ctx context.Context, m *Manager, decision []Candidate) (int, error) {
+	want := map[string]bool{}
+	for _, c := range decision {
+		want[strings.ToLower(c.Schema)] = true
+	}
+	changes := 0
+	for _, have := range m.Materialized() {
+		if !want[strings.ToLower(have)] {
+			m.Drop(have)
+			changes++
+		}
+	}
+	for _, c := range decision {
+		already := false
+		for _, have := range m.Materialized() {
+			if strings.EqualFold(have, c.Schema) {
+				already = true
+				break
+			}
+		}
+		if already {
+			continue
+		}
+		if err := m.Materialize(ctx, c.Schema); err != nil {
+			return changes, err
+		}
+		changes++
+		if st, ok := staleSize(m, c.Schema); ok {
+			a.NoteSize(c.Schema, st)
+		}
+	}
+	return changes, nil
+}
+
+func staleSize(m *Manager, schema string) (int, bool) {
+	for _, e := range m.Entries() {
+		if strings.EqualFold(e.Schema, schema) {
+			return e.Elements, true
+		}
+	}
+	return 0, false
+}

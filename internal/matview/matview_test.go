@@ -1,0 +1,309 @@
+package matview
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/rdb"
+	"repro/internal/sources"
+	"repro/internal/xmldm"
+	"repro/internal/xmlql"
+)
+
+// newEnv builds an engine with a relational source and a "customers"
+// mediated schema, returning the engine, the DB (for updates), and a
+// counter of remote fetches.
+func newEnv(t testing.TB) (*core.Engine, *rdb.Database, *int) {
+	t.Helper()
+	db := rdb.NewDatabase("crm")
+	db.MustExec(`CREATE TABLE customers (id INT PRIMARY KEY, name VARCHAR)`)
+	db.MustExec(`INSERT INTO customers VALUES (1, 'Ada'), (2, 'Alan')`)
+	cat := catalog.New()
+	if err := cat.AddSource(sources.NewRelationalSource("crmdb", db)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.DefineViewQL("customers",
+		`WHERE <customer><name>$n</name></customer> IN "crmdb" CONSTRUCT <cust><who>$n</who></cust>`); err != nil {
+		t.Fatal(err)
+	}
+	e := core.New(cat)
+	fetches := 0
+	e.SetObserver(func(string, catalog.Request, catalog.Cost, error) { fetches++ })
+	return e, db, &fetches
+}
+
+const custQuery = `WHERE <cust><who>$w</who></cust> IN "customers" CONSTRUCT <r>$w</r> ORDER-BY $w`
+
+func TestMaterializeServesLocally(t *testing.T) {
+	e, _, fetches := newEnv(t)
+	m := NewManager(e)
+	if err := m.Materialize(context.Background(), "customers"); err != nil {
+		t.Fatal(err)
+	}
+	*fetches = 0
+	res, err := e.Query(context.Background(), custQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Values) != 2 {
+		t.Fatalf("values = %d", len(res.Values))
+	}
+	if *fetches != 0 {
+		t.Errorf("remote fetches = %d, want 0", *fetches)
+	}
+	entries := m.Entries()
+	if len(entries) != 1 || entries[0].Hits == 0 {
+		t.Errorf("entries = %+v", entries)
+	}
+}
+
+func TestStalenessAndManualRefresh(t *testing.T) {
+	e, db, _ := newEnv(t)
+	m := NewManager(e)
+	if err := m.Materialize(context.Background(), "customers"); err != nil {
+		t.Fatal(err)
+	}
+	// Source-side update: the local copy is now stale.
+	db.MustExec(`INSERT INTO customers VALUES (3, 'Grace')`)
+	res, _ := e.Query(context.Background(), custQuery)
+	if len(res.Values) != 2 {
+		t.Fatalf("stale copy should still answer with old data, got %d", len(res.Values))
+	}
+	if err := m.Refresh(context.Background(), "customers"); err != nil {
+		t.Fatal(err)
+	}
+	res, _ = e.Query(context.Background(), custQuery)
+	if len(res.Values) != 3 {
+		t.Errorf("after refresh: %d values", len(res.Values))
+	}
+	if err := m.Refresh(context.Background(), "nosuch"); err == nil {
+		t.Error("refreshing unmaterialized schema should fail")
+	}
+}
+
+func TestTTLModes(t *testing.T) {
+	e, db, _ := newEnv(t)
+	m := NewManager(e)
+	now := time.Unix(1000, 0)
+	m.Clock = func() time.Time { return now }
+	m.TTL = time.Minute
+	if err := m.Materialize(context.Background(), "customers"); err != nil {
+		t.Fatal(err)
+	}
+	db.MustExec(`INSERT INTO customers VALUES (3, 'Grace')`)
+
+	// Fresh: local copy answers.
+	res, _ := e.Query(context.Background(), custQuery)
+	if len(res.Values) != 2 {
+		t.Fatalf("fresh: %d", len(res.Values))
+	}
+
+	// Stale + RefreshStale: miss, back to sources.
+	now = now.Add(2 * time.Minute)
+	m.Mode = RefreshStale
+	res, _ = e.Query(context.Background(), custQuery)
+	if len(res.Values) != 3 {
+		t.Errorf("RefreshStale should fall through to sources: %d", len(res.Values))
+	}
+
+	// Stale + RefreshOnDemand: refresh then answer locally.
+	db.MustExec(`INSERT INTO customers VALUES (4, 'Edsger')`)
+	m.Mode = RefreshOnDemand
+	res, _ = e.Query(context.Background(), custQuery)
+	if len(res.Values) != 4 {
+		t.Errorf("RefreshOnDemand should see the update: %d", len(res.Values))
+	}
+
+	// Stale + RefreshManual: stale data keeps serving.
+	db.MustExec(`INSERT INTO customers VALUES (5, 'Barbara')`)
+	m.Mode = RefreshManual
+	now = now.Add(2 * time.Minute)
+	res, _ = e.Query(context.Background(), custQuery)
+	if len(res.Values) != 4 {
+		t.Errorf("RefreshManual should serve stale: %d", len(res.Values))
+	}
+
+	if st, ok := m.Staleness("customers"); !ok || st != 2*time.Minute {
+		t.Errorf("staleness = %v, %v", st, ok)
+	}
+}
+
+func TestDropRestoresVirtualQuerying(t *testing.T) {
+	e, db, fetches := newEnv(t)
+	m := NewManager(e)
+	m.Materialize(context.Background(), "customers")
+	m.Drop("customers")
+	db.MustExec(`INSERT INTO customers VALUES (3, 'Grace')`)
+	*fetches = 0
+	res, _ := e.Query(context.Background(), custQuery)
+	if len(res.Values) != 3 {
+		t.Errorf("virtual querying should see fresh data: %d", len(res.Values))
+	}
+	if *fetches == 0 {
+		t.Error("drop should restore remote fetching")
+	}
+	if _, ok := m.Staleness("customers"); ok {
+		t.Error("entry should be gone")
+	}
+}
+
+func TestMaterializeRefusesIncomplete(t *testing.T) {
+	cat := catalog.New()
+	legacy, _ := sources.NewXMLSource("legacy", `<l><c><who>X</who></c></l>`)
+	cat.AddSource(sources.NewDowned(legacy))
+	cat.DefineViewQL("customers", `WHERE <c><who>$w</who></c> IN "legacy" CONSTRUCT <cust><who>$w</who></cust>`)
+	e := core.New(cat)
+	m := NewManager(e)
+	if err := m.Materialize(context.Background(), "customers"); err == nil {
+		t.Error("materializing from a down source must fail, not store half a view")
+	}
+}
+
+func TestRefreshAll(t *testing.T) {
+	e, db, _ := newEnv(t)
+	m := NewManager(e)
+	m.Materialize(context.Background(), "customers")
+	db.MustExec(`INSERT INTO customers VALUES (3, 'Grace')`)
+	if err := m.RefreshAll(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := e.Query(context.Background(), custQuery)
+	if len(res.Values) != 3 {
+		t.Errorf("after RefreshAll: %d", len(res.Values))
+	}
+}
+
+func TestPeriodicRefresh(t *testing.T) {
+	e, db, _ := newEnv(t)
+	m := NewManager(e)
+	if err := m.Materialize(context.Background(), "customers"); err != nil {
+		t.Fatal(err)
+	}
+	db.MustExec(`INSERT INTO customers VALUES (3, 'Grace')`)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	m.StartPeriodicRefresh(ctx, 5*time.Millisecond, func(err error) { t.Error(err) })
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		res, err := e.Query(context.Background(), custQuery)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Values) == 3 {
+			return // the loader picked up the insert
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("periodic refresh never picked up the source update")
+}
+
+func TestAdvisorGreedySelection(t *testing.T) {
+	e, _, _ := newEnv(t)
+	cat := e.Catalog()
+	cat.DefineViewQL("rare", `WHERE <customer><name>$n</name></customer> IN "crmdb" CONSTRUCT <r><n>$n</n></r>`)
+	a := NewAdvisor(cat)
+
+	hot := xmlql.MustParse(custQuery)
+	cold := xmlql.MustParse(`WHERE <r><n>$n</n></r> IN "rare" CONSTRUCT <o>$n</o>`)
+	for i := 0; i < 100; i++ {
+		a.NoteQuery(hot)
+	}
+	a.NoteQuery(cold)
+	a.NoteCost("customers", 4000)
+	a.NoteCost("rare", 4000)
+	a.NoteSize("customers", 50)
+	a.NoteSize("rare", 50)
+
+	// Budget fits only one schema: the hot one wins.
+	dec := a.Decide(60)
+	if len(dec) != 1 || dec[0].Schema != "customers" {
+		t.Fatalf("decision = %+v", dec)
+	}
+	// Budget fits both.
+	dec = a.Decide(200)
+	if len(dec) != 2 {
+		t.Errorf("decision = %+v", dec)
+	}
+	// Unqueried schemas never selected.
+	for _, c := range dec {
+		if c.Queries == 0 {
+			t.Errorf("unqueried schema chosen: %+v", c)
+		}
+	}
+}
+
+func TestAdvisorAdaptsAfterWindowDecay(t *testing.T) {
+	e, _, _ := newEnv(t)
+	cat := e.Catalog()
+	cat.DefineViewQL("other", `WHERE <customer><name>$n</name></customer> IN "crmdb" CONSTRUCT <x><n>$n</n></x>`)
+	a := NewAdvisor(cat)
+	hot := xmlql.MustParse(custQuery)
+	newHot := xmlql.MustParse(`WHERE <x><n>$n</n></x> IN "other" CONSTRUCT <o>$n</o>`)
+
+	for i := 0; i < 100; i++ {
+		a.NoteQuery(hot)
+	}
+	a.NoteSize("customers", 10)
+	a.NoteSize("other", 10)
+	if dec := a.Decide(15); len(dec) != 1 || dec[0].Schema != "customers" {
+		t.Fatalf("phase 1 decision = %+v", dec)
+	}
+	// The load shifts; after several windows of decay the new schema
+	// dominates.
+	for w := 0; w < 6; w++ {
+		a.EndWindow()
+		for i := 0; i < 50; i++ {
+			a.NoteQuery(newHot)
+		}
+	}
+	dec := a.Decide(15)
+	if len(dec) != 1 || dec[0].Schema != "other" {
+		t.Errorf("advisor did not adapt: %+v", dec)
+	}
+}
+
+func TestAdvisorApply(t *testing.T) {
+	e, _, _ := newEnv(t)
+	m := NewManager(e)
+	a := NewAdvisor(e.Catalog())
+	a.NoteQuery(xmlql.MustParse(custQuery))
+	a.NoteSize("customers", 1)
+	changes, err := a.Apply(context.Background(), m, a.Decide(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changes != 1 || len(m.Materialized()) != 1 {
+		t.Errorf("changes = %d, materialized = %v", changes, m.Materialized())
+	}
+	// Applying an empty decision drops it again.
+	changes, err = a.Apply(context.Background(), m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changes != 1 || len(m.Materialized()) != 0 {
+		t.Errorf("drop changes = %d, materialized = %v", changes, m.Materialized())
+	}
+	// Re-applying the same decision is a no-op.
+	changes, _ = a.Apply(context.Background(), m, nil)
+	if changes != 0 {
+		t.Errorf("no-op changes = %d", changes)
+	}
+}
+
+func TestMaterializedDocumentShape(t *testing.T) {
+	e, _, _ := newEnv(t)
+	doc, comp, err := e.MaterializeSchema(context.Background(), "customers")
+	if err != nil || !comp.Complete {
+		t.Fatalf("materialize: %v, %+v", err, comp)
+	}
+	if doc.Name != "customers" || len(doc.ChildrenNamed("cust")) != 2 {
+		t.Errorf("document = %s", doc.String())
+	}
+	var v xmldm.Value = doc
+	if v.Kind() != xmldm.KindNode {
+		t.Error("document should be a node")
+	}
+}

@@ -1,0 +1,458 @@
+package mediator
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/xmldm"
+	"repro/internal/xmlql"
+)
+
+// newCat builds a catalog with one dummy source and the given view
+// definitions (schema -> queries).
+func newCat(t testing.TB, views map[string][]string) *catalog.Catalog {
+	t.Helper()
+	cat := catalog.New()
+	b := xmldm.NewBuilder()
+	for _, src := range []string{"crmdb", "salesdb", "webdb"} {
+		if err := cat.AddSource(catalog.NewStaticSource(src, b.Elem(src))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for schema, defs := range views {
+		for _, d := range defs {
+			if err := cat.DefineViewQL(schema, d); err != nil {
+				t.Fatalf("view %s: %v", schema, err)
+			}
+		}
+	}
+	return cat
+}
+
+// sourcesOf lists the source names a rewritten query's patterns target.
+func sourcesOf(q *xmlql.Query) []string {
+	var out []string
+	for _, c := range q.Where {
+		if pc, ok := c.(*xmlql.PatternCond); ok && pc.Source.Name != "" {
+			out = append(out, pc.Source.Name)
+		}
+	}
+	return out
+}
+
+func predStrings(q *xmlql.Query) []string {
+	var out []string
+	for _, c := range q.Where {
+		if pc, ok := c.(*xmlql.PredicateCond); ok {
+			out = append(out, xmlql.ExprString(pc.Expr))
+		}
+	}
+	return out
+}
+
+func TestUnfoldSimpleView(t *testing.T) {
+	cat := newCat(t, map[string][]string{
+		"customers": {`
+			WHERE <customer><name>$n</name><city>$c</city></customer> IN "crmdb"
+			CONSTRUCT <cust><who>$n</who><where>$c</where></cust>`},
+	})
+	q := xmlql.MustParse(`
+		WHERE <cust><who>$w</who><where>$p</where></cust> IN "customers", $p = "London"
+		CONSTRUCT <out>$w</out>`)
+	rws, err := Unfold(cat, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rws) != 1 {
+		t.Fatalf("rewrites = %d", len(rws))
+	}
+	rw := rws[0]
+	if len(rw.Fallback) != 0 {
+		t.Errorf("fallback = %v", rw.Fallback)
+	}
+	srcs := sourcesOf(rw.Query)
+	if len(srcs) != 1 || srcs[0] != "crmdb" {
+		t.Errorf("sources = %v", srcs)
+	}
+	// The predicate must now reference the view's variable.
+	preds := predStrings(rw.Query)
+	if len(preds) != 1 || !strings.Contains(preds[0], `= "London"`) || strings.Contains(preds[0], "$p") {
+		t.Errorf("preds = %v", preds)
+	}
+	// The construct must reference the view variable bound to $w.
+	cs := rw.Query.String()
+	if strings.Contains(cs, "$w") || strings.Contains(cs, "$p") {
+		t.Errorf("user variables survived substitution:\n%s", cs)
+	}
+}
+
+func TestUnfoldHierarchicalSchemas(t *testing.T) {
+	cat := newCat(t, map[string][]string{
+		"raw": {`
+			WHERE <customer><name>$n</name></customer> IN "crmdb"
+			CONSTRUCT <person><nm>$n</nm></person>`},
+		"top": {`
+			WHERE <person><nm>$x</nm></person> IN "raw"
+			CONSTRUCT <vip><label>$x</label></vip>`},
+	})
+	q := xmlql.MustParse(`WHERE <vip><label>$l</label></vip> IN "top" CONSTRUCT <o>$l</o>`)
+	rws, err := Unfold(cat, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rws) != 1 {
+		t.Fatalf("rewrites = %d", len(rws))
+	}
+	srcs := sourcesOf(rws[0].Query)
+	if len(srcs) != 1 || srcs[0] != "crmdb" {
+		t.Errorf("two-level unfolding should reach crmdb, got %v", srcs)
+	}
+}
+
+func TestUnfoldUnionOfViews(t *testing.T) {
+	cat := newCat(t, map[string][]string{
+		"customers": {
+			`WHERE <customer><name>$n</name></customer> IN "crmdb" CONSTRUCT <cust><who>$n</who></cust>`,
+			`WHERE <client><nm>$m</nm></client> IN "salesdb" CONSTRUCT <cust><who>$m</who></cust>`,
+		},
+	})
+	q := xmlql.MustParse(`WHERE <cust><who>$w</who></cust> IN "customers" CONSTRUCT <o>$w</o>`)
+	rws, err := Unfold(cat, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rws) != 2 {
+		t.Fatalf("rewrites = %d, want a union of 2", len(rws))
+	}
+	got := map[string]bool{}
+	for _, rw := range rws {
+		for _, s := range sourcesOf(rw.Query) {
+			got[s] = true
+		}
+	}
+	if !got["crmdb"] || !got["salesdb"] {
+		t.Errorf("union sources = %v", got)
+	}
+}
+
+func TestUnfoldJoinPredicateForSharedVariable(t *testing.T) {
+	cat := newCat(t, map[string][]string{
+		"customers": {`
+			WHERE <customer><name>$n</name></customer> IN "crmdb"
+			CONSTRUCT <cust><who>$n</who></cust>`},
+	})
+	// $w is bound both by the schema pattern and by a direct source
+	// pattern: unfolding must keep the join.
+	q := xmlql.MustParse(`
+		WHERE <cust><who>$w</who></cust> IN "customers",
+		      <order><buyer>$w</buyer><total>$t</total></order> IN "salesdb"
+		CONSTRUCT <o><n>$w</n><t>$t</t></o>`)
+	rws, err := Unfold(cat, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rws) != 1 {
+		t.Fatalf("rewrites = %d", len(rws))
+	}
+	preds := predStrings(rws[0].Query)
+	found := false
+	for _, p := range preds {
+		if strings.Contains(p, "$w =") || strings.Contains(p, "= $w") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no join predicate for shared variable; preds = %v\n%s", preds, rws[0].Query)
+	}
+}
+
+func TestUnfoldTextAndAttributeConditions(t *testing.T) {
+	cat := newCat(t, map[string][]string{
+		"customers": {`
+			WHERE <customer><name>$n</name><tier>$t</tier></customer> IN "crmdb"
+			CONSTRUCT <cust tier=$t><who>$n</who></cust>`},
+	})
+	q := xmlql.MustParse(`
+		WHERE <cust tier="gold"><who>$w</who></cust> IN "customers"
+		CONSTRUCT <o>$w</o>`)
+	rws, err := Unfold(cat, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds := predStrings(rws[0].Query)
+	if len(preds) != 1 || !strings.Contains(preds[0], `"gold"`) {
+		t.Errorf("attribute literal should become a predicate: %v", preds)
+	}
+}
+
+func TestUnfoldTextContentEquality(t *testing.T) {
+	cat := newCat(t, map[string][]string{
+		"customers": {`
+			WHERE <customer><status>$s</status><name>$n</name></customer> IN "crmdb"
+			CONSTRUCT <cust><state>$s</state><who>$n</who></cust>`},
+	})
+	q := xmlql.MustParse(`
+		WHERE <cust><state>"active"</state><who>$w</who></cust> IN "customers"
+		CONSTRUCT <o>$w</o>`)
+	rws, err := Unfold(cat, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds := predStrings(rws[0].Query)
+	if len(preds) != 1 || !strings.Contains(preds[0], `"active"`) {
+		t.Errorf("text content should become equality: %v", preds)
+	}
+}
+
+func TestUnfoldNestedTemplateQuery(t *testing.T) {
+	cat := newCat(t, map[string][]string{
+		"nested": {`
+			WHERE <dept><dname>$d</dname></dept> ELEMENT_AS $e IN "crmdb"
+			CONSTRUCT <department name=$d>
+				{ WHERE <emp><nm>$n</nm></emp> IN $e CONSTRUCT <employee><ename>$n</ename></employee> }
+			</department>`},
+	})
+	q := xmlql.MustParse(`
+		WHERE <department><employee><ename>$x</ename></employee></department> IN "nested"
+		CONSTRUCT <o>$x</o>`)
+	rws, err := Unfold(cat, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rws) != 1 {
+		t.Fatalf("rewrites = %d", len(rws))
+	}
+	rw := rws[0].Query
+	// The rewrite must include both the dept pattern (crmdb) and the
+	// emp pattern (IN the dept element variable).
+	var haveSource, haveVar bool
+	for _, c := range rw.Where {
+		if pc, ok := c.(*xmlql.PatternCond); ok {
+			if pc.Source.Name == "crmdb" {
+				haveSource = true
+			}
+			if pc.Source.Var != "" {
+				haveVar = true
+			}
+		}
+	}
+	if !haveSource || !haveVar {
+		t.Errorf("nested query conditions missing:\n%s", rw)
+	}
+}
+
+func TestUnfoldFallbackOnElementAs(t *testing.T) {
+	cat := newCat(t, map[string][]string{
+		"customers": {`
+			WHERE <customer><name>$n</name></customer> IN "crmdb"
+			CONSTRUCT <cust><who>$n</who></cust>`},
+	})
+	q := xmlql.MustParse(`
+		WHERE <cust><who>$w</who></cust> ELEMENT_AS $e IN "customers"
+		CONSTRUCT <o>$e</o>`)
+	rws, err := Unfold(cat, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rws) != 1 {
+		t.Fatalf("rewrites = %d", len(rws))
+	}
+	if len(rws[0].Fallback) != 1 || rws[0].Fallback[0] != "customers" {
+		t.Errorf("fallback = %v", rws[0].Fallback)
+	}
+}
+
+func TestUnfoldWildcardAndTagVarPatterns(t *testing.T) {
+	cat := newCat(t, map[string][]string{
+		"customers": {`
+			WHERE <customer><name>$n</name></customer> IN "crmdb"
+			CONSTRUCT <cust><who>$n</who></cust>`},
+	})
+	// Wildcard pattern unifies with any template element.
+	q := xmlql.MustParse(`WHERE <*><who>$w</who></> IN "customers" CONSTRUCT <o>$w</o>`)
+	rws, err := Unfold(cat, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rws[0].Fallback) != 0 {
+		t.Error("wildcard should unify")
+	}
+	// Tag variable binds the template's tag as a literal.
+	q2 := xmlql.MustParse(`WHERE <$t><who>$w</who></$t> IN "customers" CONSTRUCT <o><tag>$t</tag>$w</o>`)
+	rws2, err := Unfold(cat, q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rws2[0].Query.String()
+	if !strings.Contains(s, `"cust"`) {
+		t.Errorf("tag variable should substitute to literal: %s", s)
+	}
+}
+
+func TestUnfoldTagAlternation(t *testing.T) {
+	cat := newCat(t, map[string][]string{
+		"people": {`
+			WHERE <customer><name>$n</name></customer> IN "crmdb"
+			CONSTRUCT <person><fullname>$n</fullname></person>`},
+	})
+	// (person|employee) unifies with the view's <person> template.
+	q := xmlql.MustParse(`WHERE <(person|employee)><fullname>$f</fullname></> IN "people" CONSTRUCT <o>$f</o>`)
+	rws, err := Unfold(cat, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rws) != 1 || len(rws[0].Fallback) != 0 {
+		t.Fatalf("alternation should unify: %+v", rws)
+	}
+	// A non-matching alternation does not unify.
+	q2 := xmlql.MustParse(`WHERE <(robot|animal)><fullname>$f</fullname></> IN "people" CONSTRUCT <o>$f</o>`)
+	rws2, err := Unfold(cat, q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rws2[0].Fallback) == 0 {
+		t.Error("non-matching alternation should fall back")
+	}
+}
+
+func TestUnfoldAlternationAgainstTagVariableView(t *testing.T) {
+	cat := newCat(t, map[string][]string{
+		"dynamic": {`
+			WHERE <customer><kind>$k</kind><name>$n</name></customer> IN "crmdb"
+			CONSTRUCT <$k><who>$n</who></$k>`},
+	})
+	q := xmlql.MustParse(`WHERE <(gold|silver)><who>$w</who></> IN "dynamic" CONSTRUCT <o>$w</o>`)
+	rws, err := Unfold(cat, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds := predStrings(rws[0].Query)
+	found := false
+	for _, p := range preds {
+		if strings.Contains(p, "OR") && strings.Contains(p, `"gold"`) && strings.Contains(p, `"silver"`) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("alternation over a tag-variable view should become a disjunction: %v", preds)
+	}
+}
+
+func TestUnfoldDescendantPattern(t *testing.T) {
+	cat := newCat(t, map[string][]string{
+		"deep": {`
+			WHERE <customer><name>$n</name></customer> IN "crmdb"
+			CONSTRUCT <wrap><inner><leaf>$n</leaf></inner></wrap>`},
+	})
+	q := xmlql.MustParse(`WHERE <wrap><//leaf>$v</></wrap> IN "deep" CONSTRUCT <o>$v</o>`)
+	rws, err := Unfold(cat, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rws) != 1 || len(rws[0].Fallback) != 0 {
+		t.Fatalf("descendant unification failed: %+v", rws)
+	}
+}
+
+func TestUnfoldNoSchemaIsIdentity(t *testing.T) {
+	cat := newCat(t, nil)
+	q := xmlql.MustParse(`WHERE <a>$x</a> IN "crmdb" CONSTRUCT <o>$x</o>`)
+	rws, err := Unfold(cat, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rws) != 1 || rws[0].Query != q {
+		// Note: identity is structural, not pointer; check content.
+		if len(sourcesOf(rws[0].Query)) != 1 {
+			t.Errorf("identity rewrite wrong: %v", rws[0].Query)
+		}
+	}
+}
+
+func TestUnfoldPreservesOrderBy(t *testing.T) {
+	cat := newCat(t, map[string][]string{
+		"customers": {`
+			WHERE <customer><name>$n</name></customer> IN "crmdb"
+			CONSTRUCT <cust><who>$n</who></cust>`},
+	})
+	q := xmlql.MustParse(`WHERE <cust><who>$w</who></cust> IN "customers" CONSTRUCT <o>$w</o> ORDER-BY $w DESCENDING`)
+	rws, err := Unfold(cat, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ob := rws[0].Query.OrderBy
+	if len(ob) != 1 || !ob[0].Desc {
+		t.Fatalf("order by lost: %+v", ob)
+	}
+	if v, ok := ob[0].Expr.(*xmlql.VarExpr); !ok || v.Name == "w" {
+		t.Errorf("order key should reference the view variable, got %s", xmlql.ExprString(ob[0].Expr))
+	}
+}
+
+func TestUnfoldRepeatedVariableInUserPattern(t *testing.T) {
+	cat := newCat(t, map[string][]string{
+		"pairs": {`
+			WHERE <row><a>$x</a><b>$y</b></row> IN "crmdb"
+			CONSTRUCT <pair><l>$x</l><r>$y</r></pair>`},
+	})
+	// $v twice: the rewrite must equate the two view variables.
+	q := xmlql.MustParse(`WHERE <pair><l>$v</l><r>$v</r></pair> IN "pairs" CONSTRUCT <o>$v</o>`)
+	rws, err := Unfold(cat, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds := predStrings(rws[0].Query)
+	if len(preds) != 1 || !strings.Contains(preds[0], "=") {
+		t.Errorf("repeated variable should yield equality predicate: %v", preds)
+	}
+}
+
+func TestDecompose(t *testing.T) {
+	q := xmlql.MustParse(`
+		WHERE <a><x>$x</x></a> IN "s1",
+		      <b><y>$y</y></b> IN "s2",
+		      <c><z>$z</z></c> IN "s1",
+		      <d>$d</d> IN $x,
+		      $x > 1, $y = $z
+		CONSTRUCT <o/>`)
+	d := Decompose(q)
+	if len(d.Groups) != 3 {
+		t.Fatalf("groups = %d", len(d.Groups))
+	}
+	if d.Groups[0].Source != "s1" || len(d.Groups[0].Patterns) != 2 {
+		t.Errorf("group0 = %+v", d.Groups[0])
+	}
+	if d.Groups[1].Source != "s2" {
+		t.Errorf("group1 = %+v", d.Groups[1])
+	}
+	if d.Groups[2].Var != "x" || len(d.Groups[2].Patterns) != 1 {
+		t.Errorf("group2 = %+v", d.Groups[2])
+	}
+	if len(d.Predicates) != 2 {
+		t.Errorf("predicates = %d", len(d.Predicates))
+	}
+	gv := d.Groups[0].GroupVars()
+	if len(gv) != 2 {
+		t.Errorf("group vars = %v", gv)
+	}
+}
+
+func TestRenamerConsistency(t *testing.T) {
+	r := newRenamer(7)
+	q := xmlql.MustParse(`
+		WHERE <a k=$k><b>$v</b></a> ELEMENT_AS $e IN $src, $v > 1
+		CONSTRUCT <o x=$k>{ WHERE <c>$w</c> IN $e CONSTRUCT <d>$w</d> }</o>
+		ORDER-BY $v`)
+	rq := r.renameQuery(q)
+	s := rq.String()
+	for _, v := range []string{"$_u7_k", "$_u7_v", "$_u7_e", "$_u7_src", "$_u7_w"} {
+		if !strings.Contains(s, v) {
+			t.Errorf("renamed query missing %s:\n%s", v, s)
+		}
+	}
+	// The original must be untouched.
+	if strings.Contains(q.String(), "_u7_") {
+		t.Error("renamer mutated the original query")
+	}
+}

@@ -1,0 +1,352 @@
+// Package mediator implements query rewriting over mediated schemas:
+// global-as-view unfolding (a query over a mediated schema becomes a
+// union of conjunctive queries over the underlying sources), variable
+// renaming, and decomposition of a rewritten query into per-source
+// fragments. It is the layer the paper describes as breaking a query
+// "into multiple fragments based on the target data sources" (§2.1).
+package mediator
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/xmlql"
+)
+
+// Subst maps user variables to expressions over view variables.
+type Subst map[string]xmlql.Expr
+
+// renamer alpha-renames a view definition's variables so repeated
+// unfoldings never collide with user variables or each other.
+type renamer struct {
+	prefix string
+}
+
+func newRenamer(instance int) *renamer {
+	return &renamer{prefix: fmt.Sprintf("_u%d_", instance)}
+}
+
+func (r *renamer) name(v string) string {
+	if v == "" {
+		return ""
+	}
+	return r.prefix + v
+}
+
+// renameQuery returns a deep copy of q with every variable renamed.
+func (r *renamer) renameQuery(q *xmlql.Query) *xmlql.Query {
+	out := &xmlql.Query{}
+	for _, c := range q.Where {
+		switch x := c.(type) {
+		case *xmlql.PatternCond:
+			src := x.Source
+			if src.Var != "" {
+				src.Var = r.name(src.Var)
+			}
+			out.Where = append(out.Where, &xmlql.PatternCond{
+				Pattern: r.renamePattern(x.Pattern),
+				Source:  src,
+			})
+		case *xmlql.PredicateCond:
+			out.Where = append(out.Where, &xmlql.PredicateCond{Expr: r.renameExpr(x.Expr)})
+		}
+	}
+	if q.Construct != nil {
+		out.Construct = r.renameTmpl(q.Construct)
+	}
+	for _, k := range q.OrderBy {
+		out.OrderBy = append(out.OrderBy, xmlql.OrderKey{Expr: r.renameExpr(k.Expr), Desc: k.Desc})
+	}
+	return out
+}
+
+func (r *renamer) renamePattern(p *xmlql.ElemPattern) *xmlql.ElemPattern {
+	out := &xmlql.ElemPattern{
+		Tag:       p.Tag,
+		ElementAs: r.name(p.ElementAs),
+		ContentAs: r.name(p.ContentAs),
+	}
+	out.Tag.Var = r.name(p.Tag.Var)
+	for _, a := range p.Attrs {
+		na := a
+		na.Var = r.name(a.Var)
+		out.Attrs = append(out.Attrs, na)
+	}
+	for _, c := range p.Content {
+		switch x := c.(type) {
+		case *xmlql.ChildPattern:
+			out.Content = append(out.Content, &xmlql.ChildPattern{Elem: r.renamePattern(x.Elem)})
+		case *xmlql.VarContent:
+			out.Content = append(out.Content, &xmlql.VarContent{Var: r.name(x.Var)})
+		case *xmlql.TextContent:
+			out.Content = append(out.Content, x)
+		}
+	}
+	return out
+}
+
+func (r *renamer) renameTmpl(t *xmlql.TmplElem) *xmlql.TmplElem {
+	out := &xmlql.TmplElem{Tag: t.Tag, TagVar: r.name(t.TagVar)}
+	for _, a := range t.Attrs {
+		out.Attrs = append(out.Attrs, xmlql.TmplAttr{Name: a.Name, Value: r.renameExpr(a.Value)})
+	}
+	for _, c := range t.Content {
+		switch x := c.(type) {
+		case *xmlql.TmplChild:
+			out.Content = append(out.Content, &xmlql.TmplChild{Elem: r.renameTmpl(x.Elem)})
+		case *xmlql.TmplExpr:
+			out.Content = append(out.Content, &xmlql.TmplExpr{Expr: r.renameExpr(x.Expr)})
+		case *xmlql.TmplText:
+			out.Content = append(out.Content, x)
+		case *xmlql.TmplQuery:
+			out.Content = append(out.Content, &xmlql.TmplQuery{Query: r.renameQuery(x.Query)})
+		}
+	}
+	return out
+}
+
+func (r *renamer) renameExpr(e xmlql.Expr) xmlql.Expr {
+	switch x := e.(type) {
+	case *xmlql.VarExpr:
+		return &xmlql.VarExpr{Name: r.name(x.Name)}
+	case *xmlql.LitExpr:
+		return x
+	case *xmlql.BinExpr:
+		return &xmlql.BinExpr{Op: x.Op, L: r.renameExpr(x.L), R: r.renameExpr(x.R)}
+	case *xmlql.FuncExpr:
+		args := make([]xmlql.Expr, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = r.renameExpr(a)
+		}
+		return &xmlql.FuncExpr{Name: x.Name, Args: args}
+	case *xmlql.AggExpr:
+		return &xmlql.AggExpr{Op: x.Op, Query: r.renameQuery(x.Query)}
+	default:
+		return e
+	}
+}
+
+// applySubst rewrites expression occurrences of substituted variables
+// throughout a query. Variables that remain pattern-bound in the query
+// (boundVars) are NOT substituted; the caller adds join predicates for
+// those instead.
+func applySubst(q *xmlql.Query, theta Subst, boundVars map[string]bool) (*xmlql.Query, error) {
+	s := &substituter{theta: theta, bound: boundVars}
+	return s.query(q)
+}
+
+type substituter struct {
+	theta Subst
+	bound map[string]bool
+	err   error
+}
+
+// freshCounter numbers fresh variables introduced when a substituted
+// variable occurs in a pattern binding position but maps to a computed
+// expression; parsed queries can never collide with the _s prefix plus
+// a renamer-style underscore name.
+var freshCounter int64
+
+func freshVar(hint string) string {
+	return fmt.Sprintf("_s%d_%s", atomic.AddInt64(&freshCounter, 1), hint)
+}
+
+// query rewrites one (possibly nested) query. topLevel distinguishes the
+// outer query — whose pattern conditions the caller already handled via
+// the bound-variable join predicates — from nested queries, where
+// substituted variables inside patterns are correlation constraints that
+// must be rewritten: renamed when the substitution target is a variable,
+// or turned into a fresh variable plus an equality predicate otherwise.
+func (s *substituter) query(q *xmlql.Query) (*xmlql.Query, error) {
+	return s.queryAt(q, true)
+}
+
+func (s *substituter) queryAt(q *xmlql.Query, topLevel bool) (*xmlql.Query, error) {
+	out := &xmlql.Query{}
+	for _, c := range q.Where {
+		switch x := c.(type) {
+		case *xmlql.PatternCond:
+			src := x.Source
+			if src.Var != "" {
+				nv, err := s.sourceVar(src.Var)
+				if err != nil {
+					return nil, err
+				}
+				src.Var = nv
+			}
+			pat := x.Pattern
+			if !topLevel {
+				np, extra := s.pattern(pat)
+				pat = np
+				out.Where = append(out.Where, &xmlql.PatternCond{Pattern: pat, Source: src})
+				out.Where = append(out.Where, extra...)
+				continue
+			}
+			out.Where = append(out.Where, &xmlql.PatternCond{Pattern: pat, Source: src})
+		case *xmlql.PredicateCond:
+			out.Where = append(out.Where, &xmlql.PredicateCond{Expr: s.expr(x.Expr)})
+		}
+	}
+	if q.Construct != nil {
+		out.Construct = s.tmpl(q.Construct)
+	}
+	for _, k := range q.OrderBy {
+		out.OrderBy = append(out.OrderBy, xmlql.OrderKey{Expr: s.expr(k.Expr), Desc: k.Desc})
+	}
+	if s.err != nil {
+		return nil, s.err
+	}
+	return out, nil
+}
+
+// patternVarTarget decides how one binding occurrence of v rewrites:
+// keep (not substituted), rename (target is a variable), or bind a fresh
+// variable and emit freshVar = target as a predicate.
+func (s *substituter) patternVarTarget(v string) (newName string, extra xmlql.Condition) {
+	e, ok := s.theta[v]
+	if !ok || s.bound[v] {
+		return v, nil
+	}
+	if ve, isVar := e.(*xmlql.VarExpr); isVar {
+		return ve.Name, nil
+	}
+	nv := freshVar(v)
+	return nv, &xmlql.PredicateCond{Expr: &xmlql.BinExpr{
+		Op: "=", L: &xmlql.VarExpr{Name: nv}, R: e,
+	}}
+}
+
+// pattern rewrites binding positions inside a nested query's pattern.
+func (s *substituter) pattern(p *xmlql.ElemPattern) (*xmlql.ElemPattern, []xmlql.Condition) {
+	var extra []xmlql.Condition
+	out := &xmlql.ElemPattern{Tag: p.Tag}
+	rewrite := func(v string) string {
+		if v == "" {
+			return ""
+		}
+		nv, cond := s.patternVarTarget(v)
+		if cond != nil {
+			extra = append(extra, cond)
+		}
+		return nv
+	}
+	out.Tag.Var = rewrite(p.Tag.Var)
+	out.ElementAs = rewrite(p.ElementAs)
+	out.ContentAs = rewrite(p.ContentAs)
+	for _, a := range p.Attrs {
+		na := a
+		na.Var = rewrite(a.Var)
+		out.Attrs = append(out.Attrs, na)
+	}
+	for _, c := range p.Content {
+		switch x := c.(type) {
+		case *xmlql.ChildPattern:
+			np, sub := s.pattern(x.Elem)
+			extra = append(extra, sub...)
+			out.Content = append(out.Content, &xmlql.ChildPattern{Elem: np})
+		case *xmlql.VarContent:
+			out.Content = append(out.Content, &xmlql.VarContent{Var: rewrite(x.Var)})
+		case *xmlql.TextContent:
+			out.Content = append(out.Content, x)
+		}
+	}
+	return out, extra
+}
+
+// sourceVar maps an `IN $v` reference: a substitution to another
+// variable renames it; a substitution to a computed expression cannot be
+// queried into, which fails this rewrite alternative.
+func (s *substituter) sourceVar(v string) (string, error) {
+	e, ok := s.theta[v]
+	if !ok || s.bound[v] {
+		return v, nil
+	}
+	if ve, isVar := e.(*xmlql.VarExpr); isVar {
+		return ve.Name, nil
+	}
+	return "", fmt.Errorf("mediator: cannot match patterns inside computed value bound to $%s", v)
+}
+
+func (s *substituter) expr(e xmlql.Expr) xmlql.Expr {
+	switch x := e.(type) {
+	case *xmlql.VarExpr:
+		if repl, ok := s.theta[x.Name]; ok && !s.bound[x.Name] {
+			return repl
+		}
+		return x
+	case *xmlql.LitExpr:
+		return x
+	case *xmlql.BinExpr:
+		return &xmlql.BinExpr{Op: x.Op, L: s.expr(x.L), R: s.expr(x.R)}
+	case *xmlql.FuncExpr:
+		args := make([]xmlql.Expr, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = s.expr(a)
+		}
+		return &xmlql.FuncExpr{Name: x.Name, Args: args}
+	case *xmlql.AggExpr:
+		nq, err := s.queryAt(x.Query, false)
+		if err != nil {
+			s.err = err
+			return x
+		}
+		return &xmlql.AggExpr{Op: x.Op, Query: nq}
+	default:
+		return e
+	}
+}
+
+func (s *substituter) tmpl(t *xmlql.TmplElem) *xmlql.TmplElem {
+	out := &xmlql.TmplElem{Tag: t.Tag, TagVar: t.TagVar}
+	if t.TagVar != "" {
+		if repl, ok := s.theta[t.TagVar]; ok && !s.bound[t.TagVar] {
+			// A tag variable replaced by a fixed name becomes a literal
+			// tag; anything else stays an error at construct time.
+			if lit, isLit := repl.(*xmlql.LitExpr); isLit {
+				if name, isStr := lit.Value.(string); isStr {
+					out.Tag, out.TagVar = name, ""
+				}
+			} else if ve, isVar := repl.(*xmlql.VarExpr); isVar {
+				out.TagVar = ve.Name
+			}
+		}
+	}
+	for _, a := range t.Attrs {
+		out.Attrs = append(out.Attrs, xmlql.TmplAttr{Name: a.Name, Value: s.expr(a.Value)})
+	}
+	for _, c := range t.Content {
+		switch x := c.(type) {
+		case *xmlql.TmplChild:
+			out.Content = append(out.Content, &xmlql.TmplChild{Elem: s.tmpl(x.Elem)})
+		case *xmlql.TmplExpr:
+			out.Content = append(out.Content, &xmlql.TmplExpr{Expr: s.expr(x.Expr)})
+		case *xmlql.TmplText:
+			out.Content = append(out.Content, x)
+		case *xmlql.TmplQuery:
+			nq, err := s.queryAt(x.Query, false)
+			if err != nil {
+				s.err = err
+				continue
+			}
+			out.Content = append(out.Content, &xmlql.TmplQuery{Query: nq})
+		}
+	}
+	return out
+}
+
+// patternBoundVars collects the variables bound by the pattern
+// conditions of q (including ELEMENT_AS/CONTENT_AS and tag variables).
+func patternBoundVars(q *xmlql.Query, skip int) map[string]bool {
+	out := map[string]bool{}
+	for i, c := range q.Where {
+		if i == skip {
+			continue
+		}
+		if pc, ok := c.(*xmlql.PatternCond); ok {
+			for _, v := range pc.Pattern.Vars() {
+				out[v] = true
+			}
+		}
+	}
+	return out
+}

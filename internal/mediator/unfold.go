@@ -1,0 +1,218 @@
+package mediator
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/catalog"
+	"repro/internal/xmlql"
+)
+
+// instanceCounter numbers view unfoldings so each gets fresh variables.
+var instanceCounter int64
+
+// Rewrite is one conjunctive query produced by unfolding. Fallback lists
+// mediated schemas that could not be unfolded (their patterns remain and
+// must be answered by materializing the view document).
+type Rewrite struct {
+	Query    *xmlql.Query
+	Fallback []string
+}
+
+// Unfold rewrites q over the catalog's mediated schemas into a union of
+// conjunctive queries over sources. Hierarchically composed schemas
+// unfold level by level until only source patterns (or fallback schema
+// patterns) remain.
+func Unfold(cat *catalog.Catalog, q *xmlql.Query) ([]Rewrite, error) {
+	return UnfoldSkip(cat, q, nil)
+}
+
+// UnfoldSkip is Unfold with a skip predicate: schemas for which skip
+// returns true are left in place (they will be answered from the local
+// materialized store rather than rewritten down to sources — §3.3's
+// "the query processor knows to make use of local copies").
+func UnfoldSkip(cat *catalog.Catalog, q *xmlql.Query, skip func(string) bool) ([]Rewrite, error) {
+	// processed marks schema patterns that failed to unfold, so they are
+	// not retried forever.
+	type workItem struct {
+		q         *xmlql.Query
+		processed map[*xmlql.PatternCond]bool
+	}
+	work := []workItem{{q: q, processed: map[*xmlql.PatternCond]bool{}}}
+	var done []Rewrite
+	const maxRewrites = 10000
+	for len(work) > 0 {
+		if len(work)+len(done) > maxRewrites {
+			return nil, fmt.Errorf("mediator: rewrite explosion (> %d alternatives)", maxRewrites)
+		}
+		item := work[0]
+		work = work[1:]
+
+		idx, pc := nextSchemaPattern(cat, item.q, item.processed, skip)
+		if pc == nil {
+			done = append(done, finishRewrite(cat, item.q))
+			continue
+		}
+		views, err := cat.Views(pc.Source.Name)
+		if err != nil {
+			return nil, err
+		}
+		expanded := false
+		for _, vd := range views {
+			ren := newRenamer(int(atomic.AddInt64(&instanceCounter, 1)))
+			view := ren.renameQuery(vd.Query)
+			for _, alt := range unifyTopLevel(pc.Pattern, view.Construct) {
+				nq, err := rewriteWith(item.q, idx, view, alt)
+				if err != nil {
+					continue // this alternative is not expressible; try others
+				}
+				// Copy the processed set: pointers survive into the new
+				// query because rewriteWith reuses condition values.
+				np := make(map[*xmlql.PatternCond]bool, len(item.processed))
+				for k, v := range item.processed {
+					np[k] = v
+				}
+				work = append(work, workItem{q: nq, processed: np})
+				expanded = true
+			}
+		}
+		if !expanded {
+			// No view unifies: leave the pattern for fallback
+			// materialization and continue with the rest of the query.
+			item.processed[pc] = true
+			work = append(work, item)
+		}
+	}
+	if len(done) == 0 {
+		return nil, fmt.Errorf("mediator: query has no valid rewriting")
+	}
+	return done, nil
+}
+
+// nextSchemaPattern finds the first unprocessed pattern condition whose
+// source is a mediated schema.
+func nextSchemaPattern(cat *catalog.Catalog, q *xmlql.Query, processed map[*xmlql.PatternCond]bool, skip func(string) bool) (int, *xmlql.PatternCond) {
+	for i, c := range q.Where {
+		if pc, ok := c.(*xmlql.PatternCond); ok {
+			if pc.Source.Name != "" && cat.IsSchema(pc.Source.Name) && !processed[pc] {
+				if skip != nil && skip(pc.Source.Name) {
+					continue
+				}
+				return i, pc
+			}
+		}
+	}
+	return -1, nil
+}
+
+// rewriteWith replaces condition idx of q by the view's WHERE clause
+// plus the alternative's extra conditions, then applies the substitution.
+func rewriteWith(q *xmlql.Query, idx int, view *xmlql.Query, alt alternative) (*xmlql.Query, error) {
+	bound := patternBoundVars(q, idx)
+
+	var where []xmlql.Condition
+	where = append(where, q.Where[:idx]...)
+	where = append(where, view.Where...)
+	where = append(where, alt.conds...)
+	// Join predicates for substituted variables that other patterns
+	// bind, in sorted order so rewrites (and therefore plans and explain
+	// output) are deterministic.
+	vars := make([]string, 0, len(alt.theta))
+	for v := range alt.theta {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars)
+	for _, v := range vars {
+		e := alt.theta[v]
+		if bound[v] {
+			where = append(where, &xmlql.PredicateCond{Expr: &xmlql.BinExpr{
+				Op: "=", L: &xmlql.VarExpr{Name: v}, R: e,
+			}})
+		}
+	}
+	where = append(where, q.Where[idx+1:]...)
+
+	nq := &xmlql.Query{Where: where, Construct: q.Construct, OrderBy: q.OrderBy}
+	return applySubst(nq, alt.theta, bound)
+}
+
+// finishRewrite records which schemas remain for fallback.
+func finishRewrite(cat *catalog.Catalog, q *xmlql.Query) Rewrite {
+	r := Rewrite{Query: q}
+	seen := map[string]bool{}
+	for _, c := range q.Where {
+		if pc, ok := c.(*xmlql.PatternCond); ok && pc.Source.Name != "" && cat.IsSchema(pc.Source.Name) {
+			if !seen[pc.Source.Name] {
+				seen[pc.Source.Name] = true
+				r.Fallback = append(r.Fallback, pc.Source.Name)
+			}
+		}
+	}
+	return r
+}
+
+// Decomposition groups the pattern conditions of a conjunctive query by
+// target, in query order, and attaches the predicates. It is the unit
+// the planner compiles per source.
+type Decomposition struct {
+	// Groups holds the pattern conditions per target, keyed by group id
+	// in first-appearance order.
+	Groups []*Group
+	// Predicates are all predicate conditions of the query.
+	Predicates []xmlql.Expr
+}
+
+// Group is the set of patterns aimed at one target: a named source (or
+// fallback schema), or the content of a variable bound by an earlier
+// group.
+type Group struct {
+	// Source is the source/schema name; empty for variable targets.
+	Source string
+	// Var is the variable whose content the patterns match ("IN $v").
+	Var string
+	// Patterns in query order.
+	Patterns []*xmlql.ElemPattern
+}
+
+// Decompose splits a conjunctive (already unfolded) query.
+func Decompose(q *xmlql.Query) *Decomposition {
+	d := &Decomposition{}
+	index := map[string]*Group{}
+	for _, c := range q.Where {
+		switch x := c.(type) {
+		case *xmlql.PatternCond:
+			var key string
+			if x.Source.Name != "" {
+				key = "s:" + x.Source.Name
+			} else {
+				key = "v:" + x.Source.Var
+			}
+			g, ok := index[key]
+			if !ok {
+				g = &Group{Source: x.Source.Name, Var: x.Source.Var}
+				index[key] = g
+				d.Groups = append(d.Groups, g)
+			}
+			g.Patterns = append(g.Patterns, x.Pattern)
+		case *xmlql.PredicateCond:
+			d.Predicates = append(d.Predicates, x.Expr)
+		}
+	}
+	return d
+}
+
+// GroupVars returns the variables bound by a group's patterns.
+func (g *Group) GroupVars() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, p := range g.Patterns {
+		for _, v := range p.Vars() {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,260 @@
+package mediator
+
+import (
+	"repro/internal/xmlql"
+)
+
+// alternative is one way a user pattern unifies with a view template:
+// theta maps the pattern's variables to expressions over the view's
+// variables, and conds carries extra conditions the rewrite needs (value
+// equalities from literal matches, plus the WHERE clauses of nested
+// template queries whose output the pattern reached into).
+type alternative struct {
+	theta Subst
+	conds []xmlql.Condition
+}
+
+func singleAlt() []alternative { return []alternative{{theta: Subst{}}} }
+
+// unifyTopLevel unifies a top-level pattern with a view construct: the
+// pattern may match the template root or any nested template element
+// (mirroring the matcher's descendant-or-self semantics for top-level
+// patterns), including elements constructed by nested queries — whose
+// WHERE conditions then join the rewrite.
+func unifyTopLevel(pat *xmlql.ElemPattern, tmpl *xmlql.TmplElem) []alternative {
+	var out []alternative
+	var visit func(t *xmlql.TmplElem, prefix []xmlql.Condition)
+	visit = func(t *xmlql.TmplElem, prefix []xmlql.Condition) {
+		for _, alt := range unifyAtNode(pat, t) {
+			out = append(out, alternative{
+				theta: alt.theta,
+				conds: append(append([]xmlql.Condition{}, prefix...), alt.conds...),
+			})
+		}
+		for _, c := range t.Content {
+			switch x := c.(type) {
+			case *xmlql.TmplChild:
+				visit(x.Elem, prefix)
+			case *xmlql.TmplQuery:
+				visit(x.Query.Construct, append(append([]xmlql.Condition{}, prefix...), x.Query.Where...))
+			}
+		}
+	}
+	visit(tmpl, nil)
+	return out
+}
+
+// unifyAtNode unifies pat against exactly the template element t.
+func unifyAtNode(pat *xmlql.ElemPattern, t *xmlql.TmplElem) []alternative {
+	// ELEMENT_AS / CONTENT_AS need the XML form of the view element;
+	// unfolding cannot provide it, so this alternative fails and the
+	// caller falls back to view materialization.
+	if pat.ElementAs != "" || pat.ContentAs != "" {
+		return nil
+	}
+
+	base := alternative{theta: Subst{}}
+
+	// Tag test.
+	switch {
+	case pat.Tag.Var != "":
+		switch {
+		case t.Tag != "":
+			base.theta[pat.Tag.Var] = &xmlql.LitExpr{Value: t.Tag}
+		case t.TagVar != "":
+			base.theta[pat.Tag.Var] = &xmlql.VarExpr{Name: t.TagVar}
+		default:
+			return nil
+		}
+	case pat.Tag.Wild:
+		// matches any template element
+	case len(pat.Tag.Alts) > 0:
+		switch {
+		case t.Tag != "":
+			if !pat.Tag.Matches(t.Tag) {
+				return nil
+			}
+		case t.TagVar != "":
+			// The view's tag is dynamic: the alternation becomes a
+			// disjunction over the tag variable.
+			var or xmlql.Expr
+			for _, alt := range pat.Tag.Alts {
+				eq := xmlql.Expr(&xmlql.BinExpr{
+					Op: "=", L: &xmlql.VarExpr{Name: t.TagVar}, R: &xmlql.LitExpr{Value: alt},
+				})
+				if or == nil {
+					or = eq
+				} else {
+					or = &xmlql.BinExpr{Op: "OR", L: or, R: eq}
+				}
+			}
+			base.conds = append(base.conds, &xmlql.PredicateCond{Expr: or})
+		default:
+			return nil
+		}
+	default:
+		switch {
+		case t.Tag != "":
+			if t.Tag != pat.Tag.Name {
+				return nil
+			}
+		case t.TagVar != "":
+			base.conds = append(base.conds, &xmlql.PredicateCond{Expr: &xmlql.BinExpr{
+				Op: "=", L: &xmlql.VarExpr{Name: t.TagVar}, R: &xmlql.LitExpr{Value: pat.Tag.Name},
+			}})
+		default:
+			return nil
+		}
+	}
+
+	// Attribute patterns.
+	for _, ap := range pat.Attrs {
+		var valExpr xmlql.Expr
+		for _, ta := range t.Attrs {
+			if ta.Name == ap.Name {
+				valExpr = ta.Value
+				break
+			}
+		}
+		if valExpr == nil {
+			return nil
+		}
+		if ap.Var != "" {
+			if ok := bindTheta(&base, ap.Var, valExpr); !ok {
+				return nil
+			}
+		} else {
+			base.conds = append(base.conds, &xmlql.PredicateCond{Expr: &xmlql.BinExpr{
+				Op: "=", L: valExpr, R: &xmlql.LitExpr{Value: ap.Lit},
+			}})
+		}
+	}
+
+	alts := []alternative{base}
+	for _, item := range pat.Content {
+		var itemAlts []alternative
+		switch it := item.(type) {
+		case *xmlql.TextContent:
+			if e, ok := contentAsExpr(t); ok {
+				if lit, isLit := e.(*xmlql.LitExpr); isLit {
+					if s, isStr := lit.Value.(string); isStr && s == it.Text {
+						itemAlts = singleAlt()
+					}
+				} else {
+					itemAlts = []alternative{{theta: Subst{}, conds: []xmlql.Condition{
+						&xmlql.PredicateCond{Expr: &xmlql.BinExpr{Op: "=", L: e, R: &xmlql.LitExpr{Value: it.Text}}},
+					}}}
+				}
+			}
+		case *xmlql.VarContent:
+			if e, ok := contentAsExpr(t); ok {
+				a := alternative{theta: Subst{}}
+				if bindTheta(&a, it.Var, e) {
+					itemAlts = []alternative{a}
+				}
+			}
+		case *xmlql.ChildPattern:
+			itemAlts = unifyChild(it.Elem, t)
+		}
+		if len(itemAlts) == 0 {
+			return nil
+		}
+		alts = crossAlternatives(alts, itemAlts)
+		if len(alts) == 0 {
+			return nil
+		}
+	}
+	return alts
+}
+
+// unifyChild unifies a child pattern against the content of template t:
+// direct template children, elements built by nested queries, and — when
+// the child pattern carries the descendant flag — any depth below.
+func unifyChild(pat *xmlql.ElemPattern, t *xmlql.TmplElem) []alternative {
+	var out []alternative
+	var visit func(t *xmlql.TmplElem, prefix []xmlql.Condition, depthOK bool)
+	visit = func(t *xmlql.TmplElem, prefix []xmlql.Condition, depthOK bool) {
+		for _, c := range t.Content {
+			switch x := c.(type) {
+			case *xmlql.TmplChild:
+				for _, alt := range unifyAtNode(pat, x.Elem) {
+					out = append(out, alternative{
+						theta: alt.theta,
+						conds: append(append([]xmlql.Condition{}, prefix...), alt.conds...),
+					})
+				}
+				if depthOK {
+					visit(x.Elem, prefix, true)
+				}
+			case *xmlql.TmplQuery:
+				subPrefix := append(append([]xmlql.Condition{}, prefix...), x.Query.Where...)
+				for _, alt := range unifyAtNode(pat, x.Query.Construct) {
+					out = append(out, alternative{
+						theta: alt.theta,
+						conds: append(append([]xmlql.Condition{}, subPrefix...), alt.conds...),
+					})
+				}
+				if depthOK {
+					visit(x.Query.Construct, subPrefix, true)
+				}
+			}
+		}
+	}
+	visit(t, nil, pat.Tag.Descendant)
+	return out
+}
+
+// contentAsExpr reports whether a template element's content denotes a
+// single expression value (what a VarContent or TextContent pattern can
+// bind against).
+func contentAsExpr(t *xmlql.TmplElem) (xmlql.Expr, bool) {
+	switch len(t.Content) {
+	case 0:
+		return &xmlql.LitExpr{Value: ""}, true
+	case 1:
+		switch x := t.Content[0].(type) {
+		case *xmlql.TmplExpr:
+			return x.Expr, true
+		case *xmlql.TmplText:
+			return &xmlql.LitExpr{Value: x.Text}, true
+		default:
+			return nil, false
+		}
+	default:
+		return nil, false
+	}
+}
+
+// bindTheta records var -> expr, turning a conflicting rebinding into an
+// equality condition (repeated pattern variables are joins).
+func bindTheta(a *alternative, v string, e xmlql.Expr) bool {
+	if prev, ok := a.theta[v]; ok {
+		a.conds = append(a.conds, &xmlql.PredicateCond{Expr: &xmlql.BinExpr{Op: "=", L: prev, R: e}})
+		return true
+	}
+	a.theta[v] = e
+	return true
+}
+
+// crossAlternatives combines alternatives of two conjunctive sub-matches.
+func crossAlternatives(as, bs []alternative) []alternative {
+	var out []alternative
+	for _, a := range as {
+		for _, b := range bs {
+			merged := alternative{theta: Subst{}}
+			merged.conds = append(append([]xmlql.Condition{}, a.conds...), b.conds...)
+			for k, v := range a.theta {
+				merged.theta[k] = v
+			}
+			for k, v := range b.theta {
+				if prev, exists := merged.theta[k]; exists {
+					merged.conds = append(merged.conds, &xmlql.PredicateCond{Expr: &xmlql.BinExpr{Op: "=", L: prev, R: v}})
+					continue
+				}
+				merged.theta[k] = v
+			}
+			out = append(out, merged)
+		}
+	}
+	return out
+}

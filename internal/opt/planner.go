@@ -1,0 +1,468 @@
+// Package opt is the internal query optimizer (§4: "an internal query
+// optimizer that can address the varying query capabilities of different
+// data sources"). Given a conjunctive rewrite from the mediator it
+// builds a physical-algebra plan: for each source it pushes the largest
+// fragment the source's capabilities allow (SQL generation for
+// relational sources, whole-document export plus mediator-side pattern
+// matching for the rest), places the remaining predicates as early as
+// their variables permit, and joins the per-source streams.
+package opt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/algebra"
+	"repro/internal/catalog"
+	"repro/internal/mediator"
+	"repro/internal/sqlgen"
+	"repro/internal/xmldm"
+	"repro/internal/xmlql"
+)
+
+// Access is how plan leaves reach data at run time. The execution layer
+// implements it with prefetching, availability policy, and the local
+// materialized store.
+type Access interface {
+	// Roots returns the root values to match patterns against for a
+	// named source (or fallback mediated schema).
+	Roots(source string, req catalog.Request) ([]xmldm.Value, error)
+}
+
+// Options toggle optimizations — the ablation knobs for experiment E5.
+type Options struct {
+	// PushSelections pushes predicates into capable sources.
+	PushSelections bool
+	// PushProjections narrows SQL fragments to the needed columns.
+	PushProjections bool
+	// PushOrder pushes ORDER BY into a single-fragment plan.
+	PushOrder bool
+	// ReorderJoins processes the most selective source groups first
+	// (more coverable predicates and literal constraints = earlier), so
+	// joins stream small sides; variable-targeted groups stay after
+	// their binders. Answers are order-insensitive at this level — the
+	// engine sorts after construction — so reordering is safe.
+	ReorderJoins bool
+}
+
+// DefaultOptions enables every optimization.
+func DefaultOptions() Options {
+	return Options{PushSelections: true, PushProjections: true, PushOrder: true, ReorderJoins: true}
+}
+
+// FetchSpec names one source request a plan will perform; the executor
+// prefetches them in parallel.
+type FetchSpec struct {
+	Source string
+	Req    catalog.Request
+}
+
+// Plan is a compiled conjunctive query.
+type Plan struct {
+	// Root produces the bindings.
+	Root algebra.Operator
+	// Construct and OrderBy come from the rewrite (already substituted).
+	Construct *xmlql.TmplElem
+	OrderBy   []xmlql.OrderKey
+	// OrderPushed reports that result order already satisfies OrderBy.
+	OrderPushed bool
+	// Fetches lists the source requests for parallel prefetch.
+	Fetches []FetchSpec
+	// Explain describes the chosen access paths, one line per fragment.
+	Explain []string
+	// Sources lists the distinct sources/schemas the plan touches.
+	Sources []string
+}
+
+// Planner compiles rewrites into plans.
+type Planner struct {
+	Cat    *catalog.Catalog
+	Access Access
+	Opts   Options
+}
+
+// New creates a planner with default options.
+func New(cat *catalog.Catalog, access Access) *Planner {
+	return &Planner{Cat: cat, Access: access, Opts: DefaultOptions()}
+}
+
+// Plan compiles one conjunctive rewrite. preBound lists variables whose
+// values the initial input already carries (the outer binding of a
+// correlated subquery); input is that initial operator (nil means a
+// single empty binding).
+func (p *Planner) Plan(rw mediator.Rewrite, preBound []string, input algebra.Operator) (*Plan, error) {
+	d := mediator.Decompose(rw.Query)
+	plan := &Plan{Construct: rw.Query.Construct, OrderBy: rw.Query.OrderBy}
+
+	bound := map[string]bool{}
+	for _, v := range preBound {
+		bound[v] = true
+	}
+	pendingPreds := make([]xmlql.Expr, len(d.Predicates))
+	copy(pendingPreds, d.Predicates)
+
+	acc := input
+	seenSources := map[string]bool{}
+
+	singleFragment := len(d.Groups) == 1 && len(d.Groups[0].Patterns) == 1 && d.Groups[0].Source != ""
+
+	groups := d.Groups
+	if p.Opts.ReorderJoins {
+		groups = reorderGroups(groups, d.Predicates)
+	}
+	for _, g := range groups {
+		if g.Source != "" && !seenSources[strings.ToLower(g.Source)] {
+			seenSources[strings.ToLower(g.Source)] = true
+			plan.Sources = append(plan.Sources, g.Source)
+		}
+		if g.Var != "" {
+			// Patterns over a bound variable's content chain onto the
+			// accumulated plan directly.
+			if acc == nil {
+				return nil, fmt.Errorf("opt: pattern IN $%s has no binding for the variable", g.Var)
+			}
+			for _, pat := range g.Patterns {
+				acc = &algebra.Match{Input: acc, Pattern: pat, SourceVar: g.Var}
+				markBound(bound, pat.Vars())
+				plan.Explain = append(plan.Explain, fmt.Sprintf("match <%s> in $%s", pat.Tag, g.Var))
+			}
+			acc = p.applyReadyPreds(acc, &pendingPreds, bound)
+			continue
+		}
+
+		groupPlan, err := p.planSourceGroup(plan, g, &pendingPreds, bound, singleFragment && p.Opts.PushOrder, rw.Query.OrderBy)
+		if err != nil {
+			return nil, err
+		}
+		if acc == nil {
+			acc = groupPlan
+		} else {
+			acc = &algebra.HashJoin{Left: acc, Right: groupPlan}
+		}
+		acc = p.applyReadyPreds(acc, &pendingPreds, bound)
+	}
+
+	if acc == nil {
+		acc = &algebra.Singleton{}
+	}
+	// Any predicates still pending reference unbound variables; under
+	// Null-comparison semantics they are simply evaluated (false unless
+	// existence-style) so queries stay total.
+	for _, pred := range pendingPreds {
+		acc = &algebra.Select{Input: acc, Pred: pred}
+	}
+	plan.Root = acc
+	return plan, nil
+}
+
+// planSourceGroup builds the access path for one source's patterns.
+func (p *Planner) planSourceGroup(plan *Plan, g *mediator.Group, pending *[]xmlql.Expr,
+	bound map[string]bool, tryPushOrder bool, orderBy []xmlql.OrderKey) (algebra.Operator, error) {
+
+	isSchema := p.Cat.IsSchema(g.Source)
+	var rel catalog.Relational
+	var caps catalog.Capabilities
+	if !isSchema {
+		src, err := p.Cat.Source(g.Source)
+		if err != nil {
+			return nil, err
+		}
+		caps = src.Capabilities()
+		rel = asRelational(src)
+	}
+
+	var groupPlan algebra.Operator
+	for _, pat := range g.Patterns {
+		patVars := pat.Vars()
+		var leaf algebra.Operator
+
+		if rel != nil {
+			// Offer the predicates this pattern alone can satisfy.
+			offer, offerIdx := predsFor(*pending, patVars)
+			sgOpts := sqlgen.Options{
+				PushSelections:  p.Opts.PushSelections,
+				PushProjections: p.Opts.PushProjections,
+			}
+			if tryPushOrder {
+				sgOpts.OrderBy = orderBy
+			}
+			frag, rest, err := sqlgen.Compile(rel.Descriptors(), caps, pat, offer, sgOpts)
+			if err == nil {
+				consumed := len(offer) - len(rest)
+				if consumed > 0 {
+					removePreds(pending, offerIdx, offer, rest)
+				}
+				spec := FetchSpec{Source: g.Source, Req: catalog.Request{Native: frag.SQL, Collection: frag.Table}}
+				plan.Fetches = append(plan.Fetches, spec)
+				plan.Explain = append(plan.Explain, fmt.Sprintf("pushdown %s: %s", g.Source, frag.SQL))
+				if frag.PushedOrder {
+					plan.OrderPushed = true
+				}
+				leaf = fragmentScan(p.Access, spec, frag)
+			}
+		}
+		if leaf == nil {
+			// Full export + mediator-side matching.
+			spec := FetchSpec{Source: g.Source, Req: catalog.Request{}}
+			plan.Fetches = append(plan.Fetches, spec)
+			what := "fetch"
+			if isSchema {
+				what = "materialize schema"
+			}
+			plan.Explain = append(plan.Explain, fmt.Sprintf("%s %s, match <%s>", what, g.Source, pat.Tag))
+			access := p.Access
+			leaf = &algebra.Match{
+				Input:   &algebra.Singleton{},
+				Pattern: pat,
+				Roots: func(*algebra.Context) ([]xmldm.Value, error) {
+					return access.Roots(spec.Source, spec.Req)
+				},
+			}
+		}
+		markBound(bound, patVars)
+		if groupPlan == nil {
+			groupPlan = leaf
+		} else {
+			groupPlan = &algebra.HashJoin{Left: groupPlan, Right: leaf}
+		}
+	}
+	return groupPlan, nil
+}
+
+// reorderGroups emits source-targeted groups by descending selectivity
+// score (coverable predicates count double; literal constraints in the
+// patterns count once), inserting each variable-targeted group as soon
+// as some already-emitted group binds its variable. Ties keep query
+// order, so plans stay deterministic.
+func reorderGroups(groups []*mediator.Group, preds []xmlql.Expr) []*mediator.Group {
+	score := func(g *mediator.Group) int {
+		vars := map[string]bool{}
+		for _, v := range g.GroupVars() {
+			vars[v] = true
+		}
+		s := 0
+		for _, pred := range preds {
+			pv := xmlql.ExprVars(pred)
+			if len(pv) == 0 {
+				continue
+			}
+			covered := true
+			for _, v := range pv {
+				if !vars[v] {
+					covered = false
+					break
+				}
+			}
+			if covered {
+				s += 2
+			}
+		}
+		for _, pat := range g.Patterns {
+			s += literalConstraints(pat)
+		}
+		return s
+	}
+
+	var sourceGroups []*mediator.Group
+	var varGroups []*mediator.Group
+	for _, g := range groups {
+		if g.Var != "" {
+			varGroups = append(varGroups, g)
+		} else {
+			sourceGroups = append(sourceGroups, g)
+		}
+	}
+	sort.SliceStable(sourceGroups, func(i, j int) bool {
+		return score(sourceGroups[i]) > score(sourceGroups[j])
+	})
+
+	bound := map[string]bool{}
+	var out []*mediator.Group
+	emit := func(g *mediator.Group) {
+		out = append(out, g)
+		for _, v := range g.GroupVars() {
+			bound[v] = true
+		}
+	}
+	flushVarGroups := func() {
+		for progress := true; progress; {
+			progress = false
+			for i, vg := range varGroups {
+				if vg != nil && bound[vg.Var] {
+					emit(vg)
+					varGroups[i] = nil
+					progress = true
+				}
+			}
+		}
+	}
+	for _, g := range sourceGroups {
+		emit(g)
+		flushVarGroups()
+	}
+	// Any leftover variable groups (unbound binder) keep their place at
+	// the end; planning reports the error with the original message.
+	for _, vg := range varGroups {
+		if vg != nil {
+			out = append(out, vg)
+		}
+	}
+	return out
+}
+
+// literalConstraints counts the text-content and attribute-literal
+// constraints in a pattern, a proxy for its selectivity.
+func literalConstraints(p *xmlql.ElemPattern) int {
+	n := 0
+	for _, a := range p.Attrs {
+		if a.Var == "" {
+			n++
+		}
+	}
+	for _, c := range p.Content {
+		switch x := c.(type) {
+		case *xmlql.TextContent:
+			n++
+		case *xmlql.ChildPattern:
+			n += literalConstraints(x.Elem)
+		}
+	}
+	return n
+}
+
+// asRelational finds the Relational interface through transport wrappers
+// (network simulation and the like expose Inner); the compiler needs the
+// layout descriptors even when the source sits behind a simulated WAN.
+func asRelational(src catalog.Source) catalog.Relational {
+	for {
+		if rel, ok := src.(catalog.Relational); ok {
+			return rel
+		}
+		w, ok := src.(interface{ Inner() catalog.Source })
+		if !ok {
+			return nil
+		}
+		src = w.Inner()
+	}
+}
+
+// applyReadyPreds wraps op in Selects for every pending predicate whose
+// variables are all bound, removing them from pending.
+func (p *Planner) applyReadyPreds(op algebra.Operator, pending *[]xmlql.Expr, bound map[string]bool) algebra.Operator {
+	var still []xmlql.Expr
+	for _, pred := range *pending {
+		ready := true
+		for _, v := range xmlql.ExprVars(pred) {
+			if !bound[v] {
+				ready = false
+				break
+			}
+		}
+		if ready {
+			op = &algebra.Select{Input: op, Pred: pred}
+		} else {
+			still = append(still, pred)
+		}
+	}
+	*pending = still
+	return op
+}
+
+func markBound(bound map[string]bool, vars []string) {
+	for _, v := range vars {
+		bound[v] = true
+	}
+}
+
+// predsFor selects the pending predicates whose variables are all within
+// vars, returning them and their indexes.
+func predsFor(pending []xmlql.Expr, vars []string) ([]xmlql.Expr, []int) {
+	set := map[string]bool{}
+	for _, v := range vars {
+		set[v] = true
+	}
+	var out []xmlql.Expr
+	var idx []int
+	for i, pred := range pending {
+		ok := true
+		pv := xmlql.ExprVars(pred)
+		if len(pv) == 0 {
+			ok = false // constant predicates stay in the mediator
+		}
+		for _, v := range pv {
+			if !set[v] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, pred)
+			idx = append(idx, i)
+		}
+	}
+	return out, idx
+}
+
+// removePreds deletes from pending the offered predicates that were
+// consumed (offer minus rest), by index.
+func removePreds(pending *[]xmlql.Expr, offerIdx []int, offer, rest []xmlql.Expr) {
+	restSet := map[xmlql.Expr]bool{}
+	for _, r := range rest {
+		restSet[r] = true
+	}
+	var drop []int
+	for i, o := range offer {
+		if !restSet[o] {
+			drop = append(drop, offerIdx[i])
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(drop)))
+	for _, di := range drop {
+		*pending = append((*pending)[:di], (*pending)[di+1:]...)
+	}
+}
+
+// fragmentScan builds the leaf operator that runs a compiled SQL
+// fragment and turns the exported rows into bindings directly — no
+// pattern matching needed, because the compiler chose the output
+// aliases.
+func fragmentScan(access Access, spec FetchSpec, frag *sqlgen.Fragment) algebra.Operator {
+	vars := make([]string, 0, len(frag.VarColumns))
+	for v := range frag.VarColumns {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars)
+	return &algebra.FuncScan{
+		OpenFn: func(ctx *algebra.Context) (func() (algebra.Binding, error), error) {
+			roots, err := access.Roots(spec.Source, spec.Req)
+			if err != nil {
+				return nil, err
+			}
+			var rows []*xmldm.Node
+			for _, r := range roots {
+				if doc, ok := r.(*xmldm.Node); ok {
+					rows = append(rows, doc.ChildrenNamed(frag.RowElement)...)
+				}
+			}
+			i := 0
+			return func() (algebra.Binding, error) {
+				if i >= len(rows) {
+					return nil, nil
+				}
+				row := rows[i]
+				i++
+				b := xmldm.NewTuple()
+				for _, v := range vars {
+					col := row.Child(frag.VarColumns[v])
+					if col == nil {
+						b = b.With(v, xmldm.Null{})
+						continue
+					}
+					b = b.With(v, xmldm.String(col.Text()))
+				}
+				return b, nil
+			}, nil
+		},
+	}
+}

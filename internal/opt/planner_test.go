@@ -1,0 +1,359 @@
+package opt
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/catalog"
+	"repro/internal/mediator"
+	"repro/internal/rdb"
+	"repro/internal/sources"
+	"repro/internal/xmldm"
+	"repro/internal/xmlparse"
+	"repro/internal/xmlql"
+)
+
+// fakeAccess serves fetches from canned documents and records requests.
+type fakeAccess struct {
+	docs     map[string]string // source -> XML (used when no SQL)
+	db       map[string]*rdb.Database
+	requests []catalog.Request
+	srcNames []string
+}
+
+func (f *fakeAccess) Roots(source string, req catalog.Request) ([]xmldm.Value, error) {
+	f.requests = append(f.requests, req)
+	f.srcNames = append(f.srcNames, source)
+	if db, ok := f.db[source]; ok && req.Native != "" {
+		res, err := db.Exec(req.Native)
+		if err != nil {
+			return nil, err
+		}
+		root := &xmldm.Node{Name: source}
+		for _, row := range res.Rows {
+			r := &xmldm.Node{Name: "customer", Parent: root}
+			for i, col := range res.Columns {
+				c := &xmldm.Node{Name: col, Parent: r}
+				c.Children = append(c.Children, xmldm.String(xmldm.Stringify(row[i])))
+				r.Children = append(r.Children, c)
+			}
+			root.Children = append(root.Children, r)
+		}
+		xmldm.Finalize(root)
+		return []xmldm.Value{root}, nil
+	}
+	doc, err := xmlparse.ParseString(f.docs[source])
+	if err != nil {
+		return nil, err
+	}
+	return []xmldm.Value{doc}, nil
+}
+
+func newPlannerEnv(t *testing.T) (*Planner, *fakeAccess) {
+	t.Helper()
+	db := rdb.NewDatabase("crm")
+	db.MustExec(`CREATE TABLE customers (id INT PRIMARY KEY, name VARCHAR, city VARCHAR)`)
+	db.MustExec(`INSERT INTO customers VALUES (1,'Ada','London'), (2,'Alan','Cambridge')`)
+	cat := catalog.New()
+	if err := cat.AddSource(sources.NewRelationalSource("crmdb", db)); err != nil {
+		t.Fatal(err)
+	}
+	xmlSrc, _ := sources.NewXMLSource("feed", `<feed><entry><v>1</v></entry><entry><v>2</v></entry></feed>`)
+	if err := cat.AddSource(xmlSrc); err != nil {
+		t.Fatal(err)
+	}
+	access := &fakeAccess{
+		docs: map[string]string{"feed": `<feed><entry><v>1</v></entry><entry><v>2</v></entry></feed>`},
+		db:   map[string]*rdb.Database{"crmdb": db},
+	}
+	return New(cat, access), access
+}
+
+func rewriteOf(t *testing.T, q string) mediator.Rewrite {
+	t.Helper()
+	return mediator.Rewrite{Query: xmlql.MustParse(q)}
+}
+
+func TestPlanPushesToRelationalSource(t *testing.T) {
+	p, access := newPlannerEnv(t)
+	plan, err := p.Plan(rewriteOf(t, `
+		WHERE <customer><name>$n</name><city>$c</city></customer> IN "crmdb", $c = "London"
+		CONSTRUCT <r>$n</r>`), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Fetches) != 1 || !strings.Contains(plan.Fetches[0].Req.Native, "WHERE") {
+		t.Fatalf("fetches = %+v", plan.Fetches)
+	}
+	bindings, err := algebra.Drain(&algebra.Context{}, plan.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bindings) != 1 {
+		t.Fatalf("bindings = %d", len(bindings))
+	}
+	if v, _ := bindings[0].Get("n"); xmldm.Stringify(v) != "Ada" {
+		t.Errorf("n = %v", v)
+	}
+	if len(access.requests) != 1 || access.requests[0].Native == "" {
+		t.Errorf("requests = %+v", access.requests)
+	}
+}
+
+func TestPlanDisabledPushdownFallsBack(t *testing.T) {
+	p, _ := newPlannerEnv(t)
+	p.Opts = Options{} // everything off
+	plan, err := p.Plan(rewriteOf(t, `
+		WHERE <customer><name>$n</name><city>$c</city></customer> IN "crmdb", $c = "London"
+		CONSTRUCT <r>$n</r>`), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pushdown of selections is off, but fragment compilation still
+	// produces a (predicate-free) SQL scan; the Select runs above it.
+	joined := strings.Join(plan.Explain, "\n")
+	if strings.Contains(joined, "London") {
+		t.Errorf("predicate pushed despite options: %s", joined)
+	}
+	bindings, err := algebra.Drain(&algebra.Context{}, plan.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bindings) != 1 {
+		t.Fatalf("bindings = %d", len(bindings))
+	}
+}
+
+func TestPlanXMLSourceUsesMatch(t *testing.T) {
+	p, access := newPlannerEnv(t)
+	plan, err := p.Plan(rewriteOf(t, `
+		WHERE <entry><v>$v</v></entry> IN "feed" CONSTRUCT <r>$v</r>`), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(strings.Join(plan.Explain, " "), "fetch feed") {
+		t.Errorf("explain = %v", plan.Explain)
+	}
+	bindings, err := algebra.Drain(&algebra.Context{}, plan.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bindings) != 2 {
+		t.Fatalf("bindings = %d", len(bindings))
+	}
+	if access.requests[0].Native != "" {
+		t.Error("XML source should receive a whole-document request")
+	}
+}
+
+func TestPlanJoinsAcrossSources(t *testing.T) {
+	p, _ := newPlannerEnv(t)
+	plan, err := p.Plan(rewriteOf(t, `
+		WHERE <customer><id>$v</id><name>$n</name></customer> IN "crmdb",
+		      <entry><v>$v</v></entry> IN "feed"
+		CONSTRUCT <r>$n</r>`), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bindings, err := algebra.Drain(&algebra.Context{}, plan.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ids 1,2 join with feed values 1,2.
+	if len(bindings) != 2 {
+		t.Fatalf("joined = %d", len(bindings))
+	}
+	if len(plan.Sources) != 2 {
+		t.Errorf("sources = %v", plan.Sources)
+	}
+}
+
+func TestPlanVariableGroupChains(t *testing.T) {
+	p, _ := newPlannerEnv(t)
+	plan, err := p.Plan(rewriteOf(t, `
+		WHERE <entry>$e</entry> ELEMENT_AS $x IN "feed",
+		      <v>$v</v> IN $x
+		CONSTRUCT <r>$v</r>`), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bindings, err := algebra.Drain(&algebra.Context{}, plan.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bindings) != 2 {
+		t.Fatalf("bindings = %d", len(bindings))
+	}
+}
+
+func TestPlanVariableGroupWithoutBinderFails(t *testing.T) {
+	p, _ := newPlannerEnv(t)
+	_, err := p.Plan(rewriteOf(t, `WHERE <v>$v</v> IN $nowhere CONSTRUCT <r>$v</r>`), nil, nil)
+	if err == nil {
+		t.Error("pattern over unbound variable should fail to plan")
+	}
+}
+
+func TestPlanPreBoundInput(t *testing.T) {
+	p, _ := newPlannerEnv(t)
+	outer := xmldm.NewTuple(xmldm.Field{Name: "c", Value: xmldm.String("London")})
+	input := &algebra.TupleScan{Tuples: []algebra.Binding{outer}}
+	plan, err := p.Plan(rewriteOf(t, `
+		WHERE <customer><name>$n</name><city>$c</city></customer> IN "crmdb"
+		CONSTRUCT <r>$n</r>`), []string{"c"}, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bindings, err := algebra.Drain(&algebra.Context{}, plan.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The outer binding's $c joins against the pattern's city.
+	if len(bindings) != 1 {
+		t.Fatalf("bindings = %d", len(bindings))
+	}
+	if v, _ := bindings[0].Get("n"); xmldm.Stringify(v) != "Ada" {
+		t.Errorf("n = %v", v)
+	}
+}
+
+func TestPlanOrderPushdown(t *testing.T) {
+	p, _ := newPlannerEnv(t)
+	plan, err := p.Plan(rewriteOf(t, `
+		WHERE <customer><name>$n</name></customer> IN "crmdb"
+		CONSTRUCT <r>$n</r> ORDER-BY $n DESCENDING`), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.OrderPushed {
+		t.Errorf("order not pushed: %v", plan.Explain)
+	}
+	if !strings.Contains(strings.Join(plan.Explain, " "), "ORDER BY") {
+		t.Errorf("explain = %v", plan.Explain)
+	}
+	// Multi-group plans must not claim pushed order.
+	plan2, err := p.Plan(rewriteOf(t, `
+		WHERE <customer><name>$n</name></customer> IN "crmdb",
+		      <entry><v>$v</v></entry> IN "feed"
+		CONSTRUCT <r>$n</r> ORDER-BY $n`), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan2.OrderPushed {
+		t.Error("multi-fragment plan claimed pushed order")
+	}
+}
+
+func TestPlanUnknownSource(t *testing.T) {
+	p, _ := newPlannerEnv(t)
+	if _, err := p.Plan(rewriteOf(t, `WHERE <a>$x</a> IN "ghost" CONSTRUCT <r>$x</r>`), nil, nil); err == nil {
+		t.Error("unknown source should fail planning")
+	}
+}
+
+func TestAsRelationalUnwraps(t *testing.T) {
+	db := rdb.NewDatabase("d")
+	db.MustExec(`CREATE TABLE t (a INT)`)
+	rel := sources.NewRelationalSource("s", db)
+	wrapped := sources.NewNetworkSim(rel, 0, 1, 1)
+	if asRelational(wrapped) == nil {
+		t.Error("network sim should unwrap to relational")
+	}
+	xmlSrc, _ := sources.NewXMLSource("x", `<x/>`)
+	if asRelational(xmlSrc) != nil {
+		t.Error("XML source is not relational")
+	}
+	if asRelational(sources.NewDowned(rel)) != nil {
+		// Downed does not expose Inner; relational compilation is moot
+		// for a hard-down source anyway.
+		t.Log("downed unwrapped (acceptable if Inner is added)")
+	}
+}
+
+func TestReorderGroupsSelectiveFirst(t *testing.T) {
+	q := xmlql.MustParse(`
+		WHERE <entry><v>$v</v></entry> IN "feed",
+		      <customer><name>$n</name><city>$c</city></customer> IN "crmdb",
+		      $c = "London"
+		CONSTRUCT <r>$n</r>`)
+	d := mediator.Decompose(q)
+	out := reorderGroups(d.Groups, d.Predicates)
+	if out[0].Source != "crmdb" {
+		t.Errorf("selective group (covers the predicate) should come first, got %s", out[0].Source)
+	}
+	// Variable groups follow their binder even when the binder reorders.
+	q2 := xmlql.MustParse(`
+		WHERE <entry>$x</entry> ELEMENT_AS $e IN "feed",
+		      <v>$v</v> IN $e,
+		      <customer><city>"London"</city><name>$n</name></customer> IN "crmdb"
+		CONSTRUCT <r>$n</r>`)
+	d2 := mediator.Decompose(q2)
+	out2 := reorderGroups(d2.Groups, d2.Predicates)
+	binderPos, varPos := -1, -1
+	for i, g := range out2 {
+		if g.Source == "feed" {
+			binderPos = i
+		}
+		if g.Var == "e" {
+			varPos = i
+		}
+	}
+	if binderPos < 0 || varPos < 0 || varPos < binderPos {
+		t.Errorf("var group before binder: order %v, %v", binderPos, varPos)
+	}
+}
+
+func TestReorderDisabledKeepsQueryOrder(t *testing.T) {
+	p, _ := newPlannerEnv(t)
+	p.Opts.ReorderJoins = false
+	plan, err := p.Plan(rewriteOf(t, `
+		WHERE <entry><v>$v</v></entry> IN "feed",
+		      <customer><id>$v</id><name>$n</name></customer> IN "crmdb"
+		CONSTRUCT <r>$n</r>`), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Sources[0] != "feed" {
+		t.Errorf("query order not kept: %v", plan.Sources)
+	}
+	// Same answers either way.
+	p.Opts.ReorderJoins = true
+	plan2, err := p.Plan(rewriteOf(t, `
+		WHERE <entry><v>$v</v></entry> IN "feed",
+		      <customer><id>$v</id><name>$n</name></customer> IN "crmdb"
+		CONSTRUCT <r>$n</r>`), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := algebra.Drain(&algebra.Context{}, plan.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := algebra.Drain(&algebra.Context{}, plan2.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b1) != len(b2) {
+		t.Errorf("reordering changed the answer: %d vs %d", len(b1), len(b2))
+	}
+}
+
+func TestPlanPredicateWithUnboundVarStillTotal(t *testing.T) {
+	p, _ := newPlannerEnv(t)
+	plan, err := p.Plan(rewriteOf(t, `
+		WHERE <entry><v>$v</v></entry> IN "feed", $ghost = 1
+		CONSTRUCT <r>$v</r>`), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bindings, err := algebra.Drain(&algebra.Context{}, plan.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Null-comparison semantics: the predicate is false, zero rows, no
+	// error.
+	if len(bindings) != 0 {
+		t.Errorf("bindings = %d", len(bindings))
+	}
+}

@@ -1,0 +1,66 @@
+package qcache
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestCacheInvariants_Property drives a random operation sequence and
+// checks the structural invariants after every step: the entry count
+// never exceeds capacity, Get returns exactly what the latest Put
+// stored, and a freshly-Put entry is never the next eviction victim.
+func TestCacheInvariants_Property(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		capacity := 1 + rng.Intn(8)
+		c := New(capacity, 0)
+		model := map[string]string{} // key -> last stored value (may be evicted)
+		keys := []string{"a", "b", "c", "d", "e", "f", "g", "h", "i", "j"}
+		for step := 0; step < 300; step++ {
+			k := keys[rng.Intn(len(keys))]
+			switch rng.Intn(4) {
+			case 0, 1:
+				v := fmt.Sprintf("v%d", step)
+				c.Put(k, res(v, "s"+k))
+				model[k] = v
+				// A just-put entry must be retrievable immediately.
+				got, ok := c.Get(k)
+				if !ok || stringOf(got) != v {
+					t.Logf("seed %d step %d: put-then-get failed for %s", seed, step, k)
+					return false
+				}
+			case 2:
+				if got, ok := c.Get(k); ok {
+					// Whatever the cache returns must be the last value
+					// stored under that key (staleness would be a bug).
+					if stringOf(got) != model[k] {
+						t.Logf("seed %d step %d: stale value for %s: %s vs %s",
+							seed, step, k, stringOf(got), model[k])
+						return false
+					}
+				}
+			case 3:
+				if rng.Intn(10) == 0 {
+					c.InvalidateSource("s" + k)
+				}
+			}
+			if st := c.Stats(); st.Entries > capacity {
+				t.Logf("seed %d step %d: %d entries > capacity %d", seed, step, st.Entries, capacity)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func stringOf(r Result) string {
+	if len(r.Values) == 0 {
+		return ""
+	}
+	return r.Values[0].String()
+}

@@ -1,0 +1,191 @@
+// Package qcache is the query-result cache of the integration engine
+// (§3.3 cites Adali et al.'s query caching in mediator systems [1], and
+// lists "caching and other performance tuning capabilities" among the
+// product's needs in §4). Results are cached by the query text as
+// submitted (whitespace-different spellings are distinct entries), with
+// LRU eviction, optional TTL, and source-based
+// invalidation: an update known to touch a source invalidates exactly
+// the cached queries that read that source.
+package qcache
+
+import (
+	"container/list"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/xmldm"
+)
+
+// Result is a cached query answer.
+type Result struct {
+	Values  []xmldm.Value
+	Sources []string // sources the answer was computed from
+}
+
+type cacheEntry struct {
+	key      string
+	res      Result
+	storedAt time.Time
+	elem     *list.Element
+}
+
+// Stats reports cache effectiveness.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Entries   int
+}
+
+// HitRate is hits / (hits + misses); 0 on no traffic.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Cache is a bounded LRU query-result cache, safe for concurrent use.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	ttl      time.Duration
+	entries  map[string]*cacheEntry
+	lru      *list.List // front = most recent
+	bySource map[string]map[string]bool
+	stats    Stats
+	clock    func() time.Time
+}
+
+// New creates a cache of the given entry capacity; ttl 0 disables
+// time-based expiry.
+func New(capacity int, ttl time.Duration) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{
+		capacity: capacity,
+		ttl:      ttl,
+		entries:  make(map[string]*cacheEntry),
+		lru:      list.New(),
+		bySource: make(map[string]map[string]bool),
+		clock:    time.Now,
+	}
+}
+
+// SetClock replaces the time source for TTL tests.
+func (c *Cache) SetClock(fn func() time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.clock = fn
+}
+
+// Get returns the cached result for a query key.
+func (c *Cache) Get(key string) (Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		c.stats.Misses++
+		return Result{}, false
+	}
+	if c.ttl > 0 && c.clock().Sub(e.storedAt) > c.ttl {
+		c.removeLocked(e)
+		c.stats.Misses++
+		return Result{}, false
+	}
+	c.lru.MoveToFront(e.elem)
+	c.stats.Hits++
+	return e.res, true
+}
+
+// Put stores a result under the query key.
+func (c *Cache) Put(key string, res Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
+		c.unindexLocked(e)
+		e.res = res
+		e.storedAt = c.clock()
+		c.indexLocked(e)
+		c.lru.MoveToFront(e.elem)
+		return
+	}
+	for len(c.entries) >= c.capacity {
+		back := c.lru.Back()
+		if back == nil {
+			break
+		}
+		c.removeLocked(back.Value.(*cacheEntry))
+		c.stats.Evictions++
+	}
+	e := &cacheEntry{key: key, res: res, storedAt: c.clock()}
+	e.elem = c.lru.PushFront(e)
+	c.entries[key] = e
+	c.indexLocked(e)
+}
+
+// InvalidateSource drops every cached result computed from the source;
+// the refresh path for "the data may not be fresh" concerns.
+func (c *Cache) InvalidateSource(source string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := strings.ToLower(source)
+	keys := c.bySource[key]
+	n := 0
+	for k := range keys {
+		if e, ok := c.entries[k]; ok {
+			c.removeLocked(e)
+			n++
+		}
+	}
+	return n
+}
+
+// InvalidateAll empties the cache.
+func (c *Cache) InvalidateAll() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[string]*cacheEntry)
+	c.lru.Init()
+	c.bySource = make(map[string]map[string]bool)
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = len(c.entries)
+	return s
+}
+
+func (c *Cache) indexLocked(e *cacheEntry) {
+	for _, s := range e.res.Sources {
+		key := strings.ToLower(s)
+		if c.bySource[key] == nil {
+			c.bySource[key] = map[string]bool{}
+		}
+		c.bySource[key][e.key] = true
+	}
+}
+
+func (c *Cache) unindexLocked(e *cacheEntry) {
+	for _, s := range e.res.Sources {
+		key := strings.ToLower(s)
+		if m := c.bySource[key]; m != nil {
+			delete(m, e.key)
+			if len(m) == 0 {
+				delete(c.bySource, key)
+			}
+		}
+	}
+}
+
+func (c *Cache) removeLocked(e *cacheEntry) {
+	c.unindexLocked(e)
+	delete(c.entries, e.key)
+	c.lru.Remove(e.elem)
+}

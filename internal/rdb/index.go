@@ -1,0 +1,143 @@
+package rdb
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/xmldm"
+)
+
+// Index is a combined hash + ordered index over one column. The hash map
+// serves equality lookups in O(1); the sorted key list serves range scans
+// in O(log n + k). Keeping both in one structure mirrors what the
+// compiler cares about: "the presence of indices on the data" (§2.1)
+// determines whether a selection is cheap at the source.
+type Index struct {
+	column string
+	unique bool
+	hash   map[uint64][]entry
+	keys   []orderedKey // sorted by value
+	dirty  bool         // keys need re-sorting
+}
+
+type entry struct {
+	val Value
+	rid int
+}
+
+type orderedKey struct {
+	val Value
+	rid int
+}
+
+func newIndex(column string, unique bool) *Index {
+	return &Index{column: column, unique: unique, hash: make(map[uint64][]entry)}
+}
+
+// check reports a uniqueness violation that adding v would cause.
+func (ix *Index) check(v Value) error {
+	if !ix.unique || v == nil || v.Kind() == xmldm.KindNull {
+		return nil
+	}
+	h := xmldm.Hash(v)
+	for _, e := range ix.hash[h] {
+		if xmldm.Equal(e.val, v) {
+			return fmt.Errorf("unique index on %q: duplicate key %s", ix.column, v.String())
+		}
+	}
+	return nil
+}
+
+func (ix *Index) add(v Value, rid int) error {
+	if err := ix.check(v); err != nil {
+		return err
+	}
+	if v == nil {
+		v = xmldm.Null{}
+	}
+	h := xmldm.Hash(v)
+	ix.hash[h] = append(ix.hash[h], entry{val: v, rid: rid})
+	ix.keys = append(ix.keys, orderedKey{val: v, rid: rid})
+	ix.dirty = true
+	return nil
+}
+
+func (ix *Index) remove(v Value, rid int) {
+	if v == nil {
+		v = xmldm.Null{}
+	}
+	h := xmldm.Hash(v)
+	bucket := ix.hash[h]
+	for i, e := range bucket {
+		if e.rid == rid {
+			ix.hash[h] = append(bucket[:i], bucket[i+1:]...)
+			break
+		}
+	}
+	for i, k := range ix.keys {
+		if k.rid == rid {
+			ix.keys = append(ix.keys[:i], ix.keys[i+1:]...)
+			break
+		}
+	}
+}
+
+// lookupEq returns the row ids whose column equals v.
+func (ix *Index) lookupEq(v Value) []int {
+	var out []int
+	for _, e := range ix.hash[xmldm.Hash(v)] {
+		if xmldm.Equal(e.val, v) {
+			out = append(out, e.rid)
+		}
+	}
+	return out
+}
+
+// lookupRange returns row ids with lo <= value <= hi; nil bounds are
+// open. Inclusivity of each bound is controlled by loInc/hiInc.
+func (ix *Index) lookupRange(lo, hi Value, loInc, hiInc bool) []int {
+	ix.ensureSorted()
+	n := len(ix.keys)
+	start := 0
+	if lo != nil {
+		start = sort.Search(n, func(i int) bool {
+			c := xmldm.Compare(ix.keys[i].val, lo)
+			if loInc {
+				return c >= 0
+			}
+			return c > 0
+		})
+	}
+	var out []int
+	for i := start; i < n; i++ {
+		if hi != nil {
+			c := xmldm.Compare(ix.keys[i].val, hi)
+			if c > 0 || (c == 0 && !hiInc) {
+				break
+			}
+		}
+		out = append(out, ix.keys[i].rid)
+	}
+	return out
+}
+
+func (ix *Index) ensureSorted() {
+	if !ix.dirty {
+		return
+	}
+	sort.SliceStable(ix.keys, func(i, j int) bool {
+		return xmldm.Compare(ix.keys[i].val, ix.keys[j].val) < 0
+	})
+	ix.dirty = false
+}
+
+// parseDate accepts the date formats the generators and SQL dialect use.
+func parseDate(s string) (xmldm.Date, error) {
+	for _, layout := range []string{time.RFC3339, "2006-01-02", "2006-01-02 15:04:05"} {
+		if t, err := time.Parse(layout, s); err == nil {
+			return xmldm.Date(t), nil
+		}
+	}
+	return xmldm.Date{}, fmt.Errorf("rdb: unparseable date %q", s)
+}

@@ -1,0 +1,165 @@
+package rdb
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xmldm"
+)
+
+// TestInsertSelectRoundTrip_Property: every inserted row is retrievable
+// by primary key with exactly the coerced values, SELECT * returns all
+// live rows, and WHERE range predicates agree with a naive scan — with
+// and without an index on the predicate column (the indexed and
+// unindexed paths must agree).
+func TestInsertSelectRoundTrip_Property(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		db := NewDatabase("p")
+		db.MustExec(`CREATE TABLE t (id INT PRIMARY KEY, v INT, s VARCHAR)`)
+		n := 5 + rng.Intn(40)
+		type row struct {
+			v int
+			s string
+		}
+		model := map[int]row{}
+		for i := 0; i < n; i++ {
+			v := rng.Intn(100)
+			s := fmt.Sprintf("s%d", rng.Intn(10))
+			db.MustExec(fmt.Sprintf(`INSERT INTO t VALUES (%d, %d, '%s')`, i, v, s))
+			model[i] = row{v, s}
+		}
+		// Random deletes.
+		for i := 0; i < n/4; i++ {
+			id := rng.Intn(n)
+			db.MustExec(fmt.Sprintf(`DELETE FROM t WHERE id = %d`, id))
+			delete(model, id)
+		}
+
+		// Count matches.
+		res := db.MustExec(`SELECT count(*) FROM t`)
+		if c, _ := xmldm.ToInt(res.Rows[0][0]); int(c) != len(model) {
+			t.Logf("seed %d: count %d vs model %d", seed, c, len(model))
+			return false
+		}
+
+		// Point lookups through the pk index.
+		for id, want := range model {
+			res := db.MustExec(fmt.Sprintf(`SELECT v, s FROM t WHERE id = %d`, id))
+			if len(res.Rows) != 1 {
+				t.Logf("seed %d: id %d rows = %d", seed, id, len(res.Rows))
+				return false
+			}
+			gv, _ := xmldm.ToInt(res.Rows[0][0])
+			if int(gv) != want.v || xmldm.Stringify(res.Rows[0][1]) != want.s {
+				t.Logf("seed %d: id %d got (%d,%s) want (%d,%s)", seed, id, gv, res.Rows[0][1], want.v, want.s)
+				return false
+			}
+		}
+
+		// Range predicate: unindexed vs indexed column must agree with
+		// the model.
+		lo := rng.Intn(100)
+		naive := 0
+		for _, r := range model {
+			if r.v >= lo {
+				naive++
+			}
+		}
+		q := fmt.Sprintf(`SELECT count(*) FROM t WHERE v >= %d`, lo)
+		before := db.MustExec(q)
+		db.MustExec(`CREATE INDEX ON t (v)`)
+		after := db.MustExec(q)
+		b, _ := xmldm.ToInt(before.Rows[0][0])
+		a, _ := xmldm.ToInt(after.Rows[0][0])
+		if int(b) != naive || int(a) != naive {
+			t.Logf("seed %d: range count naive=%d scan=%d indexed=%d", seed, naive, b, a)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOrderByIsSorted_Property: ORDER BY output is sorted under the
+// model's comparison, for random data including ties.
+func TestOrderByIsSorted_Property(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		db := NewDatabase("p")
+		db.MustExec(`CREATE TABLE t (id INT PRIMARY KEY, v INT)`)
+		n := 3 + rng.Intn(30)
+		for i := 0; i < n; i++ {
+			db.MustExec(fmt.Sprintf(`INSERT INTO t VALUES (%d, %d)`, i, rng.Intn(8)))
+		}
+		desc := rng.Intn(2) == 0
+		q := `SELECT v FROM t ORDER BY v`
+		if desc {
+			q += " DESC"
+		}
+		res := db.MustExec(q)
+		for i := 1; i < len(res.Rows); i++ {
+			c := xmldm.Compare(res.Rows[i-1][0], res.Rows[i][0])
+			if desc && c < 0 || !desc && c > 0 {
+				t.Logf("seed %d: out of order at %d (desc=%v)", seed, i, desc)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLikeMatchesNaive_Property: the LIKE matcher agrees with a naive
+// regexp-free reference built by brute force over short strings.
+func TestLikeMatchesNaive_Property(t *testing.T) {
+	alphabet := "ab%_"
+	rng := rand.New(rand.NewSource(7))
+	randStr := func(n int) string {
+		var sb strings.Builder
+		for i := 0; i < n; i++ {
+			sb.WriteByte(alphabet[rng.Intn(2)]) // data: only a, b
+		}
+		return sb.String()
+	}
+	randPat := func(n int) string {
+		var sb strings.Builder
+		for i := 0; i < n; i++ {
+			sb.WriteByte(alphabet[rng.Intn(4)])
+		}
+		return sb.String()
+	}
+	var naive func(p, s string) bool
+	naive = func(p, s string) bool {
+		if p == "" {
+			return s == ""
+		}
+		switch p[0] {
+		case '%':
+			for i := 0; i <= len(s); i++ {
+				if naive(p[1:], s[i:]) {
+					return true
+				}
+			}
+			return false
+		case '_':
+			return s != "" && naive(p[1:], s[1:])
+		default:
+			return s != "" && s[0] == p[0] && naive(p[1:], s[1:])
+		}
+	}
+	for i := 0; i < 3000; i++ {
+		p := randPat(rng.Intn(6))
+		s := randStr(rng.Intn(8))
+		if likeMatch(p, s) != naive(p, s) {
+			t.Fatalf("likeMatch(%q, %q) = %v, naive = %v", p, s, likeMatch(p, s), naive(p, s))
+		}
+	}
+}

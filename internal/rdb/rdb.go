@@ -1,0 +1,353 @@
+// Package rdb is an embedded relational database engine: typed tables,
+// hash and ordered indexes, and a SQL subset sufficient for the queries
+// the integration compiler generates (SELECT-FROM-WHERE with joins,
+// grouping, ordering and limits) plus the DML and DDL the test harness
+// needs.
+//
+// In the paper's deployment the relational sources are customers'
+// production DBMSs; here rdb plays that role so that the compiler's
+// "translate each fragment into the appropriate query language for the
+// destination source" (§2.1) path is exercised against a real SQL
+// consumer, including its use of indexes.
+//
+// Deviation from standard SQL: values compare with the data model's
+// weak typing (xmldm.Compare), so VARCHAR values that parse as numbers
+// order numerically ('9' < '10'). Inside the integration system this is
+// exactly right — the mediator joins text from one source against
+// numbers from another — but it differs from a vanilla DBMS.
+package rdb
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/xmldm"
+)
+
+// Value is a cell value: one of the xmldm atom kinds.
+type Value = xmldm.Value
+
+// ColType enumerates column types.
+type ColType int
+
+// The supported column types.
+const (
+	TInt ColType = iota
+	TFloat
+	TString
+	TBool
+	TDate
+)
+
+// String returns the SQL spelling of the type.
+func (t ColType) String() string {
+	switch t {
+	case TInt:
+		return "INT"
+	case TFloat:
+		return "FLOAT"
+	case TString:
+		return "VARCHAR"
+	case TBool:
+		return "BOOL"
+	case TDate:
+		return "DATE"
+	default:
+		return "?"
+	}
+}
+
+func parseColType(s string) (ColType, error) {
+	switch strings.ToUpper(s) {
+	case "INT", "INTEGER", "BIGINT", "SMALLINT":
+		return TInt, nil
+	case "FLOAT", "REAL", "DOUBLE", "DECIMAL", "NUMERIC":
+		return TFloat, nil
+	case "VARCHAR", "CHAR", "TEXT", "STRING", "CLOB":
+		return TString, nil
+	case "BOOL", "BOOLEAN":
+		return TBool, nil
+	case "DATE", "TIMESTAMP", "DATETIME":
+		return TDate, nil
+	default:
+		return 0, fmt.Errorf("rdb: unknown column type %q", s)
+	}
+}
+
+// Column describes one table column.
+type Column struct {
+	Name string
+	Type ColType
+}
+
+// Schema describes a table's columns; PrimaryKey is the index into
+// Columns of the primary-key column, or -1.
+type Schema struct {
+	Columns    []Column
+	PrimaryKey int
+}
+
+// ColIndex returns the position of the named column, or -1.
+func (s *Schema) ColIndex(name string) int {
+	for i, c := range s.Columns {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Row is one table row; len(Row) == len(Schema.Columns).
+type Row []Value
+
+// Table is an in-memory relational table with optional indexes.
+type Table struct {
+	Name    string
+	Schema  Schema
+	rows    []Row
+	deleted []bool // tombstones, compacted lazily
+	live    int
+	indexes map[string]*Index // by column name (lower-case)
+}
+
+// Database is a named collection of tables. All methods are safe for
+// concurrent use.
+type Database struct {
+	mu     sync.RWMutex
+	name   string
+	tables map[string]*Table
+}
+
+// ErrNoTable is wrapped by errors for references to unknown tables.
+var ErrNoTable = errors.New("no such table")
+
+// NewDatabase creates an empty database.
+func NewDatabase(name string) *Database {
+	return &Database{name: name, tables: make(map[string]*Table)}
+}
+
+// Name returns the database name.
+func (db *Database) Name() string { return db.name }
+
+// CreateTable creates a table; it fails if the name is taken.
+func (db *Database) CreateTable(name string, schema Schema) (*Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, ok := db.tables[key]; ok {
+		return nil, fmt.Errorf("rdb: table %q already exists", name)
+	}
+	if len(schema.Columns) == 0 {
+		return nil, fmt.Errorf("rdb: table %q must have at least one column", name)
+	}
+	seen := map[string]bool{}
+	for _, c := range schema.Columns {
+		lc := strings.ToLower(c.Name)
+		if seen[lc] {
+			return nil, fmt.Errorf("rdb: duplicate column %q in table %q", c.Name, name)
+		}
+		seen[lc] = true
+	}
+	t := &Table{Name: name, Schema: schema, indexes: make(map[string]*Index)}
+	if schema.PrimaryKey >= 0 {
+		t.indexes[strings.ToLower(schema.Columns[schema.PrimaryKey].Name)] = newIndex(schema.Columns[schema.PrimaryKey].Name, true)
+	}
+	db.tables[key] = t
+	return t, nil
+}
+
+// Table returns the named table.
+func (db *Database) Table(name string) (*Table, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("rdb: %w: %q", ErrNoTable, name)
+	}
+	return t, nil
+}
+
+// TableNames returns the table names in sorted order.
+func (db *Database) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var names []string
+	for _, t := range db.tables {
+		names = append(names, t.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// DropTable removes a table.
+func (db *Database) DropTable(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, ok := db.tables[key]; !ok {
+		return fmt.Errorf("rdb: %w: %q", ErrNoTable, name)
+	}
+	delete(db.tables, key)
+	return nil
+}
+
+// CreateIndex builds an index on the named column. unique enforces
+// uniqueness on future inserts.
+func (db *Database) CreateIndex(table, column string, unique bool) error {
+	t, err := db.Table(table)
+	if err != nil {
+		return err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	ci := t.Schema.ColIndex(column)
+	if ci < 0 {
+		return fmt.Errorf("rdb: no column %q in table %q", column, table)
+	}
+	key := strings.ToLower(column)
+	if _, ok := t.indexes[key]; ok {
+		return nil // idempotent
+	}
+	idx := newIndex(t.Schema.Columns[ci].Name, unique)
+	for rid, row := range t.rows {
+		if t.deleted[rid] {
+			continue
+		}
+		if err := idx.add(row[ci], rid); err != nil {
+			return fmt.Errorf("rdb: building index on %s.%s: %w", table, column, err)
+		}
+	}
+	t.indexes[key] = idx
+	return nil
+}
+
+// HasIndex reports whether the table has an index on the column; the
+// integration optimizer uses this to cost source-side plans.
+func (db *Database) HasIndex(table, column string) bool {
+	t, err := db.Table(table)
+	if err != nil {
+		return false
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	_, ok := t.indexes[strings.ToLower(column)]
+	return ok
+}
+
+// Insert appends a row, coercing values to column types and maintaining
+// indexes. It fails on arity mismatch, uncoercible values, or unique-key
+// violations.
+func (db *Database) Insert(table string, vals Row) error {
+	t, err := db.Table(table)
+	if err != nil {
+		return err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if len(vals) != len(t.Schema.Columns) {
+		return fmt.Errorf("rdb: insert into %q: %d values for %d columns", table, len(vals), len(t.Schema.Columns))
+	}
+	row := make(Row, len(vals))
+	for i, v := range vals {
+		cv, err := coerce(v, t.Schema.Columns[i].Type)
+		if err != nil {
+			return fmt.Errorf("rdb: insert into %q column %q: %w", table, t.Schema.Columns[i].Name, err)
+		}
+		row[i] = cv
+	}
+	rid := len(t.rows)
+	for _, idx := range t.indexes {
+		ci := t.Schema.ColIndex(idx.column)
+		if err := idx.check(row[ci]); err != nil {
+			return fmt.Errorf("rdb: insert into %q: %w", table, err)
+		}
+	}
+	t.rows = append(t.rows, row)
+	t.deleted = append(t.deleted, false)
+	t.live++
+	for _, idx := range t.indexes {
+		ci := t.Schema.ColIndex(idx.column)
+		if err := idx.add(row[ci], rid); err != nil {
+			// check() above makes this unreachable, but keep the row
+			// store consistent if an index implementation changes.
+			t.deleted[rid] = true
+			t.live--
+			return err
+		}
+	}
+	return nil
+}
+
+// RowCount returns the number of live rows; the optimizer's statistics
+// hook.
+func (db *Database) RowCount(table string) int {
+	t, err := db.Table(table)
+	if err != nil {
+		return 0
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return t.live
+}
+
+// scanAll calls fn for every live row. Callers must hold at least a read
+// lock on db.mu.
+func (t *Table) scanAll(fn func(rid int, row Row) bool) {
+	for rid, row := range t.rows {
+		if t.deleted[rid] {
+			continue
+		}
+		if !fn(rid, row) {
+			return
+		}
+	}
+}
+
+// coerce converts v to the column type; Null passes through.
+func coerce(v Value, ct ColType) (Value, error) {
+	if v == nil {
+		return xmldm.Null{}, nil
+	}
+	if v.Kind() == xmldm.KindNull {
+		return v, nil
+	}
+	switch ct {
+	case TInt:
+		if i, ok := xmldm.ToInt(v); ok {
+			return xmldm.Int(i), nil
+		}
+	case TFloat:
+		if f, ok := xmldm.ToFloat(v); ok {
+			return xmldm.Float(f), nil
+		}
+	case TString:
+		return xmldm.String(xmldm.Stringify(v)), nil
+	case TBool:
+		switch x := v.(type) {
+		case xmldm.Bool:
+			return x, nil
+		case xmldm.String:
+			switch strings.ToLower(string(x)) {
+			case "true", "t", "1", "yes":
+				return xmldm.Bool(true), nil
+			case "false", "f", "0", "no":
+				return xmldm.Bool(false), nil
+			}
+		case xmldm.Int:
+			return xmldm.Bool(x != 0), nil
+		}
+	case TDate:
+		if d, ok := v.(xmldm.Date); ok {
+			return d, nil
+		}
+		if s, ok := v.(xmldm.String); ok {
+			if d, err := parseDate(string(s)); err == nil {
+				return d, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("cannot coerce %s %q to %s", v.Kind(), v.String(), ct)
+}

@@ -1,0 +1,551 @@
+package rdb
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/xmldm"
+)
+
+// newTestDB builds a small customers/orders database used across tests.
+func newTestDB(t testing.TB) *Database {
+	t.Helper()
+	db := NewDatabase("crm")
+	stmts := []string{
+		`CREATE TABLE customers (id INT PRIMARY KEY, name VARCHAR, city VARCHAR, since DATE)`,
+		`CREATE TABLE orders (oid INT PRIMARY KEY, cust_id INT, total FLOAT, status VARCHAR)`,
+		`INSERT INTO customers VALUES
+			(1, 'Ada Lovelace', 'London', '1990-01-01'),
+			(2, 'Alan Turing', 'London', '1991-06-23'),
+			(3, 'Grace Hopper', 'New York', '1992-12-09'),
+			(4, 'Edsger Dijkstra', 'Austin', '1993-05-11')`,
+		`INSERT INTO orders VALUES
+			(100, 1, 250.0, 'shipped'),
+			(101, 1, 75.5, 'open'),
+			(102, 2, 120.0, 'shipped'),
+			(103, 3, 310.25, 'open'),
+			(104, 3, 42.0, 'cancelled')`,
+	}
+	for _, s := range stmts {
+		if _, err := db.Exec(s); err != nil {
+			t.Fatalf("setup %q: %v", s, err)
+		}
+	}
+	return db
+}
+
+func TestCreateTableErrors(t *testing.T) {
+	db := NewDatabase("d")
+	if _, err := db.Exec(`CREATE TABLE t (a INT)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`CREATE TABLE t (a INT)`); err == nil {
+		t.Error("duplicate table should fail")
+	}
+	if _, err := db.Exec(`CREATE TABLE u (a INT, a VARCHAR)`); err == nil {
+		t.Error("duplicate column should fail")
+	}
+	if _, err := db.CreateTable("empty", Schema{PrimaryKey: -1}); err == nil {
+		t.Error("empty schema should fail")
+	}
+}
+
+func TestInsertAndSelectAll(t *testing.T) {
+	db := newTestDB(t)
+	res, err := db.Exec(`SELECT * FROM customers`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if len(res.Columns) != 4 || res.Columns[1] != "name" {
+		t.Errorf("columns = %v", res.Columns)
+	}
+	if res.Stats.RowsScanned != 4 {
+		t.Errorf("scanned = %d", res.Stats.RowsScanned)
+	}
+}
+
+func TestInsertTypeCoercion(t *testing.T) {
+	db := newTestDB(t)
+	// Strings coerce to numbers and dates; numbers to strings.
+	if _, err := db.Exec(`INSERT INTO customers VALUES ('5', 42, 'Paris', '2001-04-02')`); err != nil {
+		t.Fatal(err)
+	}
+	res := db.MustExec(`SELECT name, since FROM customers WHERE id = 5`)
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if res.Rows[0][0].Kind() != xmldm.KindString || xmldm.Stringify(res.Rows[0][0]) != "42" {
+		t.Errorf("name = %v", res.Rows[0][0])
+	}
+	if res.Rows[0][1].Kind() != xmldm.KindDate {
+		t.Errorf("since kind = %v", res.Rows[0][1].Kind())
+	}
+	// Uncoercible values fail.
+	if _, err := db.Exec(`INSERT INTO customers VALUES ('abc', 'x', 'y', '2001-01-01')`); err == nil {
+		t.Error("uncoercible id should fail")
+	}
+}
+
+func TestPrimaryKeyUnique(t *testing.T) {
+	db := newTestDB(t)
+	if _, err := db.Exec(`INSERT INTO customers VALUES (1, 'Dup', 'X', '2000-01-01')`); err == nil {
+		t.Error("duplicate primary key should fail")
+	}
+}
+
+func TestSelectWhereComparisons(t *testing.T) {
+	db := newTestDB(t)
+	cases := []struct {
+		sql  string
+		want int
+	}{
+		{`SELECT * FROM customers WHERE city = 'London'`, 2},
+		{`SELECT * FROM customers WHERE city != 'London'`, 2},
+		{`SELECT * FROM customers WHERE id > 2`, 2},
+		{`SELECT * FROM customers WHERE id >= 2`, 3},
+		{`SELECT * FROM customers WHERE id < 2`, 1},
+		{`SELECT * FROM customers WHERE id <= 2 AND city = 'London'`, 2},
+		{`SELECT * FROM customers WHERE city = 'London' OR city = 'Austin'`, 3},
+		{`SELECT * FROM customers WHERE NOT city = 'London'`, 2},
+		{`SELECT * FROM customers WHERE name LIKE 'A%'`, 2},
+		{`SELECT * FROM customers WHERE name LIKE '%ra%'`, 2}, // Grace? no: G-r-a... "Grace Hopper" has "ra"? G,r,a yes. "Edsger Dijkstra" has "ra" at end. Ada no. Alan no.
+		{`SELECT * FROM customers WHERE name LIKE '_da%'`, 1},
+		{`SELECT * FROM customers WHERE name NOT LIKE 'A%'`, 2},
+		{`SELECT * FROM customers WHERE city IN ('London', 'Austin')`, 3},
+		{`SELECT * FROM customers WHERE city NOT IN ('London')`, 2},
+		{`SELECT * FROM customers WHERE since IS NULL`, 0},
+		{`SELECT * FROM customers WHERE since IS NOT NULL`, 4},
+		{`SELECT * FROM orders WHERE total > 100 AND status = 'shipped'`, 2},
+		{`SELECT * FROM orders WHERE total + 10 > 300`, 1},
+		{`SELECT * FROM orders WHERE total * 2 >= 620.5`, 1},
+	}
+	for _, c := range cases {
+		res, err := db.Exec(c.sql)
+		if err != nil {
+			t.Errorf("%s: %v", c.sql, err)
+			continue
+		}
+		if len(res.Rows) != c.want {
+			t.Errorf("%s: rows = %d, want %d", c.sql, len(res.Rows), c.want)
+		}
+	}
+}
+
+func TestSelectProjectionAndAliases(t *testing.T) {
+	db := newTestDB(t)
+	res := db.MustExec(`SELECT name AS who, upper(city) FROM customers WHERE id = 1`)
+	if res.Columns[0] != "who" || res.Columns[1] != "col2" {
+		t.Errorf("columns = %v", res.Columns)
+	}
+	if xmldm.Stringify(res.Rows[0][1]) != "LONDON" {
+		t.Errorf("upper = %v", res.Rows[0][1])
+	}
+}
+
+func TestSelectDistinct(t *testing.T) {
+	db := newTestDB(t)
+	res := db.MustExec(`SELECT DISTINCT city FROM customers`)
+	if len(res.Rows) != 3 {
+		t.Errorf("distinct cities = %d", len(res.Rows))
+	}
+}
+
+func TestSelectOrderByAndLimit(t *testing.T) {
+	db := newTestDB(t)
+	res := db.MustExec(`SELECT name FROM customers ORDER BY name DESC LIMIT 2`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if xmldm.Stringify(res.Rows[0][0]) != "Grace Hopper" {
+		t.Errorf("first = %v", res.Rows[0][0])
+	}
+	// ORDER BY an alias.
+	res = db.MustExec(`SELECT total * 2 AS dbl FROM orders ORDER BY dbl LIMIT 1`)
+	if f, _ := xmldm.ToFloat(res.Rows[0][0]); f != 84 {
+		t.Errorf("smallest doubled total = %v", res.Rows[0][0])
+	}
+}
+
+func TestJoin(t *testing.T) {
+	db := newTestDB(t)
+	res := db.MustExec(`SELECT c.name, o.total FROM customers c JOIN orders o ON c.id = o.cust_id WHERE o.status = 'shipped' ORDER BY o.total DESC`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if xmldm.Stringify(res.Rows[0][0]) != "Ada Lovelace" {
+		t.Errorf("first = %v", res.Rows[0][0])
+	}
+}
+
+func TestJoinNonEqui(t *testing.T) {
+	db := newTestDB(t)
+	res := db.MustExec(`SELECT c.id, o.oid FROM customers c JOIN orders o ON c.id < o.cust_id AND o.status = 'open'`)
+	// open orders: 101 (cust 1), 103 (cust 3). c.id < cust_id:
+	// for 101: none (no id < 1); for 103: ids 1,2 → 2 rows.
+	if len(res.Rows) != 2 {
+		t.Errorf("rows = %d", len(res.Rows))
+	}
+}
+
+func TestImplicitCrossJoin(t *testing.T) {
+	db := newTestDB(t)
+	res := db.MustExec(`SELECT c.name FROM customers c, orders o WHERE c.id = o.cust_id AND o.total > 300`)
+	if len(res.Rows) != 1 || xmldm.Stringify(res.Rows[0][0]) != "Grace Hopper" {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	db := newTestDB(t)
+	res := db.MustExec(`SELECT count(*), sum(total), avg(total), min(total), max(total) FROM orders`)
+	row := res.Rows[0]
+	if n, _ := xmldm.ToInt(row[0]); n != 5 {
+		t.Errorf("count = %v", row[0])
+	}
+	if f, _ := xmldm.ToFloat(row[1]); f != 797.75 {
+		t.Errorf("sum = %v", row[1])
+	}
+	if f, _ := xmldm.ToFloat(row[3]); f != 42 {
+		t.Errorf("min = %v", row[3])
+	}
+	if f, _ := xmldm.ToFloat(row[4]); f != 310.25 {
+		t.Errorf("max = %v", row[4])
+	}
+}
+
+func TestGroupByHaving(t *testing.T) {
+	db := newTestDB(t)
+	res := db.MustExec(`SELECT cust_id, count(*) AS n, sum(total) AS t FROM orders GROUP BY cust_id HAVING count(*) >= 2 ORDER BY cust_id`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("groups = %d", len(res.Rows))
+	}
+	if id, _ := xmldm.ToInt(res.Rows[0][0]); id != 1 {
+		t.Errorf("first group = %v", res.Rows[0][0])
+	}
+	if n, _ := xmldm.ToInt(res.Rows[0][1]); n != 2 {
+		t.Errorf("count = %v", res.Rows[0][1])
+	}
+}
+
+func TestAggregateOverEmptyInput(t *testing.T) {
+	db := newTestDB(t)
+	res := db.MustExec(`SELECT count(*) FROM orders WHERE total > 10000`)
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if n, _ := xmldm.ToInt(res.Rows[0][0]); n != 0 {
+		t.Errorf("count over empty = %v", res.Rows[0][0])
+	}
+}
+
+func TestIndexUse(t *testing.T) {
+	db := newTestDB(t)
+	// Primary key index exists on customers.id.
+	res := db.MustExec(`SELECT * FROM customers WHERE id = 3`)
+	if !res.Stats.IndexUsed {
+		t.Error("primary key lookup should use index")
+	}
+	if res.Stats.RowsScanned != 1 {
+		t.Errorf("scanned = %d, want 1", res.Stats.RowsScanned)
+	}
+	// Range scan through the index.
+	res = db.MustExec(`SELECT * FROM customers WHERE id >= 3`)
+	if !res.Stats.IndexUsed || len(res.Rows) != 2 {
+		t.Errorf("range: used=%v rows=%d", res.Stats.IndexUsed, len(res.Rows))
+	}
+	// Secondary index.
+	if _, err := db.Exec(`CREATE INDEX idx_city ON customers (city)`); err != nil {
+		t.Fatal(err)
+	}
+	if !db.HasIndex("customers", "city") {
+		t.Error("HasIndex should report the new index")
+	}
+	res = db.MustExec(`SELECT * FROM customers WHERE city = 'London'`)
+	if !res.Stats.IndexUsed || res.Stats.RowsScanned != 2 {
+		t.Errorf("city lookup: used=%v scanned=%d", res.Stats.IndexUsed, res.Stats.RowsScanned)
+	}
+	// No index on name: full scan.
+	res = db.MustExec(`SELECT * FROM customers WHERE name = 'Ada Lovelace'`)
+	if res.Stats.IndexUsed || res.Stats.RowsScanned != 4 {
+		t.Errorf("name lookup: used=%v scanned=%d", res.Stats.IndexUsed, res.Stats.RowsScanned)
+	}
+}
+
+func TestIndexFilterFlippedOperands(t *testing.T) {
+	db := newTestDB(t)
+	res := db.MustExec(`SELECT * FROM customers WHERE 3 = id`)
+	if !res.Stats.IndexUsed || len(res.Rows) != 1 {
+		t.Errorf("flipped equality: used=%v rows=%d", res.Stats.IndexUsed, len(res.Rows))
+	}
+	res = db.MustExec(`SELECT * FROM customers WHERE 3 <= id`)
+	if !res.Stats.IndexUsed || len(res.Rows) != 2 {
+		t.Errorf("flipped range: used=%v rows=%d", res.Stats.IndexUsed, len(res.Rows))
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	db := newTestDB(t)
+	res := db.MustExec(`UPDATE orders SET status = 'closed', total = total + 1 WHERE cust_id = 1`)
+	if res.Affected != 2 {
+		t.Fatalf("affected = %d", res.Affected)
+	}
+	check := db.MustExec(`SELECT total FROM orders WHERE oid = 100`)
+	if f, _ := xmldm.ToFloat(check.Rows[0][0]); f != 251 {
+		t.Errorf("total = %v", check.Rows[0][0])
+	}
+	// Updating the indexed key keeps the index correct.
+	db.MustExec(`UPDATE orders SET oid = 200 WHERE oid = 100`)
+	if len(db.MustExec(`SELECT * FROM orders WHERE oid = 200`).Rows) != 1 {
+		t.Error("index stale after key update")
+	}
+	if len(db.MustExec(`SELECT * FROM orders WHERE oid = 100`).Rows) != 0 {
+		t.Error("old key still in index")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	db := newTestDB(t)
+	res := db.MustExec(`DELETE FROM orders WHERE status = 'cancelled'`)
+	if res.Affected != 1 {
+		t.Fatalf("affected = %d", res.Affected)
+	}
+	if db.RowCount("orders") != 4 {
+		t.Errorf("live rows = %d", db.RowCount("orders"))
+	}
+	// Deleted rows invisible to index lookups too.
+	if len(db.MustExec(`SELECT * FROM orders WHERE oid = 104`).Rows) != 0 {
+		t.Error("deleted row visible via index")
+	}
+}
+
+func TestDropTable(t *testing.T) {
+	db := newTestDB(t)
+	if _, err := db.Exec(`DROP TABLE orders`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`SELECT * FROM orders`); err == nil {
+		t.Error("query on dropped table should fail")
+	}
+	if _, err := db.Exec(`DROP TABLE orders`); err == nil {
+		t.Error("double drop should fail")
+	}
+}
+
+func TestTableNames(t *testing.T) {
+	db := newTestDB(t)
+	names := db.TableNames()
+	if len(names) != 2 || names[0] != "customers" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestSQLErrors(t *testing.T) {
+	db := newTestDB(t)
+	bad := []string{
+		`SELECT`,
+		`SELECT * FROM`,
+		`SELECT * FROM nosuch`,
+		`SELECT nosuch FROM customers`,
+		`SELECT * FROM customers WHERE`,
+		`SELECT * FROM customers WHERE name LIKE 5`,
+		`INSERT INTO customers VALUES (1)`,
+		`INSERT INTO nosuch VALUES (1)`,
+		`UPDATE customers SET nosuch = 1`,
+		`SELECT name FROM customers GROUP BY name HAVING nosuch > 1`,
+		`SELECT count(*) FROM customers WHERE count(*) > 1`, // aggregate in WHERE
+		`SELECT * FROM customers LIMIT x`,
+		`CREATE UNIQUE TABLE t (a INT)`,
+		`SELECT * FROM customers ORDER BY`,
+		`garbage`,
+		`SELECT * FROM customers; extra`,
+	}
+	for _, s := range bad {
+		if _, err := db.Exec(s); err == nil {
+			t.Errorf("Exec(%q) should fail", s)
+		}
+	}
+}
+
+func TestAmbiguousColumn(t *testing.T) {
+	db := newTestDB(t)
+	// "id" appears once, "cust_id" once; join and reference unqualified
+	// column appearing on both sides via alias duplication.
+	if _, err := db.Exec(`SELECT status FROM orders o1, orders o2 WHERE o1.oid = o2.oid`); err == nil {
+		t.Error("ambiguous unqualified column should fail")
+	}
+}
+
+func TestScalarFunctions(t *testing.T) {
+	db := newTestDB(t)
+	cases := []struct {
+		sql  string
+		want string
+	}{
+		{`SELECT lower(name) FROM customers WHERE id = 1`, "ada lovelace"},
+		{`SELECT substr(name, 1, 3) FROM customers WHERE id = 1`, "Ada"},
+		{`SELECT substr(name, 5) FROM customers WHERE id = 1`, "Lovelace"},
+		{`SELECT concat(city, '-', id) FROM customers WHERE id = 2`, "London-2"},
+		{`SELECT trim('  x  ') FROM customers WHERE id = 1`, "x"},
+		{`SELECT replace(city, 'Lon', 'Lun') FROM customers WHERE id = 1`, "Lundon"},
+		{`SELECT coalesce(NULL, name) FROM customers WHERE id = 1`, "Ada Lovelace"},
+		{`SELECT length(city) FROM customers WHERE id = 1`, "6"},
+		{`SELECT abs(0 - 5) FROM customers WHERE id = 1`, "5"},
+	}
+	for _, c := range cases {
+		res, err := db.Exec(c.sql)
+		if err != nil {
+			t.Errorf("%s: %v", c.sql, err)
+			continue
+		}
+		if got := xmldm.Stringify(res.Rows[0][0]); got != c.want {
+			t.Errorf("%s = %q, want %q", c.sql, got, c.want)
+		}
+	}
+}
+
+func TestLikeMatch(t *testing.T) {
+	cases := []struct {
+		pattern, s string
+		want       bool
+	}{
+		{"%", "", true},
+		{"%", "abc", true},
+		{"a%", "abc", true},
+		{"a%", "bac", false},
+		{"%c", "abc", true},
+		{"%b%", "abc", true},
+		{"a_c", "abc", true},
+		{"a_c", "ac", false},
+		{"", "", true},
+		{"", "a", false},
+		{"abc", "abc", true},
+		{"a%b%c", "aXbYc", true},
+		{"a%b%c", "acb", false},
+		{"%%", "x", true},
+		{"_", "x", true},
+		{"_", "", false},
+	}
+	for _, c := range cases {
+		if got := likeMatch(c.pattern, c.s); got != c.want {
+			t.Errorf("likeMatch(%q, %q) = %v", c.pattern, c.s, got)
+		}
+	}
+}
+
+func TestNullSemantics(t *testing.T) {
+	db := NewDatabase("d")
+	db.MustExec(`CREATE TABLE t (a INT, b VARCHAR)`)
+	db.MustExec(`INSERT INTO t VALUES (1, 'x'), (NULL, 'y'), (3, NULL)`)
+	// Comparisons with NULL are false.
+	if got := len(db.MustExec(`SELECT * FROM t WHERE a = 1`).Rows); got != 1 {
+		t.Errorf("a=1 rows = %d", got)
+	}
+	if got := len(db.MustExec(`SELECT * FROM t WHERE a != 1`).Rows); got != 1 {
+		t.Errorf("a!=1 rows = %d (NULL must not match)", got)
+	}
+	if got := len(db.MustExec(`SELECT * FROM t WHERE a IS NULL`).Rows); got != 1 {
+		t.Errorf("IS NULL rows = %d", got)
+	}
+	// Aggregates skip NULLs.
+	res := db.MustExec(`SELECT count(a), sum(a) FROM t`)
+	if n, _ := xmldm.ToInt(res.Rows[0][0]); n != 2 {
+		t.Errorf("count(a) = %v", res.Rows[0][0])
+	}
+	if s, _ := xmldm.ToInt(res.Rows[0][1]); s != 4 {
+		t.Errorf("sum(a) = %v", res.Rows[0][1])
+	}
+	// Arithmetic with NULL yields NULL.
+	res = db.MustExec(`SELECT a + 1 FROM t WHERE b = 'y'`)
+	if res.Rows[0][0].Kind() != xmldm.KindNull {
+		t.Errorf("NULL + 1 = %v", res.Rows[0][0])
+	}
+}
+
+func TestIntegerAndFloatArithmetic(t *testing.T) {
+	db := newTestDB(t)
+	res := db.MustExec(`SELECT 7 / 2, 7.0 / 2, 7 * 3, 2 + 2.5 FROM customers WHERE id = 1`)
+	if v, _ := xmldm.ToInt(res.Rows[0][0]); v != 3 {
+		t.Errorf("7/2 = %v (integer division)", res.Rows[0][0])
+	}
+	if f, _ := xmldm.ToFloat(res.Rows[0][1]); f != 3.5 {
+		t.Errorf("7.0/2 = %v", res.Rows[0][1])
+	}
+	if _, err := db.Exec(`SELECT 1 / 0 FROM customers`); err == nil {
+		t.Error("division by zero should fail")
+	}
+}
+
+func TestStringConcatWithPlus(t *testing.T) {
+	db := newTestDB(t)
+	res := db.MustExec(`SELECT name + '!' FROM customers WHERE id = 1`)
+	if got := xmldm.Stringify(res.Rows[0][0]); got != "Ada Lovelace!" {
+		t.Errorf("concat = %q", got)
+	}
+}
+
+func TestConcurrentReads(t *testing.T) {
+	db := newTestDB(t)
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			for j := 0; j < 50; j++ {
+				if _, err := db.Exec(`SELECT c.name FROM customers c JOIN orders o ON c.id = o.cust_id`); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSQLCommentsAndCaseInsensitivity(t *testing.T) {
+	db := newTestDB(t)
+	res := db.MustExec(`select NAME from CUSTOMERS -- trailing comment
+		where ID = 1`)
+	if len(res.Rows) != 1 {
+		t.Errorf("rows = %d", len(res.Rows))
+	}
+}
+
+func TestEscapedQuoteInString(t *testing.T) {
+	db := NewDatabase("d")
+	db.MustExec(`CREATE TABLE t (s VARCHAR)`)
+	db.MustExec(`INSERT INTO t VALUES ('O''Brien')`)
+	res := db.MustExec(`SELECT s FROM t WHERE s = 'O''Brien'`)
+	if len(res.Rows) != 1 || xmldm.Stringify(res.Rows[0][0]) != "O'Brien" {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestVarcharLengthSuffix(t *testing.T) {
+	db := NewDatabase("d")
+	if _, err := db.Exec(`CREATE TABLE t (s VARCHAR(64), n DECIMAL(10, 2))`); err != nil {
+		t.Fatalf("length suffix: %v", err)
+	}
+}
+
+func TestSelectStarWithAggregateFails(t *testing.T) {
+	db := newTestDB(t)
+	if _, err := db.Exec(`SELECT * FROM orders GROUP BY status`); err == nil {
+		t.Error("star with GROUP BY should fail")
+	}
+}
+
+func TestMustExecPanics(t *testing.T) {
+	db := newTestDB(t)
+	defer func() {
+		if r := recover(); r == nil || !strings.Contains(r.(string), "nosuch") {
+			t.Error("MustExec should panic with the statement text")
+		}
+	}()
+	db.MustExec(`SELECT * FROM nosuch`)
+}

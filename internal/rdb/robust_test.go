@@ -1,0 +1,75 @@
+package rdb
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestParseSQLNeverPanics_Property: the SQL parser handles arbitrary
+// token soup without panicking — it receives generated fragments in
+// production, but a substrate library must not crash on bad input.
+func TestParseSQLNeverPanics_Property(t *testing.T) {
+	pieces := []string{
+		"SELECT", "FROM", "WHERE", "INSERT", "INTO", "VALUES", "CREATE",
+		"TABLE", "INDEX", "UNIQUE", "PRIMARY", "KEY", "UPDATE", "SET",
+		"DELETE", "DROP", "JOIN", "ON", "GROUP", "BY", "HAVING", "ORDER",
+		"LIMIT", "AND", "OR", "NOT", "LIKE", "IN", "IS", "NULL", "AS",
+		"count", "t", "a", "b", "*", ",", "(", ")", "=", "<", ">", "<=",
+		">=", "<>", "!=", "+", "-", "/", ".", "'str'", "''", "1", "2.5",
+		";", "--c\n", "'unterminated",
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var sb strings.Builder
+		n := rng.Intn(30)
+		for i := 0; i < n; i++ {
+			sb.WriteString(pieces[rng.Intn(len(pieces))])
+			sb.WriteByte(' ')
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("ParseSQL panicked on %q: %v", sb.String(), r)
+			}
+		}()
+		_, _ = ParseSQL(sb.String())
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestExecRandomStatementsNeverPanic drives random (mostly invalid)
+// statements against a live database: errors are fine, panics are not,
+// and the table must stay consistent for valid queries afterwards.
+func TestExecRandomStatementsNeverPanic(t *testing.T) {
+	db := NewDatabase("f")
+	db.MustExec(`CREATE TABLE t (id INT PRIMARY KEY, v VARCHAR)`)
+	db.MustExec(`INSERT INTO t VALUES (1, 'a'), (2, 'b')`)
+	stmts := []string{
+		`SELECT * FROM t WHERE id = id`,
+		`SELECT v FROM t GROUP BY v HAVING count(*) > 0`,
+		`SELECT count(v), max(id) FROM t`,
+		`SELECT * FROM t t1 JOIN t t2 ON t1.id = t2.id JOIN t t3 ON t3.id = t1.id`,
+		`UPDATE t SET v = v WHERE id IN (1, 2, 3)`,
+		`DELETE FROM t WHERE id > 1000`,
+		`SELECT * FROM t ORDER BY v DESC, id ASC LIMIT 0`,
+		`SELECT id + id * id - id / 1 FROM t`,
+		`SELECT * FROM t WHERE v LIKE '%' AND v NOT LIKE '_______________'`,
+		`SELECT coalesce(NULL, NULL, v) FROM t`,
+		`SELECT upper(lower(upper(v))) FROM t`,
+		`INSERT INTO t (v, id) VALUES ('c', 3)`,
+		`SELECT * FROM t WHERE id IS NOT NULL AND NOT id IS NULL`,
+	}
+	for _, s := range stmts {
+		if _, err := db.Exec(s); err != nil {
+			t.Errorf("%s: %v", s, err)
+		}
+	}
+	res := db.MustExec(`SELECT count(*) FROM t`)
+	if got := res.Rows[0][0].String(); got != "3" {
+		t.Errorf("final count = %s", got)
+	}
+}

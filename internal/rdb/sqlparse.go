@@ -1,0 +1,1019 @@
+package rdb
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/xmldm"
+)
+
+// The SQL dialect: CREATE TABLE / CREATE [UNIQUE] INDEX / INSERT /
+// SELECT (joins, WHERE, GROUP BY, HAVING, ORDER BY, LIMIT, DISTINCT,
+// aggregates, LIKE, IN, IS NULL) / UPDATE / DELETE / DROP TABLE.
+
+// Stmt is a parsed SQL statement.
+type Stmt interface{ isStmt() }
+
+// CreateTableStmt is CREATE TABLE.
+type CreateTableStmt struct {
+	Name   string
+	Schema Schema
+}
+
+func (*CreateTableStmt) isStmt() {}
+
+// CreateIndexStmt is CREATE [UNIQUE] INDEX ON table (column).
+type CreateIndexStmt struct {
+	Table  string
+	Column string
+	Unique bool
+}
+
+func (*CreateIndexStmt) isStmt() {}
+
+// DropTableStmt is DROP TABLE.
+type DropTableStmt struct{ Name string }
+
+func (*DropTableStmt) isStmt() {}
+
+// InsertStmt is INSERT INTO ... VALUES (...), (...).
+type InsertStmt struct {
+	Table   string
+	Columns []string // empty means schema order
+	Rows    [][]SQLExpr
+}
+
+func (*InsertStmt) isStmt() {}
+
+// SelectStmt is a SELECT query.
+type SelectStmt struct {
+	Distinct bool
+	Items    []SelectItem
+	Star     bool
+	From     []TableRef
+	Joins    []JoinClause
+	Where    SQLExpr
+	GroupBy  []*ColRef
+	Having   SQLExpr
+	OrderBy  []SQLOrderItem
+	Limit    int // -1 = none
+}
+
+func (*SelectStmt) isStmt() {}
+
+// UpdateStmt is UPDATE ... SET ... [WHERE].
+type UpdateStmt struct {
+	Table string
+	Sets  []SetClause
+	Where SQLExpr
+}
+
+func (*UpdateStmt) isStmt() {}
+
+// SetClause is one column assignment in UPDATE.
+type SetClause struct {
+	Column string
+	Expr   SQLExpr
+}
+
+// DeleteStmt is DELETE FROM ... [WHERE].
+type DeleteStmt struct {
+	Table string
+	Where SQLExpr
+}
+
+func (*DeleteStmt) isStmt() {}
+
+// SelectItem is one projected expression with optional alias.
+type SelectItem struct {
+	Expr  SQLExpr
+	Alias string
+}
+
+// TableRef is a table with optional alias in FROM.
+type TableRef struct {
+	Table string
+	Alias string
+}
+
+// Ref returns the name the table is referenced by (alias or table name).
+func (t TableRef) Ref() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Table
+}
+
+// JoinClause is one INNER JOIN.
+type JoinClause struct {
+	Table TableRef
+	On    SQLExpr
+}
+
+// SQLOrderItem is one ORDER BY key.
+type SQLOrderItem struct {
+	Expr SQLExpr
+	Desc bool
+}
+
+// SQLExpr is a SQL scalar expression.
+type SQLExpr interface{ isSQLExpr() }
+
+// ColRef references a column, optionally table-qualified.
+type ColRef struct {
+	Table string
+	Col   string
+}
+
+func (*ColRef) isSQLExpr() {}
+
+// String renders the reference as written.
+func (c *ColRef) String() string {
+	if c.Table != "" {
+		return c.Table + "." + c.Col
+	}
+	return c.Col
+}
+
+// SQLLit is a literal value.
+type SQLLit struct{ Value Value }
+
+func (*SQLLit) isSQLExpr() {}
+
+// SQLBin is a binary operation: comparison, arithmetic, AND, OR.
+type SQLBin struct {
+	Op   string
+	L, R SQLExpr
+}
+
+func (*SQLBin) isSQLExpr() {}
+
+// SQLNot negates a boolean expression.
+type SQLNot struct{ E SQLExpr }
+
+func (*SQLNot) isSQLExpr() {}
+
+// SQLLike is expr LIKE 'pattern' with % and _ wildcards.
+type SQLLike struct {
+	E       SQLExpr
+	Pattern string
+}
+
+func (*SQLLike) isSQLExpr() {}
+
+// SQLIn is expr IN (literals...).
+type SQLIn struct {
+	E    SQLExpr
+	List []SQLExpr
+}
+
+func (*SQLIn) isSQLExpr() {}
+
+// SQLIsNull is expr IS [NOT] NULL.
+type SQLIsNull struct {
+	E   SQLExpr
+	Not bool
+}
+
+func (*SQLIsNull) isSQLExpr() {}
+
+// SQLFunc is a function or aggregate call; Star marks COUNT(*).
+type SQLFunc struct {
+	Name string
+	Args []SQLExpr
+	Star bool
+}
+
+func (*SQLFunc) isSQLExpr() {}
+
+// sqlAggregates are the aggregate function names.
+var sqlAggregates = map[string]bool{"count": true, "sum": true, "avg": true, "min": true, "max": true}
+
+// --- lexer ---
+
+type sqlTok struct {
+	kind string // "ident" "num" "str" "op" "eof"
+	text string
+	pos  int
+}
+
+func sqlLex(src string) ([]sqlTok, error) {
+	var toks []sqlTok
+	i := 0
+	emit := func(kind, text string, pos int) { toks = append(toks, sqlTok{kind, text, pos}) }
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < len(src) && src[i+1] == '-':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			for {
+				if i >= len(src) {
+					return nil, fmt.Errorf("rdb: unterminated string at offset %d", start)
+				}
+				if src[i] == '\'' {
+					if i+1 < len(src) && src[i+1] == '\'' { // '' escape
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					break
+				}
+				sb.WriteByte(src[i])
+				i++
+			}
+			emit("str", sb.String(), start)
+		case c >= '0' && c <= '9':
+			start := i
+			for i < len(src) && (src[i] >= '0' && src[i] <= '9' || src[i] == '.') {
+				i++
+			}
+			emit("num", src[start:i], start)
+		case isSQLIdentStart(c):
+			start := i
+			for i < len(src) && (isSQLIdentStart(src[i]) || src[i] >= '0' && src[i] <= '9') {
+				i++
+			}
+			emit("ident", src[start:i], start)
+		case strings.ContainsRune("(),.*=+-/", rune(c)):
+			emit("op", string(c), i)
+			i++
+		case c == '<':
+			if i+1 < len(src) && (src[i+1] == '=' || src[i+1] == '>') {
+				emit("op", src[i:i+2], i)
+				i += 2
+			} else {
+				emit("op", "<", i)
+				i++
+			}
+		case c == '>':
+			if i+1 < len(src) && src[i+1] == '=' {
+				emit("op", ">=", i)
+				i += 2
+			} else {
+				emit("op", ">", i)
+				i++
+			}
+		case c == '!':
+			if i+1 < len(src) && src[i+1] == '=' {
+				emit("op", "!=", i)
+				i += 2
+			} else {
+				return nil, fmt.Errorf("rdb: unexpected '!' at offset %d", i)
+			}
+		case c == ';':
+			emit("op", ";", i)
+			i++
+		default:
+			return nil, fmt.Errorf("rdb: unexpected character %q at offset %d", c, i)
+		}
+	}
+	emit("eof", "", i)
+	return toks, nil
+}
+
+func isSQLIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+// --- parser ---
+
+type sqlParser struct {
+	toks []sqlTok
+	i    int
+}
+
+// ParseSQL parses one SQL statement.
+func ParseSQL(src string) (Stmt, error) {
+	toks, err := sqlLex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &sqlParser{toks: toks}
+	stmt, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	p.acceptOp(";")
+	if p.peek().kind != "eof" {
+		return nil, fmt.Errorf("rdb: unexpected %q after statement", p.peek().text)
+	}
+	return stmt, nil
+}
+
+func (p *sqlParser) peek() sqlTok { return p.toks[p.i] }
+
+func (p *sqlParser) next() sqlTok {
+	t := p.toks[p.i]
+	if p.i < len(p.toks)-1 {
+		p.i++
+	}
+	return t
+}
+
+func (p *sqlParser) kw(word string) bool {
+	t := p.peek()
+	return t.kind == "ident" && strings.EqualFold(t.text, word)
+}
+
+func (p *sqlParser) acceptKw(word string) bool {
+	if p.kw(word) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *sqlParser) expectKw(word string) error {
+	if !p.acceptKw(word) {
+		return fmt.Errorf("rdb: expected %s, found %q", word, p.peek().text)
+	}
+	return nil
+}
+
+func (p *sqlParser) expectOp(op string) error {
+	t := p.peek()
+	if t.kind != "op" || t.text != op {
+		return fmt.Errorf("rdb: expected %q, found %q", op, t.text)
+	}
+	p.next()
+	return nil
+}
+
+func (p *sqlParser) acceptOp(op string) bool {
+	t := p.peek()
+	if t.kind == "op" && t.text == op {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *sqlParser) ident() (string, error) {
+	t := p.peek()
+	if t.kind != "ident" {
+		return "", fmt.Errorf("rdb: expected identifier, found %q", t.text)
+	}
+	p.next()
+	return t.text, nil
+}
+
+func (p *sqlParser) parseStmt() (Stmt, error) {
+	switch {
+	case p.kw("SELECT"):
+		return p.parseSelect()
+	case p.kw("INSERT"):
+		return p.parseInsert()
+	case p.kw("CREATE"):
+		return p.parseCreate()
+	case p.kw("UPDATE"):
+		return p.parseUpdate()
+	case p.kw("DELETE"):
+		return p.parseDelete()
+	case p.kw("DROP"):
+		p.next()
+		if err := p.expectKw("TABLE"); err != nil {
+			return nil, err
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &DropTableStmt{Name: name}, nil
+	default:
+		return nil, fmt.Errorf("rdb: unknown statement starting with %q", p.peek().text)
+	}
+}
+
+func (p *sqlParser) parseCreate() (Stmt, error) {
+	p.next() // CREATE
+	unique := p.acceptKw("UNIQUE")
+	switch {
+	case p.acceptKw("TABLE"):
+		if unique {
+			return nil, fmt.Errorf("rdb: UNIQUE TABLE is not valid")
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		schema := Schema{PrimaryKey: -1}
+		for {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			typName, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			ct, err := parseColType(typName)
+			if err != nil {
+				return nil, err
+			}
+			// Swallow length suffixes like VARCHAR(64).
+			if p.acceptOp("(") {
+				for p.peek().kind == "num" || p.acceptOp(",") {
+					p.next()
+				}
+				if err := p.expectOp(")"); err != nil {
+					return nil, err
+				}
+			}
+			schema.Columns = append(schema.Columns, Column{Name: col, Type: ct})
+			if p.acceptKw("PRIMARY") {
+				if err := p.expectKw("KEY"); err != nil {
+					return nil, err
+				}
+				schema.PrimaryKey = len(schema.Columns) - 1
+			}
+			if p.acceptOp(",") {
+				continue
+			}
+			break
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return &CreateTableStmt{Name: name, Schema: schema}, nil
+	case p.acceptKw("INDEX"):
+		// CREATE [UNIQUE] INDEX [name] ON table (column)
+		if p.peek().kind == "ident" && !p.kw("ON") {
+			p.next() // optional index name, unused
+		}
+		if err := p.expectKw("ON"); err != nil {
+			return nil, err
+		}
+		table, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return &CreateIndexStmt{Table: table, Column: col, Unique: unique}, nil
+	default:
+		return nil, fmt.Errorf("rdb: expected TABLE or INDEX after CREATE")
+	}
+}
+
+func (p *sqlParser) parseInsert() (Stmt, error) {
+	p.next() // INSERT
+	if err := p.expectKw("INTO"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st := &InsertStmt{Table: table}
+	if p.acceptOp("(") {
+		for {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			st.Columns = append(st.Columns, col)
+			if p.acceptOp(",") {
+				continue
+			}
+			break
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKw("VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		var row []SQLExpr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if p.acceptOp(",") {
+				continue
+			}
+			break
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		st.Rows = append(st.Rows, row)
+		if p.acceptOp(",") {
+			continue
+		}
+		break
+	}
+	return st, nil
+}
+
+func (p *sqlParser) parseUpdate() (Stmt, error) {
+	p.next() // UPDATE
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("SET"); err != nil {
+		return nil, err
+	}
+	st := &UpdateStmt{Table: table}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp("="); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Sets = append(st.Sets, SetClause{Column: col, Expr: e})
+		if p.acceptOp(",") {
+			continue
+		}
+		break
+	}
+	if p.acceptKw("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = w
+	}
+	return st, nil
+}
+
+func (p *sqlParser) parseDelete() (Stmt, error) {
+	p.next() // DELETE
+	if err := p.expectKw("FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st := &DeleteStmt{Table: table}
+	if p.acceptKw("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = w
+	}
+	return st, nil
+}
+
+func (p *sqlParser) parseSelect() (Stmt, error) {
+	p.next() // SELECT
+	st := &SelectStmt{Limit: -1}
+	st.Distinct = p.acceptKw("DISTINCT")
+	if p.acceptOp("*") {
+		st.Star = true
+	} else {
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := SelectItem{Expr: e}
+			if p.acceptKw("AS") {
+				a, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				item.Alias = a
+			}
+			st.Items = append(st.Items, item)
+			if p.acceptOp(",") {
+				continue
+			}
+			break
+		}
+	}
+	if err := p.expectKw("FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		tr, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		st.From = append(st.From, tr)
+		if p.acceptOp(",") {
+			continue
+		}
+		break
+	}
+	for p.kw("JOIN") || p.kw("INNER") {
+		p.acceptKw("INNER")
+		if err := p.expectKw("JOIN"); err != nil {
+			return nil, err
+		}
+		tr, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("ON"); err != nil {
+			return nil, err
+		}
+		on, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Joins = append(st.Joins, JoinClause{Table: tr, On: on})
+	}
+	if p.acceptKw("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = w
+	}
+	if p.acceptKw("GROUP") {
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			cr, ok := e.(*ColRef)
+			if !ok {
+				return nil, fmt.Errorf("rdb: GROUP BY supports column references only")
+			}
+			st.GroupBy = append(st.GroupBy, cr)
+			if p.acceptOp(",") {
+				continue
+			}
+			break
+		}
+	}
+	if p.acceptKw("HAVING") {
+		h, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Having = h
+	}
+	if p.acceptKw("ORDER") {
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := SQLOrderItem{Expr: e}
+			if p.acceptKw("DESC") {
+				item.Desc = true
+			} else {
+				p.acceptKw("ASC")
+			}
+			st.OrderBy = append(st.OrderBy, item)
+			if p.acceptOp(",") {
+				continue
+			}
+			break
+		}
+	}
+	if p.acceptKw("LIMIT") {
+		t := p.peek()
+		if t.kind != "num" {
+			return nil, fmt.Errorf("rdb: expected number after LIMIT")
+		}
+		p.next()
+		n, err := strconv.Atoi(t.text)
+		if err != nil {
+			return nil, fmt.Errorf("rdb: bad LIMIT %q", t.text)
+		}
+		st.Limit = n
+	}
+	return st, nil
+}
+
+func (p *sqlParser) parseTableRef() (TableRef, error) {
+	name, err := p.ident()
+	if err != nil {
+		return TableRef{}, err
+	}
+	tr := TableRef{Table: name}
+	if p.acceptKw("AS") {
+		a, err := p.ident()
+		if err != nil {
+			return TableRef{}, err
+		}
+		tr.Alias = a
+	} else if p.peek().kind == "ident" && !isSQLKeyword(p.peek().text) {
+		tr.Alias = p.next().text
+	}
+	return tr, nil
+}
+
+var sqlKeywords = map[string]bool{
+	"select": true, "distinct": true, "from": true, "join": true, "inner": true,
+	"on": true, "where": true, "group": true, "by": true, "having": true,
+	"order": true, "asc": true, "desc": true, "limit": true, "and": true,
+	"or": true, "not": true, "like": true, "in": true, "is": true, "null": true,
+	"as": true, "values": true, "insert": true, "into": true, "create": true,
+	"table": true, "index": true, "unique": true, "primary": true, "key": true,
+	"update": true, "set": true, "delete": true, "drop": true, "true": true,
+	"false": true,
+}
+
+func isSQLKeyword(s string) bool { return sqlKeywords[strings.ToLower(s)] }
+
+// Expression precedence: OR < AND < NOT < comparison/LIKE/IN/IS < add < mul < primary.
+func (p *sqlParser) parseExpr() (SQLExpr, error) { return p.parseOr() }
+
+func (p *sqlParser) parseOr() (SQLExpr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKw("OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &SQLBin{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *sqlParser) parseAnd() (SQLExpr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKw("AND") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &SQLBin{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *sqlParser) parseNot() (SQLExpr, error) {
+	if p.acceptKw("NOT") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &SQLNot{E: e}, nil
+	}
+	return p.parseCmp()
+}
+
+func (p *sqlParser) parseCmp() (SQLExpr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	switch {
+	case t.kind == "op" && (t.text == "=" || t.text == "!=" || t.text == "<>" ||
+		t.text == "<" || t.text == "<=" || t.text == ">" || t.text == ">="):
+		op := p.next().text
+		if op == "<>" {
+			op = "!="
+		}
+		r, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return &SQLBin{Op: op, L: l, R: r}, nil
+	case p.kw("LIKE"):
+		p.next()
+		pt := p.peek()
+		if pt.kind != "str" {
+			return nil, fmt.Errorf("rdb: LIKE requires a string pattern")
+		}
+		p.next()
+		return &SQLLike{E: l, Pattern: pt.text}, nil
+	case p.kw("IN"):
+		p.next()
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		var list []SQLExpr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, e)
+			if p.acceptOp(",") {
+				continue
+			}
+			break
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return &SQLIn{E: l, List: list}, nil
+	case p.kw("IS"):
+		p.next()
+		not := p.acceptKw("NOT")
+		if err := p.expectKw("NULL"); err != nil {
+			return nil, err
+		}
+		return &SQLIsNull{E: l, Not: not}, nil
+	case p.kw("NOT"):
+		// expr NOT LIKE / NOT IN
+		p.next()
+		switch {
+		case p.acceptKw("LIKE"):
+			pt := p.peek()
+			if pt.kind != "str" {
+				return nil, fmt.Errorf("rdb: LIKE requires a string pattern")
+			}
+			p.next()
+			return &SQLNot{E: &SQLLike{E: l, Pattern: pt.text}}, nil
+		case p.acceptKw("IN"):
+			if err := p.expectOp("("); err != nil {
+				return nil, err
+			}
+			var list []SQLExpr
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				list = append(list, e)
+				if p.acceptOp(",") {
+					continue
+				}
+				break
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return &SQLNot{E: &SQLIn{E: l, List: list}}, nil
+		default:
+			return nil, fmt.Errorf("rdb: expected LIKE or IN after NOT")
+		}
+	}
+	return l, nil
+}
+
+func (p *sqlParser) parseAdd() (SQLExpr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind == "op" && (t.text == "+" || t.text == "-") {
+			p.next()
+			r, err := p.parseMul()
+			if err != nil {
+				return nil, err
+			}
+			l = &SQLBin{Op: t.text, L: l, R: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *sqlParser) parseMul() (SQLExpr, error) {
+	l, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind == "op" && (t.text == "*" || t.text == "/") {
+			p.next()
+			r, err := p.parsePrimary()
+			if err != nil {
+				return nil, err
+			}
+			l = &SQLBin{Op: t.text, L: l, R: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *sqlParser) parsePrimary() (SQLExpr, error) {
+	t := p.peek()
+	switch {
+	case t.kind == "num":
+		p.next()
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("rdb: bad number %q", t.text)
+			}
+			return &SQLLit{Value: xmldm.Float(f)}, nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("rdb: bad number %q", t.text)
+		}
+		return &SQLLit{Value: xmldm.Int(n)}, nil
+	case t.kind == "str":
+		p.next()
+		return &SQLLit{Value: xmldm.String(t.text)}, nil
+	case t.kind == "op" && t.text == "-":
+		p.next()
+		e, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		return &SQLBin{Op: "-", L: &SQLLit{Value: xmldm.Int(0)}, R: e}, nil
+	case t.kind == "op" && t.text == "(":
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case p.kw("NULL"):
+		p.next()
+		return &SQLLit{Value: xmldm.Null{}}, nil
+	case p.kw("TRUE"):
+		p.next()
+		return &SQLLit{Value: xmldm.Bool(true)}, nil
+	case p.kw("FALSE"):
+		p.next()
+		return &SQLLit{Value: xmldm.Bool(false)}, nil
+	case t.kind == "ident":
+		p.next()
+		// Function call?
+		if p.acceptOp("(") {
+			fn := &SQLFunc{Name: strings.ToLower(t.text)}
+			if p.acceptOp("*") {
+				fn.Star = true
+				if err := p.expectOp(")"); err != nil {
+					return nil, err
+				}
+				return fn, nil
+			}
+			if !p.acceptOp(")") {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					fn.Args = append(fn.Args, a)
+					if p.acceptOp(",") {
+						continue
+					}
+					break
+				}
+				if err := p.expectOp(")"); err != nil {
+					return nil, err
+				}
+			}
+			return fn, nil
+		}
+		// Qualified column?
+		if p.acceptOp(".") {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			return &ColRef{Table: t.text, Col: col}, nil
+		}
+		return &ColRef{Col: t.text}, nil
+	default:
+		return nil, fmt.Errorf("rdb: unexpected %q in expression", t.text)
+	}
+}

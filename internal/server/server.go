@@ -1,0 +1,387 @@
+// Package server is the system front end: an HTTP interface offering the
+// "multiple layers of access" of §2.1 — the low-level query endpoint for
+// applications that want the integration engine directly, the lens layer
+// with device-targeted formatting, and the management endpoints
+// (materialization, refresh, statistics) that let administrators "set
+// up, monitor, and understand, the system" (§4). Load balancing across
+// engine instances matches §2.1: "multiple instances of the integration
+// engine can be run simultaneously".
+package server
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/lens"
+	"repro/internal/matview"
+	"repro/internal/qcache"
+	"repro/internal/xmldm"
+	"repro/internal/xmlparse"
+	"repro/internal/xmlql"
+)
+
+// BalanceMode selects the dispatch policy.
+type BalanceMode int
+
+const (
+	// RoundRobin cycles through instances.
+	RoundRobin BalanceMode = iota
+	// LeastLoaded picks the instance with the fewest in-flight queries.
+	LeastLoaded
+)
+
+// Balancer dispatches work across engine instances.
+type Balancer struct {
+	engines  []*core.Engine
+	mode     BalanceMode
+	next     atomic.Uint64
+	inflight []atomic.Int64
+	slots    []chan struct{} // per-instance capacity, nil when unbounded
+}
+
+// NewBalancer creates a balancer over the instances.
+func NewBalancer(mode BalanceMode, engines ...*core.Engine) *Balancer {
+	return &Balancer{
+		engines:  engines,
+		mode:     mode,
+		inflight: make([]atomic.Int64, len(engines)),
+	}
+}
+
+// SetCapacity bounds each instance to n concurrent queries (the per-
+// process capacity a real deployment has); excess callers block until a
+// slot frees. n <= 0 removes the bound. Not safe to call concurrently
+// with Query.
+func (b *Balancer) SetCapacity(n int) {
+	if n <= 0 {
+		b.slots = nil
+		return
+	}
+	b.slots = make([]chan struct{}, len(b.engines))
+	for i := range b.slots {
+		b.slots[i] = make(chan struct{}, n)
+	}
+}
+
+// Pick selects an instance index per the policy.
+func (b *Balancer) Pick() int {
+	switch b.mode {
+	case LeastLoaded:
+		best := 0
+		bestLoad := b.inflight[0].Load()
+		for i := 1; i < len(b.engines); i++ {
+			if l := b.inflight[i].Load(); l < bestLoad {
+				best, bestLoad = i, l
+			}
+		}
+		return best
+	default:
+		return int(b.next.Add(1)-1) % len(b.engines)
+	}
+}
+
+// Query dispatches one query to a chosen instance, waiting for a
+// capacity slot when the instance is bounded.
+func (b *Balancer) Query(ctx context.Context, src string) (*core.Result, error) {
+	i := b.Pick()
+	if b.slots != nil {
+		select {
+		case b.slots[i] <- struct{}{}:
+			defer func() { <-b.slots[i] }()
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	b.inflight[i].Add(1)
+	defer b.inflight[i].Add(-1)
+	return b.engines[i].Query(ctx, src)
+}
+
+// Loads reports per-instance completed query counts.
+func (b *Balancer) Loads() []int64 {
+	out := make([]int64, len(b.engines))
+	for i, e := range b.engines {
+		out[i] = e.QueriesRun()
+	}
+	return out
+}
+
+// Instances returns the number of engine instances.
+func (b *Balancer) Instances() int { return len(b.engines) }
+
+// Server wires the balancer, lenses, cache, and materialized store into
+// an http.Handler.
+type Server struct {
+	Balancer *Balancer
+	Lenses   *lens.Registry
+	Cache    *qcache.Cache    // optional
+	Views    *matview.Manager // optional
+	// AdminToken guards the admin endpoints when non-empty.
+	AdminToken string
+}
+
+// Handler builds the HTTP routing table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/lenses", s.handleLensList)
+	mux.HandleFunc("/lens/", s.handleLens)
+	mux.HandleFunc("/catalog", s.handleCatalog)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/admin/materialize", s.adminOnly(s.handleMaterialize))
+	mux.HandleFunc("/admin/refresh", s.adminOnly(s.handleRefresh))
+	mux.HandleFunc("/admin/schema", s.adminOnly(s.handleDefineSchema))
+	return mux
+}
+
+// handleDefineSchema adds a view definition to a mediated schema: the
+// management-tool path for "mappings are set via the management tools"
+// (§2.1). POST /admin/schema?name=X with the XML-QL view as the body.
+func (s *Server) handleDefineSchema(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST the view definition", http.StatusMethodNotAllowed)
+		return
+	}
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		http.Error(w, "name parameter required", http.StatusBadRequest)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	cat := s.Balancer.engines[0].Catalog()
+	if err := cat.DefineViewQLChecked(name, string(body)); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if s.Cache != nil {
+		s.Cache.InvalidateSource(name)
+	}
+	fmt.Fprintf(w, "schema %s extended\n", name)
+}
+
+func (s *Server) adminOnly(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.AdminToken != "" && r.URL.Query().Get("token") != s.AdminToken {
+			http.Error(w, "admin token required", http.StatusForbidden)
+			return
+		}
+		h(w, r)
+	}
+}
+
+// handleQuery runs a raw XML-QL query (POST body) and returns XML.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST an XML-QL query", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	q := strings.TrimSpace(string(body))
+	if q == "" {
+		http.Error(w, "empty query", http.StatusBadRequest)
+		return
+	}
+	doc, err := s.runQuery(r.Context(), q)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/xml")
+	io.WriteString(w, xmlparse.SerializeString(doc, 2))
+}
+
+// runQuery consults the cache (complete results only) and dispatches.
+func (s *Server) runQuery(ctx context.Context, q string) (*xmldm.Node, error) {
+	if s.Cache != nil {
+		if cached, ok := s.Cache.Get(q); ok {
+			res := &core.Result{Values: cached.Values}
+			res.Completeness.Complete = true
+			return res.Document(), nil
+		}
+	}
+	res, err := s.Balancer.Query(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	if s.Cache != nil && res.Completeness.Complete {
+		// Tag with both the answering sources and the names the query
+		// references, so invalidating a schema evicts queries written
+		// against it even though execution unfolded them to sources.
+		var srcs []string
+		for _, st := range res.Completeness.Statuses {
+			srcs = append(srcs, st.Source)
+		}
+		if parsed, err := xmlql.Parse(q); err == nil {
+			srcs = append(srcs, catalog.QueryDeps(parsed)...)
+		}
+		s.Cache.Put(q, qcache.Result{Values: res.Values, Sources: srcs})
+	}
+	return res.Document(), nil
+}
+
+func (s *Server) handleLensList(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain")
+	for _, n := range s.Lenses.Names() {
+		fmt.Fprintln(w, n)
+	}
+}
+
+// handleLens serves GET /lens/{name}?device=web&auth=...&param=value.
+func (s *Server) handleLens(w http.ResponseWriter, r *http.Request) {
+	name := strings.TrimPrefix(r.URL.Path, "/lens/")
+	l, ok := s.Lenses.Get(name)
+	if !ok {
+		http.Error(w, "no such lens", http.StatusNotFound)
+		return
+	}
+	qv := r.URL.Query()
+	if err := l.Authorize(qv.Get("auth")); err != nil {
+		http.Error(w, err.Error(), http.StatusForbidden)
+		return
+	}
+	device := lens.ParseDevice(qv.Get("device"))
+	params := map[string]string{}
+	for k, vs := range qv {
+		if k == "device" || k == "auth" {
+			continue
+		}
+		if len(vs) > 0 {
+			params[k] = vs[0]
+		}
+	}
+	queries, err := l.Bind(params)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	// A lens may hold several queries; their results concatenate under
+	// one document.
+	combined := &xmldm.Node{Name: "results"}
+	complete := true
+	for _, q := range queries {
+		doc, err := s.runQuery(r.Context(), q)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if v, ok := doc.Attr("complete"); ok && v == "false" {
+			complete = false
+		}
+		for _, c := range doc.ChildElements() {
+			c.Parent = combined
+			combined.Children = append(combined.Children, c)
+		}
+	}
+	if !complete {
+		combined.Attrs = append(combined.Attrs, xmldm.Attr{Name: "complete", Value: "false"})
+	}
+	xmldm.Finalize(combined)
+
+	switch device {
+	case lens.DeviceWeb:
+		w.Header().Set("Content-Type", "text/html")
+	case lens.DeviceXML:
+		w.Header().Set("Content-Type", "application/xml")
+	default:
+		w.Header().Set("Content-Type", "text/plain")
+	}
+	io.WriteString(w, l.Render(combined, device))
+}
+
+func (s *Server) handleCatalog(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/xml")
+	cat := s.Balancer.engines[0].Catalog()
+	root := &xmldm.Node{Name: "catalog"}
+	for _, n := range cat.SourceNames() {
+		c := &xmldm.Node{Name: "source", Parent: root, Children: []xmldm.Value{xmldm.String(n)}}
+		root.Children = append(root.Children, c)
+	}
+	for _, n := range cat.SchemaNames() {
+		c := &xmldm.Node{Name: "schema", Parent: root, Children: []xmldm.Value{xmldm.String(n)}}
+		root.Children = append(root.Children, c)
+	}
+	xmldm.Finalize(root)
+	io.WriteString(w, xmlparse.SerializeString(root, 2))
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain")
+	for i, n := range s.Balancer.Loads() {
+		fmt.Fprintf(w, "engine[%d] queries=%d\n", i, n)
+	}
+	if s.Cache != nil {
+		st := s.Cache.Stats()
+		fmt.Fprintf(w, "cache hits=%d misses=%d entries=%d hit_rate=%.3f\n",
+			st.Hits, st.Misses, st.Entries, st.HitRate())
+	}
+	if s.Views != nil {
+		entries := s.Views.Entries()
+		sort.Slice(entries, func(i, j int) bool { return entries[i].Schema < entries[j].Schema })
+		for _, e := range entries {
+			fmt.Fprintf(w, "matview %s elements=%d hits=%d refreshed=%s\n",
+				e.Schema, e.Elements, e.Hits, e.RefreshedAt.Format(time.RFC3339))
+		}
+	}
+}
+
+func (s *Server) handleMaterialize(w http.ResponseWriter, r *http.Request) {
+	if s.Views == nil {
+		http.Error(w, "materialized views are not configured", http.StatusBadRequest)
+		return
+	}
+	schema := r.URL.Query().Get("schema")
+	if schema == "" {
+		http.Error(w, "schema parameter required", http.StatusBadRequest)
+		return
+	}
+	if err := s.Views.Materialize(r.Context(), schema); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if s.Cache != nil {
+		s.Cache.InvalidateSource(schema)
+	}
+	fmt.Fprintf(w, "materialized %s\n", schema)
+}
+
+func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {
+	if s.Views == nil {
+		http.Error(w, "materialized views are not configured", http.StatusBadRequest)
+		return
+	}
+	schema := r.URL.Query().Get("schema")
+	var err error
+	if schema == "" {
+		err = s.Views.RefreshAll(r.Context())
+	} else {
+		err = s.Views.Refresh(r.Context(), schema)
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if s.Cache != nil {
+		if schema == "" {
+			s.Cache.InvalidateAll()
+		} else {
+			s.Cache.InvalidateSource(schema)
+		}
+	}
+	fmt.Fprintln(w, "refreshed")
+}

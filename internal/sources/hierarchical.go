@@ -1,0 +1,153 @@
+package sources
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/catalog"
+	"repro/internal/xmldm"
+)
+
+// DirectorySource is a hierarchical source in the style of an LDAP or
+// IMS legacy system: data lives in a tree of entries addressed by
+// slash-separated paths, and the only native query is a path lookup
+// (optionally with a trailing wildcard selecting all children). It
+// advertises KeyLookupOnly, so the optimizer knows that anything beyond
+// a path lookup must be evaluated in the mediator.
+type DirectorySource struct {
+	name string
+
+	mu   sync.RWMutex
+	root *entry
+}
+
+type entry struct {
+	name     string
+	attrs    map[string]string
+	children []*entry
+}
+
+// NewDirectorySource creates an empty hierarchical source with the given
+// root entry name.
+func NewDirectorySource(name, rootEntry string) *DirectorySource {
+	return &DirectorySource{name: name, root: &entry{name: rootEntry, attrs: map[string]string{}}}
+}
+
+// Put creates (or updates) the entry at the slash-separated path,
+// creating intermediate entries as needed, and sets its attributes.
+func (s *DirectorySource) Put(path string, attrs map[string]string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	parts := splitPath(path)
+	if len(parts) == 0 {
+		return fmt.Errorf("sources: empty path")
+	}
+	cur := s.root
+	for _, p := range parts {
+		var next *entry
+		for _, c := range cur.children {
+			if c.name == p {
+				next = c
+				break
+			}
+		}
+		if next == nil {
+			next = &entry{name: p, attrs: map[string]string{}}
+			cur.children = append(cur.children, next)
+		}
+		cur = next
+	}
+	for k, v := range attrs {
+		cur.attrs[k] = v
+	}
+	return nil
+}
+
+func splitPath(path string) []string {
+	var out []string
+	for _, p := range strings.Split(path, "/") {
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Name implements catalog.Source.
+func (s *DirectorySource) Name() string { return s.name }
+
+// Capabilities implements catalog.Source.
+func (s *DirectorySource) Capabilities() catalog.Capabilities {
+	return catalog.Capabilities{KeyLookupOnly: true}
+}
+
+// Fetch implements catalog.Source. Request.Native is a path: "a/b/c"
+// returns that entry's subtree; "a/b/*" returns all children of a/b; an
+// empty path exports the whole directory.
+func (s *DirectorySource) Fetch(ctx context.Context, req catalog.Request) (*xmldm.Node, catalog.Cost, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, catalog.Cost{}, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	targets := []*entry{s.root}
+	if req.Native != "" {
+		parts := splitPath(req.Native)
+		cur := []*entry{s.root}
+		for _, p := range parts {
+			var next []*entry
+			for _, e := range cur {
+				for _, c := range e.children {
+					if p == "*" || c.name == p {
+						next = append(next, c)
+					}
+				}
+			}
+			cur = next
+			if len(cur) == 0 {
+				break
+			}
+		}
+		targets = cur
+	}
+	root := &xmldm.Node{Name: s.name}
+	count := 0
+	for _, e := range targets {
+		n := entryToNode(e, &count)
+		n.Parent = root
+		root.Children = append(root.Children, n)
+	}
+	xmldm.Finalize(root)
+	return root, catalog.Cost{RowsReturned: count, BytesMoved: count * 32}, nil
+}
+
+func entryToNode(e *entry, count *int) *xmldm.Node {
+	*count++
+	n := &xmldm.Node{Name: e.name}
+	// Attributes export as child elements so patterns can bind them the
+	// same way as relational columns.
+	keys := make([]string, 0, len(e.attrs))
+	for k := range e.attrs {
+		keys = append(keys, k)
+	}
+	// Deterministic order for stable documents.
+	for i := 0; i < len(keys); i++ {
+		for j := i + 1; j < len(keys); j++ {
+			if keys[j] < keys[i] {
+				keys[i], keys[j] = keys[j], keys[i]
+			}
+		}
+	}
+	for _, k := range keys {
+		c := &xmldm.Node{Name: k, Parent: n, Children: []xmldm.Value{xmldm.String(e.attrs[k])}}
+		n.Children = append(n.Children, c)
+	}
+	for _, child := range e.children {
+		cn := entryToNode(child, count)
+		cn.Parent = n
+		n.Children = append(n.Children, cn)
+	}
+	return n
+}

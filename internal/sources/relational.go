@@ -1,0 +1,144 @@
+// Package sources implements the source wrappers of the integration
+// system: relational (SQL-speaking), hierarchical (path lookups only),
+// XML document, and CSV sources, plus simulation wrappers that inject
+// network latency and unavailability so the experiments can reproduce
+// §3.4's source-availability behaviour without a real WAN.
+package sources
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/rdb"
+	"repro/internal/xmldm"
+)
+
+// RelationalSource wraps an embedded rdb.Database as an integration
+// source. It accepts SQL fragments (Request.Native) and exports results
+// as XML documents: <table><row><col>v</col>…</row>…</table>. Without a
+// fragment it exports whole tables, the behaviour the mediator falls
+// back to when nothing can be pushed down.
+type RelationalSource struct {
+	name string
+	db   *rdb.Database
+	desc []catalog.RelationalDescriptor
+}
+
+// NewRelationalSource wraps db. Export descriptors are derived from the
+// database schema: each table exports rows as <RowElement> elements
+// (singularized table name) with one child element per column.
+func NewRelationalSource(name string, db *rdb.Database) *RelationalSource {
+	s := &RelationalSource{name: name, db: db}
+	for _, tn := range db.TableNames() {
+		t, err := db.Table(tn)
+		if err != nil {
+			continue
+		}
+		d := catalog.RelationalDescriptor{
+			Table:          tn,
+			RowElement:     singular(tn),
+			ColumnElements: make(map[string]string),
+		}
+		for i, c := range t.Schema.Columns {
+			d.ColumnElements[strings.ToLower(c.Name)] = strings.ToLower(c.Name)
+			if i == t.Schema.PrimaryKey {
+				d.KeyColumn = strings.ToLower(c.Name)
+				d.IndexedColumns = append(d.IndexedColumns, strings.ToLower(c.Name))
+			} else if db.HasIndex(tn, c.Name) {
+				d.IndexedColumns = append(d.IndexedColumns, strings.ToLower(c.Name))
+			}
+		}
+		s.desc = append(s.desc, d)
+	}
+	return s
+}
+
+// singular derives a row element name from a table name: customers →
+// customer; a trailing 's' is stripped unless that would empty the name.
+func singular(table string) string {
+	t := strings.ToLower(table)
+	if len(t) > 1 && strings.HasSuffix(t, "s") && !strings.HasSuffix(t, "ss") {
+		return t[:len(t)-1]
+	}
+	return t
+}
+
+// Name implements catalog.Source.
+func (s *RelationalSource) Name() string { return s.name }
+
+// Capabilities implements catalog.Source: SQL sources evaluate
+// selections, projections, joins and ordering.
+func (s *RelationalSource) Capabilities() catalog.Capabilities {
+	return catalog.Capabilities{Selection: true, Projection: true, Join: true, Ordering: true}
+}
+
+// Descriptors implements catalog.Relational.
+func (s *RelationalSource) Descriptors() []catalog.RelationalDescriptor { return s.desc }
+
+// DB exposes the underlying database for test fixtures and update
+// streams in experiments.
+func (s *RelationalSource) DB() *rdb.Database { return s.db }
+
+// Fetch implements catalog.Source. With a SQL fragment, the result
+// columns become child elements named by the output column; without one,
+// the whole named table (or all tables) export in full.
+func (s *RelationalSource) Fetch(ctx context.Context, req catalog.Request) (*xmldm.Node, catalog.Cost, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, catalog.Cost{}, err
+	}
+	if req.Native != "" {
+		res, err := s.db.Exec(req.Native)
+		if err != nil {
+			return nil, catalog.Cost{}, fmt.Errorf("sources: %s: %w", s.name, err)
+		}
+		rowElem := "row"
+		if req.Collection != "" {
+			rowElem = singular(req.Collection)
+		}
+		doc := resultToXML(s.name, rowElem, res)
+		cost := catalog.Cost{RowsReturned: len(res.Rows), BytesMoved: len(res.Rows) * len(res.Columns) * 16}
+		return doc, cost, nil
+	}
+	// Full export of one table or all tables.
+	root := &xmldm.Node{Name: s.name}
+	rows := 0
+	cols := 0
+	for _, d := range s.desc {
+		if req.Collection != "" && !strings.EqualFold(req.Collection, d.Table) {
+			continue
+		}
+		res, err := s.db.Exec("SELECT * FROM " + d.Table)
+		if err != nil {
+			return nil, catalog.Cost{}, fmt.Errorf("sources: %s: %w", s.name, err)
+		}
+		appendResultRows(root, d.RowElement, res)
+		rows += len(res.Rows)
+		cols = len(res.Columns)
+	}
+	xmldm.Finalize(root)
+	return root, catalog.Cost{RowsReturned: rows, BytesMoved: rows * (cols + 1) * 16}, nil
+}
+
+// resultToXML converts a SQL result into <source><rowElem>…</rowElem>…</source>.
+func resultToXML(rootName, rowElem string, res *rdb.Result) *xmldm.Node {
+	root := &xmldm.Node{Name: rootName}
+	appendResultRows(root, rowElem, res)
+	xmldm.Finalize(root)
+	return root
+}
+
+func appendResultRows(root *xmldm.Node, rowElem string, res *rdb.Result) {
+	for _, row := range res.Rows {
+		r := &xmldm.Node{Name: rowElem, Parent: root}
+		for i, col := range res.Columns {
+			c := &xmldm.Node{Name: col, Parent: r}
+			if row[i] != nil && row[i].Kind() != xmldm.KindNull {
+				c.Children = append(c.Children, xmldm.String(xmldm.Stringify(row[i])))
+			}
+			r.Children = append(r.Children, c)
+		}
+		root.Children = append(root.Children, r)
+	}
+}

@@ -1,0 +1,273 @@
+package sources
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/rdb"
+	"repro/internal/xmldm"
+)
+
+func newCRM(t testing.TB) *rdb.Database {
+	t.Helper()
+	db := rdb.NewDatabase("crm")
+	db.MustExec(`CREATE TABLE customers (id INT PRIMARY KEY, name VARCHAR, city VARCHAR)`)
+	db.MustExec(`INSERT INTO customers VALUES (1, 'Ada', 'London'), (2, 'Alan', 'London'), (3, 'Grace', 'New York')`)
+	db.MustExec(`CREATE INDEX ON customers (city)`)
+	return db
+}
+
+func TestRelationalSourceDescriptors(t *testing.T) {
+	s := NewRelationalSource("crmdb", newCRM(t))
+	ds := s.Descriptors()
+	if len(ds) != 1 {
+		t.Fatalf("descriptors = %d", len(ds))
+	}
+	d := ds[0]
+	if d.RowElement != "customer" {
+		t.Errorf("row element = %q", d.RowElement)
+	}
+	if d.KeyColumn != "id" {
+		t.Errorf("key = %q", d.KeyColumn)
+	}
+	if len(d.IndexedColumns) != 2 {
+		t.Errorf("indexed = %v", d.IndexedColumns)
+	}
+	if d.ColumnElements["city"] != "city" {
+		t.Errorf("columns = %v", d.ColumnElements)
+	}
+	caps := s.Capabilities()
+	if !caps.Selection || !caps.Join || !caps.Ordering || !caps.Projection {
+		t.Errorf("capabilities = %+v", caps)
+	}
+}
+
+func TestRelationalSourceFullExport(t *testing.T) {
+	s := NewRelationalSource("crmdb", newCRM(t))
+	doc, cost, err := s.Fetch(context.Background(), catalog.Request{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Name != "crmdb" {
+		t.Errorf("root = %q", doc.Name)
+	}
+	rows := doc.ChildrenNamed("customer")
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if got := rows[0].Child("name").Text(); got != "Ada" {
+		t.Errorf("first name = %q", got)
+	}
+	if cost.RowsReturned != 3 {
+		t.Errorf("cost = %+v", cost)
+	}
+}
+
+func TestRelationalSourceSQLFragment(t *testing.T) {
+	s := NewRelationalSource("crmdb", newCRM(t))
+	doc, cost, err := s.Fetch(context.Background(), catalog.Request{
+		Native:     `SELECT name FROM customers WHERE city = 'London'`,
+		Collection: "customers",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := doc.ChildrenNamed("customer")
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Child("name") == nil || rows[0].Child("city") != nil {
+		t.Error("projection not respected in export")
+	}
+	if cost.RowsReturned != 2 {
+		t.Errorf("cost = %+v", cost)
+	}
+	// Bad SQL surfaces as an error naming the source.
+	if _, _, err := s.Fetch(context.Background(), catalog.Request{Native: "garbage"}); err == nil || !strings.Contains(err.Error(), "crmdb") {
+		t.Errorf("bad SQL error = %v", err)
+	}
+}
+
+func TestSingular(t *testing.T) {
+	cases := map[string]string{
+		"customers": "customer", "orders": "order", "address": "address",
+		"s": "s", "data": "data", "Boss": "boss", // 'ss' endings are kept
+
+	}
+	for in, want := range cases {
+		if got := singular(in); got != want {
+			t.Errorf("singular(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestDirectorySource(t *testing.T) {
+	d := NewDirectorySource("ldap", "org")
+	if err := d.Put("eng/alice", map[string]string{"mail": "alice@x.com", "role": "dev"}); err != nil {
+		t.Fatal(err)
+	}
+	d.Put("eng/bob", map[string]string{"mail": "bob@x.com"})
+	d.Put("sales/carol", map[string]string{"mail": "carol@x.com"})
+	if err := d.Put("", nil); err == nil {
+		t.Error("empty path should fail")
+	}
+	if !d.Capabilities().KeyLookupOnly {
+		t.Error("directory must be key-lookup-only")
+	}
+
+	// Whole export.
+	doc, cost, err := d.Fetch(context.Background(), catalog.Request{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Name != "ldap" || doc.Child("org") == nil {
+		t.Errorf("export root = %s", doc.Name)
+	}
+	if cost.RowsReturned < 5 {
+		t.Errorf("cost = %+v", cost)
+	}
+
+	// Path lookup.
+	doc, _, err = d.Fetch(context.Background(), catalog.Request{Native: "eng/alice"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice := doc.Child("alice")
+	if alice == nil || alice.Child("mail").Text() != "alice@x.com" {
+		t.Errorf("path lookup = %s", doc.String())
+	}
+
+	// Wildcard.
+	doc, _, _ = d.Fetch(context.Background(), catalog.Request{Native: "eng/*"})
+	if len(doc.ChildElements()) != 2 {
+		t.Errorf("wildcard children = %d", len(doc.ChildElements()))
+	}
+
+	// Miss.
+	doc, _, _ = d.Fetch(context.Background(), catalog.Request{Native: "nosuch/path"})
+	if len(doc.ChildElements()) != 0 {
+		t.Error("missing path should return empty document")
+	}
+
+	// Update merges attributes.
+	d.Put("eng/alice", map[string]string{"role": "lead"})
+	doc, _, _ = d.Fetch(context.Background(), catalog.Request{Native: "eng/alice"})
+	if doc.Child("alice").Child("role").Text() != "lead" {
+		t.Error("attribute update lost")
+	}
+}
+
+func TestXMLSource(t *testing.T) {
+	s, err := NewXMLSource("bib", `<bib><book><title>T</title></book></bib>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, _, err := s.Fetch(context.Background(), catalog.Request{})
+	if err != nil || doc.Child("book") == nil {
+		t.Errorf("fetch = %v, %v", doc, err)
+	}
+	if _, err := NewXMLSource("bad", `<a><b></a>`); err == nil {
+		t.Error("bad XML should fail")
+	}
+}
+
+func TestCSVSource(t *testing.T) {
+	csvText := "id,Name,City\n1,Ada,London\n2,Alan,\n"
+	s, err := NewCSVSource("feed", strings.NewReader(csvText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, _, _ := s.Fetch(context.Background(), catalog.Request{})
+	rows := doc.ChildrenNamed("row")
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Child("name").Text() != "Ada" {
+		t.Error("header not lower-cased or data wrong")
+	}
+	if rows[1].Child("city").Text() != "" {
+		t.Error("empty field should be empty element")
+	}
+	if _, err := NewCSVSource("empty", strings.NewReader("")); err == nil {
+		t.Error("empty CSV should fail")
+	}
+	if _, err := NewCSVSource("ragged", strings.NewReader("a,b\n1\n")); err == nil {
+		t.Error("ragged CSV should fail")
+	}
+}
+
+func TestNetworkSimAvailability(t *testing.T) {
+	base := catalog.NewStaticSource("s", mustElem())
+	sim := NewNetworkSim(base, 0, 0.5, 42)
+	ok, fail := 0, 0
+	for i := 0; i < 200; i++ {
+		_, _, err := sim.Fetch(context.Background(), catalog.Request{})
+		if errors.Is(err, ErrUnavailable) {
+			fail++
+		} else if err == nil {
+			ok++
+		} else {
+			t.Fatal(err)
+		}
+	}
+	if ok < 60 || fail < 60 {
+		t.Errorf("availability skew: ok=%d fail=%d", ok, fail)
+	}
+	calls, failures, _ := sim.Stats()
+	if calls != 200 || failures != fail {
+		t.Errorf("stats = %d, %d", calls, failures)
+	}
+}
+
+func TestNetworkSimLatencyAccounting(t *testing.T) {
+	base := catalog.NewStaticSource("s", mustElem())
+	sim := NewNetworkSim(base, 5*time.Millisecond, 1.0, 1)
+	sim.Sleep = false // account only
+	for i := 0; i < 3; i++ {
+		if _, _, err := sim.Fetch(context.Background(), catalog.Request{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, _, simulated := sim.Stats()
+	if simulated != 15*time.Millisecond {
+		t.Errorf("simulated = %v", simulated)
+	}
+}
+
+func TestNetworkSimRealSleep(t *testing.T) {
+	base := catalog.NewStaticSource("s", mustElem())
+	sim := NewNetworkSim(base, 2*time.Millisecond, 1.0, 1)
+	start := time.Now()
+	if _, _, err := sim.Fetch(context.Background(), catalog.Request{}); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < 2*time.Millisecond {
+		t.Error("sleep not applied")
+	}
+	// Context cancellation interrupts the sleep.
+	sim.Latency = time.Second
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	if _, _, err := sim.Fetch(ctx, catalog.Request{}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("cancel err = %v", err)
+	}
+}
+
+func TestDowned(t *testing.T) {
+	d := NewDowned(catalog.NewStaticSource("s", mustElem()))
+	if d.Name() != "s" {
+		t.Errorf("name = %q", d.Name())
+	}
+	if _, _, err := d.Fetch(context.Background(), catalog.Request{}); !errors.Is(err, ErrUnavailable) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func mustElem() *xmldm.Node {
+	b := xmldm.NewBuilder()
+	return b.Elem("doc", b.Elem("item", "1"))
+}

@@ -1,0 +1,177 @@
+package sources
+
+import (
+	"context"
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/xmldm"
+	"repro/internal/xmlparse"
+)
+
+// ErrUnavailable marks a source that did not answer — offline, or no
+// network connectivity (§3.4). The execution layer treats it as a
+// partial-results event rather than a query failure.
+var ErrUnavailable = errors.New("sources: source unavailable")
+
+// XMLSource is a source over a parsed XML document. It cannot evaluate
+// queries (Capabilities zero), so every fetch returns the document.
+type XMLSource struct {
+	*catalog.StaticSource
+}
+
+// NewXMLSource parses the document text and wraps it as a source.
+func NewXMLSource(name, xmlText string) (*XMLSource, error) {
+	doc, err := xmlparse.ParseString(xmlText)
+	if err != nil {
+		return nil, err
+	}
+	return &XMLSource{StaticSource: catalog.NewStaticSource(name, doc)}, nil
+}
+
+// NewCSVSource reads CSV data (first record is the header) and exposes
+// it as a document <name><row><col>…</col></row>…</name> — the flat-file
+// legacy feed common in the paper's customer scenarios.
+func NewCSVSource(name string, r io.Reader) (*catalog.StaticSource, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("sources: csv %s: %w", name, err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("sources: csv %s: empty input", name)
+	}
+	header := records[0]
+	for i := range header {
+		header[i] = strings.TrimSpace(strings.ToLower(header[i]))
+	}
+	root := &xmldm.Node{Name: name}
+	for _, rec := range records[1:] {
+		row := &xmldm.Node{Name: "row", Parent: root}
+		for i, field := range rec {
+			if i >= len(header) {
+				break
+			}
+			c := &xmldm.Node{Name: header[i], Parent: row}
+			if field != "" {
+				c.Children = append(c.Children, xmldm.String(field))
+			}
+			row.Children = append(row.Children, c)
+		}
+		root.Children = append(root.Children, row)
+	}
+	xmldm.Finalize(root)
+	return catalog.NewStaticSource(name, root), nil
+}
+
+// NetworkSim wraps a source with simulated transport behaviour: a fixed
+// per-request latency, per-byte transfer time, and an availability
+// probability. It substitutes for the WAN and flaky back ends of the
+// paper's deployments: "they may be offline, or network connectivity may
+// not be available" (§3.4).
+type NetworkSim struct {
+	inner catalog.Source
+
+	// Latency is the per-request round-trip added to every fetch.
+	Latency time.Duration
+	// PerKB is added per kilobyte moved.
+	PerKB time.Duration
+	// Availability is the probability a request succeeds (1.0 = always).
+	Availability float64
+	// Sleep actually sleeps when true; otherwise the simulated time is
+	// only accounted (fast benches use accounting, latency-sensitive
+	// experiments use real sleeps).
+	Sleep bool
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	simulated time.Duration
+	calls     int
+	failures  int
+}
+
+// NewNetworkSim wraps inner; seed fixes the availability coin flips so
+// experiments are reproducible.
+func NewNetworkSim(inner catalog.Source, latency time.Duration, availability float64, seed int64) *NetworkSim {
+	return &NetworkSim{
+		inner:        inner,
+		Latency:      latency,
+		Availability: availability,
+		Sleep:        latency > 0,
+		rng:          rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Name implements catalog.Source.
+func (n *NetworkSim) Name() string { return n.inner.Name() }
+
+// Capabilities implements catalog.Source.
+func (n *NetworkSim) Capabilities() catalog.Capabilities { return n.inner.Capabilities() }
+
+// Inner returns the wrapped source.
+func (n *NetworkSim) Inner() catalog.Source { return n.inner }
+
+// Fetch implements catalog.Source with the simulated transport applied.
+func (n *NetworkSim) Fetch(ctx context.Context, req catalog.Request) (*xmldm.Node, catalog.Cost, error) {
+	n.mu.Lock()
+	n.calls++
+	up := n.Availability >= 1 || n.rng.Float64() < n.Availability
+	if !up {
+		n.failures++
+	}
+	n.mu.Unlock()
+	if !up {
+		return nil, catalog.Cost{}, fmt.Errorf("%w: %s", ErrUnavailable, n.inner.Name())
+	}
+	doc, cost, err := n.inner.Fetch(ctx, req)
+	if err != nil {
+		return nil, cost, err
+	}
+	delay := n.Latency + time.Duration(cost.BytesMoved/1024)*n.PerKB
+	n.mu.Lock()
+	n.simulated += delay
+	n.mu.Unlock()
+	if n.Sleep && delay > 0 {
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return nil, cost, ctx.Err()
+		}
+	}
+	return doc, cost, nil
+}
+
+// Stats reports calls, simulated failures, and accumulated simulated
+// transfer time.
+func (n *NetworkSim) Stats() (calls, failures int, simulated time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.calls, n.failures, n.simulated
+}
+
+// Downed is a source that is always unavailable; experiments use it to
+// model a hard-down backend.
+type Downed struct {
+	inner catalog.Source
+}
+
+// NewDowned wraps inner as permanently unavailable.
+func NewDowned(inner catalog.Source) *Downed { return &Downed{inner: inner} }
+
+// Name implements catalog.Source.
+func (d *Downed) Name() string { return d.inner.Name() }
+
+// Capabilities implements catalog.Source.
+func (d *Downed) Capabilities() catalog.Capabilities { return d.inner.Capabilities() }
+
+// Fetch implements catalog.Source and always fails with ErrUnavailable.
+func (d *Downed) Fetch(context.Context, catalog.Request) (*xmldm.Node, catalog.Cost, error) {
+	return nil, catalog.Cost{}, fmt.Errorf("%w: %s", ErrUnavailable, d.inner.Name())
+}

@@ -1,0 +1,354 @@
+// Package sqlgen is the compiler stage that translates an XML-QL query
+// fragment into SQL for a relational source: "the compiler translates
+// each fragment into the appropriate query language for the destination
+// source; for example, if an RDB is being queried, then the compiler
+// generates SQL" (§2.1). It consults the source's layout descriptors and
+// index information, and reports which predicates it could push so the
+// mediator evaluates only the remainder.
+package sqlgen
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/xmlql"
+)
+
+// ErrNotTranslatable is returned when a pattern cannot be compiled to
+// SQL (deep nesting, attributes, wildcard tags); the caller falls back
+// to fetching the export document and matching in the mediator.
+var ErrNotTranslatable = errors.New("sqlgen: pattern not translatable to SQL")
+
+// Fragment is a compiled single-table SQL fragment.
+type Fragment struct {
+	// SQL is the generated statement.
+	SQL string
+	// Table is the source table the fragment reads.
+	Table string
+	// RowElement names the element each result row exports as.
+	RowElement string
+	// VarColumns maps each bound variable to the exported child-element
+	// name that carries its value (the SQL output alias).
+	VarColumns map[string]string
+	// PushedPredicates counts WHERE conjuncts evaluated at the source.
+	PushedPredicates int
+	// PushedOrder reports whether ORDER BY was pushed.
+	PushedOrder bool
+}
+
+// Options tune compilation.
+type Options struct {
+	// PushSelections allows WHERE pushdown (subject to capabilities).
+	PushSelections bool
+	// PushProjections allows narrowing SELECT to the bound columns.
+	PushProjections bool
+	// OrderBy, if non-nil, is pushed when every key is a mapped variable
+	// and the source supports ordering.
+	OrderBy []xmlql.OrderKey
+}
+
+// DefaultOptions enables all pushdown.
+func DefaultOptions() Options { return Options{PushSelections: true, PushProjections: true} }
+
+// Compile translates a pattern plus candidate predicates into a SQL
+// fragment for a source described by descs. It returns the fragment and
+// the predicates it could NOT push (to be evaluated by the mediator).
+func Compile(descs []catalog.RelationalDescriptor, caps catalog.Capabilities,
+	pat *xmlql.ElemPattern, preds []xmlql.Expr, opts Options) (*Fragment, []xmlql.Expr, error) {
+
+	row, desc, err := resolveRowPattern(descs, pat)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(row.Attrs) > 0 || row.ElementAs != "" || row.ContentAs != "" || row.Tag.Var != "" {
+		// Relational exports carry no attributes, and element/content
+		// bindings need the XML form of the row, which SQL cannot build.
+		return nil, nil, ErrNotTranslatable
+	}
+
+	varCol := make(map[string]string) // variable -> column
+	var conjuncts []string
+	for _, item := range row.Content {
+		cp, ok := item.(*xmlql.ChildPattern)
+		if !ok {
+			return nil, nil, ErrNotTranslatable
+		}
+		e := cp.Elem
+		if e.Tag.Var != "" || e.Tag.Wild || e.Tag.Descendant || len(e.Tag.Alts) > 0 ||
+			len(e.Attrs) > 0 || e.ElementAs != "" || e.ContentAs != "" {
+			return nil, nil, ErrNotTranslatable
+		}
+		col, ok := desc.ColumnElements[strings.ToLower(e.Tag.Name)]
+		if !ok {
+			return nil, nil, fmt.Errorf("%w: no column for element %q in table %q", ErrNotTranslatable, e.Tag.Name, desc.Table)
+		}
+		switch len(e.Content) {
+		case 0:
+			// Existence test: relational rows always carry the column.
+		case 1:
+			switch c := e.Content[0].(type) {
+			case *xmlql.VarContent:
+				if prev, bound := varCol[c.Var]; bound {
+					// The same variable on two columns is an intra-row
+					// equality predicate.
+					conjuncts = append(conjuncts, prev+" = "+col)
+				} else {
+					varCol[c.Var] = col
+				}
+			case *xmlql.TextContent:
+				conjuncts = append(conjuncts, col+" = "+sqlString(c.Text))
+			default:
+				return nil, nil, ErrNotTranslatable
+			}
+		default:
+			return nil, nil, ErrNotTranslatable
+		}
+	}
+
+	frag := &Fragment{Table: desc.Table, RowElement: desc.RowElement, VarColumns: make(map[string]string)}
+
+	// Predicate pushdown.
+	var remaining []xmlql.Expr
+	if opts.PushSelections && caps.Selection {
+		for _, p := range preds {
+			if sql, ok := predToSQL(p, varCol); ok {
+				conjuncts = append(conjuncts, sql)
+				frag.PushedPredicates++
+			} else {
+				remaining = append(remaining, p)
+			}
+		}
+	} else {
+		remaining = preds
+	}
+
+	// Projection: select only the columns variables need.
+	var selectList string
+	aliasOf := func(v string) string { return "v_" + strings.ToLower(v) }
+	if opts.PushProjections && caps.Projection && len(varCol) > 0 {
+		vars := make([]string, 0, len(varCol))
+		for v := range varCol {
+			vars = append(vars, v)
+		}
+		sort.Strings(vars)
+		var items []string
+		for _, v := range vars {
+			alias := aliasOf(v)
+			items = append(items, varCol[v]+" AS "+alias)
+			frag.VarColumns[v] = alias
+		}
+		selectList = strings.Join(items, ", ")
+	} else {
+		selectList = "*"
+		for v, col := range varCol {
+			frag.VarColumns[v] = col
+		}
+	}
+
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	sb.WriteString(selectList)
+	sb.WriteString(" FROM ")
+	sb.WriteString(desc.Table)
+	if len(conjuncts) > 0 {
+		sb.WriteString(" WHERE ")
+		sb.WriteString(strings.Join(conjuncts, " AND "))
+	}
+
+	// ORDER BY pushdown.
+	if caps.Ordering && len(opts.OrderBy) > 0 {
+		var keys []string
+		ok := true
+		for _, k := range opts.OrderBy {
+			v, isVar := k.Expr.(*xmlql.VarExpr)
+			if !isVar {
+				ok = false
+				break
+			}
+			col, bound := varCol[v.Name]
+			if !bound {
+				ok = false
+				break
+			}
+			if k.Desc {
+				keys = append(keys, col+" DESC")
+			} else {
+				keys = append(keys, col)
+			}
+		}
+		if ok && len(keys) > 0 {
+			sb.WriteString(" ORDER BY ")
+			sb.WriteString(strings.Join(keys, ", "))
+			frag.PushedOrder = true
+		}
+	}
+
+	frag.SQL = sb.String()
+	return frag, remaining, nil
+}
+
+// resolveRowPattern finds the element pattern that corresponds to a
+// table's row element: the pattern itself, or a single child one level
+// down (the query may include the source's wrapper element).
+func resolveRowPattern(descs []catalog.RelationalDescriptor, pat *xmlql.ElemPattern) (*xmlql.ElemPattern, *catalog.RelationalDescriptor, error) {
+	find := func(name string) *catalog.RelationalDescriptor {
+		for i := range descs {
+			if strings.EqualFold(descs[i].RowElement, name) || strings.EqualFold(descs[i].Table, name) {
+				return &descs[i]
+			}
+		}
+		return nil
+	}
+	if pat.Tag.Name != "" {
+		if d := find(pat.Tag.Name); d != nil {
+			return pat, d, nil
+		}
+		// Maybe the pattern wraps the row pattern: <crmdb><customer>…</customer></crmdb>.
+		if len(pat.Content) == 1 {
+			if cp, ok := pat.Content[0].(*xmlql.ChildPattern); ok && cp.Elem.Tag.Name != "" {
+				if d := find(cp.Elem.Tag.Name); d != nil {
+					if len(pat.Attrs) > 0 || pat.ElementAs != "" || pat.ContentAs != "" {
+						return nil, nil, ErrNotTranslatable
+					}
+					return cp.Elem, d, nil
+				}
+			}
+		}
+	}
+	return nil, nil, fmt.Errorf("%w: no table exports element %q", ErrNotTranslatable, pat.Tag.String())
+}
+
+// predToSQL translates a predicate whose variables are all column-mapped
+// into a SQL boolean expression.
+func predToSQL(e xmlql.Expr, varCol map[string]string) (string, bool) {
+	switch x := e.(type) {
+	case *xmlql.BinExpr:
+		switch x.Op {
+		case "AND", "OR":
+			l, lok := predToSQL(x.L, varCol)
+			r, rok := predToSQL(x.R, varCol)
+			if !lok || !rok {
+				return "", false
+			}
+			return "(" + l + " " + x.Op + " " + r + ")", true
+		case "=", "!=", "<", "<=", ">", ">=", "+", "-", "*", "/":
+			l, lok := scalarToSQL(x.L, varCol)
+			r, rok := scalarToSQL(x.R, varCol)
+			if !lok || !rok {
+				return "", false
+			}
+			return "(" + l + " " + x.Op + " " + r + ")", true
+		default:
+			return "", false
+		}
+	case *xmlql.FuncExpr:
+		switch strings.ToLower(x.Name) {
+		case "contains", "startswith", "endswith":
+			if len(x.Args) != 2 {
+				return "", false
+			}
+			col, ok := scalarToSQL(x.Args[0], varCol)
+			if !ok {
+				return "", false
+			}
+			lit, isLit := x.Args[1].(*xmlql.LitExpr)
+			if !isLit {
+				return "", false
+			}
+			s, isStr := lit.Value.(string)
+			if !isStr || strings.ContainsAny(s, "%_") {
+				// LIKE metacharacters in the needle would change meaning;
+				// leave such predicates to the mediator.
+				return "", false
+			}
+			switch strings.ToLower(x.Name) {
+			case "contains":
+				s = "%" + s + "%"
+			case "startswith":
+				s = s + "%"
+			case "endswith":
+				s = "%" + s
+			}
+			return col + " LIKE " + sqlString(s), true
+		case "not":
+			if len(x.Args) != 1 {
+				return "", false
+			}
+			inner, ok := predToSQL(x.Args[0], varCol)
+			if !ok {
+				return "", false
+			}
+			return "NOT " + inner, true
+		default:
+			return "", false
+		}
+	default:
+		return "", false
+	}
+}
+
+// scalarToSQL translates a scalar expression (variables, literals,
+// arithmetic, lower/upper) into SQL.
+func scalarToSQL(e xmlql.Expr, varCol map[string]string) (string, bool) {
+	switch x := e.(type) {
+	case *xmlql.VarExpr:
+		col, ok := varCol[x.Name]
+		return col, ok
+	case *xmlql.LitExpr:
+		switch v := x.Value.(type) {
+		case string:
+			return sqlString(v), true
+		case int64:
+			return fmt.Sprintf("%d", v), true
+		case float64:
+			return fmt.Sprintf("%g", v), true
+		case bool:
+			if v {
+				return "TRUE", true
+			}
+			return "FALSE", true
+		default:
+			return "", false
+		}
+	case *xmlql.BinExpr:
+		switch x.Op {
+		case "+", "-", "*", "/":
+			l, lok := scalarToSQL(x.L, varCol)
+			r, rok := scalarToSQL(x.R, varCol)
+			if !lok || !rok {
+				return "", false
+			}
+			return "(" + l + " " + x.Op + " " + r + ")", true
+		default:
+			return "", false
+		}
+	case *xmlql.FuncExpr:
+		switch strings.ToLower(x.Name) {
+		case "lower", "upper", "trim", "length", "strlen":
+			if len(x.Args) != 1 {
+				return "", false
+			}
+			a, ok := scalarToSQL(x.Args[0], varCol)
+			if !ok {
+				return "", false
+			}
+			name := strings.ToLower(x.Name)
+			if name == "strlen" {
+				name = "length"
+			}
+			return name + "(" + a + ")", true
+		default:
+			return "", false
+		}
+	default:
+		return "", false
+	}
+}
+
+// sqlString quotes a string literal for the SQL dialect.
+func sqlString(s string) string {
+	return "'" + strings.ReplaceAll(s, "'", "''") + "'"
+}

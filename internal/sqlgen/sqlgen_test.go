@@ -1,0 +1,332 @@
+package sqlgen
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/rdb"
+	"repro/internal/sources"
+	"repro/internal/xmlql"
+)
+
+func crmDescs() []catalog.RelationalDescriptor {
+	return []catalog.RelationalDescriptor{{
+		Table:      "customers",
+		RowElement: "customer",
+		ColumnElements: map[string]string{
+			"id": "id", "name": "name", "city": "city",
+		},
+		KeyColumn:      "id",
+		IndexedColumns: []string{"id"},
+	}}
+}
+
+func sqlCaps() catalog.Capabilities {
+	return catalog.Capabilities{Selection: true, Projection: true, Join: true, Ordering: true}
+}
+
+func patAndPreds(t testing.TB, src string) (*xmlql.ElemPattern, []xmlql.Expr) {
+	t.Helper()
+	q := xmlql.MustParse(src)
+	var pat *xmlql.ElemPattern
+	var preds []xmlql.Expr
+	for _, c := range q.Where {
+		switch x := c.(type) {
+		case *xmlql.PatternCond:
+			if pat == nil {
+				pat = x.Pattern
+			}
+		case *xmlql.PredicateCond:
+			preds = append(preds, x.Expr)
+		}
+	}
+	return pat, preds
+}
+
+func TestCompileSimplePattern(t *testing.T) {
+	pat, preds := patAndPreds(t, `WHERE <customer><name>$n</name><city>$c</city></customer> IN "crmdb" CONSTRUCT <r/>`)
+	frag, rest, err := Compile(crmDescs(), sqlCaps(), pat, preds, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frag.SQL != "SELECT city AS v_c, name AS v_n FROM customers" {
+		t.Errorf("SQL = %q", frag.SQL)
+	}
+	if len(rest) != 0 {
+		t.Errorf("remaining preds = %d", len(rest))
+	}
+	if frag.VarColumns["n"] != "v_n" || frag.VarColumns["c"] != "v_c" {
+		t.Errorf("var columns = %v", frag.VarColumns)
+	}
+}
+
+func TestCompileWithWrapperElement(t *testing.T) {
+	pat, _ := patAndPreds(t, `WHERE <crmdb><customer><name>$n</name></customer></crmdb> IN "crmdb" CONSTRUCT <r/>`)
+	frag, _, err := Compile(crmDescs(), sqlCaps(), pat, nil, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(frag.SQL, "FROM customers") {
+		t.Errorf("SQL = %q", frag.SQL)
+	}
+}
+
+func TestCompileTableNameAsTag(t *testing.T) {
+	pat, _ := patAndPreds(t, `WHERE <customers><name>$n</name></customers> IN "crmdb" CONSTRUCT <r/>`)
+	frag, _, err := Compile(crmDescs(), sqlCaps(), pat, nil, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frag.Table != "customers" {
+		t.Errorf("table = %q", frag.Table)
+	}
+}
+
+func TestCompilePredicatePushdown(t *testing.T) {
+	pat, preds := patAndPreds(t, `WHERE <customer><name>$n</name><city>$c</city></customer> IN "crmdb",
+		$c = "London", contains($n, "Ada") CONSTRUCT <r/>`)
+	frag, rest, err := Compile(crmDescs(), sqlCaps(), pat, preds, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frag.PushedPredicates != 2 || len(rest) != 0 {
+		t.Errorf("pushed = %d, rest = %d, sql = %q", frag.PushedPredicates, len(rest), frag.SQL)
+	}
+	if !strings.Contains(frag.SQL, "(city = 'London')") {
+		t.Errorf("SQL = %q", frag.SQL)
+	}
+	if !strings.Contains(frag.SQL, "name LIKE '%Ada%'") {
+		t.Errorf("SQL = %q", frag.SQL)
+	}
+}
+
+func TestCompileKeepsUnpushablePredicates(t *testing.T) {
+	pat, preds := patAndPreds(t, `WHERE <customer><name>$n</name></customer> IN "crmdb",
+		contains($n, "100%"), $n = $other CONSTRUCT <r/>`)
+	frag, rest, err := Compile(crmDescs(), sqlCaps(), pat, preds, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both predicates stay: one has a LIKE metacharacter, one references
+	// an unmapped variable.
+	if frag.PushedPredicates != 0 || len(rest) != 2 {
+		t.Errorf("pushed = %d, rest = %d", frag.PushedPredicates, len(rest))
+	}
+}
+
+func TestCompileTextContentBecomesEquality(t *testing.T) {
+	pat, _ := patAndPreds(t, `WHERE <customer><city>"London"</city><name>$n</name></customer> IN "crmdb" CONSTRUCT <r/>`)
+	frag, _, err := Compile(crmDescs(), sqlCaps(), pat, nil, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(frag.SQL, "city = 'London'") {
+		t.Errorf("SQL = %q", frag.SQL)
+	}
+}
+
+func TestCompileRepeatedVariableMakesIntraRowJoin(t *testing.T) {
+	pat, _ := patAndPreds(t, `WHERE <customer><name>$v</name><city>$v</city></customer> IN "crmdb" CONSTRUCT <r/>`)
+	frag, _, err := Compile(crmDescs(), sqlCaps(), pat, nil, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(frag.SQL, "name = city") {
+		t.Errorf("SQL = %q", frag.SQL)
+	}
+}
+
+func TestCompileOrderByPushdown(t *testing.T) {
+	q := xmlql.MustParse(`WHERE <customer><name>$n</name></customer> IN "crmdb" CONSTRUCT <r>$n</r> ORDER-BY $n DESCENDING`)
+	pat := q.Where[0].(*xmlql.PatternCond).Pattern
+	opts := DefaultOptions()
+	opts.OrderBy = q.OrderBy
+	frag, _, err := Compile(crmDescs(), sqlCaps(), pat, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !frag.PushedOrder || !strings.Contains(frag.SQL, "ORDER BY name DESC") {
+		t.Errorf("SQL = %q", frag.SQL)
+	}
+	// Unmapped key cannot push.
+	opts.OrderBy = []xmlql.OrderKey{{Expr: &xmlql.VarExpr{Name: "zz"}}}
+	frag, _, _ = Compile(crmDescs(), sqlCaps(), pat, nil, opts)
+	if frag.PushedOrder {
+		t.Error("order on unmapped variable must not push")
+	}
+}
+
+func TestCompileRespectsCapabilities(t *testing.T) {
+	pat, preds := patAndPreds(t, `WHERE <customer><city>$c</city></customer> IN "crmdb", $c = "X" CONSTRUCT <r/>`)
+	caps := catalog.Capabilities{} // no capabilities
+	frag, rest, err := Compile(crmDescs(), caps, pat, preds, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frag.PushedPredicates != 0 || len(rest) != 1 {
+		t.Error("selection pushed despite missing capability")
+	}
+	if !strings.HasPrefix(frag.SQL, "SELECT * ") {
+		t.Errorf("projection pushed despite missing capability: %q", frag.SQL)
+	}
+}
+
+func TestCompileOptionsDisablePushdown(t *testing.T) {
+	pat, preds := patAndPreds(t, `WHERE <customer><city>$c</city></customer> IN "crmdb", $c = "X" CONSTRUCT <r/>`)
+	frag, rest, err := Compile(crmDescs(), sqlCaps(), pat, preds, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frag.PushedPredicates != 0 || len(rest) != 1 {
+		t.Error("pushdown should be off")
+	}
+	if !strings.HasPrefix(frag.SQL, "SELECT * FROM customers") {
+		t.Errorf("SQL = %q", frag.SQL)
+	}
+}
+
+func TestCompileNotTranslatable(t *testing.T) {
+	cases := []string{
+		// Unknown element.
+		`WHERE <invoice><n>$n</n></invoice> IN "crmdb" CONSTRUCT <r/>`,
+		// Attributes (relational exports have none).
+		`WHERE <customer id=$i><name>$n</name></customer> IN "crmdb" CONSTRUCT <r/>`,
+		// Deep nesting below a column.
+		`WHERE <customer><name><first>$f</first></name></customer> IN "crmdb" CONSTRUCT <r/>`,
+		// ELEMENT_AS needs XML row form.
+		`WHERE <customer><name>$n</name></customer> ELEMENT_AS $e IN "crmdb" CONSTRUCT <r/>`,
+		// Variable content directly under the row element.
+		`WHERE <customer>$x</customer> IN "crmdb" CONSTRUCT <r/>`,
+		// Wildcard column.
+		`WHERE <customer><*>$v</></customer> IN "crmdb" CONSTRUCT <r/>`,
+		// Descendant column flag.
+		`WHERE <customer><//name>$v</></customer> IN "crmdb" CONSTRUCT <r/>`,
+		// Tag variable.
+		`WHERE <$t><name>$v</name></$t> IN "crmdb" CONSTRUCT <r/>`,
+	}
+	for _, src := range cases {
+		pat, preds := patAndPreds(t, src)
+		if _, _, err := Compile(crmDescs(), sqlCaps(), pat, preds, DefaultOptions()); !errors.Is(err, ErrNotTranslatable) {
+			t.Errorf("%s: err = %v, want ErrNotTranslatable", src, err)
+		}
+	}
+}
+
+func TestCompiledSQLRunsAgainstSource(t *testing.T) {
+	// End-to-end: compile a fragment, run it on a real relational
+	// source, and check the export carries the variable aliases.
+	db := rdb.NewDatabase("crm")
+	db.MustExec(`CREATE TABLE customers (id INT PRIMARY KEY, name VARCHAR, city VARCHAR)`)
+	db.MustExec(`INSERT INTO customers VALUES (1,'Ada','London'), (2,'Alan','Cambridge'), (3,'Grace','New York')`)
+	src := sources.NewRelationalSource("crmdb", db)
+
+	pat, preds := patAndPreds(t, `WHERE <customer><name>$n</name><city>$c</city></customer> IN "crmdb",
+		$c = "London" CONSTRUCT <r/>`)
+	frag, rest, err := Compile(src.Descriptors(), src.Capabilities(), pat, preds, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("rest = %d", len(rest))
+	}
+	doc, cost, err := src.Fetch(context.Background(), catalog.Request{Native: frag.SQL, Collection: frag.Table})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := doc.ChildrenNamed(frag.RowElement)
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d (%s)", len(rows), doc.String())
+	}
+	if got := rows[0].Child(frag.VarColumns["n"]).Text(); got != "Ada" {
+		t.Errorf("n = %q", got)
+	}
+	if cost.RowsReturned != 1 {
+		t.Errorf("cost = %+v (pushdown should move 1 row)", cost)
+	}
+}
+
+func TestSQLStringEscaping(t *testing.T) {
+	pat, preds := patAndPreds(t, `WHERE <customer><name>$n</name></customer> IN "crmdb",
+		$n = "O'Brien" CONSTRUCT <r/>`)
+	frag, _, err := Compile(crmDescs(), sqlCaps(), pat, preds, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(frag.SQL, "'O''Brien'") {
+		t.Errorf("SQL = %q", frag.SQL)
+	}
+}
+
+func TestPredicateTranslationForms(t *testing.T) {
+	cases := []struct {
+		pred string
+		want string // substring of SQL; empty = must not push
+	}{
+		{`$c = "x" AND $n = "y"`, `AND`},
+		{`$c = "x" OR $n = "y"`, `OR`},
+		{`not($c = "x")`, `NOT`},
+		{`startswith($n, "A")`, `LIKE 'A%'`},
+		{`endswith($n, "z")`, `LIKE '%z'`},
+		{`$c + 1 > 2`, `(city + 1)`},
+		{`trim($n) = "a"`, `trim(name)`},
+		{`upper($n) = "A"`, `upper(name)`},
+		{`TRUE`, ``},                                               // constant predicates stay in the mediator (no vars)
+		{`contains($n, $c)`, ``},                                   // non-literal needle
+		{`contains($n)`, ``},                                       // wrong arity
+		{`similarity($n, "x") > 0.5`, ``},                          // unknown function
+		{`count({WHERE <a>$q</a> IN "s" CONSTRUCT <b/>}) > 1`, ``}, // aggregate
+		{`not($n)`, ``},                                            // NOT over non-boolean-translatable
+	}
+	for _, c := range cases {
+		pat, preds := patAndPreds(t, `WHERE <customer><name>$n</name><city>$c</city></customer> IN "crmdb", `+c.pred+` CONSTRUCT <r/>`)
+		frag, rest, err := Compile(crmDescs(), sqlCaps(), pat, preds, DefaultOptions())
+		if err != nil {
+			t.Errorf("%s: %v", c.pred, err)
+			continue
+		}
+		if c.want == "" {
+			if frag.PushedPredicates != 0 {
+				t.Errorf("%s: should not push, SQL = %q", c.pred, frag.SQL)
+			}
+			if len(rest) != 1 {
+				t.Errorf("%s: rest = %d", c.pred, len(rest))
+			}
+			continue
+		}
+		if frag.PushedPredicates != 1 || !strings.Contains(frag.SQL, c.want) {
+			t.Errorf("%s: SQL = %q (want %q)", c.pred, frag.SQL, c.want)
+		}
+	}
+}
+
+func TestPredicateLiteralForms(t *testing.T) {
+	cases := []string{
+		`$n = 5`, `$n = 2.5`, `$n = TRUE`, `$n = FALSE`,
+		`$n = 2 * 3`, `$n = (1 + 2) / 3`,
+	}
+	for _, p := range cases {
+		pat, preds := patAndPreds(t, `WHERE <customer><name>$n</name></customer> IN "crmdb", `+p+` CONSTRUCT <r/>`)
+		frag, rest, err := Compile(crmDescs(), sqlCaps(), pat, preds, DefaultOptions())
+		if err != nil || frag.PushedPredicates != 1 || len(rest) != 0 {
+			t.Errorf("%s: pushed=%d rest=%d err=%v sql=%q", p, frag.PushedPredicates, len(rest), err, frag.SQL)
+		}
+	}
+}
+
+func TestScalarFunctionsInPushedPredicates(t *testing.T) {
+	pat, preds := patAndPreds(t, `WHERE <customer><name>$n</name></customer> IN "crmdb",
+		lower($n) = "ada", strlen($n) > 2 CONSTRUCT <r/>`)
+	frag, rest, err := Compile(crmDescs(), sqlCaps(), pat, preds, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frag.PushedPredicates != 2 || len(rest) != 0 {
+		t.Errorf("pushed = %d rest = %d sql = %q", frag.PushedPredicates, len(rest), frag.SQL)
+	}
+	if !strings.Contains(frag.SQL, "lower(name)") || !strings.Contains(frag.SQL, "length(name)") {
+		t.Errorf("SQL = %q", frag.SQL)
+	}
+}

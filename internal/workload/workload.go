@@ -1,0 +1,244 @@
+// Package workload generates the synthetic datasets and query streams
+// the experiments run on. It substitutes for the paper's proprietary
+// customer data: the dirty-customer generator injects exactly the
+// anomaly classes §3.2 enumerates (truncation, abbreviation, typos,
+// missing values, the object identity problem across sources, and the
+// field translation problem), at controlled rates and with known ground
+// truth, so cleaning quality is measurable.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"repro/internal/clean"
+	"repro/internal/rdb"
+)
+
+// firstNames and their nickname variants (nickname injection exercises
+// the concordance-style normalization tables).
+var firstNames = []string{
+	"robert", "william", "richard", "james", "michael", "thomas",
+	"elizabeth", "margaret", "katherine", "susan", "edward", "charles",
+	"grace", "ada", "alan", "barbara", "donald", "john", "leslie", "tony",
+}
+
+var nicknameOf = map[string][]string{
+	"robert": {"bob", "rob"}, "william": {"bill", "will"},
+	"richard": {"dick", "rick"}, "james": {"jim"}, "michael": {"mike"},
+	"thomas": {"tom"}, "elizabeth": {"liz", "beth"}, "margaret": {"peggy"},
+	"katherine": {"kate", "kathy"}, "susan": {"sue"}, "edward": {"ed", "ted"},
+	"charles": {"chuck", "charlie"},
+}
+
+var lastNames = []string{
+	"smith", "johnson", "williams", "brown", "jones", "miller", "davis",
+	"wilson", "anderson", "taylor", "moore", "jackson", "martin", "lee",
+	"thompson", "white", "lopez", "hill", "clark", "lewis", "young", "hall",
+}
+
+var cities = []string{
+	"Seattle", "Portland", "San Francisco", "New York", "Boston",
+	"Chicago", "Austin", "Denver", "Atlanta", "Miami",
+}
+
+var streetNames = []string{"Main", "Oak", "Pine", "Maple", "Cedar", "Elm", "Lake", "Hill"}
+var streetKinds = []string{"Street", "Avenue", "Road", "Boulevard", "Lane"}
+var streetAbbr = map[string]string{"Street": "St", "Avenue": "Ave", "Road": "Rd", "Boulevard": "Blvd", "Lane": "Ln"}
+
+// DirtyCustomerSet is a generated cleaning benchmark instance.
+type DirtyCustomerSet struct {
+	Records []clean.Record
+	// Truth holds the duplicate pairs by canonical key pair.
+	Truth map[[2]string]bool
+	// Entities is the number of distinct real-world customers.
+	Entities int
+}
+
+// DirtyCustomers generates records for n distinct customers spread over
+// two sources ("crm" and "web"); dupRate of the customers also appear in
+// the second source with anomalies applied. Anomalies per duplicate:
+// typo in the name (p=0.5), nickname substitution (p=0.4 when one
+// exists), address abbreviation (always, sources disagree on
+// conventions), phone reformatting (always), missing phone (p=0.2), and
+// the web source uses a single "address" field where crm uses
+// street/city (the translation problem).
+func DirtyCustomers(n int, dupRate float64, seed int64) *DirtyCustomerSet {
+	rng := rand.New(rand.NewSource(seed))
+	set := &DirtyCustomerSet{Truth: map[[2]string]bool{}, Entities: n}
+	for i := 0; i < n; i++ {
+		first := firstNames[rng.Intn(len(firstNames))]
+		last := lastNames[rng.Intn(len(lastNames))]
+		city := cities[rng.Intn(len(cities))]
+		num := 1 + rng.Intn(999)
+		sname := streetNames[rng.Intn(len(streetNames))]
+		skind := streetKinds[rng.Intn(len(streetKinds))]
+		phone := fmt.Sprintf("%03d-555-%04d", 200+rng.Intn(700), rng.Intn(10000))
+
+		crmID := fmt.Sprintf("c%d", i)
+		crm := clean.Record{
+			Source: "crm", ID: crmID,
+			Fields: map[string]string{
+				"name":   title(first) + " " + title(last),
+				"street": fmt.Sprintf("%d %s %s", num, sname, skind),
+				"city":   city,
+				"phone":  phone,
+			},
+		}
+		set.Records = append(set.Records, crm)
+
+		if rng.Float64() >= dupRate {
+			continue
+		}
+		// Duplicate in the web source with anomalies.
+		webFirst := first
+		if alts, ok := nicknameOf[first]; ok && rng.Float64() < 0.4 {
+			webFirst = alts[rng.Intn(len(alts))]
+		}
+		name := title(webFirst) + " " + title(last)
+		if rng.Float64() < 0.5 {
+			name = typo(rng, name)
+		}
+		webPhone := fmt.Sprintf("(%s) %s %s", phone[0:3], phone[4:7], phone[8:])
+		if rng.Float64() < 0.2 {
+			webPhone = "" // missing value
+		}
+		// Single address field with abbreviated street kind.
+		addr := fmt.Sprintf("%d %s %s, %s", num, sname, streetAbbr[skind], city)
+		webID := fmt.Sprintf("w%d", i)
+		web := clean.Record{
+			Source: "web", ID: webID,
+			Fields: map[string]string{
+				"name":    name,
+				"address": addr,
+				"phone":   webPhone,
+			},
+		}
+		set.Records = append(set.Records, web)
+		a, b := "crm/"+crmID, "web/"+webID
+		if a > b {
+			a, b = b, a
+		}
+		set.Truth[[2]string{a, b}] = true
+	}
+	return set
+}
+
+func title(s string) string {
+	if s == "" {
+		return s
+	}
+	return strings.ToUpper(s[:1]) + s[1:]
+}
+
+// typo injects one random character edit (swap, drop, double, replace).
+func typo(rng *rand.Rand, s string) string {
+	if len(s) < 3 {
+		return s
+	}
+	i := 1 + rng.Intn(len(s)-2)
+	switch rng.Intn(4) {
+	case 0: // swap
+		b := []byte(s)
+		b[i], b[i+1] = b[i+1], b[i]
+		return string(b)
+	case 1: // drop
+		return s[:i] + s[i+1:]
+	case 2: // double
+		return s[:i] + s[i:i+1] + s[i:]
+	default: // replace
+		return s[:i] + string(rune('a'+rng.Intn(26))) + s[i+1:]
+	}
+}
+
+// CustomerDB populates a relational database with nCustomers and about
+// ordersPer orders each; the substrate for the query-processing
+// experiments.
+func CustomerDB(name string, nCustomers, ordersPer int, seed int64) *rdb.Database {
+	rng := rand.New(rand.NewSource(seed))
+	db := rdb.NewDatabase(name)
+	db.MustExec(`CREATE TABLE customers (id INT PRIMARY KEY, name VARCHAR, city VARCHAR, tier VARCHAR)`)
+	db.MustExec(`CREATE TABLE orders (oid INT PRIMARY KEY, cust INT, total FLOAT, status VARCHAR)`)
+	db.MustExec(`CREATE INDEX ON customers (city)`)
+	db.MustExec(`CREATE INDEX ON orders (cust)`)
+	tiers := []string{"gold", "silver", "bronze"}
+	statuses := []string{"open", "shipped", "cancelled"}
+	oid := 0
+	for i := 0; i < nCustomers; i++ {
+		name := title(firstNames[rng.Intn(len(firstNames))]) + " " + title(lastNames[rng.Intn(len(lastNames))])
+		city := cities[rng.Intn(len(cities))]
+		tier := tiers[rng.Intn(len(tiers))]
+		db.MustExec(fmt.Sprintf(`INSERT INTO customers VALUES (%d, '%s', '%s', '%s')`, i, sqlEsc(name), sqlEsc(city), tier))
+		k := ordersPer/2 + rng.Intn(ordersPer+1)
+		for j := 0; j < k; j++ {
+			total := math.Round(rng.Float64()*50000) / 100
+			st := statuses[rng.Intn(len(statuses))]
+			db.MustExec(fmt.Sprintf(`INSERT INTO orders VALUES (%d, %d, %g, '%s')`, oid, i, total, st))
+			oid++
+		}
+	}
+	return db
+}
+
+func sqlEsc(s string) string { return strings.ReplaceAll(s, "'", "''") }
+
+// Zipf draws ranks in [0, n) with skew theta (theta 0 = uniform; larger
+// is more skewed). It matches the standard Zipf popularity model used in
+// caching studies.
+type Zipf struct {
+	rng  *rand.Rand
+	cdf  []float64
+	perm []int
+}
+
+// NewZipf builds a sampler over n items with the given skew.
+func NewZipf(n int, theta float64, seed int64) *Zipf {
+	rng := rand.New(rand.NewSource(seed))
+	weights := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		weights[i] = 1 / math.Pow(float64(i+1), theta)
+		sum += weights[i]
+	}
+	cdf := make([]float64, n)
+	acc := 0.0
+	for i, w := range weights {
+		acc += w / sum
+		cdf[i] = acc
+	}
+	// Shuffle the identity of hot items so adjacent ids aren't all hot.
+	perm := rng.Perm(n)
+	return &Zipf{rng: rng, cdf: cdf, perm: perm}
+}
+
+// Next draws one item.
+func (z *Zipf) Next() int {
+	u := z.rng.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return z.perm[lo]
+}
+
+// CityQueries generates a stream of XML-QL queries over the "customers"
+// mediated schema, selecting by Zipf-popular cities.
+func CityQueries(n int, theta float64, seed int64) []string {
+	z := NewZipf(len(cities), theta, seed)
+	out := make([]string, n)
+	for i := range out {
+		city := cities[z.Next()]
+		out[i] = fmt.Sprintf(`WHERE <cust><who>$w</who><where>$p</where></cust> IN "customers", $p = "%s" CONSTRUCT <hit>$w</hit>`, city)
+	}
+	return out
+}
+
+// Cities exposes the city vocabulary (benchmarks sweep over it).
+func Cities() []string { return append([]string(nil), cities...) }

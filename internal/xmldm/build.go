@@ -1,0 +1,125 @@
+package xmldm
+
+// Builder constructs element trees with parent pointers and document
+// ordinals assigned, so navigation and document-order sorting work
+// immediately. Each Elem call finalizes its subtree, so the outermost
+// call yields a correctly numbered document; the cost is O(n·depth).
+type Builder struct{}
+
+// NewBuilder returns a Builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// Elem creates an element with the given name and children. Children may
+// be *Node values (adopted: their Parent is set), atoms (kept as text
+// content), or Attr values (appended to the attribute list).
+func (b *Builder) Elem(name string, children ...any) *Node {
+	n := &Node{Name: name}
+	for _, c := range children {
+		switch v := c.(type) {
+		case Attr:
+			n.Attrs = append(n.Attrs, v)
+		case *Node:
+			v.Parent = n
+			n.Children = append(n.Children, v)
+		case Value:
+			n.Children = append(n.Children, v)
+		case string:
+			n.Children = append(n.Children, String(v))
+		case int:
+			n.Children = append(n.Children, Int(v))
+		case int64:
+			n.Children = append(n.Children, Int(v))
+		case float64:
+			n.Children = append(n.Children, Float(v))
+		case bool:
+			n.Children = append(n.Children, Bool(v))
+		case nil:
+			// skip
+		default:
+			panic("xmldm: Builder.Elem: unsupported child type")
+		}
+	}
+	Finalize(n)
+	return n
+}
+
+// Text wraps a string as a text child.
+func (b *Builder) Text(s string) Value { return String(s) }
+
+// Finalize renumbers the tree rooted at root in document order and fixes
+// parent pointers; call it after assembling subtrees out of order or
+// after manual tree surgery.
+func Finalize(root *Node) {
+	ord := 1
+	var fix func(n *Node, parent *Node)
+	fix = func(n *Node, parent *Node) {
+		n.Parent = parent
+		n.Ord = ord
+		ord++
+		for _, c := range n.Children {
+			if e, ok := c.(*Node); ok {
+				fix(e, n)
+			}
+		}
+	}
+	fix(root, nil)
+}
+
+// TupleToNode converts a tuple to an element: each field becomes a child
+// element whose text is the field value. It is the canonical embedding of
+// relational rows into the XML model (§3.1's "accommodating relational
+// data more naturally" works both ways).
+func TupleToNode(name string, t *Tuple) *Node {
+	n := &Node{Name: name}
+	for _, f := range t.Fields() {
+		child := &Node{Name: f.Name, Parent: n}
+		switch v := f.Value.(type) {
+		case nil, Null:
+			// empty element
+		case *Node:
+			v.Parent = child
+			child.Children = append(child.Children, v)
+		case *Collection:
+			for _, it := range v.Items() {
+				if e, ok := it.(*Node); ok {
+					e.Parent = child
+					child.Children = append(child.Children, e)
+				} else {
+					child.Children = append(child.Children, String(Stringify(it)))
+				}
+			}
+		default:
+			child.Children = append(child.Children, f.Value)
+		}
+		n.Children = append(n.Children, child)
+	}
+	return n
+}
+
+// NodeToTuple converts an element to a tuple: each child element becomes
+// a field named after it. Repeated child names become Collection fields;
+// text-only children become atoms via their text.
+func NodeToTuple(n *Node) *Tuple {
+	var fields []Field
+	index := make(map[string]int)
+	for _, c := range n.ChildElements() {
+		var v Value
+		if len(c.ChildElements()) > 0 {
+			v = c
+		} else {
+			v = String(c.Text())
+		}
+		if i, ok := index[c.Name]; ok {
+			switch existing := fields[i].Value.(type) {
+			case *Collection:
+				fields[i].Value = existing.Append(v)
+			default:
+				fields[i].Value = NewCollection(existing, v)
+			}
+			continue
+		}
+		index[c.Name] = len(fields)
+		fields = append(fields, Field{Name: c.Name, Value: v})
+	}
+	return NewTuple(fields...)
+}

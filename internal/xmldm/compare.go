@@ -1,0 +1,289 @@
+package xmldm
+
+import (
+	"hash/fnv"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Compare imposes a total preorder across all values, by value, with
+// XPath-style weak typing: nodes compare through their atomized content,
+// and strings that parse as numbers belong to the numeric class, so the
+// XML-QL predicate $price > 100 behaves correctly whether $price carries
+// Int(120), Float(120), String("120") (text content from a pattern
+// binding), or the <price>120</price> element itself. The classes order
+// Null < numeric < string < date < tuple < collection; within the string
+// class comparison is lexicographic, within numeric it is by value, and
+// composites compare lexicographically element-wise. Compare
+// deliberately ignores document position: use DocOrderLess for
+// document-order sorting.
+//
+// The weak-typing consequence — String("007") equals Int(7) — is a
+// deliberate data-integration choice: values crossing source boundaries
+// arrive as text, and joins across sources must still match them.
+func Compare(a, b Value) int {
+	if a == nil {
+		a = Null{}
+	}
+	if b == nil {
+		b = Null{}
+	}
+	// Atomize nodes up front so that every comparison is value-based and
+	// the order stays transitive across mixed node/atom operands.
+	if n, ok := a.(*Node); ok {
+		a = atomizeNode(n)
+	}
+	if n, ok := b.(*Node); ok {
+		b = atomizeNode(n)
+	}
+
+	fa, na := numericValue(a)
+	fb, nb := numericValue(b)
+	ra, rb := classRank(a, na), classRank(b, nb)
+	if ra != rb {
+		return ra - rb
+	}
+	if na && nb {
+		switch {
+		case fa < fb:
+			return -1
+		case fa > fb:
+			return 1
+		default:
+			return 0
+		}
+	}
+
+	ka, kb := a.Kind(), b.Kind()
+	if ka != kb {
+		return int(ka) - int(kb)
+	}
+	switch ka {
+	case KindNull:
+		return 0
+	case KindBool:
+		ba, bb := bool(a.(Bool)), bool(b.(Bool))
+		switch {
+		case !ba && bb:
+			return -1
+		case ba && !bb:
+			return 1
+		default:
+			return 0
+		}
+	case KindString:
+		sa, sb := string(a.(String)), string(b.(String))
+		switch {
+		case sa < sb:
+			return -1
+		case sa > sb:
+			return 1
+		default:
+			return 0
+		}
+	case KindDate:
+		ta, tb := time.Time(a.(Date)), time.Time(b.(Date))
+		switch {
+		case ta.Before(tb):
+			return -1
+		case ta.After(tb):
+			return 1
+		default:
+			return 0
+		}
+	case KindTuple:
+		return compareTuples(a.(*Tuple), b.(*Tuple))
+	case KindCollection:
+		return compareCollections(a.(*Collection), b.(*Collection))
+	default:
+		return 0
+	}
+}
+
+// DocOrderLess orders nodes by document position (ordinal). It is the
+// comparator behind "XML documents are intrinsically ordered" (§4): use
+// it, not Compare, when result order must follow the source document.
+func DocOrderLess(a, b *Node) bool { return a.Ord < b.Ord }
+
+// numericValue reports whether a value belongs to the numeric class and
+// its numeric image: Bool, Int, Float (except NaN), and strings that
+// parse as finite numbers.
+func numericValue(v Value) (float64, bool) {
+	switch x := v.(type) {
+	case Bool:
+		if x {
+			return 1, true
+		}
+		return 0, true
+	case Int:
+		return float64(x), true
+	case Float:
+		f := float64(x)
+		if math.IsNaN(f) {
+			// NaN has no order; map it to -Inf so the order stays total
+			// and deterministic.
+			return math.Inf(-1), true
+		}
+		return f, true
+	case String:
+		f, err := strconv.ParseFloat(strings.TrimSpace(string(x)), 64)
+		if err != nil || math.IsNaN(f) {
+			return 0, false
+		}
+		return f, true
+	default:
+		return 0, false
+	}
+}
+
+// classRank orders the comparison classes: Null < numeric < string <
+// date < tuple < collection.
+func classRank(v Value, numeric bool) int {
+	if numeric {
+		return 1
+	}
+	switch v.Kind() {
+	case KindNull:
+		return 0
+	case KindString:
+		return 2
+	case KindDate:
+		return 3
+	case KindTuple:
+		return 4
+	default:
+		return 5
+	}
+}
+
+// atomizeNode turns a node into the atom its text content denotes: a
+// number if it parses as one, else a string.
+func atomizeNode(n *Node) Value {
+	t := n.Text()
+	if i, err := strconv.ParseInt(t, 10, 64); err == nil {
+		return Int(i)
+	}
+	if f, err := strconv.ParseFloat(t, 64); err == nil {
+		return Float(f)
+	}
+	return String(t)
+}
+
+func compareTuples(a, b *Tuple) int {
+	n := a.Len()
+	if b.Len() < n {
+		n = b.Len()
+	}
+	for i := 0; i < n; i++ {
+		fa, fb := a.Field(i), b.Field(i)
+		if fa.Name != fb.Name {
+			if fa.Name < fb.Name {
+				return -1
+			}
+			return 1
+		}
+		if c := Compare(fa.Value, fb.Value); c != 0 {
+			return c
+		}
+	}
+	return a.Len() - b.Len()
+}
+
+func compareCollections(a, b *Collection) int {
+	n := a.Len()
+	if b.Len() < n {
+		n = b.Len()
+	}
+	for i := 0; i < n; i++ {
+		if c := Compare(a.Item(i), b.Item(i)); c != 0 {
+			return c
+		}
+	}
+	return a.Len() - b.Len()
+}
+
+// Equal reports deep equality under Compare's semantics.
+func Equal(a, b Value) bool { return Compare(a, b) == 0 }
+
+// Hash returns a 64-bit hash consistent with Equal: Equal values hash
+// identically. Numeric atoms hash through their float64 image, and nodes
+// through their text, matching the cross-kind behaviour of Compare.
+func Hash(v Value) uint64 {
+	h := fnv.New64a()
+	hashInto(h64writer{h}, v)
+	return h.Sum64()
+}
+
+type hasher interface{ write([]byte) }
+
+type h64writer struct {
+	h interface{ Write([]byte) (int, error) }
+}
+
+func (w h64writer) write(b []byte) { w.h.Write(b) }
+
+func hashInto(w hasher, v Value) {
+	if v == nil {
+		v = Null{}
+	}
+	var buf [9]byte
+	writeNumeric := func(f float64) {
+		if f == 0 {
+			f = 0 // normalize -0 to +0
+		}
+		buf[0] = 1
+		bits := math.Float64bits(f)
+		for i := 0; i < 8; i++ {
+			buf[1+i] = byte(bits >> (8 * i))
+		}
+		w.write(buf[:9])
+	}
+	switch x := v.(type) {
+	case Null:
+		buf[0] = 0
+		w.write(buf[:1])
+	case Bool, Int, Float:
+		f, _ := numericValue(x)
+		writeNumeric(f)
+	case String:
+		// Numeric strings hash through the numeric path so that Hash
+		// stays consistent with Compare's weak typing.
+		if f, ok := numericValue(x); ok {
+			writeNumeric(f)
+			return
+		}
+		buf[0] = 2
+		w.write(buf[:1])
+		w.write([]byte(x))
+	case Date:
+		buf[0] = 3
+		bits := uint64(time.Time(x).UnixNano())
+		for i := 0; i < 8; i++ {
+			buf[1+i] = byte(bits >> (8 * i))
+		}
+		w.write(buf[:9])
+	case *Tuple:
+		buf[0] = 4
+		w.write(buf[:1])
+		for _, f := range x.Fields() {
+			w.write([]byte(f.Name))
+			hashInto(w, f.Value)
+		}
+	case *Collection:
+		buf[0] = 5
+		w.write(buf[:1])
+		for _, it := range x.Items() {
+			hashInto(w, it)
+		}
+	case *Node:
+		// Nodes hash by their atomized content so a node equal to an
+		// atom under Compare hashes equal to it too.
+		hashInto(w, atomizeNode(x))
+	default:
+		buf[0] = 255
+		w.write(buf[:1])
+		w.write([]byte(v.String()))
+	}
+}

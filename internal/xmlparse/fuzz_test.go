@@ -1,0 +1,37 @@
+package xmlparse
+
+import "testing"
+
+// FuzzParse is the native fuzz target for the XML reader: inputs that
+// parse must re-serialize and re-parse to the same element count. Run
+// with:
+//
+//	go test -fuzz=FuzzParse ./internal/xmlparse
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`<a b="c">text<d/>more</a>`,
+		`<r><a>1</a><a>2</a></r>`,
+		`<x>&lt;escaped&gt;</x>`,
+		`<ns:a xmlns:ns="u"><ns:b/></ns:a>`,
+		`<broken>`,
+		``,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		doc, err := ParseString(src)
+		if err != nil {
+			return
+		}
+		out := SerializeString(doc, 0)
+		back, err := ParseString(out)
+		if err != nil {
+			t.Fatalf("reparse of serialized form failed: %v\nin: %q\nout: %q", err, src, out)
+		}
+		if back.CountElements() != doc.CountElements() {
+			t.Fatalf("element count changed %d -> %d\nin: %q\nout: %q",
+				doc.CountElements(), back.CountElements(), src, out)
+		}
+	})
+}

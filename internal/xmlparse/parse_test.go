@@ -1,0 +1,256 @@
+package xmlparse
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xmldm"
+)
+
+func TestParseSimple(t *testing.T) {
+	doc, err := ParseString(`<catalog><book id="b1"><title>TAOCP</title></book></catalog>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Name != "catalog" {
+		t.Errorf("root = %q", doc.Name)
+	}
+	book := doc.Child("book")
+	if book == nil {
+		t.Fatal("no book")
+	}
+	if id, _ := book.Attr("id"); id != "b1" {
+		t.Errorf("id = %q", id)
+	}
+	if got := book.Child("title").Text(); got != "TAOCP" {
+		t.Errorf("title = %q", got)
+	}
+	if book.Parent != doc {
+		t.Error("parent pointer missing")
+	}
+	if doc.Ord != 1 || book.Ord != 2 {
+		t.Errorf("ordinals = %d, %d", doc.Ord, book.Ord)
+	}
+}
+
+func TestParsePreservesSiblingOrder(t *testing.T) {
+	doc, err := ParseString(`<r><a>1</a><b>2</b><a>3</a></r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, e := range doc.ChildElements() {
+		got = append(got, e.Name+e.Text())
+	}
+	want := []string{"a1", "b2", "a3"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v", got)
+		}
+	}
+}
+
+func TestParseMixedContent(t *testing.T) {
+	doc, err := ParseString(`<p>hello <b>world</b> again</p>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := doc.Text(); got != "hello world again" {
+		t.Errorf("text = %q", got)
+	}
+	if len(doc.Children) != 3 {
+		t.Errorf("children = %d, want text+elem+text", len(doc.Children))
+	}
+}
+
+func TestParseDropsInterElementWhitespace(t *testing.T) {
+	doc, err := ParseString("<r>\n  <a>x</a>\n  <b>y</b>\n</r>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Children) != 2 {
+		t.Errorf("children = %d, want 2 (whitespace dropped)", len(doc.Children))
+	}
+}
+
+func TestParseEntitiesAndEscaping(t *testing.T) {
+	doc, err := ParseString(`<x a="q&quot;v">&lt;tag&gt; &amp; more</x>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := doc.Text(); got != "<tag> & more" {
+		t.Errorf("text = %q", got)
+	}
+	if a, _ := doc.Attr("a"); a != `q"v` {
+		t.Errorf("attr = %q", a)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",           // no root
+		"   ",        // no root
+		"<a><b></a>", // mismatched
+		"<a>",        // unterminated
+		"<a/><b/>",   // multiple roots
+		"plain text", // no element
+	}
+	for _, c := range cases {
+		if _, err := ParseString(c); err == nil {
+			t.Errorf("ParseString(%q) should fail", c)
+		}
+	}
+}
+
+func TestParseSkipsCommentsAndPIs(t *testing.T) {
+	doc, err := ParseString(`<?xml version="1.0"?><!-- c --><r><!-- inner --><a/></r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Children) != 1 {
+		t.Errorf("children = %d", len(doc.Children))
+	}
+}
+
+func TestParseStripsNamespacePrefixes(t *testing.T) {
+	doc, err := ParseString(`<ns:r xmlns:ns="http://x"><ns:a>1</ns:a></ns:r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Name != "r" || doc.Child("a") == nil {
+		t.Errorf("namespace handling: root=%q", doc.Name)
+	}
+	for _, a := range doc.Attrs {
+		if strings.Contains(a.Name, "xmlns") {
+			t.Errorf("xmlns attribute leaked: %v", a)
+		}
+	}
+}
+
+func TestSerializeCompactRoundTrip(t *testing.T) {
+	in := `<catalog><book id="b1"><title>T &amp; A</title><price>12.5</price></book><book id="b2"/></catalog>`
+	doc, err := ParseString(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := SerializeString(doc, 0)
+	doc2, err := ParseString(out)
+	if err != nil {
+		t.Fatalf("reparse %q: %v", out, err)
+	}
+	if doc2.CountElements() != doc.CountElements() {
+		t.Errorf("element count changed: %d -> %d", doc.CountElements(), doc2.CountElements())
+	}
+	if doc2.Text() != doc.Text() {
+		t.Errorf("text changed: %q -> %q", doc.Text(), doc2.Text())
+	}
+}
+
+func TestSerializeIndented(t *testing.T) {
+	doc, _ := ParseString(`<r><a>1</a></r>`)
+	out := SerializeString(doc, 2)
+	if !strings.Contains(out, "\n  <a>") {
+		t.Errorf("indented output = %q", out)
+	}
+	var sb strings.Builder
+	if err := Serialize(&sb, doc, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(sb.String(), "\n") {
+		t.Error("Serialize with indent should end with newline")
+	}
+}
+
+// randomTree builds a random element tree for the round-trip property.
+func randomTree(r *rand.Rand, depth int) *xmldm.Node {
+	b := xmldm.NewBuilder()
+	var build func(d int) *xmldm.Node
+	names := []string{"a", "b", "item", "rec"}
+	build = func(d int) *xmldm.Node {
+		var kids []any
+		if r.Intn(3) == 0 {
+			kids = append(kids, xmldm.Attr{Name: "k", Value: randText(r)})
+		}
+		n := r.Intn(3)
+		for i := 0; i < n; i++ {
+			if d > 0 && r.Intn(2) == 0 {
+				kids = append(kids, build(d-1))
+			} else if txt := randText(r); strings.TrimSpace(txt) != "" {
+				kids = append(kids, txt)
+			}
+		}
+		return b.Elem(names[r.Intn(len(names))], kids...)
+	}
+	root := build(depth)
+	xmldm.Finalize(root)
+	return root
+}
+
+func randText(r *rand.Rand) string {
+	chars := "abc <>&\"xyz"
+	n := r.Intn(8)
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		sb.WriteByte(chars[r.Intn(len(chars))])
+	}
+	return sb.String()
+}
+
+func TestParseNeverPanics_Property(t *testing.T) {
+	pieces := []string{"<", ">", "</", "/>", "a", "b", `="x"`, "&amp;", "&", "text", " ", "<!--", "-->", "<?x?>", "\x00", "é"}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var sb strings.Builder
+		n := r.Intn(30)
+		for i := 0; i < n; i++ {
+			sb.WriteString(pieces[r.Intn(len(pieces))])
+		}
+		defer func() {
+			if rec := recover(); rec != nil {
+				t.Fatalf("Parse panicked on %q: %v", sb.String(), rec)
+			}
+		}()
+		doc, err := ParseString(sb.String())
+		if err == nil && doc == nil {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSerializeParseRoundTrip_Property(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tree := randomTree(r, 3)
+		out := SerializeString(tree, 0)
+		back, err := ParseString(out)
+		if err != nil {
+			t.Logf("serialize %q failed reparse: %v", out, err)
+			return false
+		}
+		if back.CountElements() != tree.CountElements() {
+			t.Logf("element count %d -> %d for %q", tree.CountElements(), back.CountElements(), out)
+			return false
+		}
+		// Text can differ only by whitespace-only segments dropped at parse.
+		if strings.TrimSpace(back.Text()) != strings.TrimSpace(tree.Text()) {
+			// Inner whitespace between elements may be dropped; compare
+			// with all spaces removed as the weaker invariant.
+			a := strings.ReplaceAll(tree.Text(), " ", "")
+			bt := strings.ReplaceAll(back.Text(), " ", "")
+			if a != bt {
+				t.Logf("text %q -> %q", tree.Text(), back.Text())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,39 @@
+package xmlql
+
+import "testing"
+
+// FuzzParse is the native fuzz target for the query parser: any input
+// must parse or error, never panic, and successful parses must
+// round-trip through the canonical printer. Run with:
+//
+//	go test -fuzz=FuzzParse ./internal/xmlql
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`WHERE <book year=$y><title>$t</title></book> IN "bib", $y > 1995 CONSTRUCT <r>$t</r>`,
+		`ON-UNAVAILABLE PARTIAL WHERE <//a.b>$v</> IN "s" CONSTRUCT <r>$v</r> ORDER-BY $v DESC`,
+		`WHERE <(a|b)>$x</> ELEMENT_AS $e IN $src CONSTRUCT <$t k=$x>{ count({WHERE <c>$y</c> IN $e CONSTRUCT <d/>}) }</>`,
+		`WHERE <a>"text"</a> IN s, contains($x, "%") CONSTRUCT <r/>`,
+		"WHERE <a>$x</a IN \"s\" CONSTRUCT", // malformed
+		"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if q == nil {
+			t.Fatal("nil query with nil error")
+		}
+		canon := q.String()
+		q2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form failed to re-parse: %v\ninput: %q\ncanon: %q", err, src, canon)
+		}
+		if q2.String() != canon {
+			t.Fatalf("canonical form is not a fixed point:\n%q\nvs\n%q", canon, q2.String())
+		}
+	})
+}

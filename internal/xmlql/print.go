@@ -1,0 +1,204 @@
+package xmlql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// printQuery renders the query in canonical syntax: the output re-parses
+// to an equivalent AST, which the tests verify by round-tripping.
+func printQuery(sb *strings.Builder, q *Query, depth int) {
+	ind := strings.Repeat("  ", depth)
+	sb.WriteString(ind)
+	if q.OnUnavailable != "" {
+		sb.WriteString("ON-UNAVAILABLE ")
+		sb.WriteString(strings.ToUpper(q.OnUnavailable))
+		sb.WriteByte('\n')
+		sb.WriteString(ind)
+	}
+	sb.WriteString("WHERE ")
+	for i, c := range q.Where {
+		if i > 0 {
+			sb.WriteString(",\n")
+			sb.WriteString(ind)
+			sb.WriteString("      ")
+		}
+		switch x := c.(type) {
+		case *PatternCond:
+			printPattern(sb, x.Pattern)
+			sb.WriteString(" IN ")
+			sb.WriteString(x.Source.String())
+		case *PredicateCond:
+			sb.WriteString(ExprString(x.Expr))
+		}
+	}
+	sb.WriteByte('\n')
+	sb.WriteString(ind)
+	sb.WriteString("CONSTRUCT ")
+	printTemplate(sb, q.Construct, depth)
+	if len(q.OrderBy) > 0 {
+		sb.WriteByte('\n')
+		sb.WriteString(ind)
+		sb.WriteString("ORDER-BY ")
+		for i, k := range q.OrderBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(ExprString(k.Expr))
+			if k.Desc {
+				sb.WriteString(" DESCENDING")
+			}
+		}
+	}
+}
+
+func printPattern(sb *strings.Builder, e *ElemPattern) {
+	sb.WriteByte('<')
+	sb.WriteString(e.Tag.String())
+	for _, a := range e.Attrs {
+		sb.WriteByte(' ')
+		sb.WriteString(a.Name)
+		sb.WriteByte('=')
+		if a.Var != "" {
+			sb.WriteByte('$')
+			sb.WriteString(a.Var)
+		} else {
+			fmt.Fprintf(sb, "%q", a.Lit)
+		}
+	}
+	if len(e.Content) == 0 {
+		sb.WriteString("/>")
+	} else {
+		sb.WriteByte('>')
+		for _, c := range e.Content {
+			switch x := c.(type) {
+			case *ChildPattern:
+				printPattern(sb, x.Elem)
+			case *VarContent:
+				sb.WriteByte('$')
+				sb.WriteString(x.Var)
+			case *TextContent:
+				fmt.Fprintf(sb, "%q", x.Text)
+			}
+		}
+		sb.WriteString("</>")
+	}
+	if e.ElementAs != "" {
+		sb.WriteString(" ELEMENT_AS $")
+		sb.WriteString(e.ElementAs)
+	}
+	if e.ContentAs != "" {
+		sb.WriteString(" CONTENT_AS $")
+		sb.WriteString(e.ContentAs)
+	}
+}
+
+func printTemplate(sb *strings.Builder, e *TmplElem, depth int) {
+	sb.WriteByte('<')
+	if e.TagVar != "" {
+		sb.WriteByte('$')
+		sb.WriteString(e.TagVar)
+	} else {
+		sb.WriteString(e.Tag)
+	}
+	for _, a := range e.Attrs {
+		sb.WriteByte(' ')
+		sb.WriteString(a.Name)
+		sb.WriteByte('=')
+		switch v := a.Value.(type) {
+		case *VarExpr:
+			sb.WriteByte('$')
+			sb.WriteString(v.Name)
+		case *LitExpr:
+			if s, ok := v.Value.(string); ok {
+				fmt.Fprintf(sb, "%q", s)
+			} else {
+				fmt.Fprintf(sb, "{%v}", v.Value)
+			}
+		default:
+			sb.WriteByte('{')
+			sb.WriteString(ExprString(a.Value))
+			sb.WriteByte('}')
+		}
+	}
+	if len(e.Content) == 0 {
+		sb.WriteString("/>")
+		return
+	}
+	sb.WriteByte('>')
+	for _, c := range e.Content {
+		switch x := c.(type) {
+		case *TmplChild:
+			printTemplate(sb, x.Elem, depth)
+		case *TmplExpr:
+			if v, ok := x.Expr.(*VarExpr); ok {
+				sb.WriteByte('$')
+				sb.WriteString(v.Name)
+			} else {
+				sb.WriteByte('{')
+				sb.WriteString(ExprString(x.Expr))
+				sb.WriteByte('}')
+			}
+		case *TmplText:
+			fmt.Fprintf(sb, "%q", x.Text)
+		case *TmplQuery:
+			sb.WriteString("{ ")
+			printQuery(sb, x.Query, depth+1)
+			sb.WriteString(" }")
+		}
+	}
+	sb.WriteString("</>")
+}
+
+// ExprString renders an expression in parseable form.
+func ExprString(e Expr) string {
+	var sb strings.Builder
+	printExpr(&sb, e)
+	return sb.String()
+}
+
+func printExpr(sb *strings.Builder, e Expr) {
+	switch x := e.(type) {
+	case *VarExpr:
+		sb.WriteByte('$')
+		sb.WriteString(x.Name)
+	case *LitExpr:
+		switch v := x.Value.(type) {
+		case string:
+			fmt.Fprintf(sb, "%q", v)
+		case bool:
+			if v {
+				sb.WriteString("TRUE")
+			} else {
+				sb.WriteString("FALSE")
+			}
+		default:
+			fmt.Fprintf(sb, "%v", v)
+		}
+	case *BinExpr:
+		sb.WriteByte('(')
+		printExpr(sb, x.L)
+		sb.WriteByte(' ')
+		sb.WriteString(x.Op)
+		sb.WriteByte(' ')
+		printExpr(sb, x.R)
+		sb.WriteByte(')')
+	case *FuncExpr:
+		sb.WriteString(x.Name)
+		sb.WriteByte('(')
+		for i, a := range x.Args {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			printExpr(sb, a)
+		}
+		sb.WriteByte(')')
+	case *AggExpr:
+		sb.WriteString(x.Op)
+		sb.WriteString("({ ")
+		printQuery(sb, x.Query, 0)
+		sb.WriteString(" })")
+	default:
+		sb.WriteString("?expr?")
+	}
+}

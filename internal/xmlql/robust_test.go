@@ -1,0 +1,85 @@
+package xmlql
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestParseNeverPanics_Property throws random byte soup and mutated
+// valid queries at the parser: it must always return (query, nil) or
+// (nil, error), never panic — the front end feeds it raw network input.
+func TestParseNeverPanics_Property(t *testing.T) {
+	pieces := []string{
+		"WHERE", "CONSTRUCT", "IN", "ORDER-BY", "ELEMENT_AS", "CONTENT_AS",
+		"<", ">", "</", "/>", "//", "$x", "$", "\"lit\"", "'q'", "{", "}",
+		"(", ")", ",", "=", "!=", "<=", ">=", "+", "-", "*", "/", "a", "b",
+		"count", "TRUE", "FALSE", "1", "2.5", "#c\n", "ON-UNAVAILABLE",
+		"FAIL", "PARTIAL", "\\", "\x00", "é",
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var sb strings.Builder
+		n := rng.Intn(40)
+		for i := 0; i < n; i++ {
+			sb.WriteString(pieces[rng.Intn(len(pieces))])
+			if rng.Intn(3) == 0 {
+				sb.WriteByte(' ')
+			}
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Parse panicked on %q: %v", sb.String(), r)
+			}
+		}()
+		q, err := Parse(sb.String())
+		if err == nil && q == nil {
+			t.Logf("nil query with nil error for %q", sb.String())
+			return false
+		}
+		if err == nil {
+			// Whatever parsed must print and re-parse.
+			if _, err2 := Parse(q.String()); err2 != nil {
+				t.Logf("canonical form of %q failed to re-parse: %v", sb.String(), err2)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParseDeepNesting checks the parser handles deeply nested patterns
+// and templates without stack trouble at realistic depths.
+func TestParseDeepNesting(t *testing.T) {
+	depth := 200
+	var open, close strings.Builder
+	for i := 0; i < depth; i++ {
+		open.WriteString("<a>")
+		close.WriteString("</a>")
+	}
+	src := "WHERE " + open.String() + "$x" + close.String() + ` IN "s" CONSTRUCT <r>$x</r>`
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count the nesting back.
+	d := 0
+	pat := q.Where[0].(*PatternCond).Pattern
+	for pat != nil {
+		d++
+		if len(pat.Content) == 1 {
+			if cp, ok := pat.Content[0].(*ChildPattern); ok {
+				pat = cp.Elem
+				continue
+			}
+		}
+		break
+	}
+	if d != depth {
+		t.Errorf("depth = %d, want %d", d, depth)
+	}
+}

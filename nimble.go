@@ -1,0 +1,505 @@
+// Package nimble is the public API of the Nimble XML data integration
+// system reproduction (Draper, Halevy, Weld — ICDE 2001): a federated
+// query engine with XML as its core representation.
+//
+// A System integrates data from relational, XML, CSV, and hierarchical
+// sources behind mediated schemas defined as XML-QL views
+// (global-as-view, hierarchically composable). Queries are XML-QL;
+// fragments are compiled into each source's native language (SQL for
+// relational sources), results combine in a physical algebra, and the
+// compound architecture supports local materialization of views over the
+// mediated schemas, query caching, dynamic data cleaning with a
+// concordance database, partial results under source unavailability,
+// lenses with device-targeted formatting, and load balancing across
+// engine instances.
+//
+// Quickstart:
+//
+//	sys := nimble.New(nimble.Config{})
+//	db := nimble.NewDatabase("crm")
+//	db.MustExec(`CREATE TABLE customers (id INT PRIMARY KEY, name VARCHAR)`)
+//	db.MustExec(`INSERT INTO customers VALUES (1, 'Ada')`)
+//	sys.AddRelationalSource("crmdb", db)
+//	sys.DefineSchema("customers",
+//	    `WHERE <customer><name>$n</name></customer> IN "crmdb"
+//	     CONSTRUCT <cust><who>$n</who></cust>`)
+//	res, err := sys.Query(ctx, `WHERE <cust><who>$w</who></cust> IN "customers" CONSTRUCT <r>$w</r>`)
+package nimble
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/clean"
+	"repro/internal/concord"
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/lens"
+	"repro/internal/lineage"
+	"repro/internal/matview"
+	"repro/internal/opt"
+	"repro/internal/qcache"
+	"repro/internal/rdb"
+	"repro/internal/server"
+	"repro/internal/sources"
+	"repro/internal/xmldm"
+	"repro/internal/xmlparse"
+	"repro/internal/xmlql"
+)
+
+// Re-exported types, so adopters never import internal packages.
+type (
+	// Database is the embedded relational engine used as a source
+	// substrate (and as local test data).
+	Database = rdb.Database
+	// Source is the wrapper interface external data sources implement.
+	Source = catalog.Source
+	// SourceCapabilities describes what query processing a source can
+	// perform (implementors of Source return it).
+	SourceCapabilities = catalog.Capabilities
+	// SourceRequest is the compiled fragment a source receives.
+	SourceRequest = catalog.Request
+	// SourceCost reports a fetch's size for the optimizer's statistics.
+	SourceCost = catalog.Cost
+	// Lens is a published, parameterized query with formatting and auth.
+	Lens = lens.Lens
+	// LensParam declares one lens parameter.
+	LensParam = lens.Param
+	// LensRule is one formatting rule.
+	LensRule = lens.Rule
+	// Device is a rendering target for lens output.
+	Device = lens.Device
+	// Node is an element of the XML data model.
+	Node = xmldm.Node
+	// Value is any value of the data model.
+	Value = xmldm.Value
+	// ElemAttr is an attribute passed to NewElement.
+	ElemAttr = xmldm.Attr
+	// Record is a record under data cleaning.
+	Record = clean.Record
+	// Flow is a declarative cleaning flow.
+	Flow = clean.Flow
+	// Completeness reports which sources answered a query.
+	Completeness = exec.Completeness
+	// DirectorySource is the hierarchical (LDAP-style) source.
+	DirectorySource = sources.DirectorySource
+)
+
+// Devices.
+const (
+	DeviceXML      = lens.DeviceXML
+	DeviceWeb      = lens.DeviceWeb
+	DeviceWireless = lens.DeviceWireless
+	DevicePlain    = lens.DevicePlain
+)
+
+// NewDatabase creates an embedded relational database.
+func NewDatabase(name string) *Database { return rdb.NewDatabase(name) }
+
+// Config tunes a System.
+type Config struct {
+	// Instances is the number of engine instances behind the load
+	// balancer (default 1).
+	Instances int
+	// CacheEntries sizes the query-result cache (0 disables caching).
+	CacheEntries int
+	// CacheTTL expires cached results (0 = no expiry).
+	CacheTTL time.Duration
+	// FailOnUnavailable makes queries error when a source is down
+	// instead of returning flagged partial results.
+	FailOnUnavailable bool
+	// DisablePushdown turns off fragment compilation into sources (for
+	// ablation; the answer is unchanged, only slower).
+	DisablePushdown bool
+}
+
+// Result is a query answer.
+type Result struct {
+	// Values are the constructed result elements in order. Treat them
+	// as immutable: cached results share them across callers (XML and
+	// Document render copies).
+	Values []Value
+	// Complete reports whether every source answered.
+	Complete bool
+	// FailedSources lists sources that did not answer.
+	FailedSources []string
+	// Completeness is the full per-source report.
+	Completeness Completeness
+	// Stats summarizes the execution.
+	Stats core.Stats
+}
+
+// XML renders the result document (indented).
+func (r *Result) XML() string { return xmlparse.SerializeString(r.doc(), 2) }
+
+// Document returns the result wrapped under a <results> element.
+func (r *Result) Document() *Node { return r.doc() }
+
+func (r *Result) doc() *Node {
+	cr := &core.Result{Values: r.Values, Completeness: r.Completeness}
+	return cr.Document()
+}
+
+// System is one assembled deployment of the integration product.
+type System struct {
+	cat      *catalog.Catalog
+	engines  []*core.Engine
+	balancer *server.Balancer
+	cache    *qcache.Cache
+	views    *matview.Manager
+	lenses   *lens.Registry
+	cleanReg *clean.Registry
+	cdb      *concord.DB
+	lin      *lineage.Log
+	cfg      Config
+}
+
+// New assembles a System.
+func New(cfg Config) *System {
+	if cfg.Instances < 1 {
+		cfg.Instances = 1
+	}
+	cat := catalog.New()
+	s := &System{
+		cat:      cat,
+		lenses:   lens.NewRegistry(),
+		cleanReg: clean.NewRegistry(),
+		cdb:      concord.New(),
+		lin:      lineage.New(),
+		cfg:      cfg,
+	}
+	for i := 0; i < cfg.Instances; i++ {
+		e := core.New(cat)
+		if cfg.FailOnUnavailable {
+			e.SetPolicy(exec.PolicyFail)
+		}
+		if cfg.DisablePushdown {
+			e.SetPlannerOptions(opt.Options{})
+		}
+		s.engines = append(s.engines, e)
+	}
+	s.balancer = server.NewBalancer(server.LeastLoaded, s.engines...)
+	if cfg.CacheEntries > 0 {
+		s.cache = qcache.New(cfg.CacheEntries, cfg.CacheTTL)
+	}
+	// The materialized store lives on the first instance's engine but
+	// serves all instances through the shared catalog? No — each engine
+	// has its own local-store hook, so install the manager on every one.
+	s.views = matview.NewManager(s.engines[0])
+	for _, e := range s.engines[1:] {
+		mv := s.views
+		e.SetLocalStore(
+			func(source string, req catalog.Request) (*xmldm.Node, bool) { return mv.Lookup(source, req) },
+			mv.Holds,
+		)
+	}
+	s.registerCleaningFunctions()
+	return s
+}
+
+// registerCleaningFunctions exposes every registered normalizer to
+// queries as normalize_<name>($v) plus similarity($a, $b) — the paper's
+// dynamic, query-time cleaning (§3.2).
+func (s *System) registerCleaningFunctions() {
+	for _, name := range s.cleanReg.NormalizerNames() {
+		fn, _ := s.cleanReg.Normalizer(name)
+		qlName := "normalize_" + name
+		impl := func(fn clean.Normalizer) func([]xmldm.Value) (xmldm.Value, error) {
+			return func(args []xmldm.Value) (xmldm.Value, error) {
+				if len(args) != 1 {
+					return nil, fmt.Errorf("%s expects 1 argument", qlName)
+				}
+				return xmldm.String(fn(xmldm.Stringify(args[0]))), nil
+			}
+		}(fn)
+		for _, e := range s.engines {
+			e.RegisterFunc(qlName, impl)
+		}
+	}
+	sim := func(args []xmldm.Value) (xmldm.Value, error) {
+		if len(args) != 2 {
+			return nil, fmt.Errorf("similarity expects 2 arguments")
+		}
+		return xmldm.Float(clean.LevenshteinSimilarity(
+			xmldm.Stringify(args[0]), xmldm.Stringify(args[1]))), nil
+	}
+	for _, e := range s.engines {
+		e.RegisterFunc("similarity", sim)
+	}
+}
+
+// AddSource registers any source implementation.
+func (s *System) AddSource(src Source) error { return s.cat.AddSource(src) }
+
+// AddRelationalSource wraps an embedded database as a SQL-speaking
+// source.
+func (s *System) AddRelationalSource(name string, db *Database) error {
+	return s.cat.AddSource(sources.NewRelationalSource(name, db))
+}
+
+// AddXMLSource registers an XML document as a source.
+func (s *System) AddXMLSource(name, xmlText string) error {
+	src, err := sources.NewXMLSource(name, xmlText)
+	if err != nil {
+		return err
+	}
+	return s.cat.AddSource(src)
+}
+
+// AddCSVSource registers CSV data (header row first) as a source.
+func (s *System) AddCSVSource(name string, r io.Reader) error {
+	src, err := sources.NewCSVSource(name, r)
+	if err != nil {
+		return err
+	}
+	return s.cat.AddSource(src)
+}
+
+// AddDirectorySource registers a hierarchical source and returns it for
+// population via Put.
+func (s *System) AddDirectorySource(name, rootEntry string) (*DirectorySource, error) {
+	d := sources.NewDirectorySource(name, rootEntry)
+	if err := s.cat.AddSource(d); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// WrapNetwork wraps a source with simulated latency and availability for
+// experiments; register the returned source. (Real deployments have real
+// networks; the wrapper stands in for them per DESIGN.md's substitution
+// table.)
+func WrapNetwork(src Source, latency time.Duration, availability float64, seed int64) Source {
+	return sources.NewNetworkSim(src, latency, availability, seed)
+}
+
+// NewXMLSource builds a standalone XML-document source (use AddSource to
+// register it — or AddXMLSource for the common register-immediately
+// case). Useful for wrapping with WrapNetwork first.
+func NewXMLSource(name, xmlText string) (Source, error) {
+	return sources.NewXMLSource(name, xmlText)
+}
+
+// NewRelationalSource builds a standalone SQL-speaking source over an
+// embedded database, for wrapping before registration.
+func NewRelationalSource(name string, db *Database) Source {
+	return sources.NewRelationalSource(name, db)
+}
+
+// DefineSchema adds a view definition (XML-QL) to a mediated schema,
+// creating it on first use; multiple definitions union. A definition
+// that would make the schema hierarchy cyclic is rejected and not
+// recorded.
+func (s *System) DefineSchema(name, viewQL string) error {
+	return s.cat.DefineViewQLChecked(name, viewQL)
+}
+
+// Query runs an XML-QL query through the load balancer and cache.
+func (s *System) Query(ctx context.Context, q string) (*Result, error) {
+	q = strings.TrimSpace(q)
+	if s.cache != nil {
+		if hit, ok := s.cache.Get(q); ok {
+			return &Result{Values: hit.Values, Complete: true,
+				Completeness: Completeness{Complete: true}}, nil
+		}
+	}
+	cr, err := s.balancer.Query(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Values:        cr.Values,
+		Complete:      cr.Completeness.Complete,
+		FailedSources: cr.Completeness.FailedSources(),
+		Completeness:  cr.Completeness,
+		Stats:         cr.Stats,
+	}
+	if s.cache != nil && res.Complete {
+		s.cache.Put(q, qcache.Result{Values: cr.Values, Sources: cacheTags(q, cr)})
+	}
+	return res, nil
+}
+
+// cacheTags lists every name a cached result depends on: the sources
+// that actually answered (post-unfolding) plus the schemas the query
+// text references, so invalidating either evicts the entry.
+func cacheTags(q string, cr *core.Result) []string {
+	var srcs []string
+	for _, st := range cr.Completeness.Statuses {
+		srcs = append(srcs, st.Source)
+	}
+	if parsed, err := xmlql.Parse(q); err == nil {
+		srcs = append(srcs, catalog.QueryDeps(parsed)...)
+	}
+	return srcs
+}
+
+// Materialize stores a mediated schema's document locally; later queries
+// over it answer from the local copy until Refresh or Drop.
+func (s *System) Materialize(ctx context.Context, schema string) error {
+	if err := s.views.Materialize(ctx, schema); err != nil {
+		return err
+	}
+	if s.cache != nil {
+		s.cache.InvalidateSource(schema)
+	}
+	return nil
+}
+
+// Refresh re-materializes a schema (or all, with empty name).
+func (s *System) Refresh(ctx context.Context, schema string) error {
+	var err error
+	if schema == "" {
+		err = s.views.RefreshAll(ctx)
+	} else {
+		err = s.views.Refresh(ctx, schema)
+	}
+	if err != nil {
+		return err
+	}
+	if s.cache != nil {
+		if schema == "" {
+			s.cache.InvalidateAll()
+		} else {
+			s.cache.InvalidateSource(schema)
+		}
+	}
+	return nil
+}
+
+// Drop removes a schema's local copy, restoring virtual querying.
+func (s *System) Drop(schema string) {
+	s.views.Drop(schema)
+	if s.cache != nil {
+		s.cache.InvalidateSource(schema)
+	}
+}
+
+// Materialized lists locally materialized schemas.
+func (s *System) Materialized() []string { return s.views.Materialized() }
+
+// PublishLens registers a lens.
+func (s *System) PublishLens(l *Lens) error { return s.lenses.Publish(l) }
+
+// RenderLens binds parameters, runs the lens queries, and renders for
+// the device.
+func (s *System) RenderLens(ctx context.Context, name string, params map[string]string, device Device, authToken string) (string, error) {
+	l, ok := s.lenses.Get(name)
+	if !ok {
+		return "", fmt.Errorf("nimble: no lens %q", name)
+	}
+	if err := l.Authorize(authToken); err != nil {
+		return "", err
+	}
+	queries, err := l.Bind(params)
+	if err != nil {
+		return "", err
+	}
+	combined := &xmldm.Node{Name: "results"}
+	complete := true
+	for _, q := range queries {
+		res, err := s.Query(ctx, q)
+		if err != nil {
+			return "", err
+		}
+		if !res.Complete {
+			complete = false
+		}
+		for _, v := range res.Values {
+			if n, ok := v.(*xmldm.Node); ok {
+				n.Parent = combined
+				combined.Children = append(combined.Children, n)
+			}
+		}
+	}
+	if !complete {
+		combined.Attrs = append(combined.Attrs, xmldm.Attr{Name: "complete", Value: "false"})
+	}
+	xmldm.Finalize(combined)
+	return l.Render(combined, device), nil
+}
+
+// CleanRegistry exposes the normalization/matching registry for
+// customer-provided functions; re-run RegisterCleaningFunctions to make
+// new normalizers visible to queries.
+func (s *System) CleanRegistry() *clean.Registry { return s.cleanReg }
+
+// RegisterCleaningFunctions re-exports the registry's normalizers into
+// the query language (call after registering custom normalizers).
+func (s *System) RegisterCleaningFunctions() { s.registerCleaningFunctions() }
+
+// Concordance returns the system's concordance database.
+func (s *System) Concordance() *concord.DB { return s.cdb }
+
+// Lineage returns the cleaning lineage log.
+func (s *System) Lineage() *lineage.Log { return s.lin }
+
+// RunCleaningFlow executes a declarative cleaning flow against records,
+// using the system concordance database and lineage log. oracle may be
+// nil (extraction phase).
+func (s *System) RunCleaningFlow(f *Flow, records []Record, oracle clean.Oracle, oracleBudget int) (*clean.Result, error) {
+	var b *clean.BudgetedOracle
+	if oracle != nil {
+		b = &clean.BudgetedOracle{Inner: oracle, Budget: oracleBudget}
+	}
+	return f.Run(records, s.cdb, b, s.lin)
+}
+
+// HTTPHandler exposes the front end (query endpoint, lenses, catalog,
+// stats, admin).
+func (s *System) HTTPHandler(adminToken string) http.Handler {
+	srv := &server.Server{
+		Balancer:   s.balancer,
+		Lenses:     s.lenses,
+		Cache:      s.cache,
+		Views:      s.views,
+		AdminToken: adminToken,
+	}
+	return srv.Handler()
+}
+
+// CacheStats reports query-cache effectiveness (zero value when caching
+// is disabled).
+func (s *System) CacheStats() qcache.Stats {
+	if s.cache == nil {
+		return qcache.Stats{}
+	}
+	return s.cache.Stats()
+}
+
+// Sources lists registered source names.
+func (s *System) Sources() []string { return s.cat.SourceNames() }
+
+// Schemas lists mediated schema names.
+func (s *System) Schemas() []string { return s.cat.SchemaNames() }
+
+// Engine exposes instance i (experiments need per-instance control).
+func (s *System) Engine(i int) *core.Engine { return s.engines[i] }
+
+// LoadBalancer exposes the dispatch layer (capacity control, loads).
+func (s *System) LoadBalancer() *server.Balancer { return s.balancer }
+
+// Views exposes the materialized-view manager (refresh modes, TTL).
+func (s *System) Views() *matview.Manager { return s.views }
+
+// Instances reports the engine instance count.
+func (s *System) Instances() int { return len(s.engines) }
+
+// NewElement builds an element tree for custom Source implementations:
+// children may be *Node (adopted), ElemAttr (attribute), string/int/
+// float64/bool (text content), or any Value. Parent pointers and
+// document ordinals are assigned, so the tree is immediately matchable.
+func NewElement(name string, children ...any) *Node {
+	return xmldm.NewBuilder().Elem(name, children...)
+}
+
+// ParseXML parses an XML document into the data model.
+func ParseXML(text string) (*Node, error) { return xmlparse.ParseString(text) }
+
+// SerializeXML renders a node as XML text.
+func SerializeXML(n *Node, indent int) string { return xmlparse.SerializeString(n, indent) }

@@ -1,0 +1,114 @@
+package nimble
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/clean"
+	"repro/internal/workload"
+)
+
+// TestConcurrentMixedWorkload soaks the whole facade under simultaneous
+// querying, materialization churn, cache traffic, source updates, and
+// cleaning-flow runs — the kind of load a deployed integration server
+// sees. Run with -race (the CI suite does) to catch synchronization
+// regressions across the matview/qcache/engine interplay.
+func TestConcurrentMixedWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	sys := New(Config{Instances: 2, CacheEntries: 16})
+	db := workload.CustomerDB("crm", 200, 2, 1)
+	if err := sys.AddRelationalSource("crmdb", db); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.DefineSchema("customers", `
+		WHERE <customer><id>$i</id><name>$n</name><city>$c</city></customer> IN "crmdb"
+		CONSTRUCT <cust><cid>$i</cid><who>$n</who><where>$c</where></cust>`); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+
+	// Query workers (cache hits and misses).
+	queries := workload.CityQueries(50, 0.9, 3)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if _, err := sys.Query(ctx, queries[(i+w)%len(queries)]); err != nil {
+					errs <- fmt.Errorf("query: %w", err)
+					return
+				}
+			}
+		}(w)
+	}
+	// Materialization churn.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			if err := sys.Materialize(ctx, "customers"); err != nil {
+				errs <- fmt.Errorf("materialize: %w", err)
+				return
+			}
+			if i%3 == 0 {
+				sys.Drop("customers")
+			} else if err := sys.Refresh(ctx, "customers"); err != nil {
+				errs <- fmt.Errorf("refresh: %w", err)
+				return
+			}
+		}
+	}()
+	// Source-side updates.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 40; i++ {
+			db.MustExec(fmt.Sprintf(`INSERT INTO customers VALUES (%d, 'Soak %d', 'Seattle', 'gold')`, 10000+i, i))
+		}
+	}()
+	// Cleaning flows sharing the system concordance DB and lineage log.
+	set := workload.DirtyCustomers(60, 0.3, 9)
+	flow := &Flow{
+		Name:      "soak",
+		Translate: clean.TranslateAddressFields,
+		Normalize: map[string]clean.Normalizer{"name": clean.NormalizeName},
+		BlockKey:  func(r Record) string { return r.Get("city") + r.Get("address") },
+		Matcher: clean.CompositeMatcher([]clean.FieldWeight{
+			{Field: "name", Matcher: clean.LevenshteinSimilarity, Weight: 1},
+		}),
+		MatchThreshold:  0.95,
+		ReviewThreshold: 0.95,
+	}
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				if _, err := sys.RunCleaningFlow(flow, set.Records, nil, 0); err != nil {
+					errs <- fmt.Errorf("clean: %w", err)
+					return
+				}
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	// The system still answers correctly afterwards.
+	res, err := sys.Query(ctx, `WHERE <cust><who>$w</who><where>$p</where></cust> IN "customers", $p = "Seattle" CONSTRUCT <r>$w</r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Values) == 0 {
+		t.Error("no results after soak")
+	}
+}
