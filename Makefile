@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: all build test race vet check bench
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the full gate: static analysis plus the race-enabled suite
+# (includes the dedicated concurrency tests in internal/obs and
+# internal/server).
+check: vet race
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -63,5 +64,13 @@ func main() {
 		table := runners[id](scale)
 		fmt.Print(table.String())
 		fmt.Printf("(%s in %.1fs)\n\n", id, time.Since(start).Seconds())
+	}
+
+	// Observability snapshot: everything the experiments recorded into
+	// the default registry (systems built with an explicit Config.Metrics
+	// registry are not included).
+	if snap := obs.Default().Summary(); snap != "" {
+		fmt.Println("observability snapshot (default registry):")
+		fmt.Print(snap)
 	}
 }

@@ -9,15 +9,18 @@
 //	curl 'localhost:8080/lens/by-city?city=Seattle&device=web'
 //	curl -XPOST 'localhost:8080/admin/materialize?schema=customers&token=admin'
 //	curl localhost:8080/stats
+//	curl localhost:8080/metrics
+//	curl 'localhost:8080/debug/trace/last?n=1'
+//	curl -XPOST -d '...' 'localhost:8080/query?profile=1'
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
-	"net/http"
 
 	nimble "repro"
+	"repro/internal/server"
 	"repro/internal/workload"
 )
 
@@ -27,15 +30,17 @@ func main() {
 	cacheSize := flag.Int("cache", 64, "query cache entries (0 disables)")
 	adminToken := flag.String("admin-token", "admin", "token for /admin endpoints")
 	customers := flag.Int("customers", 500, "demo dataset size")
+	traces := flag.Int("traces", 16, "recent query traces kept for /debug/trace/last (-1 disables)")
 	flag.Parse()
 
-	sys := nimble.New(nimble.Config{Instances: *instances, CacheEntries: *cacheSize})
+	sys := nimble.New(nimble.Config{Instances: *instances, CacheEntries: *cacheSize, TraceBuffer: *traces})
 	if err := boot(sys, *customers); err != nil {
 		log.Fatal(err)
 	}
+	sys.InstrumentSources()
 	log.Printf("nimbled: %d sources, %d schemas, %d engine instances, listening on %s",
 		len(sys.Sources()), len(sys.Schemas()), sys.Instances(), *addr)
-	log.Fatal(http.ListenAndServe(*addr, sys.HTTPHandler(*adminToken)))
+	log.Fatal(server.NewHTTPServer(*addr, sys.HTTPHandler(*adminToken)).ListenAndServe())
 }
 
 // boot assembles the demo deployment.
@@ -91,5 +96,9 @@ func boot(sys *nimble.System, customers int) error {
 	fmt.Println(`  curl -XPOST -d 'WHERE <cust><who>$w</who></cust> IN "customers" CONSTRUCT <r>$w</r>' localhost:8080/query`)
 	fmt.Println(`  curl 'localhost:8080/lens/by-city?city=Seattle&device=web'`)
 	fmt.Println(`  curl 'localhost:8080/lens/vips?auth=vip-secret&device=plain'`)
+	fmt.Println("observability:")
+	fmt.Println(`  curl localhost:8080/metrics                        # Prometheus exposition`)
+	fmt.Println(`  curl 'localhost:8080/debug/trace/last?n=1'         # last query span tree (add &format=xml)`)
+	fmt.Println(`  curl -XPOST -d '<query>' 'localhost:8080/query?profile=1'  # embed the span tree in the answer`)
 	return nil
 }

@@ -12,8 +12,11 @@ package algebra
 
 import (
 	"errors"
+	"fmt"
+	"strings"
 	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/xmldm"
 	"repro/internal/xmlql"
 )
@@ -33,6 +36,11 @@ type Context struct {
 	// evaluation; cleaning installs normalization functions here so that
 	// queries can call them "dynamically" (§3.2).
 	Funcs map[string]func(args []xmldm.Value) (xmldm.Value, error)
+
+	// Trace, when set, is the parent span under which Drain records one
+	// evaluation span per operator tree (nil disables; span calls are
+	// nil-safe).
+	Trace *obs.Span
 
 	stats Stats
 }
@@ -69,8 +77,28 @@ type Operator interface {
 // ErrNotOpen is returned by Next on an operator that was never opened.
 var ErrNotOpen = errors.New("algebra: operator not open")
 
-// Drain runs an operator to completion and returns all bindings.
+// Drain runs an operator to completion and returns all bindings. When
+// ctx carries a trace span, the evaluation is recorded as a child span
+// named after the root operator with the binding count and the work
+// counters it added.
 func Drain(ctx *Context, op Operator) ([]Binding, error) {
+	sp := ctx.Trace.StartChild("eval " + opName(op))
+	before := ctx.Snapshot()
+	bindings, err := drain(ctx, op)
+	if sp != nil {
+		after := ctx.Snapshot()
+		sp.SetInt("bindings", int64(len(bindings)))
+		sp.SetInt("tuples", after.TuplesEmitted-before.TuplesEmitted)
+		sp.SetInt("matches", after.PatternMatches-before.PatternMatches)
+		if err != nil {
+			sp.SetAttr("error", err.Error())
+		}
+		sp.Finish()
+	}
+	return bindings, err
+}
+
+func drain(ctx *Context, op Operator) ([]Binding, error) {
 	if err := op.Open(ctx); err != nil {
 		return nil, err
 	}
@@ -86,6 +114,11 @@ func Drain(ctx *Context, op Operator) ([]Binding, error) {
 		}
 		out = append(out, b)
 	}
+}
+
+// opName names an operator for trace spans ("MatchScan", "HashJoin", …).
+func opName(op Operator) string {
+	return strings.TrimPrefix(fmt.Sprintf("%T", op), "*algebra.")
 }
 
 // TupleScan replays a materialized slice of bindings; it is the leaf for

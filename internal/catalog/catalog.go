@@ -139,6 +139,21 @@ func (c *Catalog) AddSource(s Source) error {
 	return nil
 }
 
+// ReplaceSource swaps the registered source of the same name — used to
+// wrap an already-registered source (instrumentation, network
+// simulation) without re-running registration checks. The name must
+// already be registered.
+func (c *Catalog) ReplaceSource(s Source) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := strings.ToLower(s.Name())
+	if _, ok := c.sources[key]; !ok {
+		return fmt.Errorf("%w: source %q", ErrUnknownName, s.Name())
+	}
+	c.sources[key] = s
+	return nil
+}
+
 // Source returns the named source.
 func (c *Catalog) Source(name string) (Source, error) {
 	c.mu.RLock()

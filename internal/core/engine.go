@@ -10,13 +10,16 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/algebra"
 	"repro/internal/catalog"
 	"repro/internal/exec"
 	"repro/internal/mediator"
+	"repro/internal/obs"
 	"repro/internal/opt"
 	"repro/internal/xmldm"
 	"repro/internal/xmlql"
@@ -38,6 +41,8 @@ type Engine struct {
 	policy     exec.Policy
 	funcs      map[string]func([]xmldm.Value) (xmldm.Value, error)
 	skipUnfold func(string) bool
+	metrics    *obs.Registry
+	tracer     *obs.Tracer
 
 	queriesRun atomic.Int64
 
@@ -55,9 +60,28 @@ func New(cat *catalog.Catalog) *Engine {
 		policy:   exec.PolicyPartial,
 		funcs:    map[string]func([]xmldm.Value) (xmldm.Value, error){},
 		inflight: map[*exec.Access]map[string]bool{},
+		metrics:  obs.Default(),
 	}
-	e.runner = &exec.Runner{Cat: cat, Materialize: e.materializeSchema}
+	e.runner = &exec.Runner{Cat: cat, Materialize: e.materializeSchema, Metrics: e.metrics}
 	return e
+}
+
+// SetMetrics redirects the engine's metrics (default obs.Default()) to
+// the given registry; nil disables recording.
+func (e *Engine) SetMetrics(reg *obs.Registry) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.metrics = reg
+	e.runner.Metrics = reg
+}
+
+// SetTracer installs a query tracer: every query's span tree is
+// recorded into its retention ring (nil disables retention; ?profile
+// still works without one).
+func (e *Engine) SetTracer(t *obs.Tracer) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.tracer = t
 }
 
 // Catalog returns the engine's catalog.
@@ -124,6 +148,9 @@ type Result struct {
 	// Completeness reports which sources answered (§3.4).
 	Completeness exec.Completeness
 	Stats        Stats
+	// Trace is the execution span tree, set when QueryOptions.Profile
+	// was requested.
+	Trace *obs.Span
 }
 
 // Document wraps the result values under a <results> element.
@@ -153,6 +180,9 @@ func (r *Result) Document() *xmldm.Node {
 type QueryOptions struct {
 	// Policy overrides the engine default when set.
 	Policy *exec.Policy
+	// Profile requests the execution span tree in Result.Trace (the
+	// ?profile=1 query option of the HTTP front end).
+	Profile bool
 }
 
 // Query parses and executes an XML-QL query.
@@ -175,6 +205,8 @@ func (e *Engine) QueryAST(ctx context.Context, q *xmlql.Query, qo QueryOptions) 
 	e.mu.RLock()
 	policy := e.policy
 	funcs := e.funcs
+	metrics := e.metrics
+	tracer := e.tracer
 	e.mu.RUnlock()
 	// Precedence: the query's own ON-UNAVAILABLE prelude overrides the
 	// engine default; an explicit per-call option overrides both.
@@ -187,14 +219,32 @@ func (e *Engine) QueryAST(ctx context.Context, q *xmlql.Query, qo QueryOptions) 
 	if qo.Policy != nil {
 		policy = *qo.Policy
 	}
+
+	start := time.Now()
+	var root *obs.Span
+	if qo.Profile || tracer != nil {
+		root = obs.NewSpan("query")
+		root.SetAttr("policy", policy.String())
+		ctx = obs.ContextWithSpan(ctx, root)
+	}
+
 	access := e.runner.NewAccess(ctx, policy)
-	actx := &algebra.Context{Funcs: funcs}
+	actx := &algebra.Context{Funcs: funcs, Trace: root}
 	res := &Result{}
 	actx.SubqueryEval = func(subq *xmlql.Query, outer algebra.Binding) ([]xmldm.Value, error) {
 		return e.run(ctx, subq, outer, access, actx, 1, nil)
 	}
 	values, err := e.run(ctx, q, nil, access, actx, 0, &res.Stats)
+
+	metrics.Counter("nimble_queries_total").Inc()
+	metrics.Histogram("nimble_query_seconds").Observe(time.Since(start).Seconds())
 	if err != nil {
+		metrics.Counter("nimble_query_errors_total").Inc()
+		if root != nil {
+			root.SetAttr("error", err.Error())
+			root.Finish()
+			tracer.Record(root)
+		}
 		return nil, err
 	}
 	res.Values = values
@@ -202,6 +252,16 @@ func (e *Engine) QueryAST(ctx context.Context, q *xmlql.Query, qo QueryOptions) 
 	snap := actx.Snapshot()
 	res.Stats.TuplesEmitted = snap.TuplesEmitted
 	res.Stats.PatternMatches = snap.PatternMatches
+	if root != nil {
+		root.SetInt("results", int64(len(values)))
+		root.SetInt("tuples", snap.TuplesEmitted)
+		root.SetBool("complete", res.Completeness.Complete)
+		root.Finish()
+		tracer.Record(root)
+		if qo.Profile {
+			res.Trace = root
+		}
+	}
 	return res, nil
 }
 
@@ -221,10 +281,16 @@ func (e *Engine) run(ctx context.Context, q *xmlql.Query, outer algebra.Binding,
 	opts := e.opts
 	e.mu.RUnlock()
 
+	sp := obs.FromContext(ctx)
+	spUnfold := sp.StartChild("unfold")
 	rewrites, err := mediator.UnfoldSkip(e.cat, q, skip)
 	if err != nil {
+		spUnfold.SetAttr("error", err.Error())
+		spUnfold.Finish()
 		return nil, err
 	}
+	spUnfold.SetInt("rewrites", int64(len(rewrites)))
+	spUnfold.Finish()
 	if stats != nil {
 		stats.Rewrites = len(rewrites)
 	}
@@ -236,7 +302,11 @@ func (e *Engine) run(ctx context.Context, q *xmlql.Query, outer algebra.Binding,
 	var items []item
 	orderPushed := len(rewrites) == 1
 
-	for _, rw := range rewrites {
+	for ri, rw := range rewrites {
+		var spRw *obs.Span
+		if sp != nil {
+			spRw = sp.StartChild(fmt.Sprintf("rewrite[%d]", ri))
+		}
 		planner := opt.New(e.cat, access)
 		planner.Opts = opts
 		var preBound []string
@@ -245,10 +315,14 @@ func (e *Engine) run(ctx context.Context, q *xmlql.Query, outer algebra.Binding,
 			preBound = outer.Names()
 			input = &algebra.TupleScan{Tuples: []algebra.Binding{outer}}
 		}
+		spPlan := spRw.StartChild("plan")
 		plan, err := planner.Plan(rw, preBound, input)
 		if err != nil {
 			return nil, err
 		}
+		spPlan.SetInt("fetches", int64(len(plan.Fetches)))
+		spPlan.SetAttr("sources", strings.Join(plan.Sources, ","))
+		spPlan.Finish()
 		if stats != nil {
 			stats.Fetches += len(plan.Fetches)
 			stats.Explain = append(stats.Explain, plan.Explain...)
@@ -260,13 +334,27 @@ func (e *Engine) run(ctx context.Context, q *xmlql.Query, outer algebra.Binding,
 		for i, f := range plan.Fetches {
 			specs[i] = exec.FetchSpec{Source: f.Source, Req: f.Req}
 		}
+		spPre := spRw.StartChild("prefetch")
+		spPre.SetInt("fetches", int64(len(specs)))
 		if err := access.Prefetch(specs); err != nil {
+			spPre.Finish()
 			return nil, err
+		}
+		spPre.Finish()
+		// Operator evaluation records its span under this rewrite; the
+		// previous parent (the query root, or an outer rewrite during
+		// correlated subquery evaluation) is restored afterwards.
+		prevTrace := actx.Trace
+		if spRw != nil {
+			actx.Trace = spRw
 		}
 		bindings, err := algebra.Drain(actx, plan.Root)
+		actx.Trace = prevTrace
 		if err != nil {
+			spRw.Finish()
 			return nil, err
 		}
+		spCons := spRw.StartChild("construct")
 		for _, b := range bindings {
 			it := item{}
 			for _, k := range plan.OrderBy {
@@ -283,6 +371,9 @@ func (e *Engine) run(ctx context.Context, q *xmlql.Query, outer algebra.Binding,
 			it.value = v
 			items = append(items, it)
 		}
+		spCons.SetInt("values", int64(len(bindings)))
+		spCons.Finish()
+		spRw.Finish()
 	}
 
 	if len(q.OrderBy) > 0 && !orderPushed {

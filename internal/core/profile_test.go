@@ -1,0 +1,113 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestProfileSpanTree checks the acceptance contract of the profile
+// option: the span tree returned by Profile agrees with the
+// completeness report (same sources, rows, local/error flags), and the
+// tree carries the planning/prefetch/eval structure.
+func TestProfileSpanTree(t *testing.T) {
+	eng, _ := newTestEngine(t)
+	eng.SetMetrics(obs.NewRegistry())
+	res, err := eng.QueryOpt(context.Background(),
+		`WHERE <cust><who>$w</who></cust> IN "customers" CONSTRUCT <r>$w</r>`,
+		QueryOptions{Profile: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := res.Trace
+	if root == nil || root.Name() != "query" {
+		t.Fatalf("trace root = %v", root)
+	}
+	if root.Duration() <= 0 {
+		t.Error("root span should be finished")
+	}
+
+	// Per-source fetch spans agree with the completeness report.
+	fetches := root.FindAll("fetch ")
+	if len(fetches) != len(res.Completeness.Statuses) {
+		t.Fatalf("fetch spans = %d, statuses = %d", len(fetches), len(res.Completeness.Statuses))
+	}
+	for _, st := range res.Completeness.Statuses {
+		found := false
+		for _, sp := range fetches {
+			src, _ := sp.Attr("source")
+			if !strings.EqualFold(src, st.Source) {
+				continue
+			}
+			found = true
+			if rows, _ := sp.Attr("rows"); rows != fmt.Sprint(st.Rows) {
+				t.Errorf("%s rows = %s, want %d", st.Source, rows, st.Rows)
+			}
+			if local, _ := sp.Attr("local"); local != fmt.Sprint(st.Local) {
+				t.Errorf("%s local = %s, want %v", st.Source, local, st.Local)
+			}
+			if _, hasErr := sp.Attr("error"); hasErr != (st.Err != "") {
+				t.Errorf("%s error presence = %v, want %v", st.Source, hasErr, st.Err != "")
+			}
+		}
+		if !found {
+			t.Errorf("no fetch span for source %s", st.Source)
+		}
+	}
+
+	// Structural spans from every layer.
+	for _, prefix := range []string{"unfold", "rewrite[0]", "plan", "prefetch", "eval ", "construct"} {
+		if len(root.FindAll(prefix)) == 0 {
+			t.Errorf("missing %q span in tree", prefix)
+		}
+	}
+	if v, ok := root.Attr("complete"); !ok || v != "true" {
+		t.Errorf("complete attr = %q %v", v, ok)
+	}
+}
+
+// TestTracerRetainsQueries checks that an installed tracer records every
+// query even without Profile, and that metrics count them.
+func TestTracerRetainsQueries(t *testing.T) {
+	eng, _ := newTestEngine(t)
+	reg := obs.NewRegistry()
+	eng.SetMetrics(reg)
+	tr := obs.NewTracer(4)
+	eng.SetTracer(tr)
+	q := `WHERE <cust><who>$w</who></cust> IN "customers" CONSTRUCT <r>$w</r>`
+	for i := 0; i < 3; i++ {
+		res, err := eng.Query(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Trace != nil {
+			t.Error("Trace should only be set under Profile")
+		}
+	}
+	if tr.Len() != 3 {
+		t.Errorf("tracer retained %d traces", tr.Len())
+	}
+	if n := reg.Counter("nimble_queries_total").Value(); n != 3 {
+		t.Errorf("queries_total = %d", n)
+	}
+	if c := reg.Histogram("nimble_query_seconds").Count(); c != 3 {
+		t.Errorf("latency observations = %d", c)
+	}
+	// A failing query is traced with an error attribute and counted.
+	if _, err := eng.Query(context.Background(), `WHERE <a>$x</a> IN "nosuch" CONSTRUCT <r>$x</r>`); err == nil {
+		t.Fatal("query over unknown source should fail")
+	}
+	if n := reg.Counter("nimble_query_errors_total").Value(); n != 1 {
+		t.Errorf("query_errors_total = %d", n)
+	}
+	last := tr.Last(1)
+	if len(last) != 1 {
+		t.Fatal("failed query not traced")
+	}
+	if _, ok := last[0].Attr("error"); !ok {
+		t.Error("failed query trace missing error attr")
+	}
+}

@@ -13,8 +13,10 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/catalog"
+	"repro/internal/obs"
 	"repro/internal/sources"
 	"repro/internal/xmldm"
 )
@@ -80,6 +82,9 @@ type Runner struct {
 	// Observe, if set, is called after every fetch; the materialization
 	// advisor feeds on it.
 	Observe func(source string, req catalog.Request, cost catalog.Cost, err error)
+	// Metrics, if set, receives per-source fetch counters and latency
+	// histograms (nil disables recording; all metric calls are nil-safe).
+	Metrics *obs.Registry
 }
 
 // Access is the per-execution fetch state: it memoizes fetches (a plan
@@ -146,6 +151,12 @@ func (a *Access) Prefetch(specs []FetchSpec) error {
 	var wg sync.WaitGroup
 	errs := make([]error, len(specs))
 	for i, s := range specs {
+		// A cancelled query stops fanning out instead of launching the
+		// remaining fetches.
+		if err := a.ctx.Err(); err != nil {
+			errs[i] = err
+			break
+		}
 		wg.Add(1)
 		go func(i int, source string, req catalog.Request) {
 			defer wg.Done()
@@ -164,7 +175,9 @@ func (a *Access) Prefetch(specs []FetchSpec) error {
 	return nil
 }
 
-// fetch performs one memoized source fetch.
+// fetch performs one memoized source fetch, wrapped in a trace span and
+// latency metrics (each distinct fetch runs and is recorded exactly
+// once; later lookups share the memoized result).
 func (a *Access) fetch(source string, req catalog.Request) (*xmldm.Node, error) {
 	key := specKey(source, req)
 	a.mu.Lock()
@@ -175,16 +188,44 @@ func (a *Access) fetch(source string, req catalog.Request) (*xmldm.Node, error) 
 	}
 	a.mu.Unlock()
 	fr.once.Do(func() {
-		fr.doc, fr.err = a.doFetch(source, req)
+		start := time.Now()
+		sp := obs.FromContext(a.ctx).StartChild("fetch " + source)
+		sp.SetAttr("source", source)
+		fr.doc, fr.err = a.doFetch(source, req, sp)
+		elapsed := time.Since(start)
+		if fr.err != nil {
+			sp.SetAttr("error", fr.err.Error())
+		}
+		sp.Finish()
+		if m := a.runner.Metrics; m != nil {
+			outcome := "ok"
+			switch {
+			case errors.Is(fr.err, sources.ErrUnavailable):
+				outcome = "unavailable"
+			case fr.err != nil:
+				outcome = "error"
+			}
+			m.Counter("nimble_fetch_total", "source", strings.ToLower(source), "outcome", outcome).Inc()
+			m.Histogram("nimble_fetch_seconds", "source", strings.ToLower(source)).Observe(elapsed.Seconds())
+		}
 	})
 	return fr.doc, fr.err
 }
 
-func (a *Access) doFetch(source string, req catalog.Request) (*xmldm.Node, error) {
+// doFetch resolves one fetch: local store, schema materialization, or
+// the source itself. It records the completeness status and mirrors it
+// onto the fetch span so per-source spans agree with the report.
+func (a *Access) doFetch(source string, req catalog.Request, sp *obs.Span) (*xmldm.Node, error) {
+	record := func(st SourceStatus) {
+		a.record(source, st)
+		sp.SetInt("rows", int64(st.Rows))
+		sp.SetInt("bytes", int64(st.Bytes))
+		sp.SetBool("local", st.Local)
+	}
 	// Local materialized copy first.
 	if a.runner.Local != nil {
 		if doc, ok := a.runner.Local(source, req); ok {
-			a.record(source, SourceStatus{Source: source, Rows: doc.CountElements(), Local: true})
+			record(SourceStatus{Source: source, Rows: doc.CountElements(), Local: true})
 			return doc, nil
 		}
 	}
@@ -192,12 +233,13 @@ func (a *Access) doFetch(source string, req catalog.Request) (*xmldm.Node, error
 		if a.runner.Materialize == nil {
 			return nil, fmt.Errorf("exec: schema %q needs materialization but no materializer is configured", source)
 		}
+		sp.SetAttr("kind", "schema")
 		doc, err := a.runner.Materialize(a.ctx, source, a)
 		if err != nil {
-			a.record(source, SourceStatus{Source: source, Err: err.Error()})
+			record(SourceStatus{Source: source, Err: err.Error()})
 			return nil, err
 		}
-		a.record(source, SourceStatus{Source: source, Rows: doc.CountElements()})
+		record(SourceStatus{Source: source, Rows: doc.CountElements()})
 		return doc, nil
 	}
 	src, err := a.runner.Cat.Source(source)
@@ -209,10 +251,10 @@ func (a *Access) doFetch(source string, req catalog.Request) (*xmldm.Node, error
 		a.runner.Observe(source, req, cost, err)
 	}
 	if err != nil {
-		a.record(source, SourceStatus{Source: source, Err: err.Error()})
+		record(SourceStatus{Source: source, Err: err.Error()})
 		return nil, err
 	}
-	a.record(source, SourceStatus{Source: source, Rows: cost.RowsReturned, Bytes: cost.BytesMoved})
+	record(SourceStatus{Source: source, Rows: cost.RowsReturned, Bytes: cost.BytesMoved})
 	return doc, nil
 }
 

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"repro/internal/catalog"
+	"repro/internal/obs"
 	"repro/internal/sources"
 	"repro/internal/xmldm"
 )
@@ -243,5 +244,89 @@ func TestUnknownSourceError(t *testing.T) {
 func TestPolicyString(t *testing.T) {
 	if PolicyFail.String() != "fail" || PolicyPartial.String() != "partial" {
 		t.Error("policy names")
+	}
+}
+
+func TestPrefetchStopsFanoutOnCancel(t *testing.T) {
+	srcs := make([]catalog.Source, 8)
+	counters := make([]*countingSource, 8)
+	specs := make([]FetchSpec, 8)
+	for i := range srcs {
+		c := &countingSource{name: fmt.Sprintf("s%d", i)}
+		counters[i] = c
+		srcs[i] = c
+		specs[i] = FetchSpec{Source: c.name, Req: catalog.Request{}}
+	}
+	r := newRunner(t, srcs...)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: no fetch goroutine should launch
+	a := r.NewAccess(ctx, PolicyPartial)
+	if err := a.Prefetch(specs); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	for i, c := range counters {
+		if n := c.fetches.Load(); n != 0 {
+			t.Errorf("source %d fetched %d times after cancellation", i, n)
+		}
+	}
+}
+
+func TestFetchSpansMatchCompletenessReport(t *testing.T) {
+	up := &countingSource{name: "up"}
+	down := &countingSource{name: "down", fail: true}
+	r := newRunner(t, up, down)
+	root := obs.NewSpan("query")
+	ctx := obs.ContextWithSpan(context.Background(), root)
+	a := r.NewAccess(ctx, PolicyPartial)
+	a.Roots("up", catalog.Request{})
+	a.Roots("down", catalog.Request{})
+	root.Finish()
+
+	rep := a.Report()
+	spans := root.FindAll("fetch ")
+	if len(spans) != len(rep.Statuses) {
+		t.Fatalf("spans = %d, statuses = %d", len(spans), len(rep.Statuses))
+	}
+	for _, st := range rep.Statuses {
+		var sp *obs.Span
+		for _, s := range spans {
+			if v, _ := s.Attr("source"); strings.EqualFold(v, st.Source) {
+				sp = s
+				break
+			}
+		}
+		if sp == nil {
+			t.Fatalf("no span for source %s", st.Source)
+		}
+		if rows, _ := sp.Attr("rows"); st.Err == "" && rows != fmt.Sprint(st.Rows) {
+			t.Errorf("%s span rows = %s, status rows = %d", st.Source, rows, st.Rows)
+		}
+		errAttr, hasErr := sp.Attr("error")
+		if (st.Err != "") != hasErr || (hasErr && !strings.Contains(errAttr, st.Err)) {
+			t.Errorf("%s span error = %q, status err = %q", st.Source, errAttr, st.Err)
+		}
+		if local, _ := sp.Attr("local"); st.Err == "" && local != fmt.Sprint(st.Local) {
+			t.Errorf("%s span local = %s, status local = %v", st.Source, local, st.Local)
+		}
+	}
+}
+
+func TestFetchMetricsRecorded(t *testing.T) {
+	up := &countingSource{name: "up"}
+	down := &countingSource{name: "down", fail: true}
+	r := newRunner(t, up, down)
+	reg := obs.NewRegistry()
+	r.Metrics = reg
+	a := r.NewAccess(context.Background(), PolicyPartial)
+	a.Roots("up", catalog.Request{})
+	a.Roots("down", catalog.Request{})
+	if n := reg.Counter("nimble_fetch_total", "source", "up", "outcome", "ok").Value(); n != 1 {
+		t.Errorf("ok fetches = %d", n)
+	}
+	if n := reg.Counter("nimble_fetch_total", "source", "down", "outcome", "unavailable").Value(); n != 1 {
+		t.Errorf("unavailable fetches = %d", n)
+	}
+	if c := reg.Histogram("nimble_fetch_seconds", "source", "up").Count(); c != 1 {
+		t.Errorf("latency observations = %d", c)
 	}
 }

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/xmldm"
 )
 
@@ -65,6 +66,25 @@ type Manager struct {
 	Mode RefreshMode
 	// Clock is replaceable for tests and staleness experiments.
 	Clock func() time.Time
+
+	// observability, nil (no-op) until SetMetrics.
+	metrics    *obs.Registry
+	mRefreshes *obs.Counter
+}
+
+// SetMetrics mirrors the store into a metrics registry: a refresh
+// counter, an entry-count gauge, and one staleness-age gauge per
+// materialized schema (registered as schemas materialize).
+func (m *Manager) SetMetrics(reg *obs.Registry) {
+	m.mu.Lock()
+	m.metrics = reg
+	m.mRefreshes = reg.Counter("nimble_matview_refresh_total")
+	m.mu.Unlock()
+	reg.GaugeFunc("nimble_matview_entries", func() float64 {
+		m.mu.RLock()
+		defer m.mu.RUnlock()
+		return float64(len(m.entries))
+	})
 }
 
 // NewManager creates a manager and installs it on the engine.
@@ -91,7 +111,6 @@ func (m *Manager) Materialize(ctx context.Context, schema string) error {
 	}
 	key := strings.ToLower(schema)
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	e, ok := m.entries[key]
 	if !ok {
 		e = &entry{Entry: Entry{Schema: schema}}
@@ -101,6 +120,19 @@ func (m *Manager) Materialize(ctx context.Context, schema string) error {
 	e.RefreshedAt = m.Clock()
 	e.Elements = doc.CountElements()
 	e.Refreshes++
+	reg := m.metrics
+	cnt := m.mRefreshes
+	m.mu.Unlock()
+	cnt.Inc()
+	if reg != nil {
+		reg.GaugeFunc("nimble_matview_staleness_seconds", func() float64 {
+			age, ok := m.Staleness(schema)
+			if !ok {
+				return -1 // dropped: no local copy
+			}
+			return age.Seconds()
+		}, "schema", key)
+	}
 	return nil
 }
 

@@ -2,11 +2,13 @@ package matview
 
 import (
 	"context"
+	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/rdb"
 	"repro/internal/sources"
 	"repro/internal/xmldm"
@@ -305,5 +307,30 @@ func TestMaterializedDocumentShape(t *testing.T) {
 	var v xmldm.Value = doc
 	if v.Kind() != xmldm.KindNode {
 		t.Error("document should be a node")
+	}
+}
+
+func TestMatviewMetrics(t *testing.T) {
+	eng, _, _ := newEnv(t)
+	m := NewManager(eng)
+	reg := obs.NewRegistry()
+	m.SetMetrics(reg)
+	if err := m.Materialize(context.Background(), "customers"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Refresh(context.Background(), "customers"); err != nil {
+		t.Fatal(err)
+	}
+	if n := reg.Counter("nimble_matview_refresh_total").Value(); n != 2 {
+		t.Errorf("refreshes = %d", n)
+	}
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	out := b.String()
+	if !strings.Contains(out, "nimble_matview_entries 1") {
+		t.Errorf("entries gauge missing:\n%s", out)
+	}
+	if !strings.Contains(out, `nimble_matview_staleness_seconds{schema="customers"}`) {
+		t.Errorf("staleness gauge missing:\n%s", out)
 	}
 }

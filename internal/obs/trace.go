@@ -1,0 +1,297 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// Span is one timed step of a query's execution. Spans form a tree: the
+// engine opens a root "query" span, and each layer (unfolding, planning,
+// prefetching, per-source fetches, operator evaluation) hangs children
+// off it. All methods are safe on a nil receiver, so code instruments
+// unconditionally and pays nothing when tracing is off, and safe for
+// concurrent use (parallel prefetches add children from goroutines).
+type Span struct {
+	name  string
+	start time.Time
+
+	mu       sync.Mutex
+	end      time.Time
+	attrs    []Attr
+	children []*Span
+}
+
+// NewSpan starts a root span.
+func NewSpan(name string) *Span {
+	return &Span{name: name, start: time.Now()}
+}
+
+// StartChild starts and attaches a child span; on a nil receiver it
+// returns nil (the no-op span).
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := NewSpan(name)
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// SetAttr records a key/value annotation.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	s.mu.Unlock()
+}
+
+// SetInt records an integer annotation.
+func (s *Span) SetInt(key string, v int64) {
+	s.SetAttr(key, strconv.FormatInt(v, 10))
+}
+
+// SetBool records a boolean annotation.
+func (s *Span) SetBool(key string, v bool) {
+	s.SetAttr(key, strconv.FormatBool(v))
+}
+
+// Finish marks the span complete; the first call wins.
+func (s *Span) Finish() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.end.IsZero() {
+		s.end = time.Now()
+	}
+	s.mu.Unlock()
+}
+
+// Name returns the span name ("" on nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Start returns the span start time.
+func (s *Span) Start() time.Time {
+	if s == nil {
+		return time.Time{}
+	}
+	return s.start
+}
+
+// Duration returns end-start, or the running duration if unfinished.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	end := s.end
+	s.mu.Unlock()
+	if end.IsZero() {
+		return time.Since(s.start)
+	}
+	return end.Sub(s.start)
+}
+
+// Attrs returns a copy of the annotations.
+func (s *Span) Attrs() []Attr {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Attr, len(s.attrs))
+	copy(out, s.attrs)
+	return out
+}
+
+// Attr returns the last value recorded under key.
+func (s *Span) Attr(key string) (string, bool) {
+	if s == nil {
+		return "", false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := len(s.attrs) - 1; i >= 0; i-- {
+		if s.attrs[i].Key == key {
+			return s.attrs[i].Value, true
+		}
+	}
+	return "", false
+}
+
+// Children returns a copy of the child spans.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Span, len(s.children))
+	copy(out, s.children)
+	return out
+}
+
+// Walk visits the span and every descendant, depth first.
+func (s *Span) Walk(fn func(*Span)) {
+	if s == nil {
+		return
+	}
+	fn(s)
+	for _, c := range s.Children() {
+		c.Walk(fn)
+	}
+}
+
+// FindAll returns every span in the tree whose name has the prefix.
+func (s *Span) FindAll(prefix string) []*Span {
+	var out []*Span
+	s.Walk(func(sp *Span) {
+		if strings.HasPrefix(sp.Name(), prefix) {
+			out = append(out, sp)
+		}
+	})
+	return out
+}
+
+// spanJSON is the wire shape of a span: the trace schema documented in
+// README.md's Observability section.
+type spanJSON struct {
+	Name       string            `json:"name"`
+	Start      time.Time         `json:"start"`
+	DurationMS float64           `json:"duration_ms"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+	Children   []*Span           `json:"children,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (s *Span) MarshalJSON() ([]byte, error) {
+	if s == nil {
+		return []byte("null"), nil
+	}
+	v := spanJSON{
+		Name:       s.Name(),
+		Start:      s.Start(),
+		DurationMS: float64(s.Duration()) / float64(time.Millisecond),
+		Children:   s.Children(),
+	}
+	if attrs := s.Attrs(); len(attrs) > 0 {
+		v.Attrs = make(map[string]string, len(attrs))
+		for _, a := range attrs {
+			v.Attrs[a.Key] = a.Value
+		}
+	}
+	return json.Marshal(v)
+}
+
+// Tracer retains the most recent N query traces for the management
+// surface (/debug/trace/last). Safe for concurrent use; nil-receiver
+// safe so tracing stays optional.
+type Tracer struct {
+	mu     sync.Mutex
+	limit  int
+	traces []*Span
+}
+
+// DefaultTraceBuffer is the trace retention used when no limit is given.
+const DefaultTraceBuffer = 16
+
+// NewTracer creates a tracer retaining the last limit traces (limit < 1
+// uses DefaultTraceBuffer).
+func NewTracer(limit int) *Tracer {
+	if limit < 1 {
+		limit = DefaultTraceBuffer
+	}
+	return &Tracer{limit: limit}
+}
+
+// Record retains a finished root span, evicting the oldest beyond the
+// retention limit.
+func (t *Tracer) Record(root *Span) {
+	if t == nil || root == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.traces = append(t.traces, root)
+	if n := len(t.traces) - t.limit; n > 0 {
+		t.traces = append([]*Span(nil), t.traces[n:]...)
+	}
+}
+
+// Last returns up to n retained traces, most recent first (n < 1 means
+// all retained).
+func (t *Tracer) Last(n int) []*Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n < 1 || n > len(t.traces) {
+		n = len(t.traces)
+	}
+	out := make([]*Span, 0, n)
+	for i := len(t.traces) - 1; i >= len(t.traces)-n; i-- {
+		out = append(out, t.traces[i])
+	}
+	return out
+}
+
+// Len reports the number of retained traces.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.traces)
+}
+
+type spanCtxKey struct{}
+
+// ContextWithSpan attaches a span to a context for downstream layers.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanCtxKey{}, s)
+}
+
+// FromContext returns the span attached to ctx, or nil.
+func FromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
+}
+
+// StartSpan starts a child of the context span, returning a context
+// carrying the child. With no span in ctx it returns ctx and nil: the
+// whole call chain degrades to no-ops.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent := FromContext(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	c := parent.StartChild(name)
+	return ContextWithSpan(ctx, c), c
+}

@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/xmldm"
 )
 
@@ -57,6 +58,24 @@ type Cache struct {
 	bySource map[string]map[string]bool
 	stats    Stats
 	clock    func() time.Time
+
+	// observability counters, nil (no-op) until SetMetrics.
+	mHits, mMisses, mEvictions *obs.Counter
+}
+
+// SetMetrics mirrors the cache counters into a metrics registry
+// (nimble_qcache_{hits,misses,evictions}_total and an entries gauge).
+func (c *Cache) SetMetrics(reg *obs.Registry) {
+	c.mu.Lock()
+	c.mHits = reg.Counter("nimble_qcache_hits_total")
+	c.mMisses = reg.Counter("nimble_qcache_misses_total")
+	c.mEvictions = reg.Counter("nimble_qcache_evictions_total")
+	c.mu.Unlock()
+	reg.GaugeFunc("nimble_qcache_entries", func() float64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return float64(len(c.entries))
+	})
 }
 
 // New creates a cache of the given entry capacity; ttl 0 disables
@@ -89,15 +108,18 @@ func (c *Cache) Get(key string) (Result, bool) {
 	e, ok := c.entries[key]
 	if !ok {
 		c.stats.Misses++
+		c.mMisses.Inc()
 		return Result{}, false
 	}
 	if c.ttl > 0 && c.clock().Sub(e.storedAt) > c.ttl {
 		c.removeLocked(e)
 		c.stats.Misses++
+		c.mMisses.Inc()
 		return Result{}, false
 	}
 	c.lru.MoveToFront(e.elem)
 	c.stats.Hits++
+	c.mHits.Inc()
 	return e.res, true
 }
 
@@ -120,6 +142,7 @@ func (c *Cache) Put(key string, res Result) {
 		}
 		c.removeLocked(back.Value.(*cacheEntry))
 		c.stats.Evictions++
+		c.mEvictions.Inc()
 	}
 	e := &cacheEntry{key: key, res: res, storedAt: c.clock()}
 	e.elem = c.lru.PushFront(e)

@@ -2,10 +2,12 @@ package qcache
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/xmldm"
 )
 
@@ -141,4 +143,33 @@ func TestConcurrentAccess(t *testing.T) {
 		}(g)
 	}
 	wg.Wait()
+}
+
+func TestMetricsMirrorStats(t *testing.T) {
+	c := New(2, 0)
+	reg := obs.NewRegistry()
+	c.SetMetrics(reg)
+	c.Get("q1") // miss
+	c.Put("q1", Result{})
+	c.Get("q1") // hit
+	c.Put("q2", Result{})
+	c.Put("q3", Result{}) // evicts q1 (capacity 2)
+	if n := reg.Counter("nimble_qcache_hits_total").Value(); n != 1 {
+		t.Errorf("hits = %d", n)
+	}
+	if n := reg.Counter("nimble_qcache_misses_total").Value(); n != 1 {
+		t.Errorf("misses = %d", n)
+	}
+	if n := reg.Counter("nimble_qcache_evictions_total").Value(); n != 1 {
+		t.Errorf("evictions = %d", n)
+	}
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	if !strings.Contains(b.String(), "nimble_qcache_entries 2") {
+		t.Errorf("entries gauge missing:\n%s", b.String())
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Evictions != 1 {
+		t.Errorf("stats = %+v", st)
+	}
 }

@@ -10,10 +10,12 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -22,6 +24,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/lens"
 	"repro/internal/matview"
+	"repro/internal/obs"
 	"repro/internal/qcache"
 	"repro/internal/xmldm"
 	"repro/internal/xmlparse"
@@ -91,6 +94,11 @@ func (b *Balancer) Pick() int {
 // Query dispatches one query to a chosen instance, waiting for a
 // capacity slot when the instance is bounded.
 func (b *Balancer) Query(ctx context.Context, src string) (*core.Result, error) {
+	return b.QueryOpt(ctx, src, core.QueryOptions{})
+}
+
+// QueryOpt is Query with per-query options (the profile path).
+func (b *Balancer) QueryOpt(ctx context.Context, src string, qo core.QueryOptions) (*core.Result, error) {
 	i := b.Pick()
 	if b.slots != nil {
 		select {
@@ -102,8 +110,12 @@ func (b *Balancer) Query(ctx context.Context, src string) (*core.Result, error) 
 	}
 	b.inflight[i].Add(1)
 	defer b.inflight[i].Add(-1)
-	return b.engines[i].Query(ctx, src)
+	return b.engines[i].QueryOpt(ctx, src, qo)
 }
+
+// InFlight reports instance i's currently executing queries (the
+// balancer in-flight gauge).
+func (b *Balancer) InFlight(i int) int64 { return b.inflight[i].Load() }
 
 // Loads reports per-instance completed query counts.
 func (b *Balancer) Loads() []int64 {
@@ -126,20 +138,103 @@ type Server struct {
 	Views    *matview.Manager // optional
 	// AdminToken guards the admin endpoints when non-empty.
 	AdminToken string
+	// Metrics is the registry behind /metrics and the per-endpoint
+	// latency series; nil falls back to obs.Default().
+	Metrics *obs.Registry
+	// Tracer, when set, feeds /debug/trace/last.
+	Tracer *obs.Tracer
 }
 
-// Handler builds the HTTP routing table.
+func (s *Server) registry() *obs.Registry {
+	if s.Metrics != nil {
+		return s.Metrics
+	}
+	return obs.Default()
+}
+
+// Handler builds the HTTP routing table. Every endpoint is wrapped with
+// request-count and latency instrumentation, and the balancer's
+// per-instance in-flight gauges are registered.
 func (s *Server) Handler() http.Handler {
+	reg := s.registry()
+	for i := 0; i < s.Balancer.Instances(); i++ {
+		b, i := s.Balancer, i
+		reg.GaugeFunc("nimble_balancer_inflight",
+			func() float64 { return float64(b.InFlight(i)) },
+			"instance", strconv.Itoa(i))
+	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/query", s.handleQuery)
-	mux.HandleFunc("/lenses", s.handleLensList)
-	mux.HandleFunc("/lens/", s.handleLens)
-	mux.HandleFunc("/catalog", s.handleCatalog)
-	mux.HandleFunc("/stats", s.handleStats)
-	mux.HandleFunc("/admin/materialize", s.adminOnly(s.handleMaterialize))
-	mux.HandleFunc("/admin/refresh", s.adminOnly(s.handleRefresh))
-	mux.HandleFunc("/admin/schema", s.adminOnly(s.handleDefineSchema))
+	mux.HandleFunc("/query", s.instrument("query", s.handleQuery))
+	mux.HandleFunc("/lenses", s.instrument("lenses", s.handleLensList))
+	mux.HandleFunc("/lens/", s.instrument("lens", s.handleLens))
+	mux.HandleFunc("/catalog", s.instrument("catalog", s.handleCatalog))
+	mux.HandleFunc("/stats", s.instrument("stats", s.handleStats))
+	mux.HandleFunc("/metrics", s.instrument("metrics", s.handleMetrics))
+	mux.HandleFunc("/debug/trace/last", s.instrument("trace", s.handleTraceLast))
+	mux.HandleFunc("/admin/materialize", s.instrument("admin", s.adminOnly(s.handleMaterialize)))
+	mux.HandleFunc("/admin/refresh", s.instrument("admin", s.adminOnly(s.handleRefresh)))
+	mux.HandleFunc("/admin/schema", s.instrument("admin", s.adminOnly(s.handleDefineSchema)))
 	return mux
+}
+
+// instrument wraps a handler with per-endpoint request and latency
+// metrics.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h(w, r)
+		reg := s.registry()
+		reg.Counter("nimble_http_requests_total", "endpoint", endpoint).Inc()
+		reg.Histogram("nimble_http_request_seconds", "endpoint", endpoint).Observe(time.Since(start).Seconds())
+	}
+}
+
+// handleMetrics serves the registry in Prometheus text format.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.registry().WritePrometheus(w)
+}
+
+// handleTraceLast serves the most recent query traces:
+// GET /debug/trace/last?n=5&format=json|xml (default: all retained, JSON).
+func (s *Server) handleTraceLast(w http.ResponseWriter, r *http.Request) {
+	n, _ := strconv.Atoi(r.URL.Query().Get("n"))
+	traces := s.Tracer.Last(n)
+	if r.URL.Query().Get("format") == "xml" {
+		root := &xmldm.Node{Name: "traces"}
+		for _, t := range traces {
+			sn := spanNode(t)
+			sn.Parent = root
+			root.Children = append(root.Children, sn)
+		}
+		xmldm.Finalize(root)
+		w.Header().Set("Content-Type", "application/xml")
+		io.WriteString(w, xmlparse.SerializeString(root, 2))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if traces == nil {
+		traces = []*obs.Span{}
+	}
+	json.NewEncoder(w).Encode(traces)
+}
+
+// spanNode converts a span tree to XML for profile embedding and the
+// XML trace format.
+func spanNode(sp *obs.Span) *xmldm.Node {
+	n := &xmldm.Node{Name: "span"}
+	n.Attrs = append(n.Attrs,
+		xmldm.Attr{Name: "name", Value: sp.Name()},
+		xmldm.Attr{Name: "duration_ms", Value: fmt.Sprintf("%.3f", float64(sp.Duration())/float64(time.Millisecond))})
+	for _, a := range sp.Attrs() {
+		n.Attrs = append(n.Attrs, xmldm.Attr{Name: a.Key, Value: a.Value})
+	}
+	for _, c := range sp.Children() {
+		cn := spanNode(c)
+		cn.Parent = n
+		n.Children = append(n.Children, cn)
+	}
+	return n
 }
 
 // handleDefineSchema adds a view definition to a mediated schema: the
@@ -182,6 +277,9 @@ func (s *Server) adminOnly(h http.HandlerFunc) http.HandlerFunc {
 }
 
 // handleQuery runs a raw XML-QL query (POST body) and returns XML.
+// ?profile=1 embeds the execution span tree as a <profile> element
+// (profiled queries bypass the result cache so the trace reflects a
+// real execution).
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST an XML-QL query", http.StatusMethodNotAllowed)
@@ -197,13 +295,45 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "empty query", http.StatusBadRequest)
 		return
 	}
-	doc, err := s.runQuery(r.Context(), q)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
+	var doc *xmldm.Node
+	if p := r.URL.Query().Get("profile"); p == "1" || p == "true" {
+		res, err := s.Balancer.QueryOpt(r.Context(), q, core.QueryOptions{Profile: true})
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		doc = res.Document()
+		if res.Trace != nil {
+			prof := &xmldm.Node{Name: "profile", Parent: doc}
+			sn := spanNode(res.Trace)
+			sn.Parent = prof
+			prof.Children = append(prof.Children, sn)
+			doc.Children = append(doc.Children, prof)
+			xmldm.Finalize(doc)
+		}
+	} else {
+		doc, err = s.runQuery(r.Context(), q)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
 	}
 	w.Header().Set("Content-Type", "application/xml")
 	io.WriteString(w, xmlparse.SerializeString(doc, 2))
+}
+
+// NewHTTPServer wraps a handler in an http.Server with the timeouts a
+// front end needs so one slow client cannot pin a balancer slot
+// forever: header-read, full-request-read, write, and idle bounds.
+func NewHTTPServer(addr string, h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
 }
 
 // runQuery consults the cache (complete results only) and dispatches.

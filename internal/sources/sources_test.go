@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/catalog"
+	"repro/internal/obs"
 	"repro/internal/rdb"
 	"repro/internal/xmldm"
 )
@@ -270,4 +271,39 @@ func TestDowned(t *testing.T) {
 func mustElem() *xmldm.Node {
 	b := xmldm.NewBuilder()
 	return b.Elem("doc", b.Elem("item", "1"))
+}
+
+func TestInstrumentedSource(t *testing.T) {
+	inner, err := NewXMLSource("feed", `<feed><a>1</a></feed>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	src := Instrument(inner, reg)
+	if src.Name() != "feed" {
+		t.Errorf("name = %s", src.Name())
+	}
+	if w, ok := src.(interface{ Inner() catalog.Source }); !ok || w.Inner() != catalog.Source(inner) {
+		t.Error("Instrumented must expose Inner() for descriptor unwrapping")
+	}
+	if _, _, err := src.Fetch(context.Background(), catalog.Request{}); err != nil {
+		t.Fatal(err)
+	}
+	down := Instrument(NewDowned(inner), reg)
+	if _, _, err := down.Fetch(context.Background(), catalog.Request{}); err == nil {
+		t.Fatal("downed fetch should fail")
+	}
+	if n := reg.Counter("nimble_source_fetch_total", "source", "feed", "outcome", "ok").Value(); n != 1 {
+		t.Errorf("ok fetches = %d", n)
+	}
+	if n := reg.Counter("nimble_source_fetch_total", "source", "feed", "outcome", "unavailable").Value(); n != 1 {
+		t.Errorf("unavailable fetches = %d", n)
+	}
+	if c := reg.Histogram("nimble_source_fetch_seconds", "source", "feed").Count(); c != 2 {
+		t.Errorf("latency observations = %d", c)
+	}
+	// Nil registry: pass-through, no wrapper.
+	if got := Instrument(inner, nil); got != catalog.Source(inner) {
+		t.Error("nil registry should return the source unchanged")
+	}
 }

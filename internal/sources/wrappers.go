@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/catalog"
+	"repro/internal/obs"
 	"repro/internal/xmldm"
 	"repro/internal/xmlparse"
 )
@@ -154,6 +155,52 @@ func (n *NetworkSim) Stats() (calls, failures int, simulated time.Duration) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.calls, n.failures, n.simulated
+}
+
+// Instrumented wraps a source and records raw source-side fetch metrics
+// (distinct from the execution layer's nimble_fetch_* series, which also
+// cover the local store and schema materialization): call counts by
+// outcome, bytes moved, and I/O latency.
+type Instrumented struct {
+	inner catalog.Source
+	reg   *obs.Registry
+}
+
+// Instrument wraps src so every fetch is recorded into reg. A nil
+// registry returns src unchanged.
+func Instrument(src catalog.Source, reg *obs.Registry) catalog.Source {
+	if reg == nil {
+		return src
+	}
+	return &Instrumented{inner: src, reg: reg}
+}
+
+// Name implements catalog.Source.
+func (s *Instrumented) Name() string { return s.inner.Name() }
+
+// Capabilities implements catalog.Source.
+func (s *Instrumented) Capabilities() catalog.Capabilities { return s.inner.Capabilities() }
+
+// Inner returns the wrapped source (the optimizer unwraps through this
+// to reach relational descriptors).
+func (s *Instrumented) Inner() catalog.Source { return s.inner }
+
+// Fetch implements catalog.Source with metric recording.
+func (s *Instrumented) Fetch(ctx context.Context, req catalog.Request) (*xmldm.Node, catalog.Cost, error) {
+	start := time.Now()
+	doc, cost, err := s.inner.Fetch(ctx, req)
+	name := strings.ToLower(s.inner.Name())
+	outcome := "ok"
+	switch {
+	case errors.Is(err, ErrUnavailable):
+		outcome = "unavailable"
+	case err != nil:
+		outcome = "error"
+	}
+	s.reg.Counter("nimble_source_fetch_total", "source", name, "outcome", outcome).Inc()
+	s.reg.Counter("nimble_source_bytes_total", "source", name).Add(int64(cost.BytesMoved))
+	s.reg.Histogram("nimble_source_fetch_seconds", "source", name).Observe(time.Since(start).Seconds())
+	return doc, cost, err
 }
 
 // Downed is a source that is always unavailable; experiments use it to

@@ -42,6 +42,7 @@ import (
 	"repro/internal/lens"
 	"repro/internal/lineage"
 	"repro/internal/matview"
+	"repro/internal/obs"
 	"repro/internal/opt"
 	"repro/internal/qcache"
 	"repro/internal/rdb"
@@ -116,6 +117,13 @@ type Config struct {
 	// DisablePushdown turns off fragment compilation into sources (for
 	// ablation; the answer is unchanged, only slower).
 	DisablePushdown bool
+	// Metrics is the registry observing this deployment; nil uses the
+	// process-wide default registry.
+	Metrics *obs.Registry
+	// TraceBuffer is how many recent query span trees the system retains
+	// for /debug/trace/last (0 = obs.DefaultTraceBuffer, negative
+	// disables tracing entirely; ?profile=1 still works).
+	TraceBuffer int
 }
 
 // Result is a query answer.
@@ -156,6 +164,8 @@ type System struct {
 	cleanReg *clean.Registry
 	cdb      *concord.DB
 	lin      *lineage.Log
+	metrics  *obs.Registry
+	tracer   *obs.Tracer
 	cfg      Config
 }
 
@@ -165,12 +175,26 @@ func New(cfg Config) *System {
 		cfg.Instances = 1
 	}
 	cat := catalog.New()
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.Default()
+	}
+	var tracer *obs.Tracer
+	if cfg.TraceBuffer >= 0 {
+		n := cfg.TraceBuffer
+		if n == 0 {
+			n = obs.DefaultTraceBuffer
+		}
+		tracer = obs.NewTracer(n)
+	}
 	s := &System{
 		cat:      cat,
 		lenses:   lens.NewRegistry(),
 		cleanReg: clean.NewRegistry(),
 		cdb:      concord.New(),
 		lin:      lineage.New(),
+		metrics:  reg,
+		tracer:   tracer,
 		cfg:      cfg,
 	}
 	for i := 0; i < cfg.Instances; i++ {
@@ -181,16 +205,20 @@ func New(cfg Config) *System {
 		if cfg.DisablePushdown {
 			e.SetPlannerOptions(opt.Options{})
 		}
+		e.SetMetrics(reg)
+		e.SetTracer(tracer)
 		s.engines = append(s.engines, e)
 	}
 	s.balancer = server.NewBalancer(server.LeastLoaded, s.engines...)
 	if cfg.CacheEntries > 0 {
 		s.cache = qcache.New(cfg.CacheEntries, cfg.CacheTTL)
+		s.cache.SetMetrics(reg)
 	}
 	// The materialized store lives on the first instance's engine but
 	// serves all instances through the shared catalog? No — each engine
 	// has its own local-store hook, so install the manager on every one.
 	s.views = matview.NewManager(s.engines[0])
+	s.views.SetMetrics(reg)
 	for _, e := range s.engines[1:] {
 		mv := s.views
 		e.SetLocalStore(
@@ -459,8 +487,36 @@ func (s *System) HTTPHandler(adminToken string) http.Handler {
 		Cache:      s.cache,
 		Views:      s.views,
 		AdminToken: adminToken,
+		Metrics:    s.metrics,
+		Tracer:     s.tracer,
 	}
 	return srv.Handler()
+}
+
+// Metrics returns the registry observing this deployment (the
+// process-wide default unless Config.Metrics was set). Serve it with
+// Registry.WritePrometheus, or via the front end's /metrics endpoint.
+func (s *System) Metrics() *obs.Registry { return s.metrics }
+
+// Tracer returns the span-tree retention ring behind /debug/trace/last
+// (nil when Config.TraceBuffer is negative).
+func (s *System) Tracer() *obs.Tracer { return s.tracer }
+
+// InstrumentSources wraps every currently registered source with
+// source-side fetch metrics (nimble_source_* series, distinct from the
+// execution layer's nimble_fetch_* series, which also count local-store
+// answers).
+func (s *System) InstrumentSources() {
+	for _, name := range s.cat.SourceNames() {
+		src, err := s.cat.Source(name)
+		if err != nil {
+			continue
+		}
+		if _, already := src.(*sources.Instrumented); already {
+			continue
+		}
+		s.cat.ReplaceSource(sources.Instrument(src, s.metrics))
+	}
 }
 
 // CacheStats reports query-cache effectiveness (zero value when caching
