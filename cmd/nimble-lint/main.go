@@ -1,0 +1,95 @@
+// nimble-lint runs the repository's invariant-checking analyzers
+// (internal/analysis) over the packages matched by the given patterns
+// and prints every unsuppressed finding as file:line:col: analyzer:
+// message. It exits 1 when findings remain, 0 when the tree is clean.
+//
+// Usage:
+//
+//	go run ./cmd/nimble-lint [flags] [packages]
+//
+//	-list          print the analyzer roster and exit
+//	-only a,b      run only the named analyzers
+//	-show-ignored  also print suppressed findings (marked [suppressed])
+//
+// Patterns default to ./... . Findings are silenced per site with
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// on the flagged line or the line directly above it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	listFlag := flag.Bool("list", false, "print the analyzer roster and exit")
+	onlyFlag := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	showIgnored := flag.Bool("show-ignored", false, "also print suppressed findings")
+	flag.Parse()
+
+	if *listFlag {
+		for _, a := range analysis.Analyzers() {
+			fmt.Printf("%-11s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := analysis.Analyzers()
+	if *onlyFlag != "" {
+		analyzers = analyzers[:0:0]
+		for _, name := range strings.Split(*onlyFlag, ",") {
+			name = strings.TrimSpace(name)
+			a := analysis.ByName(name)
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "nimble-lint: unknown analyzer %q (use -list)\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader := analysis.NewLoader()
+	targets, err := loader.LoadTargets(patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nimble-lint: %v\n", err)
+		os.Exit(2)
+	}
+	if len(targets) == 0 {
+		fmt.Fprintf(os.Stderr, "nimble-lint: no packages match %s\n", strings.Join(patterns, " "))
+		os.Exit(2)
+	}
+
+	found := 0
+	for _, target := range targets {
+		diags, err := analysis.Run(target, analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nimble-lint: %s: %v\n", target.Path, err)
+			os.Exit(2)
+		}
+		kept, suppressed := analysis.Filter(target.Fset, target.Files, diags)
+		for _, d := range kept {
+			fmt.Printf("%s: %s: %s\n", target.Fset.Position(d.Pos), d.Analyzer, d.Message)
+			found++
+		}
+		if *showIgnored {
+			for _, d := range suppressed {
+				fmt.Printf("%s: %s: %s [suppressed]\n", target.Fset.Position(d.Pos), d.Analyzer, d.Message)
+			}
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(os.Stderr, "nimble-lint: %d finding(s) in %d package(s)\n", found, len(targets))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,114 @@
+// Package analysis is nimble-lint's invariant-checking suite: a small,
+// dependency-free reimplementation of the golang.org/x/tools/go/analysis
+// vocabulary (Analyzer, Pass, Diagnostic) carrying custom analyzers that
+// encode Nimble's own plumbing rules — invariants go vet cannot see
+// because they are about this codebase's contracts, not the language:
+//
+//   - spanfinish: every obs.Span started in a function is Finished on
+//     all paths, or escapes to an owner who will finish it.
+//   - opclose: every algebra operator whose Open succeeded has Close
+//     reachable, including the error paths of later Opens.
+//   - ctxbefore: goroutines that perform source I/O are only launched
+//     by code that consulted its context.Context first.
+//   - guardedby: struct fields annotated "guarded by <mu>" are only
+//     touched while that mutex is held.
+//
+// The suite runs as `go run ./cmd/nimble-lint ./...` (wired into
+// `make check` and CI) and is exercised by analysistest-style corpora
+// under testdata/. Findings are suppressed, one at a time and with a
+// recorded reason, by the directive:
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// placed on the flagged line or on the line directly above it.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one invariant checker. The shape deliberately mirrors
+// golang.org/x/tools/go/analysis.Analyzer so the suite can migrate to
+// the real multichecker if the dependency ever becomes available.
+type Analyzer struct {
+	// Name is the identifier used in diagnostics, -only filters, and
+	// suppression directives.
+	Name string
+	// Doc is the one-paragraph description shown by nimble-lint -list.
+	Doc string
+	// Run reports violations on the pass via Pass.Reportf.
+	Run func(*Pass) error
+}
+
+// Pass carries one package's syntax and types through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// Diagnostic is one reported violation.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Reportf records a violation at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{SpanFinish, OpClose, CtxBefore, GuardedBy}
+}
+
+// ByName returns the named analyzer, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Run executes the analyzers over one loaded package and returns the
+// raw diagnostics sorted by position (suppression directives are NOT
+// applied here; see Filter).
+func Run(t *Target, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      t.Fset,
+			Files:     t.Files,
+			Pkg:       t.Pkg,
+			TypesInfo: t.Info,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %v", a.Name, err)
+		}
+		out = append(out, pass.diags...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos != out[j].Pos {
+			return out[i].Pos < out[j].Pos
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out, nil
+}

@@ -1,0 +1,93 @@
+// Package atest is an analysistest-style harness for the nimble-lint
+// analyzers: it type-checks a corpus directory under testdata/ (which
+// the go tool itself ignores), runs one analyzer, and matches its
+// diagnostics against `// want "regexp"` comments in the corpus. Every
+// want must be hit by a diagnostic on its line, and every diagnostic
+// must be claimed by a want — so a corpus with wants fails loudly if
+// the analyzer is disabled or regresses.
+package atest
+
+import (
+	"go/token"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+var wantRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+type wantKey struct {
+	file string
+	line int
+}
+
+// Run checks the analyzer against the corpus directory.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	loader := analysis.NewLoader()
+	target, err := loader.CheckDir(dir)
+	if err != nil {
+		t.Fatalf("loading corpus %s: %v", dir, err)
+	}
+	diags, err := analysis.Run(target, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+
+	// Collect want expectations from the corpus comments.
+	wants := make(map[wantKey][]*regexp.Regexp)
+	nwants := 0
+	for _, f := range target.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				pos := target.Fset.Position(c.Pos())
+				key := wantKey{file: pos.Filename, line: pos.Line}
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text[idx:], -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, m[1], err)
+					}
+					wants[key] = append(wants[key], re)
+					nwants++
+				}
+			}
+		}
+	}
+	if nwants == 0 {
+		t.Fatalf("corpus %s has no // want comments; the test would pass with the analyzer disabled", dir)
+	}
+
+	// Match diagnostics to wants.
+	for _, d := range diags {
+		pos := target.Fset.Position(d.Pos)
+		key := wantKey{file: pos.Filename, line: pos.Line}
+		matched := false
+		rest := wants[key][:0:0]
+		for _, re := range wants[key] {
+			if !matched && re.MatchString(d.Message) {
+				matched = true
+				continue
+			}
+			rest = append(rest, re)
+		}
+		wants[key] = rest
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s: %s", position(pos), d.Analyzer, d.Message)
+		}
+	}
+	for key, res := range wants {
+		for _, re := range res {
+			t.Errorf("%s:%d: no diagnostic matching %q", key.file, key.line, re.String())
+		}
+	}
+}
+
+func position(p token.Position) string {
+	return p.String()
+}

@@ -1,0 +1,176 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// CtxBefore enforces the fan-out discipline PR 1 introduced in
+// exec.Prefetch: code that launches a goroutine performing source I/O
+// (calls into catalog, sources, or rdb, or into the engine's fetch /
+// materialize / query entry points) must consult its context.Context —
+// ctx.Err() or ctx.Done() — before (or inside, ahead of the I/O) the
+// spawn. A cancelled query must stop fanning out instead of launching
+// the remaining fetches; -race never sees this, and under load it is
+// the difference between shedding and amplifying.
+var CtxBefore = &Analyzer{
+	Name: "ctxbefore",
+	Doc: "check that functions spawning source-I/O goroutines consult ctx.Err()/ctx.Done() " +
+		"before the spawn (or inside the goroutine before the I/O)",
+	Run: runCtxBefore,
+}
+
+// ioPkgSuffixes are the packages whose calls count as source I/O.
+var ioPkgSuffixes = []string{
+	"internal/catalog", "internal/sources", "internal/rdb",
+}
+
+// ioMethods are engine entry points that perform source I/O; a call to
+// one of these on a repo-owned type inside a goroutine is a fan-out.
+var ioMethods = map[string]bool{
+	"fetch": true, "Fetch": true, "doFetch": true,
+	"Materialize": true, "MaterializeSchema": true,
+	"Refresh": true, "RefreshAll": true,
+	"Query": true, "QueryOpt": true, "QueryAST": true,
+}
+
+func runCtxBefore(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ctxCheckFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// isIOCall reports whether call performs source I/O per the rules above.
+func isIOCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	// Package-qualified function call.
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if path, isPkg := pass.pkgPathOf(id); isPkg {
+			return hasSuffixAny(path, ioPkgSuffixes...)
+		}
+		if pass.TypesInfo == nil || len(pass.TypesInfo.Uses) == 0 {
+			// No type info: fall back to the conventional import names.
+			switch id.Name {
+			case "catalog", "sources", "rdb":
+				return true
+			}
+		}
+	}
+	// Method calls: any method on a type owned by an I/O package counts
+	// (catalog.Source.Fetch, rdb handles, ...); on other repo-owned
+	// types only the known fan-out entry points do.
+	if pass.TypesInfo != nil {
+		if s, ok := pass.TypesInfo.Selections[sel]; ok {
+			obj := s.Obj()
+			if obj != nil && obj.Pkg() != nil {
+				p := obj.Pkg().Path()
+				if hasSuffixAny(p, ioPkgSuffixes...) {
+					return true
+				}
+				if !ioMethods[sel.Sel.Name] {
+					return false
+				}
+				// Repo-owned (module or corpus) types only: a stdlib method
+				// that happens to be called Query (net/url) is not source I/O.
+				return p == "repro" || strings.HasPrefix(p, "repro/") || strings.HasPrefix(p, "testdata/")
+			}
+		}
+		if pass.typeStringOf(sel.X) != "" {
+			return false // resolved to something without a matching selection
+		}
+	}
+	return ioMethods[sel.Sel.Name]
+}
+
+// isCtxConsult reports whether call is ctx.Err() or ctx.Done() on a
+// context.Context (by type when known, by conventional naming when not).
+func isCtxConsult(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Err" && sel.Sel.Name != "Done") {
+		return false
+	}
+	if ts := pass.typeStringOf(sel.X); ts != "" {
+		return ts == "context.Context"
+	}
+	return strings.Contains(exprString(sel.X), "ctx")
+}
+
+// hasCtxParam reports whether the function declares a context.Context
+// parameter.
+func hasCtxParam(pass *Pass, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, p := range fd.Type.Params.List {
+		if ts := pass.typeStringOf(p.Type); ts == "context.Context" {
+			return true
+		}
+		if sel, ok := p.Type.(*ast.SelectorExpr); ok {
+			if id, ok := sel.X.(*ast.Ident); ok && id.Name == "context" && sel.Sel.Name == "Context" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func ctxCheckFunc(pass *Pass, fd *ast.FuncDecl) {
+	// Consultation sites anywhere in the declaration, by position.
+	var consults []ast.Node
+	walkStack(fd, func(n ast.Node, _ []ast.Node) {
+		if call, ok := n.(*ast.CallExpr); ok && isCtxConsult(pass, call) {
+			consults = append(consults, call)
+		}
+	})
+
+	walkStack(fd, func(n ast.Node, _ []ast.Node) {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return
+		}
+		// Where does the I/O happen inside the spawned work?
+		var ioPos ast.Node
+		if isIOCall(pass, gs.Call) {
+			ioPos = gs.Call
+		} else if lit, ok := gs.Call.Fun.(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				if ioPos != nil {
+					return false
+				}
+				if call, ok := m.(*ast.CallExpr); ok && isIOCall(pass, call) {
+					ioPos = call
+				}
+				return true
+			})
+		}
+		if ioPos == nil {
+			return
+		}
+		// Consulted before the spawn, or inside the goroutine before the
+		// I/O call?
+		for _, c := range consults {
+			if c.Pos() < gs.Pos() || (c.Pos() > gs.Pos() && c.Pos() < ioPos.Pos()) {
+				return
+			}
+		}
+		if !hasCtxParam(pass, fd) && len(consults) == 0 {
+			pass.Reportf(gs.Pos(),
+				"%s launches a goroutine doing source I/O but has no context.Context to consult; "+
+					"accept a ctx and check ctx.Err() before spawning", funcName(fd))
+			return
+		}
+		pass.Reportf(gs.Pos(),
+			"%s spawns source I/O without consulting the context first; "+
+				"check ctx.Err() or ctx.Done() before launching the fetch", funcName(fd))
+	})
+}

@@ -1,0 +1,228 @@
+package analysis
+
+import (
+	"go/ast"
+	"regexp"
+	"strings"
+)
+
+// GuardedBy enforces documented lock discipline: a struct field whose
+// comment says "guarded by <mu>" may only be touched through the
+// receiver while <mu> is held. This catches the class of data race that
+// `go test -race` only reports when a test happens to interleave the
+// two accesses — the kind that instead interleaves for the first time
+// under production load.
+//
+// Scope: accesses through the receiver of methods on the annotated
+// struct. Helper methods whose name ends in "Locked" are exempt by
+// convention (their contract is "caller holds the lock"). A deferred
+// Unlock does not count as a release; an inline Unlock before the
+// access does.
+var GuardedBy = &Analyzer{
+	Name: "guardedby",
+	Doc: "check that fields annotated `// guarded by <mu>` are only accessed while <mu> is held " +
+		"(methods named *Locked are exempt: caller holds the lock)",
+	Run: runGuardedBy,
+}
+
+var guardedByRe = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_]*)`)
+
+// guardedField records one annotation: structName.fieldName needs mu.
+type guardedField struct {
+	structName string
+	fieldName  string
+	mu         string
+}
+
+func runGuardedBy(pass *Pass) error {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return nil
+	}
+	byStruct := make(map[string]map[string]string) // struct -> field -> mu
+	for _, g := range guards {
+		if byStruct[g.structName] == nil {
+			byStruct[g.structName] = make(map[string]string)
+		}
+		byStruct[g.structName][g.fieldName] = g.mu
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv == nil || len(fd.Recv.List) == 0 {
+				continue
+			}
+			if strings.HasSuffix(fd.Name.Name, "Locked") {
+				continue
+			}
+			recvType := fd.Recv.List[0].Type
+			id, ok := baseTypeIdent(recvType)
+			if !ok {
+				continue
+			}
+			fields := byStruct[id.Name]
+			if fields == nil || len(fd.Recv.List[0].Names) == 0 {
+				continue
+			}
+			recvName := fd.Recv.List[0].Names[0].Name
+			if recvName == "_" || recvName == "" {
+				continue
+			}
+			guardCheckFunc(pass, fd, recvName, fields)
+		}
+	}
+	return nil
+}
+
+// collectGuards finds `// guarded by <mu>` annotations on struct fields.
+func collectGuards(pass *Pass) []guardedField {
+	var out []guardedField
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu := guardAnnotation(field)
+				if mu == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					out = append(out, guardedField{
+						structName: ts.Name.Name,
+						fieldName:  name.Name,
+						mu:         mu,
+					})
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func guardAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedByRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// unlockExitsFunc reports whether the unlock call is immediately
+// followed by a return in its enclosing block — the early-exit idiom
+//
+//	if !ok {
+//		mu.Unlock()
+//		return ...
+//	}
+//
+// whose unlock never precedes any later access on the fallthrough path.
+func unlockExitsFunc(call *ast.CallExpr, stack []ast.Node) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	es, ok := stack[len(stack)-1].(*ast.ExprStmt)
+	if !ok || es.X != ast.Expr(call) {
+		return false
+	}
+	block, ok := stack[len(stack)-2].(*ast.BlockStmt)
+	if !ok {
+		return false
+	}
+	for i, st := range block.List {
+		if st == ast.Stmt(es) && i+1 < len(block.List) {
+			_, isRet := block.List[i+1].(*ast.ReturnStmt)
+			return isRet
+		}
+	}
+	return false
+}
+
+// lockEvent is one non-deferred Lock/Unlock call on the receiver's
+// mutex, in source order.
+type lockEvent struct {
+	pos  ast.Node
+	lock bool // true for Lock/RLock, false for Unlock/RUnlock
+	mu   string
+}
+
+func guardCheckFunc(pass *Pass, fd *ast.FuncDecl, recvName string, fields map[string]string) {
+	var events []lockEvent
+	type access struct {
+		sel   *ast.SelectorExpr
+		field string
+		mu    string
+	}
+	var accesses []access
+
+	walkStack(fd, func(n ast.Node, stack []ast.Node) {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			// recv.mu.Lock() / recv.mu.RLock() / ...Unlock()
+			sel, ok := x.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return
+			}
+			var isLock bool
+			switch sel.Sel.Name {
+			case "Lock", "RLock":
+				isLock = true
+			case "Unlock", "RUnlock":
+				isLock = false
+			default:
+				return
+			}
+			inner, ok := sel.X.(*ast.SelectorExpr)
+			if !ok {
+				return
+			}
+			base, ok := inner.X.(*ast.Ident)
+			if !ok || base.Name != recvName {
+				return
+			}
+			if !isLock && inDefer(stack) {
+				return // a deferred Unlock releases at return, not here
+			}
+			if !isLock && unlockExitsFunc(x, stack) {
+				return // unlock-then-return: no code after it runs unlocked
+			}
+			events = append(events, lockEvent{pos: x, lock: isLock, mu: inner.Sel.Name})
+		case *ast.SelectorExpr:
+			base, ok := x.X.(*ast.Ident)
+			if !ok || base.Name != recvName {
+				return
+			}
+			mu, guarded := fields[x.Sel.Name]
+			if !guarded {
+				return
+			}
+			accesses = append(accesses, access{sel: x, field: x.Sel.Name, mu: mu})
+		}
+	})
+
+	for _, a := range accesses {
+		held := false
+		for _, e := range events {
+			if e.mu != a.mu || e.pos.Pos() >= a.sel.Pos() {
+				continue
+			}
+			held = e.lock
+		}
+		if !held {
+			pass.Reportf(a.sel.Pos(),
+				"%s.%s is guarded by %s but accessed in %s without holding it "+
+					"(lock %s.%s first, or name the helper *Locked)",
+				recvName, a.field, a.mu, funcName(fd), recvName, a.mu)
+		}
+	}
+}

@@ -1,0 +1,226 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// walkStack visits every node under root, passing the ancestor stack
+// (outermost first, not including n itself).
+func walkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		fn(n, stack)
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// exprString renders an identifier or a selector chain ("j.Left.Close"
+// style receivers); other expression forms yield "".
+func exprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		base := exprString(x.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + x.Sel.Name
+	case *ast.ParenExpr:
+		return exprString(x.X)
+	}
+	return ""
+}
+
+// enclosingFunc returns the innermost function literal or declaration
+// on the stack (the node itself counts when it is one).
+func enclosingFunc(n ast.Node, stack []ast.Node) ast.Node {
+	switch n.(type) {
+	case *ast.FuncLit, *ast.FuncDecl:
+		return n
+	}
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncLit, *ast.FuncDecl:
+			return stack[i]
+		}
+	}
+	return nil
+}
+
+// inLoop reports whether the stack passes through a for or range
+// statement.
+func inLoop(stack []ast.Node) bool {
+	for _, n := range stack {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return true
+		}
+	}
+	return false
+}
+
+// inDefer reports whether the stack passes through a defer statement.
+func inDefer(stack []ast.Node) bool {
+	for _, n := range stack {
+		if _, ok := n.(*ast.DeferStmt); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// objectOf resolves an identifier nil-safely.
+func (p *Pass) objectOf(id *ast.Ident) types.Object {
+	if p.TypesInfo == nil {
+		return nil
+	}
+	if o := p.TypesInfo.ObjectOf(id); o != nil {
+		return o
+	}
+	return nil
+}
+
+// pkgPathOf returns the import path when id names an imported package.
+func (p *Pass) pkgPathOf(id *ast.Ident) (string, bool) {
+	if pn, ok := p.objectOf(id).(*types.PkgName); ok {
+		return pn.Imported().Path(), true
+	}
+	return "", false
+}
+
+// typeStringOf returns the type of e as a string ("" when unknown).
+func (p *Pass) typeStringOf(e ast.Expr) string {
+	if p.TypesInfo == nil {
+		return ""
+	}
+	if tv, ok := p.TypesInfo.Types[e]; ok && tv.Type != nil {
+		return tv.Type.String()
+	}
+	return ""
+}
+
+// methodCall decomposes a call of the form recv.Name(...), returning
+// the receiver expression and method name; ok is false for any other
+// call shape (including package-qualified function calls when type
+// information identifies the qualifier as a package name).
+func (p *Pass) methodCall(call *ast.CallExpr) (recv ast.Expr, name string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return nil, "", false
+	}
+	if id, isID := sel.X.(*ast.Ident); isID {
+		if _, isPkg := p.pkgPathOf(id); isPkg {
+			return nil, "", false
+		}
+	}
+	return sel.X, sel.Sel.Name, true
+}
+
+// sameIdent reports whether use refers to the same variable as def,
+// preferring type information and falling back to name equality.
+func (p *Pass) sameIdent(use *ast.Ident, def *ast.Ident) bool {
+	uo, do := p.objectOf(use), p.objectOf(def)
+	if uo != nil && do != nil {
+		return uo == do
+	}
+	return use.Name == def.Name
+}
+
+// funcName names a declaration for diagnostics ("(*Engine).run" style
+// for methods).
+func funcName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := baseTypeIdent(t); ok {
+		return id.Name + "." + fd.Name.Name
+	}
+	return fd.Name.Name
+}
+
+// baseTypeIdent unwraps a receiver type expression to its base named
+// type identifier (handles pointers and generic instantiations).
+func baseTypeIdent(t ast.Expr) (*ast.Ident, bool) {
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr:
+			t = x.X
+		case *ast.IndexListExpr:
+			t = x.X
+		case *ast.Ident:
+			return x, true
+		default:
+			return nil, false
+		}
+	}
+}
+
+// returnsIn collects every return statement within fn that exits the
+// given enclosing function node.
+func returnsIn(fd *ast.FuncDecl, owner ast.Node) []*ast.ReturnStmt {
+	var out []*ast.ReturnStmt
+	walkStack(fd, func(n ast.Node, stack []ast.Node) {
+		r, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return
+		}
+		if enclosingFunc(n, stack) == owner {
+			out = append(out, r)
+		}
+	})
+	return out
+}
+
+// isDeclIdent reports whether the identifier occurrence is a
+// declaration, not a use: a parameter/receiver/struct field name, a
+// range variable, or a var-spec name. Declarations are neutral for
+// escape analysis — they introduce the variable, they don't hand it to
+// anyone.
+func isDeclIdent(id *ast.Ident, stack []ast.Node) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	switch parent := stack[len(stack)-1].(type) {
+	case *ast.Field:
+		return true
+	case *ast.ValueSpec:
+		for _, n := range parent.Names {
+			if n == id {
+				return true
+			}
+		}
+	case *ast.RangeStmt:
+		return parent.Key == ast.Expr(id) || parent.Value == ast.Expr(id)
+	}
+	return false
+}
+
+// hasSuffixAny reports whether s ends with any of the suffixes.
+func hasSuffixAny(s string, suffixes ...string) bool {
+	for _, suf := range suffixes {
+		if strings.HasSuffix(s, suf) {
+			return true
+		}
+	}
+	return false
+}
+
+// posLine returns the 1-based line of pos.
+func (p *Pass) posLine(pos token.Pos) int {
+	return p.Fset.Position(pos).Line
+}

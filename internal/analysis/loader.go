@@ -1,0 +1,263 @@
+// The loader resolves package patterns to parsed, type-checked syntax
+// using only the standard library: `go list` enumerates packages and
+// their files, and go/types checks them with an importer that loads
+// dependencies (standard library included) from source on demand.
+// Dependencies are checked with IgnoreFuncBodies, so a full run over
+// this repository plus its stdlib closure takes a few seconds.
+
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	GoFiles    []string
+	Imports    []string
+	Standard   bool
+	DepOnly    bool
+}
+
+// Target is one package selected by the patterns, ready for analysis.
+type Target struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+	// TypeErrors collects type-checker complaints (analysis proceeds on
+	// partial information; the build gate catches real compile errors).
+	TypeErrors []error
+}
+
+// Loader parses and type-checks packages. It is not safe for
+// concurrent use.
+type Loader struct {
+	Fset *token.FileSet
+
+	module string              // module path of the working directory
+	index  map[string]*listPkg // import path -> listing
+	pkgs   map[string]*types.Package
+	busy   map[string]bool // import-cycle guard
+}
+
+// NewLoader creates a loader rooted at the current working directory
+// (which must be inside the module, as `go list` requires).
+func NewLoader() *Loader {
+	return &Loader{
+		Fset:  token.NewFileSet(),
+		index: make(map[string]*listPkg),
+		pkgs:  make(map[string]*types.Package),
+		busy:  make(map[string]bool),
+	}
+}
+
+// goList runs `go list -e -deps -json` for the patterns and merges the
+// results into the index. CGO_ENABLED=0 keeps file lists pure Go so
+// everything type-checks from source.
+func (l *Loader) goList(patterns ...string) error {
+	args := append([]string{
+		"list", "-e", "-deps",
+		"-json=Dir,ImportPath,Name,GoFiles,Imports,Standard,DepOnly",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, errb.String())
+	}
+	dec := json.NewDecoder(&out)
+	for dec.More() {
+		p := &listPkg{}
+		if err := dec.Decode(p); err != nil {
+			return fmt.Errorf("go list: decoding output: %v", err)
+		}
+		if old, ok := l.index[p.ImportPath]; !ok || (old.DepOnly && !p.DepOnly) {
+			l.index[p.ImportPath] = p
+		}
+	}
+	return nil
+}
+
+// modulePath returns the module path of the working directory ("" when
+// outside a module).
+func (l *Loader) modulePath() string {
+	if l.module != "" {
+		return l.module
+	}
+	cmd := exec.Command("go", "list", "-m", "-f", "{{.Path}}")
+	out, err := cmd.Output()
+	if err == nil {
+		l.module = strings.TrimSpace(string(out))
+	}
+	return l.module
+}
+
+func (l *Loader) parse(p *listPkg) ([]*ast.File, error) {
+	var files []*ast.File
+	var firstErr error
+	for _, f := range p.GoFiles {
+		af, err := parser.ParseFile(l.Fset, filepath.Join(p.Dir, f), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if af != nil {
+			files = append(files, af)
+		}
+	}
+	return files, firstErr
+}
+
+func sizes() types.Sizes {
+	if s := types.SizesFor("gc", runtime.GOARCH); s != nil {
+		return s
+	}
+	return types.SizesFor("gc", "amd64")
+}
+
+// Import implements types.Importer: dependencies are type-checked from
+// source, without function bodies, and memoized.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.busy[path] {
+		return nil, fmt.Errorf("import cycle through %q", path)
+	}
+	lp, ok := l.index[path]
+	if !ok {
+		if err := l.goList(path); err != nil {
+			return nil, err
+		}
+		if lp, ok = l.index[path]; !ok {
+			return nil, fmt.Errorf("unknown package %q", path)
+		}
+	}
+	l.busy[path] = true
+	defer delete(l.busy, path)
+	files, _ := l.parse(lp)
+	conf := types.Config{
+		Importer:         l,
+		IgnoreFuncBodies: true,
+		FakeImportC:      true,
+		Sizes:            sizes(),
+		Error:            func(error) {}, // tolerate; declarations still land
+	}
+	pkg, _ := conf.Check(path, l.Fset, files, nil)
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+}
+
+// check type-checks files as one package with full bodies and info.
+func (l *Loader) check(path string, files []*ast.File) (*types.Package, *types.Info, []error) {
+	info := newInfo()
+	var errs []error
+	conf := types.Config{
+		Importer:    l,
+		FakeImportC: true,
+		Sizes:       sizes(),
+		Error:       func(err error) { errs = append(errs, err) },
+	}
+	pkg, _ := conf.Check(path, l.Fset, files, info)
+	return pkg, info, errs
+}
+
+// LoadTargets resolves the patterns (e.g. "./...") to the module's own
+// packages and type-checks each with full syntax and type information.
+func (l *Loader) LoadTargets(patterns []string) ([]*Target, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	if err := l.goList(patterns...); err != nil {
+		return nil, err
+	}
+	mod := l.modulePath()
+	var targets []*Target
+	for _, lp := range l.index {
+		if lp.DepOnly || lp.Standard || len(lp.GoFiles) == 0 {
+			continue
+		}
+		if mod != "" && lp.ImportPath != mod && !strings.HasPrefix(lp.ImportPath, mod+"/") {
+			continue
+		}
+		files, perr := l.parse(lp)
+		pkg, info, errs := l.check(lp.ImportPath, files)
+		if perr != nil {
+			errs = append([]error{perr}, errs...)
+		}
+		targets = append(targets, &Target{
+			Path:       lp.ImportPath,
+			Fset:       l.Fset,
+			Files:      files,
+			Pkg:        pkg,
+			Info:       info,
+			TypeErrors: errs,
+		})
+	}
+	sortTargets(targets)
+	return targets, nil
+}
+
+// CheckDir parses and type-checks a single directory (used by the
+// analysistest corpora, whose files live under testdata/ where the go
+// tool does not list them). Imports resolve through the same on-demand
+// importer, so corpora may import both the standard library and this
+// module's packages.
+func (l *Loader) CheckDir(dir string) (*Target, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		af, err := parser.ParseFile(l.Fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, af)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	path := "testdata/" + filepath.Base(dir)
+	pkg, info, errs := l.check(path, files)
+	return &Target{Path: path, Fset: l.Fset, Files: files, Pkg: pkg, Info: info, TypeErrors: errs}, nil
+}
+
+func sortTargets(ts []*Target) {
+	sort.Slice(ts, func(i, j int) bool { return ts[i].Path < ts[j].Path })
+}

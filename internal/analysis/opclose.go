@@ -1,0 +1,234 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// OpClose enforces the operator lifecycle contract of internal/algebra:
+// Close is only guaranteed to be called by a consumer after a
+// successful Open (drain() defers Close only once Open returns nil).
+// So a function that opens several operators must, on the error path of
+// each later Open, close the ones that already opened — and a locally
+// opened operator must be closed (or handed off) before the function
+// returns. Violations leak whatever resources a source-backed leaf
+// holds (pull functions, cursors, network readers).
+var OpClose = &Analyzer{
+	Name: "opclose",
+	Doc: "check that every operator whose Open succeeded has Close reachable, " +
+		"including the error paths of subsequent Opens",
+	Run: runOpClose,
+}
+
+// openSite is one guarded `if err := X.Open(ctx); err != nil { ... }`.
+type openSite struct {
+	recv    ast.Expr
+	recvStr string
+	call    *ast.CallExpr
+	errBody *ast.BlockStmt // error-path block (nil for unguarded opens)
+	isIdent bool           // receiver is a bare local identifier
+	inLoop  bool           // open site sits inside a for/range statement
+}
+
+func runOpClose(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			opCheckFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// isOperatorOpen reports whether call is `recv.Open(...)` on a value
+// that also has a Close method (ruling out os.Open-style package
+// functions and unrelated Open methods on close-less types).
+func isOperatorOpen(pass *Pass, call *ast.CallExpr) (ast.Expr, bool) {
+	recv, name, ok := pass.methodCall(call)
+	if !ok || name != "Open" {
+		return nil, false
+	}
+	if pass.TypesInfo != nil {
+		if tv, ok := pass.TypesInfo.Types[recv]; ok && tv.Type != nil {
+			obj, _, _ := types.LookupFieldOrMethod(tv.Type, true, pass.Pkg, "Close")
+			if _, isFunc := obj.(*types.Func); !isFunc {
+				return nil, false
+			}
+		}
+	}
+	return recv, true
+}
+
+// closeCallsIn collects the receiver strings of `X.Close(...)` calls in
+// n, and whether any Close happens inside a loop (the "close all the
+// ones opened so far" idiom uses a range over a prefix).
+func closeCallsIn(pass *Pass, n ast.Node) (recvs map[string]bool, inLoop bool) {
+	recvs = make(map[string]bool)
+	walkStack(n, func(node ast.Node, stack []ast.Node) {
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		recv, name, ok := pass.methodCall(call)
+		if !ok || name != "Close" {
+			return
+		}
+		if s := exprString(recv); s != "" {
+			recvs[s] = true
+		}
+		for _, anc := range stack {
+			switch anc.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				inLoop = true
+			}
+		}
+	})
+	return recvs, inLoop
+}
+
+func opCheckFunc(pass *Pass, fd *ast.FuncDecl) {
+	var sites []openSite
+
+	// Collect open sites in source order. Guarded form:
+	//	if err := X.Open(ctx); err != nil { <errBody> }
+	// Unguarded forms (bare call, separate assignment) are tracked for
+	// the local close requirement only.
+	walkStack(fd, func(n ast.Node, stack []ast.Node) {
+		switch st := n.(type) {
+		case *ast.IfStmt:
+			as, ok := st.Init.(*ast.AssignStmt)
+			if !ok || len(as.Rhs) != 1 {
+				return
+			}
+			call, ok := as.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			recv, ok := isOperatorOpen(pass, call)
+			if !ok {
+				return
+			}
+			_, isIdent := recv.(*ast.Ident)
+			sites = append(sites, openSite{
+				recv: recv, recvStr: exprString(recv), call: call,
+				errBody: st.Body, isIdent: isIdent, inLoop: inLoop(stack),
+			})
+		case *ast.AssignStmt:
+			// `err = X.Open(ctx)` outside an if-init: track without an
+			// error body. Skip assignments that are an IfStmt init (those
+			// arrive via the IfStmt case).
+			if len(stack) > 0 {
+				if ifst, ok := stack[len(stack)-1].(*ast.IfStmt); ok && ifst.Init == ast.Stmt(st) {
+					return
+				}
+			}
+			if len(st.Rhs) != 1 {
+				return
+			}
+			call, ok := st.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			if recv, ok := isOperatorOpen(pass, call); ok {
+				_, isIdent := recv.(*ast.Ident)
+				sites = append(sites, openSite{recv: recv, recvStr: exprString(recv), call: call, isIdent: isIdent, inLoop: inLoop(stack)})
+			}
+		}
+	})
+	if len(sites) == 0 {
+		return
+	}
+
+	// Rule 1: the error path of open #i must close every earlier open.
+	for i, s := range sites {
+		if s.errBody == nil || !errPathReturns(s.errBody) {
+			continue
+		}
+		closed, loopClose := closeCallsIn(pass, s.errBody)
+		for _, prev := range sites[:i] {
+			if prev.recvStr == "" || prev.recvStr == s.recvStr {
+				continue
+			}
+			if closed[prev.recvStr] || loopClose {
+				continue
+			}
+			pass.Reportf(s.call.Pos(),
+				"error path of %s.Open leaves %s open (opened at line %d); close it before returning",
+				s.recvStr, prev.recvStr, pass.posLine(prev.call.Pos()))
+		}
+	}
+
+	// Rule 2: a locally opened operator (bare identifier receiver) must
+	// have Close reachable in this function, or escape to a new owner.
+	allClosed, anyLoopClose := closeCallsIn(pass, fd)
+	for _, s := range sites {
+		if !s.isIdent {
+			continue // field receivers: the owner's Close is responsible
+		}
+		id := s.recv.(*ast.Ident)
+		if allClosed[id.Name] {
+			continue
+		}
+		if s.inLoop && anyLoopClose {
+			continue // close-the-opened-prefix idiom: the loop closes them
+		}
+		if identEscapes(pass, fd, id) {
+			continue
+		}
+		pass.Reportf(s.call.Pos(),
+			"operator %q is opened but never closed in %s (add `defer %s.Close()` after a successful Open)",
+			id.Name, funcName(fd), id.Name)
+	}
+}
+
+// errPathReturns reports whether the block exits the function.
+func errPathReturns(b *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(b, func(n ast.Node) bool {
+		if _, ok := n.(*ast.ReturnStmt); ok {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// identEscapes reports whether the variable is handed to someone else:
+// used as an argument, returned, stored into a structure, or assigned
+// onward. Method calls on the variable do not count.
+func identEscapes(pass *Pass, fd *ast.FuncDecl, def *ast.Ident) bool {
+	escapes := false
+	walkStack(fd, func(n ast.Node, stack []ast.Node) {
+		if escapes {
+			return
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || id == def || !pass.sameIdent(id, def) {
+			return
+		}
+		if isDeclIdent(id, stack) {
+			return // parameter / range-var declaration: neutral
+		}
+		if len(stack) >= 2 {
+			if sel, ok := stack[len(stack)-1].(*ast.SelectorExpr); ok && sel.X == ast.Expr(id) {
+				if call, ok := stack[len(stack)-2].(*ast.CallExpr); ok && call.Fun == ast.Expr(sel) {
+					return // method call: neutral
+				}
+			}
+		}
+		if len(stack) >= 1 {
+			if as, ok := stack[len(stack)-1].(*ast.AssignStmt); ok {
+				for _, l := range as.Lhs {
+					if l == ast.Expr(id) {
+						return // rebinding target: neutral
+					}
+				}
+			}
+		}
+		escapes = true
+	})
+	return escapes
+}

@@ -1,0 +1,226 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// SpanFinish enforces the tracing contract of internal/obs: a span
+// obtained from obs.NewSpan, obs.StartSpan, or (*obs.Span).StartChild
+// must be Finished on every path out of the function that started it,
+// or escape to an owner (returned, stored, or passed along) who takes
+// over that obligation. An unfinished span reports a running duration
+// forever and silently corrupts every trace that contains it.
+var SpanFinish = &Analyzer{
+	Name: "spanfinish",
+	Doc: "check that every started obs.Span is Finished on all paths or escapes to an owner; " +
+		"prefer `defer sp.Finish()` when the span covers the whole function",
+	Run: runSpanFinish,
+}
+
+// span-creating callees, keyed by selector name.
+var spanCreators = map[string]bool{
+	"NewSpan":    true, // obs.NewSpan(name)
+	"StartSpan":  true, // obs.StartSpan(ctx, name) -> (ctx, *Span)
+	"StartChild": true, // (*Span).StartChild(name)
+}
+
+// spanCreation describes one tracked `sp := ...` site.
+type spanCreation struct {
+	ident *ast.Ident   // the variable the span is bound to
+	call  *ast.CallExpr
+	kind  string       // creator name, for messages
+	owner ast.Node     // innermost enclosing function (lit or decl)
+}
+
+func runSpanFinish(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			spanCheckFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// spanCreatorKind classifies a call as span-creating ("" when not).
+// Type information, when present, must agree; without it the selector
+// name decides (the analyzer is meant to run with full types; the
+// fallback keeps partial corpora useful).
+func spanCreatorKind(pass *Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !spanCreators[sel.Sel.Name] {
+		return ""
+	}
+	name := sel.Sel.Name
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if path, isPkg := pass.pkgPathOf(id); isPkg {
+			// obs.NewSpan / obs.StartSpan: qualifier must be the obs package.
+			if strings.HasSuffix(path, "internal/obs") {
+				return name
+			}
+			return ""
+		}
+	}
+	if name == "StartChild" {
+		// Method form: when types resolve, the receiver must be *obs.Span.
+		if ts := pass.typeStringOf(sel.X); ts != "" && !strings.HasSuffix(ts, "internal/obs.Span") {
+			return ""
+		}
+		return name
+	}
+	// Package-qualified form without type info: accept the conventional
+	// qualifier name only.
+	if id, ok := sel.X.(*ast.Ident); ok && id.Name == "obs" {
+		return name
+	}
+	return ""
+}
+
+// spanIdentFor returns the identifier a creation binds the span to
+// (nil when the span immediately escapes into a non-ident target).
+// discarded reports a blank-identifier binding.
+func spanIdentFor(kind string, lhs []ast.Expr, rhsIndex, rhsLen int) (id *ast.Ident, discarded bool) {
+	var target ast.Expr
+	switch {
+	case kind == "StartSpan" && rhsLen == 1 && len(lhs) == 2:
+		target = lhs[1] // ctx, sp := obs.StartSpan(...)
+	case rhsLen == len(lhs):
+		target = lhs[rhsIndex]
+	case rhsLen == 1 && len(lhs) == 1:
+		target = lhs[0]
+	default:
+		return nil, false
+	}
+	ident, ok := target.(*ast.Ident)
+	if !ok {
+		return nil, false // sp stored into a field: escapes by construction
+	}
+	if ident.Name == "_" {
+		return nil, true
+	}
+	return ident, false
+}
+
+func spanCheckFunc(pass *Pass, fd *ast.FuncDecl) {
+	var creations []spanCreation
+
+	// Pass 1: find creations (assignments, var specs, bare expression
+	// statements).
+	walkStack(fd, func(n ast.Node, stack []ast.Node) {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range st.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				kind := spanCreatorKind(pass, call)
+				if kind == "" {
+					continue
+				}
+				ident, discarded := spanIdentFor(kind, st.Lhs, i, len(st.Rhs))
+				if discarded {
+					pass.Reportf(call.Pos(), "result of %s is discarded: the span is never finished", kind)
+					continue
+				}
+				if ident != nil {
+					creations = append(creations, spanCreation{
+						ident: ident, call: call, kind: kind,
+						owner: enclosingFunc(st, stack),
+					})
+				}
+			}
+		case *ast.ExprStmt:
+			if call, ok := st.X.(*ast.CallExpr); ok {
+				if kind := spanCreatorKind(pass, call); kind != "" {
+					pass.Reportf(call.Pos(), "result of %s is discarded: the span is never finished", kind)
+				}
+			}
+		}
+	})
+
+	// Pass 2: for each creation, classify every other use of the variable.
+	for _, c := range creations {
+		var finishPos []ast.Node // Finish call sites
+		deferredFinish := false
+		escapes := false
+
+		walkStack(fd, func(n ast.Node, stack []ast.Node) {
+			id, ok := n.(*ast.Ident)
+			if !ok || id == c.ident || !pass.sameIdent(id, c.ident) {
+				return
+			}
+			if isDeclIdent(id, stack) {
+				return // declaration of the variable: neutral
+			}
+			// Receiver of a method call?
+			if len(stack) >= 2 {
+				if sel, ok := stack[len(stack)-1].(*ast.SelectorExpr); ok && sel.X == ast.Expr(id) {
+					if call, ok := stack[len(stack)-2].(*ast.CallExpr); ok && call.Fun == ast.Expr(sel) {
+						if sel.Sel.Name == "Finish" {
+							finishPos = append(finishPos, call)
+							if inDefer(stack) {
+								deferredFinish = true
+							}
+						}
+						return // method call on the span: neutral
+					}
+					// Selector but not a call (e.g. method value sp.Finish
+					// passed along): treat as escape.
+					escapes = true
+					return
+				}
+			}
+			// LHS of an assignment (rebinding) is neutral; everything else
+			// (argument, return value, composite literal, send, ...) hands
+			// the span to someone else.
+			if len(stack) >= 1 {
+				if as, ok := stack[len(stack)-1].(*ast.AssignStmt); ok {
+					for _, l := range as.Lhs {
+						if l == ast.Expr(id) {
+							return
+						}
+					}
+				}
+			}
+			escapes = true
+		})
+
+		if escapes {
+			continue
+		}
+		if len(finishPos) == 0 {
+			pass.Reportf(c.call.Pos(),
+				"span %q from %s is never finished (add `defer %s.Finish()` or finish it before every return)",
+				c.ident.Name, c.kind, c.ident.Name)
+			continue
+		}
+		if deferredFinish {
+			continue
+		}
+		// No deferred Finish: every return leaving the creating function
+		// after the creation must have a Finish somewhere between the
+		// creation and the return (straight-line approximation).
+		for _, ret := range returnsIn(fd, c.owner) {
+			if ret.Pos() <= c.call.Pos() {
+				continue
+			}
+			finished := false
+			for _, fc := range finishPos {
+				if fc.Pos() > c.call.Pos() && fc.Pos() < ret.Pos() {
+					finished = true
+					break
+				}
+			}
+			if !finished {
+				pass.Reportf(ret.Pos(),
+					"span %q (started line %d) may not be finished on this return path; finish it before returning or use defer",
+					c.ident.Name, pass.posLine(c.call.Pos()))
+			}
+		}
+	}
+}

@@ -1,0 +1,93 @@
+// Suppression: a finding is silenced by an explicit, per-site directive
+// that names the analyzer and records a reason, so every intentional
+// escape from an invariant is documented where it happens:
+//
+//	//lint:ignore spanfinish the span escapes into the retained trace ring
+//
+// The directive applies to diagnostics on its own line and on the line
+// directly below it (covering both the end-of-line and the
+// comment-above placements). The reason is mandatory: a bare
+// "//lint:ignore spanfinish" suppresses nothing.
+
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+const ignorePrefix = "//lint:ignore "
+
+type directive struct {
+	analyzers map[string]bool
+	line      int
+	reason    string
+}
+
+// directives extracts every well-formed suppression directive from the
+// files' comments.
+func directives(fset *token.FileSet, files []*ast.File) []directive {
+	var out []directive
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
+				names, reason, ok := strings.Cut(rest, " ")
+				if !ok || strings.TrimSpace(reason) == "" {
+					continue // reason is mandatory
+				}
+				d := directive{
+					analyzers: make(map[string]bool),
+					line:      fset.Position(c.Pos()).Line,
+					reason:    strings.TrimSpace(reason),
+				}
+				for _, n := range strings.Split(names, ",") {
+					if n = strings.TrimSpace(n); n != "" {
+						d.analyzers[n] = true
+					}
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// Filter splits diagnostics into kept and suppressed according to the
+// files' //lint:ignore directives.
+func Filter(fset *token.FileSet, files []*ast.File, diags []Diagnostic) (kept, suppressed []Diagnostic) {
+	ds := directives(fset, files)
+	if len(ds) == 0 {
+		return diags, nil
+	}
+	// line (and line+1) of a directive naming the analyzer -> suppressed
+	byLine := make(map[int]map[string]bool)
+	add := func(line int, names map[string]bool) {
+		m := byLine[line]
+		if m == nil {
+			m = make(map[string]bool)
+			byLine[line] = m
+		}
+		for n := range names {
+			m[n] = true
+		}
+	}
+	for _, d := range ds {
+		add(d.line, d.analyzers)
+		add(d.line+1, d.analyzers)
+	}
+	for _, dg := range diags {
+		line := fset.Position(dg.Pos).Line
+		if m := byLine[line]; m != nil && m[dg.Analyzer] {
+			suppressed = append(suppressed, dg)
+			continue
+		}
+		kept = append(kept, dg)
+	}
+	return kept, suppressed
+}

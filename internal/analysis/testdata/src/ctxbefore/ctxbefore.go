@@ -1,0 +1,70 @@
+// Corpus for the ctxbefore analyzer: goroutines doing source I/O with
+// and without a context consultation before the spawn.
+package ctxbefore
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/catalog"
+)
+
+type fetcher struct {
+	cat *catalog.Catalog
+}
+
+// ---- flagged ----
+
+func badNoCtx(f *fetcher, names []string) {
+	var wg sync.WaitGroup
+	for range names {
+		wg.Add(1)
+		go func() { // want "no context.Context"
+			defer wg.Done()
+			f.cat.Source("x")
+		}()
+	}
+	wg.Wait()
+}
+
+func badHasCtxNoCheck(ctx context.Context, f *fetcher) error {
+	_ = ctx
+	go func() { // want "without consulting"
+		f.cat.Source("x")
+	}()
+	return nil
+}
+
+// ---- clean ----
+
+func goodChecksBefore(ctx context.Context, f *fetcher, names []string) {
+	var wg sync.WaitGroup
+	for range names {
+		if err := ctx.Err(); err != nil {
+			break
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f.cat.Source("x")
+		}()
+	}
+	wg.Wait()
+}
+
+func goodChecksInside(ctx context.Context, f *fetcher) {
+	go func() {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+		}
+		f.cat.Source("x")
+	}()
+}
+
+func goodNoIO(done chan struct{}) {
+	go func() {
+		close(done)
+	}()
+}

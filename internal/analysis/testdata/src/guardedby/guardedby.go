@@ -1,0 +1,66 @@
+// Corpus for the guardedby analyzer: annotated fields accessed with and
+// without their mutex held.
+package guardedby
+
+import "sync"
+
+type store struct {
+	mu sync.Mutex
+
+	// guarded by mu
+	items map[string]int
+	n     int // guarded by mu
+}
+
+// ---- flagged ----
+
+func (s *store) bad(key string) int {
+	return s.items[key] // want "without holding"
+}
+
+func (s *store) badAfterUnlock() {
+	s.mu.Lock()
+	s.items["x"] = 1
+	s.mu.Unlock()
+	s.n++ // want "without holding"
+}
+
+// ---- clean ----
+
+func (s *store) good(key string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.items[key]
+}
+
+func (s *store) goodInline() int {
+	s.mu.Lock()
+	n := s.n
+	s.mu.Unlock()
+	return n
+}
+
+func (s *store) addLocked(key string) {
+	s.items[key]++
+	s.n++
+}
+
+func (s *store) goodEarlyReturn(key string) int {
+	s.mu.Lock()
+	v, ok := s.items[key]
+	if !ok {
+		s.mu.Unlock()
+		return 0
+	}
+	n := s.n
+	s.mu.Unlock()
+	return v + n
+}
+
+func (s *store) snapshotFunc() func() int {
+	return func() int {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.n
+	}
+}

@@ -1,0 +1,78 @@
+// Corpus for the opclose analyzer: operators left open on error paths
+// and locally opened operators that are never closed.
+package opclose
+
+import "repro/internal/algebra"
+
+// ---- flagged ----
+
+type pairLeak struct {
+	Left, Right algebra.Operator
+}
+
+func (p *pairLeak) Open(ctx *algebra.Context) error {
+	if err := p.Left.Open(ctx); err != nil {
+		return err
+	}
+	if err := p.Right.Open(ctx); err != nil { // want "leaves p.Left open"
+		return err
+	}
+	return nil
+}
+
+func leakLocal(ctx *algebra.Context, op algebra.Operator) error {
+	if err := op.Open(ctx); err != nil { // want "opened but never closed"
+		return err
+	}
+	_, err := op.Next()
+	return err
+}
+
+// ---- clean ----
+
+type pairGood struct {
+	Left, Right algebra.Operator
+}
+
+func (p *pairGood) Open(ctx *algebra.Context) error {
+	if err := p.Left.Open(ctx); err != nil {
+		return err
+	}
+	if err := p.Right.Open(ctx); err != nil {
+		p.Left.Close()
+		return err
+	}
+	return nil
+}
+
+func cleanDefer(ctx *algebra.Context, op algebra.Operator) error {
+	if err := op.Open(ctx); err != nil {
+		return err
+	}
+	defer op.Close()
+	_, err := op.Next()
+	return err
+}
+
+type wrapper struct{ Input algebra.Operator }
+
+func (w *wrapper) Open(ctx *algebra.Context) error { return w.Input.Open(ctx) }
+
+func cleanLoopClose(ctx *algebra.Context, inputs []algebra.Operator) error {
+	for i, in := range inputs {
+		if err := in.Open(ctx); err != nil {
+			for _, prev := range inputs[:i] {
+				prev.Close()
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+func cleanHandoff(ctx *algebra.Context, op algebra.Operator) (algebra.Operator, error) {
+	if err := op.Open(ctx); err != nil {
+		return nil, err
+	}
+	return op, nil
+}

@@ -1,0 +1,83 @@
+// Corpus for the spanfinish analyzer: flagged leaks and clean idioms.
+package spanfinish
+
+import (
+	"context"
+	"errors"
+
+	"repro/internal/obs"
+)
+
+type holder struct{ sp *obs.Span }
+
+func sideEffect() {}
+
+// ---- flagged ----
+
+func leakNoFinish(parent *obs.Span) {
+	sp := parent.StartChild("work") // want "never finished"
+	sp.SetAttr("k", "v")
+}
+
+func leakEarlyReturn(parent *obs.Span, fail bool) error {
+	sp := parent.StartChild("work")
+	if fail {
+		return errors.New("boom") // want "may not be finished on this return path"
+	}
+	sp.Finish()
+	return nil
+}
+
+func leakDiscarded(parent *obs.Span) {
+	parent.StartChild("work") // want "is discarded"
+}
+
+func leakBlank(ctx context.Context) {
+	_, _ = obs.StartSpan(ctx, "step") // want "is discarded"
+}
+
+func leakRoot() {
+	root := obs.NewSpan("query") // want "never finished"
+	root.SetAttr("k", "v")
+}
+
+// ---- clean ----
+
+func cleanDefer(parent *obs.Span) {
+	sp := parent.StartChild("work")
+	defer sp.Finish()
+	sideEffect()
+}
+
+func cleanAllPaths(parent *obs.Span, fail bool) error {
+	sp := parent.StartChild("work")
+	if fail {
+		sp.SetAttr("error", "boom")
+		sp.Finish()
+		return errors.New("boom")
+	}
+	sp.Finish()
+	return nil
+}
+
+func cleanEscapeReturn(parent *obs.Span) *obs.Span {
+	sp := parent.StartChild("work")
+	return sp
+}
+
+func cleanEscapeStore(parent *obs.Span, sink *holder) {
+	sp := parent.StartChild("work")
+	sink.sp = sp
+}
+
+func cleanEscapeArg(parent *obs.Span, record func(*obs.Span)) {
+	sp := parent.StartChild("work")
+	record(sp)
+}
+
+func cleanClosureFinish(parent *obs.Span) {
+	sp := parent.StartChild("work")
+	done := func() { sp.Finish() }
+	defer done()
+	sideEffect()
+}

@@ -1,0 +1,17 @@
+// Corpus for the suppression directive: a well-formed //lint:ignore
+// silences the finding on the next line; a reasonless one does not.
+package suppress
+
+import "repro/internal/obs"
+
+func intentional(parent *obs.Span) {
+	//lint:ignore spanfinish span is retained by the trace ring and finished there
+	sp := parent.StartChild("work")
+	sp.SetAttr("k", "v")
+}
+
+func reasonless(parent *obs.Span) {
+	//lint:ignore spanfinish
+	sp := parent.StartChild("work")
+	sp.SetAttr("k", "v")
+}

@@ -37,19 +37,19 @@ type Engine struct {
 	runner *exec.Runner
 
 	mu         sync.RWMutex
-	opts       opt.Options
-	policy     exec.Policy
-	funcs      map[string]func([]xmldm.Value) (xmldm.Value, error)
-	skipUnfold func(string) bool
-	metrics    *obs.Registry
-	tracer     *obs.Tracer
+	opts       opt.Options // guarded by mu
+	policy     exec.Policy // guarded by mu
+	funcs      map[string]func([]xmldm.Value) (xmldm.Value, error) // guarded by mu
+	skipUnfold func(string) bool                                   // guarded by mu
+	metrics    *obs.Registry                                       // guarded by mu
+	tracer     *obs.Tracer                                         // guarded by mu
 
 	queriesRun atomic.Int64
 
 	// inflight guards against cyclic schema materialization: per query
 	// execution (per Access), the set of schemas being materialized.
 	inflightMu sync.Mutex
-	inflight   map[*exec.Access]map[string]bool
+	inflight   map[*exec.Access]map[string]bool // guarded by inflightMu
 }
 
 // New creates an engine over a catalog.
@@ -318,6 +318,9 @@ func (e *Engine) run(ctx context.Context, q *xmlql.Query, outer algebra.Binding,
 		spPlan := spRw.StartChild("plan")
 		plan, err := planner.Plan(rw, preBound, input)
 		if err != nil {
+			spPlan.SetAttr("error", err.Error())
+			spPlan.Finish()
+			spRw.Finish()
 			return nil, err
 		}
 		spPlan.SetInt("fetches", int64(len(plan.Fetches)))
@@ -338,6 +341,7 @@ func (e *Engine) run(ctx context.Context, q *xmlql.Query, outer algebra.Binding,
 		spPre.SetInt("fetches", int64(len(specs)))
 		if err := access.Prefetch(specs); err != nil {
 			spPre.Finish()
+			spRw.Finish()
 			return nil, err
 		}
 		spPre.Finish()
@@ -360,12 +364,16 @@ func (e *Engine) run(ctx context.Context, q *xmlql.Query, outer algebra.Binding,
 			for _, k := range plan.OrderBy {
 				v, err := algebra.Eval(actx, k.Expr, b)
 				if err != nil {
+					spCons.Finish()
+					spRw.Finish()
 					return nil, err
 				}
 				it.keys = append(it.keys, v)
 			}
 			v, err := algebra.BuildResult(actx, plan.Construct, b)
 			if err != nil {
+				spCons.Finish()
+				spRw.Finish()
 				return nil, err
 			}
 			it.value = v

@@ -96,8 +96,8 @@ type Access struct {
 	policy Policy
 
 	mu       sync.Mutex
-	memo     map[string]*fetchResult
-	statuses map[string]*SourceStatus
+	memo     map[string]*fetchResult  // guarded by mu
+	statuses map[string]*SourceStatus // guarded by mu
 }
 
 type fetchResult struct {

@@ -294,7 +294,7 @@ func htmlEscape(s string) string {
 // Registry holds published lenses, safe for concurrent use.
 type Registry struct {
 	mu     sync.RWMutex
-	lenses map[string]*Lens
+	lenses map[string]*Lens // guarded by mu
 }
 
 // NewRegistry creates an empty registry.

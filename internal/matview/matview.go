@@ -58,18 +58,18 @@ type Manager struct {
 	eng *core.Engine
 
 	mu      sync.RWMutex
-	entries map[string]*entry
+	entries map[string]*entry // guarded by mu
 
 	// TTL after which an entry counts as stale; 0 means never stale.
-	TTL time.Duration
+	TTL time.Duration // guarded by mu
 	// Mode selects the stale behaviour.
-	Mode RefreshMode
+	Mode RefreshMode // guarded by mu
 	// Clock is replaceable for tests and staleness experiments.
-	Clock func() time.Time
+	Clock func() time.Time // guarded by mu
 
 	// observability, nil (no-op) until SetMetrics.
-	metrics    *obs.Registry
-	mRefreshes *obs.Counter
+	metrics    *obs.Registry // guarded by mu
+	mRefreshes *obs.Counter  // guarded by mu
 }
 
 // SetMetrics mirrors the store into a metrics registry: a refresh
@@ -231,13 +231,14 @@ func (m *Manager) holds(schema string) bool {
 	if !ok {
 		return false
 	}
-	if m.isStale(e) && m.Mode == RefreshStale {
+	if m.isStaleLocked(e) && m.Mode == RefreshStale {
 		return false
 	}
 	return true
 }
 
-func (m *Manager) isStale(e *entry) bool {
+// isStaleLocked reports staleness; the caller holds mu.
+func (m *Manager) isStaleLocked(e *entry) bool {
 	return m.TTL > 0 && m.Clock().Sub(e.RefreshedAt) > m.TTL
 }
 
@@ -259,12 +260,13 @@ func (m *Manager) lookup(source string, _ catalog.Request) (*xmldm.Node, bool) {
 		m.mu.RUnlock()
 		return nil, false
 	}
-	stale := m.isStale(e)
+	stale := m.isStaleLocked(e)
+	mode := m.Mode
 	doc := e.doc
 	m.mu.RUnlock()
 
 	if stale {
-		switch m.Mode {
+		switch mode {
 		case RefreshOnDemand:
 			// Synchronous refresh keeps the local answer fresh at the
 			// price of one materialization.

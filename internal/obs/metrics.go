@@ -216,8 +216,8 @@ func (s *series) id() string {
 // lock at all, and even uncached paths share only an RLock.
 type Registry struct {
 	mu     sync.RWMutex
-	series map[string]*series
-	kinds  map[string]metricKind
+	series map[string]*series    // guarded by mu
+	kinds  map[string]metricKind // guarded by mu
 }
 
 // NewRegistry creates an empty registry.

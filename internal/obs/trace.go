@@ -26,9 +26,9 @@ type Span struct {
 	start time.Time
 
 	mu       sync.Mutex
-	end      time.Time
-	attrs    []Attr
-	children []*Span
+	end      time.Time // guarded by mu
+	attrs    []Attr    // guarded by mu
+	children []*Span   // guarded by mu
 }
 
 // NewSpan starts a root span.
@@ -207,8 +207,8 @@ func (s *Span) MarshalJSON() ([]byte, error) {
 // safe so tracing stays optional.
 type Tracer struct {
 	mu     sync.Mutex
-	limit  int
-	traces []*Span
+	limit  int     // immutable after NewTracer
+	traces []*Span // guarded by mu
 }
 
 // DefaultTraceBuffer is the trace retention used when no limit is given.

@@ -51,16 +51,16 @@ func (s Stats) HitRate() float64 {
 // Cache is a bounded LRU query-result cache, safe for concurrent use.
 type Cache struct {
 	mu       sync.Mutex
-	capacity int
-	ttl      time.Duration
-	entries  map[string]*cacheEntry
-	lru      *list.List // front = most recent
-	bySource map[string]map[string]bool
-	stats    Stats
-	clock    func() time.Time
+	capacity int                        // guarded by mu
+	ttl      time.Duration              // guarded by mu
+	entries  map[string]*cacheEntry     // guarded by mu
+	lru      *list.List                 // guarded by mu; front = most recent
+	bySource map[string]map[string]bool // guarded by mu
+	stats    Stats                      // guarded by mu
+	clock    func() time.Time           // guarded by mu
 
 	// observability counters, nil (no-op) until SetMetrics.
-	mHits, mMisses, mEvictions *obs.Counter
+	mHits, mMisses, mEvictions *obs.Counter // guarded by mu
 }
 
 // SetMetrics mirrors the cache counters into a metrics registry
