@@ -6,7 +6,7 @@ GO ?= go
 # installed, so `make check` stays green on offline builders.
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: all build test race vet lint vulncheck check bench
+.PHONY: all build test race vet lint vulncheck check bench explain-smoke
 
 all: build
 
@@ -44,3 +44,15 @@ check: vet lint race vulncheck
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# explain-smoke runs one federated two-source query through
+# `nimble-cli -explain` and asserts the EXPLAIN ANALYZE operator tree
+# renders with the expected nodes (join, pattern match, per-source fetch
+# attribution).
+explain-smoke:
+	@out=$$($(GO) run ./cmd/nimble-cli -customers 20 -explain \
+		'WHERE <cust><cid>$$i</cid><who>$$w</who></cust> IN "customers", <ticket><cust>$$i</cust><issue>$$s</issue></ticket> IN "tickets" CONSTRUCT <r><who>$$w</who><issue>$$s</issue></r>'); \
+	for want in 'HashJoin' 'Match \[fetch tickets' 'Fetch \[crmdb' 'Fetch \[tickets' 'Query \[rewrites=' 'time=' 'out='; do \
+		echo "$$out" | grep -q "$$want" || { echo "explain-smoke: missing $$want in output:"; echo "$$out"; exit 1; }; \
+	done; \
+	echo "explain-smoke: OK"

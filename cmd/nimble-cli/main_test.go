@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"io"
+	"strings"
 	"testing"
 
 	nimble "repro"
@@ -48,5 +49,24 @@ func TestMetaCommands(t *testing.T) {
 	}
 	if len(sys.Materialized()) != 0 {
 		t.Errorf("materialized = %v after drop", sys.Materialized())
+	}
+}
+
+func TestRunOnceExplain(t *testing.T) {
+	sys, err := boot(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	q := `WHERE <cust><cid>$i</cid><who>$w</who></cust> IN "customers",
+	      <ticket><cust>$i</cust><issue>$s</issue></ticket> IN "tickets"
+	      CONSTRUCT <r><who>$w</who><issue>$s</issue></r>`
+	if err := runOnce(context.Background(), &out, sys, q, true); err != nil {
+		t.Fatal(err)
+	}
+	for _, part := range []string{"<results>", "HashJoin", "Match [fetch tickets", "Fetch [crmdb", "out=", "time=", "operators="} {
+		if !strings.Contains(out.String(), part) {
+			t.Errorf("output missing %q:\n%s", part, out.String())
+		}
 	}
 }

@@ -31,9 +31,17 @@ func main() {
 	adminToken := flag.String("admin-token", "admin", "token for /admin endpoints")
 	customers := flag.Int("customers", 500, "demo dataset size")
 	traces := flag.Int("traces", 16, "recent query traces kept for /debug/trace/last (-1 disables)")
+	slowN := flag.Int("slowlog", 16, "slow queries retained with EXPLAIN plans for /debug/slowlog")
+	slowAfter := flag.Duration("slow-threshold", 0, "record queries at least this slow (0 keeps the slowest overall)")
 	flag.Parse()
 
-	sys := nimble.New(nimble.Config{Instances: *instances, CacheEntries: *cacheSize, TraceBuffer: *traces})
+	sys := nimble.New(nimble.Config{
+		Instances:        *instances,
+		CacheEntries:     *cacheSize,
+		TraceBuffer:      *traces,
+		SlowLogSize:      *slowN,
+		SlowLogThreshold: *slowAfter,
+	})
 	if err := boot(sys, *customers); err != nil {
 		log.Fatal(err)
 	}
@@ -100,5 +108,8 @@ func boot(sys *nimble.System, customers int) error {
 	fmt.Println(`  curl localhost:8080/metrics                        # Prometheus exposition`)
 	fmt.Println(`  curl 'localhost:8080/debug/trace/last?n=1'         # last query span tree (add &format=xml)`)
 	fmt.Println(`  curl -XPOST -d '<query>' 'localhost:8080/query?profile=1'  # embed the span tree in the answer`)
+	fmt.Println(`  curl -XPOST -d '<query>' 'localhost:8080/query?explain=1'  # embed the EXPLAIN ANALYZE operator tree`)
+	fmt.Println(`  curl localhost:8080/debug/queries                  # active queries + recent slow queries`)
+	fmt.Println(`  curl localhost:8080/debug/slowlog                  # slowest queries with their plans`)
 	return nil
 }

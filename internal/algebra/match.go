@@ -277,6 +277,9 @@ func rootNodes(v xmldm.Value) []xmldm.Value {
 	}
 }
 
+// BufferedTuples reports the pending-match queue length.
+func (m *Match) BufferedTuples() int { return len(m.pending) }
+
 // Close implements Operator.
 func (m *Match) Close() error {
 	m.ctx = nil

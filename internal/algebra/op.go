@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/obs"
 	"repro/internal/xmldm"
@@ -49,6 +50,8 @@ type Context struct {
 type Stats struct {
 	TuplesEmitted  int64 // bindings produced by leaf operators
 	PatternMatches int64 // element pattern match attempts
+	DrainNanos     int64 // wall time spent draining operator trees
+	OperatorsRun   int64 // operators in the drained trees
 }
 
 // AddTuples adds to the emitted-tuple counter (atomically).
@@ -57,11 +60,20 @@ func (c *Context) AddTuples(n int64) { atomic.AddInt64(&c.stats.TuplesEmitted, n
 // AddMatches adds to the pattern-match counter (atomically).
 func (c *Context) AddMatches(n int64) { atomic.AddInt64(&c.stats.PatternMatches, n) }
 
+// AddDrain records one completed operator-tree drain: its wall time and
+// the number of operators in the tree (atomically).
+func (c *Context) AddDrain(d time.Duration, ops int64) {
+	atomic.AddInt64(&c.stats.DrainNanos, d.Nanoseconds())
+	atomic.AddInt64(&c.stats.OperatorsRun, ops)
+}
+
 // Snapshot returns a copy of the counters.
 func (c *Context) Snapshot() Stats {
 	return Stats{
 		TuplesEmitted:  atomic.LoadInt64(&c.stats.TuplesEmitted),
 		PatternMatches: atomic.LoadInt64(&c.stats.PatternMatches),
+		DrainNanos:     atomic.LoadInt64(&c.stats.DrainNanos),
+		OperatorsRun:   atomic.LoadInt64(&c.stats.OperatorsRun),
 	}
 }
 
@@ -84,12 +96,17 @@ var ErrNotOpen = errors.New("algebra: operator not open")
 func Drain(ctx *Context, op Operator) ([]Binding, error) {
 	sp := ctx.Trace.StartChild("eval " + opName(op))
 	before := ctx.Snapshot()
+	start := time.Now()
 	bindings, err := drain(ctx, op)
+	elapsed := time.Since(start)
+	ctx.AddDrain(elapsed, int64(CountOps(op)))
 	if sp != nil {
 		after := ctx.Snapshot()
 		sp.SetInt("bindings", int64(len(bindings)))
 		sp.SetInt("tuples", after.TuplesEmitted-before.TuplesEmitted)
 		sp.SetInt("matches", after.PatternMatches-before.PatternMatches)
+		sp.SetInt("operators", int64(CountOps(op)))
+		sp.SetInt("elapsed_us", elapsed.Microseconds())
 		if err != nil {
 			sp.SetAttr("error", err.Error())
 		}
@@ -116,8 +133,12 @@ func drain(ctx *Context, op Operator) ([]Binding, error) {
 	}
 }
 
-// opName names an operator for trace spans ("MatchScan", "HashJoin", …).
+// opName names an operator for trace spans and EXPLAIN lines
+// ("Match", "HashJoin", …); instrumentation shims are transparent.
 func opName(op Operator) string {
+	if inst, ok := op.(*Instrumented); ok {
+		return opName(inst.Inner)
+	}
 	return strings.TrimPrefix(fmt.Sprintf("%T", op), "*algebra.")
 }
 

@@ -179,6 +179,10 @@ func (j *HashJoin) Next() (Binding, error) {
 	}
 }
 
+// BufferedTuples reports the tuples held materialized (the built right
+// side plus the pending output queue) for peak-memory instrumentation.
+func (j *HashJoin) BufferedTuples() int { return len(j.right) + len(j.pending) }
+
 // Close implements Operator.
 func (j *HashJoin) Close() error {
 	j.ctx = nil
@@ -306,6 +310,9 @@ func (j *NestedLoopJoin) Next() (Binding, error) {
 		j.cur = nil
 	}
 }
+
+// BufferedTuples reports the materialized right side.
+func (j *NestedLoopJoin) BufferedTuples() int { return len(j.right) }
 
 // Close implements Operator.
 func (j *NestedLoopJoin) Close() error {
@@ -451,6 +458,9 @@ func (s *Sort) Next() (Binding, error) {
 	return b, nil
 }
 
+// BufferedTuples reports the materialized sort buffer.
+func (s *Sort) BufferedTuples() int { return len(s.sorted) }
+
 // Close implements Operator.
 func (s *Sort) Close() error {
 	s.ctx = nil
@@ -464,12 +474,14 @@ type Distinct struct {
 
 	ctx  *Context
 	seen map[uint64][]Binding
+	n    int // tuples retained in seen
 }
 
 // Open implements Operator.
 func (d *Distinct) Open(ctx *Context) error {
 	d.ctx = ctx
 	d.seen = make(map[uint64][]Binding)
+	d.n = 0
 	return d.Input.Open(ctx)
 }
 
@@ -495,9 +507,13 @@ func (d *Distinct) Next() (Binding, error) {
 			continue
 		}
 		d.seen[h] = append(d.seen[h], b)
+		d.n++
 		return b, nil
 	}
 }
+
+// BufferedTuples reports the tuples retained for duplicate detection.
+func (d *Distinct) BufferedTuples() int { return d.n }
 
 // Close implements Operator.
 func (d *Distinct) Close() error {

@@ -1,0 +1,349 @@
+// Per-operator execution statistics: the EXPLAIN ANALYZE layer of the
+// physical algebra. Because the system deliberately has no logical
+// algebra (§3.1), the physical plan is the only artifact that can
+// explain a query's behaviour — so every operator can be wrapped with an
+// Instrumented shim that records rows in/out, Open/Next/Close wall time,
+// and peak buffered tuples, producing an ExplainNode tree that renders
+// as a pg-style EXPLAIN ANALYZE report.
+package algebra
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/xmlql"
+)
+
+// ExplainNode is one operator's entry in an EXPLAIN tree. Counter fields
+// are written by the single goroutine driving the operator (operators
+// are single-consumer by contract) and must only be read after the plan
+// has been drained.
+type ExplainNode struct {
+	// Op is the operator name ("HashJoin", "Match", …) or a synthetic
+	// node name ("query", "rewrite[0]", "Fetch").
+	Op string `json:"op"`
+	// Detail describes the access path or predicate (SQL fragment,
+	// pattern tag, source name).
+	Detail string `json:"detail,omitempty"`
+	// RowsIn is the total bindings consumed from children (filled by
+	// Finalize as the sum of the children's RowsOut).
+	RowsIn int64 `json:"rows_in"`
+	// RowsOut is the bindings this operator produced.
+	RowsOut int64 `json:"rows_out"`
+	// OpenNanos / NextNanos / CloseNanos are wall time spent inside each
+	// lifecycle phase, inclusive of the subtree (children run inside
+	// their parent's Next, Volcano-style).
+	OpenNanos  int64 `json:"open_ns"`
+	NextNanos  int64 `json:"next_ns"`
+	CloseNanos int64 `json:"close_ns"`
+	// PeakBuffered is the largest number of tuples the operator held
+	// materialized at once (hash tables, sort buffers, pending queues).
+	PeakBuffered int `json:"peak_buffered,omitempty"`
+	// Children mirror the operator tree.
+	Children []*ExplainNode `json:"children,omitempty"`
+}
+
+// TotalDuration is the wall time across all three lifecycle phases.
+func (n *ExplainNode) TotalDuration() time.Duration {
+	if n == nil {
+		return 0
+	}
+	return time.Duration(n.OpenNanos + n.NextNanos + n.CloseNanos)
+}
+
+// Finalize fills the derived fields (RowsIn from the children's RowsOut)
+// across the tree. Call it once the plan has been drained.
+func (n *ExplainNode) Finalize() {
+	if n == nil {
+		return
+	}
+	n.RowsIn = 0
+	for _, c := range n.Children {
+		c.Finalize()
+		n.RowsIn += c.RowsOut
+	}
+}
+
+// Walk visits the node and every descendant, depth first.
+func (n *ExplainNode) Walk(fn func(*ExplainNode)) {
+	if n == nil {
+		return
+	}
+	fn(n)
+	for _, c := range n.Children {
+		c.Walk(fn)
+	}
+}
+
+// Find returns the first node in the tree whose Op matches, or nil.
+func (n *ExplainNode) Find(op string) *ExplainNode {
+	var found *ExplainNode
+	n.Walk(func(e *ExplainNode) {
+		if found == nil && e.Op == op {
+			found = e
+		}
+	})
+	return found
+}
+
+// TreeLabel implements obs.TreeNode: one EXPLAIN line per operator.
+func (n *ExplainNode) TreeLabel() string {
+	var b strings.Builder
+	b.WriteString(n.Op)
+	if n.Detail != "" {
+		fmt.Fprintf(&b, " [%s]", n.Detail)
+	}
+	fmt.Fprintf(&b, " out=%d", n.RowsOut)
+	if len(n.Children) > 0 {
+		fmt.Fprintf(&b, " in=%d", n.RowsIn)
+	}
+	fmt.Fprintf(&b, " time=%.3fms", float64(n.TotalDuration())/1e6)
+	if n.PeakBuffered > 0 {
+		fmt.Fprintf(&b, " peak=%d", n.PeakBuffered)
+	}
+	return b.String()
+}
+
+// TreeChildren implements obs.TreeNode.
+func (n *ExplainNode) TreeChildren() []obs.TreeNode {
+	out := make([]obs.TreeNode, len(n.Children))
+	for i, c := range n.Children {
+		out[i] = c
+	}
+	return out
+}
+
+// Render renders the tree as indented text — the EXPLAIN ANALYZE report
+// printed by nimble-cli -explain and embedded in the slow-query log.
+func (n *ExplainNode) Render() string {
+	if n == nil {
+		return ""
+	}
+	return obs.RenderTree(n)
+}
+
+// JSON renders the tree as JSON (the /debug/queries wire shape).
+func (n *ExplainNode) JSON() ([]byte, error) { return json.Marshal(n) }
+
+// buffered is implemented by operators that materialize tuples (hash
+// tables, sort buffers, pending-match queues); the instrumentation shim
+// polls it to record peak memory pressure in tuples.
+type buffered interface {
+	BufferedTuples() int
+}
+
+// Instrumented wraps an operator, recording per-call statistics into its
+// ExplainNode. It preserves the Operator contract exactly: Open/Next/
+// Close delegate 1:1, so operator lifecycle invariants (opclose) hold
+// through the wrapper.
+type Instrumented struct {
+	Inner Operator
+	Node  *ExplainNode
+
+	buf buffered // Inner's buffering view, nil when it has none
+}
+
+// Open implements Operator.
+func (i *Instrumented) Open(ctx *Context) error {
+	start := time.Now()
+	err := i.Inner.Open(ctx)
+	i.Node.OpenNanos += time.Since(start).Nanoseconds()
+	i.poll()
+	return err
+}
+
+// Next implements Operator.
+func (i *Instrumented) Next() (Binding, error) {
+	start := time.Now()
+	b, err := i.Inner.Next()
+	i.Node.NextNanos += time.Since(start).Nanoseconds()
+	if b != nil {
+		i.Node.RowsOut++
+	}
+	i.poll()
+	return b, err
+}
+
+// Close implements Operator.
+func (i *Instrumented) Close() error {
+	i.poll()
+	start := time.Now()
+	err := i.Inner.Close()
+	i.Node.CloseNanos += time.Since(start).Nanoseconds()
+	return err
+}
+
+func (i *Instrumented) poll() {
+	if i.buf == nil {
+		return
+	}
+	if n := i.buf.BufferedTuples(); n > i.Node.PeakBuffered {
+		i.Node.PeakBuffered = n
+	}
+}
+
+// Instrument wraps op (and, recursively, its children) with statistics
+// shims and returns the wrapped tree plus its ExplainNode tree. labels
+// optionally attaches access-path descriptions to specific operators
+// (the planner labels its leaves with the pushed-down SQL or the fetched
+// source). Instrumenting an already-instrumented tree is a no-op.
+func Instrument(op Operator, labels map[Operator]string) (Operator, *ExplainNode) {
+	if inst, ok := op.(*Instrumented); ok {
+		return inst, inst.Node
+	}
+	node := &ExplainNode{Op: opName(op), Detail: describe(op, labels)}
+	child := func(c Operator) Operator {
+		w, n := Instrument(c, labels)
+		node.Children = append(node.Children, n)
+		return w
+	}
+	switch x := op.(type) {
+	case *Select:
+		x.Input = child(x.Input)
+	case *Project:
+		x.Input = child(x.Input)
+	case *HashJoin:
+		x.Left = child(x.Left)
+		x.Right = child(x.Right)
+	case *NestedLoopJoin:
+		x.Left = child(x.Left)
+		x.Right = child(x.Right)
+	case *Union:
+		for i := range x.Inputs {
+			x.Inputs[i] = child(x.Inputs[i])
+		}
+	case *Sort:
+		x.Input = child(x.Input)
+	case *Distinct:
+		x.Input = child(x.Input)
+	case *Limit:
+		x.Input = child(x.Input)
+	case *Match:
+		x.Input = child(x.Input)
+	}
+	w := &Instrumented{Inner: op, Node: node}
+	w.buf, _ = op.(buffered)
+	return w, node
+}
+
+// describe renders the operator-specific detail for an EXPLAIN line.
+func describe(op Operator, labels map[Operator]string) string {
+	var parts []string
+	if labels != nil {
+		if l, ok := labels[op]; ok && l != "" {
+			parts = append(parts, l)
+		}
+	}
+	switch x := op.(type) {
+	case *Match:
+		d := "<" + x.Pattern.Tag.String() + ">"
+		if x.SourceVar != "" {
+			d += " in $" + x.SourceVar
+		}
+		parts = append(parts, d)
+	case *Select:
+		parts = append(parts, xmlql.ExprString(x.Pred))
+	case *Project:
+		parts = append(parts, strings.Join(x.Vars, ","))
+	case *HashJoin:
+		if len(x.On) > 0 {
+			parts = append(parts, "on "+strings.Join(x.On, ","))
+		}
+	case *NestedLoopJoin:
+		if x.Pred != nil {
+			parts = append(parts, xmlql.ExprString(x.Pred))
+		}
+	case *Limit:
+		parts = append(parts, fmt.Sprintf("n=%d", x.N))
+	case *Sort:
+		keys := make([]string, len(x.Keys))
+		for i, k := range x.Keys {
+			keys[i] = xmlql.ExprString(k.Expr)
+			if k.Desc {
+				keys[i] += " desc"
+			}
+		}
+		parts = append(parts, strings.Join(keys, ", "))
+	case *TupleScan:
+		parts = append(parts, fmt.Sprintf("%d tuples", len(x.Tuples)))
+	}
+	return strings.Join(parts, " ")
+}
+
+// CountOps counts the operators in a tree (instrumentation shims are
+// transparent: a wrapped tree counts its inner operators).
+func CountOps(op Operator) int {
+	if op == nil {
+		return 0
+	}
+	n := 1
+	switch x := op.(type) {
+	case *Instrumented:
+		return CountOps(x.Inner)
+	case *Select:
+		n += CountOps(x.Input)
+	case *Project:
+		n += CountOps(x.Input)
+	case *HashJoin:
+		n += CountOps(x.Left) + CountOps(x.Right)
+	case *NestedLoopJoin:
+		n += CountOps(x.Left) + CountOps(x.Right)
+	case *Union:
+		for _, in := range x.Inputs {
+			n += CountOps(in)
+		}
+	case *Sort:
+		n += CountOps(x.Input)
+	case *Distinct:
+		n += CountOps(x.Input)
+	case *Limit:
+		n += CountOps(x.Input)
+	case *Match:
+		n += CountOps(x.Input)
+	}
+	return n
+}
+
+// Explain builds the ExplainNode tree for a plan without instrumenting
+// it — the static (no ANALYZE) plan shape.
+func Explain(op Operator, labels map[Operator]string) *ExplainNode {
+	node := &ExplainNode{Op: opName(op), Detail: describe(op, labels)}
+	if inst, ok := op.(*Instrumented); ok {
+		return inst.Node
+	}
+	for _, c := range childOps(op) {
+		node.Children = append(node.Children, Explain(c, labels))
+	}
+	return node
+}
+
+// childOps lists an operator's direct children.
+func childOps(op Operator) []Operator {
+	switch x := op.(type) {
+	case *Instrumented:
+		return childOps(x.Inner)
+	case *Select:
+		return []Operator{x.Input}
+	case *Project:
+		return []Operator{x.Input}
+	case *HashJoin:
+		return []Operator{x.Left, x.Right}
+	case *NestedLoopJoin:
+		return []Operator{x.Left, x.Right}
+	case *Union:
+		return append([]Operator(nil), x.Inputs...)
+	case *Sort:
+		return []Operator{x.Input}
+	case *Distinct:
+		return []Operator{x.Input}
+	case *Limit:
+		return []Operator{x.Input}
+	case *Match:
+		return []Operator{x.Input}
+	default:
+		return nil
+	}
+}

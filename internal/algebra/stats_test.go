@@ -1,0 +1,170 @@
+package algebra
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/xmldm"
+)
+
+// bindRow builds a one-variable binding.
+func bindRow(name, val string) Binding {
+	return xmldm.NewTuple().With(name, xmldm.String(val))
+}
+
+// joinFixture builds a two-scan natural join: 3 left rows and 2 right
+// rows sharing variable k, matching on two of them.
+func joinFixture() (*HashJoin, int) {
+	left := &TupleScan{Tuples: []Binding{
+		bindRow("k", "a").With("l", xmldm.String("1")),
+		bindRow("k", "b").With("l", xmldm.String("2")),
+		bindRow("k", "c").With("l", xmldm.String("3")),
+	}}
+	right := &TupleScan{Tuples: []Binding{
+		bindRow("k", "a").With("r", xmldm.String("x")),
+		bindRow("k", "b").With("r", xmldm.String("y")),
+	}}
+	return &HashJoin{Left: left, Right: right, On: []string{"k"}}, 2
+}
+
+func TestInstrumentRecordsRowsAndStructure(t *testing.T) {
+	join, want := joinFixture()
+	op, node := Instrument(join, nil)
+	bs, err := Drain(&Context{}, op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs) != want {
+		t.Fatalf("bindings = %d, want %d", len(bs), want)
+	}
+	if node.Op != "HashJoin" {
+		t.Errorf("root op = %q", node.Op)
+	}
+	if node.RowsOut != int64(want) {
+		t.Errorf("RowsOut = %d, want %d", node.RowsOut, want)
+	}
+	if len(node.Children) != 2 {
+		t.Fatalf("children = %d", len(node.Children))
+	}
+	node.Finalize()
+	// Rows in = the scans' combined output.
+	if node.RowsIn != 5 {
+		t.Errorf("RowsIn = %d, want 5", node.RowsIn)
+	}
+	if node.Children[0].Op != "TupleScan" || node.Children[0].RowsOut != 3 {
+		t.Errorf("left child = %+v", node.Children[0])
+	}
+	if node.Children[1].RowsOut != 2 {
+		t.Errorf("right child RowsOut = %d", node.Children[1].RowsOut)
+	}
+	// The join materializes its right input; peak must reflect it.
+	if node.PeakBuffered < 2 {
+		t.Errorf("PeakBuffered = %d, want >= 2", node.PeakBuffered)
+	}
+	if node.TotalDuration() <= 0 {
+		t.Errorf("TotalDuration = %v", node.TotalDuration())
+	}
+	label := node.TreeLabel()
+	for _, part := range []string{"HashJoin", "out=2", "in=5", "time="} {
+		if !strings.Contains(label, part) {
+			t.Errorf("label %q missing %q", label, part)
+		}
+	}
+	if !strings.Contains(node.Render(), "TupleScan") {
+		t.Errorf("render missing children:\n%s", node.Render())
+	}
+}
+
+func TestInstrumentIdempotent(t *testing.T) {
+	join, _ := joinFixture()
+	op1, n1 := Instrument(join, nil)
+	op2, n2 := Instrument(op1, nil)
+	if op1 != op2 || n1 != n2 {
+		t.Error("re-instrumenting must be a no-op")
+	}
+}
+
+func TestInstrumentLabels(t *testing.T) {
+	scan := &TupleScan{Tuples: []Binding{bindRow("x", "1")}}
+	_, node := Instrument(scan, map[Operator]string{scan: "pushdown src: SELECT 1"})
+	if !strings.Contains(node.Detail, "pushdown src") {
+		t.Errorf("Detail = %q", node.Detail)
+	}
+}
+
+func TestInstrumentPeakBufferedDistinct(t *testing.T) {
+	scan := &TupleScan{Tuples: []Binding{
+		bindRow("x", "a"), bindRow("x", "a"), bindRow("x", "b"),
+	}}
+	op, node := Instrument(&Distinct{Input: scan}, nil)
+	bs, err := Drain(&Context{}, op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs) != 2 {
+		t.Fatalf("bindings = %d", len(bs))
+	}
+	if node.PeakBuffered != 2 {
+		t.Errorf("PeakBuffered = %d, want 2 (distinct values retained)", node.PeakBuffered)
+	}
+}
+
+func TestCountOps(t *testing.T) {
+	join, _ := joinFixture()
+	if n := CountOps(join); n != 3 {
+		t.Errorf("CountOps = %d, want 3", n)
+	}
+	wrapped, _ := Instrument(join, nil)
+	if n := CountOps(wrapped); n != 3 {
+		t.Errorf("CountOps(instrumented) = %d, want 3 (shims are transparent)", n)
+	}
+}
+
+func TestDrainRecordsContextStats(t *testing.T) {
+	join, _ := joinFixture()
+	ctx := &Context{}
+	if _, err := Drain(ctx, join); err != nil {
+		t.Fatal(err)
+	}
+	snap := ctx.Snapshot()
+	if snap.OperatorsRun != 3 {
+		t.Errorf("OperatorsRun = %d, want 3", snap.OperatorsRun)
+	}
+	if snap.DrainNanos <= 0 {
+		t.Errorf("DrainNanos = %d, want > 0", snap.DrainNanos)
+	}
+}
+
+func TestExplainStaticTree(t *testing.T) {
+	join, _ := joinFixture()
+	node := Explain(join, nil)
+	if node.Op != "HashJoin" || len(node.Children) != 2 {
+		t.Fatalf("static tree = %+v", node)
+	}
+	if node.Find("TupleScan") == nil {
+		t.Error("Find(TupleScan) = nil")
+	}
+	var visited int
+	node.Walk(func(*ExplainNode) { visited++ })
+	if visited != 3 {
+		t.Errorf("Walk visited %d nodes", visited)
+	}
+}
+
+func TestExplainNodeJSON(t *testing.T) {
+	join, _ := joinFixture()
+	op, node := Instrument(join, nil)
+	if _, err := Drain(&Context{}, op); err != nil {
+		t.Fatal(err)
+	}
+	node.Finalize()
+	b, err := node.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, part := range []string{`"op":"HashJoin"`, `"rows_out":2`, `"children"`} {
+		if !strings.Contains(string(b), part) {
+			t.Errorf("JSON %s missing %s", b, part)
+		}
+	}
+}

@@ -37,12 +37,14 @@ type Engine struct {
 	runner *exec.Runner
 
 	mu         sync.RWMutex
-	opts       opt.Options // guarded by mu
-	policy     exec.Policy // guarded by mu
+	opts       opt.Options                                         // guarded by mu
+	policy     exec.Policy                                         // guarded by mu
 	funcs      map[string]func([]xmldm.Value) (xmldm.Value, error) // guarded by mu
 	skipUnfold func(string) bool                                   // guarded by mu
 	metrics    *obs.Registry                                       // guarded by mu
 	tracer     *obs.Tracer                                         // guarded by mu
+	slow       *SlowLog                                            // guarded by mu
+	active     *ActiveRegistry                                     // guarded by mu
 
 	queriesRun atomic.Int64
 
@@ -82,6 +84,17 @@ func (e *Engine) SetTracer(t *obs.Tracer) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.tracer = t
+}
+
+// SetIntrospection installs the slow-query log and active-query registry
+// this engine reports into. Both may be shared across engine instances
+// (the balancer wires every engine to one pair) and either may be nil to
+// disable that surface.
+func (e *Engine) SetIntrospection(slow *SlowLog, active *ActiveRegistry) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.slow = slow
+	e.active = active
 }
 
 // Catalog returns the engine's catalog.
@@ -138,8 +151,17 @@ type Stats struct {
 	Fetches        int
 	TuplesEmitted  int64
 	PatternMatches int64
-	Explain        []string
+	// DrainNanos / OperatorsRun aggregate operator-tree evaluation wall
+	// time and tree sizes across the query (including subqueries).
+	DrainNanos   int64
+	OperatorsRun int64
+	Explain      []string
 }
+
+// ExplainTree is the per-operator statistics tree of one execution (the
+// EXPLAIN ANALYZE report): a synthetic Query root, one instrumented plan
+// per rewrite, and per-source Fetch attribution nodes.
+type ExplainTree = algebra.ExplainNode
 
 // Result is a query's answer.
 type Result struct {
@@ -148,6 +170,9 @@ type Result struct {
 	// Completeness reports which sources answered (§3.4).
 	Completeness exec.Completeness
 	Stats        Stats
+	// Explain is the per-operator statistics tree; instrumentation is
+	// always on, so it is populated for every query.
+	Explain *ExplainTree
 	// Trace is the execution span tree, set when QueryOptions.Profile
 	// was requested.
 	Trace *obs.Span
@@ -183,6 +208,10 @@ type QueryOptions struct {
 	// Profile requests the execution span tree in Result.Trace (the
 	// ?profile=1 query option of the HTTP front end).
 	Profile bool
+	// Explain requests that the caller-facing surface (HTTP, CLI) render
+	// Result.Explain. The tree itself is always collected; this flag only
+	// gates output.
+	Explain bool
 }
 
 // Query parses and executes an XML-QL query.
@@ -196,17 +225,25 @@ func (e *Engine) QueryOpt(ctx context.Context, src string, qo QueryOptions) (*Re
 	if err != nil {
 		return nil, err
 	}
-	return e.QueryAST(ctx, q, qo)
+	return e.queryAST(ctx, q, qo, src)
 }
 
 // QueryAST executes a parsed query.
 func (e *Engine) QueryAST(ctx context.Context, q *xmlql.Query, qo QueryOptions) (*Result, error) {
+	return e.queryAST(ctx, q, qo, q.String())
+}
+
+// queryAST executes a parsed query; text is the query's source form, as
+// reported by the active-query registry and the slow-query log.
+func (e *Engine) queryAST(ctx context.Context, q *xmlql.Query, qo QueryOptions, text string) (*Result, error) {
 	e.queriesRun.Add(1)
 	e.mu.RLock()
 	policy := e.policy
 	funcs := e.funcs
 	metrics := e.metrics
 	tracer := e.tracer
+	slow := e.slow
+	activeReg := e.active
 	e.mu.RUnlock()
 	// Precedence: the query's own ON-UNAVAILABLE prelude overrides the
 	// engine default; an explicit per-call option overrides both.
@@ -221,6 +258,8 @@ func (e *Engine) QueryAST(ctx context.Context, q *xmlql.Query, qo QueryOptions) 
 	}
 
 	start := time.Now()
+	aq := activeReg.Register(text)
+	defer activeReg.Finish(aq)
 	var root *obs.Span
 	if qo.Profile || tracer != nil {
 		root = obs.NewSpan("query")
@@ -230,16 +269,26 @@ func (e *Engine) QueryAST(ctx context.Context, q *xmlql.Query, qo QueryOptions) 
 
 	access := e.runner.NewAccess(ctx, policy)
 	actx := &algebra.Context{Funcs: funcs, Trace: root}
-	res := &Result{}
+	res := &Result{Explain: &ExplainTree{Op: "Query"}}
 	actx.SubqueryEval = func(subq *xmlql.Query, outer algebra.Binding) ([]xmldm.Value, error) {
-		return e.run(ctx, subq, outer, access, actx, 1, nil)
+		return e.run(ctx, subq, outer, access, actx, 1, nil, nil, nil)
 	}
-	values, err := e.run(ctx, q, nil, access, actx, 0, &res.Stats)
+	values, err := e.run(ctx, q, nil, access, actx, 0, &res.Stats, aq, res.Explain)
+	elapsed := time.Since(start)
 
 	metrics.Counter("nimble_queries_total").Inc()
-	metrics.Histogram("nimble_query_seconds").Observe(time.Since(start).Seconds())
+	metrics.Histogram("nimble_query_seconds").Observe(elapsed.Seconds())
 	if err != nil {
 		metrics.Counter("nimble_query_errors_total").Inc()
+		res.Explain.Finalize()
+		attachFetchStats(res.Explain, access.FetchStats(), elapsed)
+		slow.Record(SlowEntry{
+			Query:      text,
+			Start:      start,
+			DurationMS: float64(elapsed) / float64(time.Millisecond),
+			Error:      err.Error(),
+			Plan:       res.Explain.Render(),
+		})
 		if root != nil {
 			root.SetAttr("error", err.Error())
 			root.Finish()
@@ -252,6 +301,19 @@ func (e *Engine) QueryAST(ctx context.Context, q *xmlql.Query, qo QueryOptions) 
 	snap := actx.Snapshot()
 	res.Stats.TuplesEmitted = snap.TuplesEmitted
 	res.Stats.PatternMatches = snap.PatternMatches
+	res.Stats.DrainNanos = snap.DrainNanos
+	res.Stats.OperatorsRun = snap.OperatorsRun
+	res.Explain.RowsOut = int64(len(values))
+	res.Explain.Finalize()
+	attachFetchStats(res.Explain, access.FetchStats(), elapsed)
+	slow.Record(SlowEntry{
+		Query:      text,
+		Start:      start,
+		DurationMS: float64(elapsed) / float64(time.Millisecond),
+		Tuples:     snap.TuplesEmitted,
+		Complete:   res.Completeness.Complete,
+		Plan:       res.Explain.Render(),
+	})
 	if root != nil {
 		root.SetInt("results", int64(len(values)))
 		root.SetInt("tuples", snap.TuplesEmitted)
@@ -265,10 +327,40 @@ func (e *Engine) QueryAST(ctx context.Context, q *xmlql.Query, qo QueryOptions) 
 	return res, nil
 }
 
+// attachFetchStats appends one synthetic Fetch node per accessed source
+// under the Query root and stamps the root with the query's wall time.
+// Call it after Finalize so the root's rows-in stays the sum of the plan
+// roots' output, not of fetched source rows.
+func attachFetchStats(ex *ExplainTree, fetches []exec.SourceFetchStat, elapsed time.Duration) {
+	ex.NextNanos = elapsed.Nanoseconds()
+	for _, fs := range fetches {
+		detail := fmt.Sprintf("%s fetches=%d", fs.Source, fs.Fetches)
+		if fs.Bytes > 0 {
+			detail += fmt.Sprintf(" bytes=%d", fs.Bytes)
+		}
+		if fs.Local {
+			detail += " local"
+		}
+		if fs.Err != "" {
+			detail += " error=" + fs.Err
+		}
+		ex.Children = append(ex.Children, &algebra.ExplainNode{
+			Op:        "Fetch",
+			Detail:    detail,
+			RowsOut:   int64(fs.Rows),
+			NextNanos: fs.Nanos,
+		})
+	}
+}
+
 // run executes one query (possibly correlated under an outer binding)
-// and returns the constructed values in result order.
+// and returns the constructed values in result order. aq (the active-
+// query handle) and ex (the EXPLAIN tree collecting one instrumented
+// plan per rewrite) are set only for the top-level query; both are
+// nil-safe to thread through.
 func (e *Engine) run(ctx context.Context, q *xmlql.Query, outer algebra.Binding,
-	access *exec.Access, actx *algebra.Context, depth int, stats *Stats) ([]xmldm.Value, error) {
+	access *exec.Access, actx *algebra.Context, depth int, stats *Stats,
+	aq *ActiveQuery, ex *algebra.ExplainNode) ([]xmldm.Value, error) {
 
 	if depth > maxDepth {
 		return nil, fmt.Errorf("core: query nesting exceeds %d levels (cyclic schema definitions?)", maxDepth)
@@ -282,6 +374,7 @@ func (e *Engine) run(ctx context.Context, q *xmlql.Query, outer algebra.Binding,
 	e.mu.RUnlock()
 
 	sp := obs.FromContext(ctx)
+	aq.SetPhase("unfold")
 	spUnfold := sp.StartChild("unfold")
 	rewrites, err := mediator.UnfoldSkip(e.cat, q, skip)
 	if err != nil {
@@ -293,6 +386,9 @@ func (e *Engine) run(ctx context.Context, q *xmlql.Query, outer algebra.Binding,
 	spUnfold.Finish()
 	if stats != nil {
 		stats.Rewrites = len(rewrites)
+	}
+	if ex != nil {
+		ex.Detail = fmt.Sprintf("rewrites=%d", len(rewrites))
 	}
 
 	type item struct {
@@ -315,6 +411,7 @@ func (e *Engine) run(ctx context.Context, q *xmlql.Query, outer algebra.Binding,
 			preBound = outer.Names()
 			input = &algebra.TupleScan{Tuples: []algebra.Binding{outer}}
 		}
+		aq.SetPhase("plan")
 		spPlan := spRw.StartChild("plan")
 		plan, err := planner.Plan(rw, preBound, input)
 		if err != nil {
@@ -337,6 +434,7 @@ func (e *Engine) run(ctx context.Context, q *xmlql.Query, outer algebra.Binding,
 		for i, f := range plan.Fetches {
 			specs[i] = exec.FetchSpec{Source: f.Source, Req: f.Req}
 		}
+		aq.SetPhase("prefetch")
 		spPre := spRw.StartChild("prefetch")
 		spPre.SetInt("fetches", int64(len(specs)))
 		if err := access.Prefetch(specs); err != nil {
@@ -345,6 +443,16 @@ func (e *Engine) run(ctx context.Context, q *xmlql.Query, outer algebra.Binding,
 			return nil, err
 		}
 		spPre.Finish()
+		// The plan is instrumented before draining — per-operator stats
+		// accumulate into the EXPLAIN tree under the query root. The
+		// shims are transparent (1:1 Open/Next/Close delegation), so
+		// lifecycle invariants and span names are unaffected.
+		planRoot := plan.Root
+		if ex != nil {
+			var node *algebra.ExplainNode
+			planRoot, node = algebra.Instrument(plan.Root, plan.Labels)
+			ex.Children = append(ex.Children, node)
+		}
 		// Operator evaluation records its span under this rewrite; the
 		// previous parent (the query root, or an outer rewrite during
 		// correlated subquery evaluation) is restored afterwards.
@@ -352,12 +460,14 @@ func (e *Engine) run(ctx context.Context, q *xmlql.Query, outer algebra.Binding,
 		if spRw != nil {
 			actx.Trace = spRw
 		}
-		bindings, err := algebra.Drain(actx, plan.Root)
+		aq.SetPhase("eval")
+		bindings, err := algebra.Drain(actx, planRoot)
 		actx.Trace = prevTrace
 		if err != nil {
 			spRw.Finish()
 			return nil, err
 		}
+		aq.SetPhase("construct")
 		spCons := spRw.StartChild("construct")
 		for _, b := range bindings {
 			it := item{}
@@ -385,6 +495,7 @@ func (e *Engine) run(ctx context.Context, q *xmlql.Query, outer algebra.Binding,
 	}
 
 	if len(q.OrderBy) > 0 && !orderPushed {
+		aq.SetPhase("sort")
 		descs := make([]bool, len(q.OrderBy))
 		for i, k := range q.OrderBy {
 			descs[i] = k.Desc
@@ -449,11 +560,11 @@ func (e *Engine) materializeSchema(ctx context.Context, schema string, access *e
 	e.mu.RUnlock()
 	actx := &algebra.Context{Funcs: funcs}
 	actx.SubqueryEval = func(subq *xmlql.Query, outer algebra.Binding) ([]xmldm.Value, error) {
-		return e.run(ctx, subq, outer, access, actx, maxDepth/2+1, nil)
+		return e.run(ctx, subq, outer, access, actx, maxDepth/2+1, nil, nil, nil)
 	}
 	root := &xmldm.Node{Name: schema}
 	for _, vd := range views {
-		vals, err := e.run(ctx, vd.Query, nil, access, actx, maxDepth/2+1, nil)
+		vals, err := e.run(ctx, vd.Query, nil, access, actx, maxDepth/2+1, nil, nil, nil)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"context"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+// scrubTimes replaces wall-clock figures and the unfolder's process-
+// global variable counter in a rendered EXPLAIN tree, so golden
+// comparisons see only the deterministic structure and counts.
+var (
+	timeRE = regexp.MustCompile(`time=[0-9.]+ms`)
+	unfRE  = regexp.MustCompile(`_u[0-9]+_`)
+)
+
+func scrubTimes(s string) string {
+	return unfRE.ReplaceAllString(timeRE.ReplaceAllString(s, "time=?ms"), "_uN_")
+}
+
+const twoSourceJoinQL = `
+	WHERE <cust><cid>$i</cid><who>$w</who></cust> IN "customers",
+	      <ticket><cust>$i</cust><subject>$s</subject></ticket> IN "tickets"
+	CONSTRUCT <r><who>$w</who><subject>$s</subject></r>`
+
+func TestExplainGoldenTwoSourceJoin(t *testing.T) {
+	e, _ := newTestEngine(t)
+	slow := NewSlowLog(4, 0)
+	active := NewActiveRegistry()
+	e.SetIntrospection(slow, active)
+
+	res, err := e.Query(context.Background(), twoSourceJoinQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Values) != 3 {
+		t.Fatalf("values = %d, want 3", len(res.Values))
+	}
+	if res.Explain == nil {
+		t.Fatal("Explain = nil (instrumentation must be on by default)")
+	}
+	got := scrubTimes(res.Explain.Render())
+	want := strings.TrimPrefix(`
+Query [rewrites=1] out=3 in=3 time=?ms
+├─ Select [($i = $_uN_i)] out=3 in=9 time=?ms
+│  └─ HashJoin out=9 in=6 time=?ms peak=5
+│     ├─ FuncScan [pushdown crmdb: SELECT city AS v__uN_c, id AS v__uN_i, name AS v__uN_n FROM customers] out=3 time=?ms
+│     └─ Match [fetch tickets <ticket>] out=3 in=1 time=?ms peak=2
+│        └─ Singleton out=1 time=?ms
+├─ Fetch [crmdb fetches=1 bytes=144] out=3 time=?ms
+└─ Fetch [tickets fetches=1 bytes=240] out=10 time=?ms
+`, "\n")
+	if got != want {
+		t.Errorf("explain tree:\n%s\nwant:\n%s", got, want)
+	}
+
+	// The execution also lands in the slow log (threshold 0) with the
+	// same rendered plan, and the active registry is drained.
+	entries := slow.Entries()
+	if len(entries) != 1 {
+		t.Fatalf("slow entries = %d", len(entries))
+	}
+	if entries[0].Plan != res.Explain.Render() {
+		t.Error("slow entry plan differs from the result's explain tree")
+	}
+	if !entries[0].Complete || entries[0].Tuples != res.Stats.TuplesEmitted {
+		t.Errorf("slow entry = %+v", entries[0])
+	}
+	if !strings.Contains(entries[0].Query, "<ticket>") {
+		t.Errorf("slow entry query = %q", entries[0].Query)
+	}
+	if active.Len() != 0 {
+		t.Errorf("active queries after completion = %d", active.Len())
+	}
+	if res.Stats.OperatorsRun <= 0 || res.Stats.DrainNanos <= 0 {
+		t.Errorf("stats = %+v (drain accounting missing)", res.Stats)
+	}
+}
+
+func TestSlowLogThresholdAndOrder(t *testing.T) {
+	l := NewSlowLog(2, 5*time.Millisecond)
+	l.Record(SlowEntry{Query: "fast", DurationMS: 1})
+	l.Record(SlowEntry{Query: "slow", DurationMS: 50})
+	l.Record(SlowEntry{Query: "slower", DurationMS: 80})
+	l.Record(SlowEntry{Query: "mid", DurationMS: 20})
+	entries := l.Entries()
+	if len(entries) != 2 {
+		t.Fatalf("entries = %d, want 2", len(entries))
+	}
+	if entries[0].Query != "slower" || entries[1].Query != "slow" {
+		t.Errorf("order = %q, %q", entries[0].Query, entries[1].Query)
+	}
+}
+
+func TestActiveRegistrySnapshot(t *testing.T) {
+	r := NewActiveRegistry()
+	a := r.Register("WHERE ... CONSTRUCT ...")
+	a.SetPhase("eval")
+	snap := r.Snapshot()
+	if len(snap) != 1 || snap[0].Phase != "eval" || snap[0].Query != "WHERE ... CONSTRUCT ..." {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	r.Finish(a)
+	if r.Len() != 0 {
+		t.Errorf("len after finish = %d", r.Len())
+	}
+	// Nil receivers are inert.
+	var nilReg *ActiveRegistry
+	if aq := nilReg.Register("x"); aq != nil {
+		t.Error("nil registry must return nil handle")
+	}
+	var nilAQ *ActiveQuery
+	nilAQ.SetPhase("eval")
+	var nilLog *SlowLog
+	nilLog.Record(SlowEntry{DurationMS: 100})
+}

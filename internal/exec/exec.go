@@ -98,6 +98,14 @@ type Access struct {
 	mu       sync.Mutex
 	memo     map[string]*fetchResult  // guarded by mu
 	statuses map[string]*SourceStatus // guarded by mu
+	timings  map[string]*fetchTiming  // guarded by mu
+}
+
+// fetchTiming accumulates per-source fetch wall time for EXPLAIN
+// attribution (distinct fetches to the same source aggregate).
+type fetchTiming struct {
+	fetches int
+	nanos   int64
 }
 
 type fetchResult struct {
@@ -114,6 +122,7 @@ func (r *Runner) NewAccess(ctx context.Context, policy Policy) *Access {
 		policy:   policy,
 		memo:     make(map[string]*fetchResult),
 		statuses: make(map[string]*SourceStatus),
+		timings:  make(map[string]*fetchTiming),
 	}
 }
 
@@ -193,6 +202,7 @@ func (a *Access) fetch(source string, req catalog.Request) (*xmldm.Node, error) 
 		sp.SetAttr("source", source)
 		fr.doc, fr.err = a.doFetch(source, req, sp)
 		elapsed := time.Since(start)
+		a.addTiming(source, elapsed)
 		if fr.err != nil {
 			sp.SetAttr("error", fr.err.Error())
 		}
@@ -214,7 +224,9 @@ func (a *Access) fetch(source string, req catalog.Request) (*xmldm.Node, error) 
 
 // doFetch resolves one fetch: local store, schema materialization, or
 // the source itself. It records the completeness status and mirrors it
-// onto the fetch span so per-source spans agree with the report.
+// onto the fetch span so per-source spans agree with the report, and
+// observes per-resolution latency histograms labeled by source name so
+// federation hot spots show up on /metrics without needing a trace.
 func (a *Access) doFetch(source string, req catalog.Request, sp *obs.Span) (*xmldm.Node, error) {
 	record := func(st SourceStatus) {
 		a.record(source, st)
@@ -222,9 +234,12 @@ func (a *Access) doFetch(source string, req catalog.Request, sp *obs.Span) (*xml
 		sp.SetInt("bytes", int64(st.Bytes))
 		sp.SetBool("local", st.Local)
 	}
+	m := a.runner.Metrics
+	label := strings.ToLower(source)
 	// Local materialized copy first.
 	if a.runner.Local != nil {
 		if doc, ok := a.runner.Local(source, req); ok {
+			m.Counter("nimble_fetch_local_total", "source", label).Inc()
 			record(SourceStatus{Source: source, Rows: doc.CountElements(), Local: true})
 			return doc, nil
 		}
@@ -234,7 +249,9 @@ func (a *Access) doFetch(source string, req catalog.Request, sp *obs.Span) (*xml
 			return nil, fmt.Errorf("exec: schema %q needs materialization but no materializer is configured", source)
 		}
 		sp.SetAttr("kind", "schema")
+		start := time.Now()
 		doc, err := a.runner.Materialize(a.ctx, source, a)
+		m.Histogram("nimble_materialize_seconds", "schema", label).Observe(time.Since(start).Seconds())
 		if err != nil {
 			record(SourceStatus{Source: source, Err: err.Error()})
 			return nil, err
@@ -246,7 +263,12 @@ func (a *Access) doFetch(source string, req catalog.Request, sp *obs.Span) (*xml
 	if err != nil {
 		return nil, err
 	}
+	start := time.Now()
 	doc, cost, err := src.Fetch(a.ctx, req)
+	// The remote-only histogram isolates the source round trip from the
+	// memoization/local-store/materialization paths that share
+	// nimble_fetch_seconds.
+	m.Histogram("nimble_remote_fetch_seconds", "source", label).Observe(time.Since(start).Seconds())
 	if a.runner.Observe != nil {
 		a.runner.Observe(source, req, cost, err)
 	}
@@ -256,6 +278,58 @@ func (a *Access) doFetch(source string, req catalog.Request, sp *obs.Span) (*xml
 	}
 	record(SourceStatus{Source: source, Rows: cost.RowsReturned, Bytes: cost.BytesMoved})
 	return doc, nil
+}
+
+// addTiming accumulates one fetch's wall time for the source.
+func (a *Access) addTiming(source string, d time.Duration) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	key := strings.ToLower(source)
+	t := a.timings[key]
+	if t == nil {
+		t = &fetchTiming{}
+		a.timings[key] = t
+	}
+	t.fetches++
+	t.nanos += d.Nanoseconds()
+}
+
+// SourceFetchStat summarizes one source's fetch work during a query:
+// the per-source attribution EXPLAIN trees embed as Fetch nodes.
+type SourceFetchStat struct {
+	Source  string
+	Fetches int
+	Nanos   int64
+	Rows    int
+	Bytes   int
+	Local   bool
+	Err     string
+}
+
+// FetchStats reports per-source fetch timing merged with the
+// completeness rows/bytes, sorted by source name.
+func (a *Access) FetchStats() []SourceFetchStat {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	keys := make([]string, 0, len(a.timings))
+	for k := range a.timings {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]SourceFetchStat, 0, len(keys))
+	for _, k := range keys {
+		t := a.timings[k]
+		fs := SourceFetchStat{Source: k, Fetches: t.fetches, Nanos: t.nanos}
+		if st, ok := a.statuses[k]; ok {
+			fs.Source = st.Source
+			fs.Rows = st.Rows
+			fs.Bytes = st.Bytes
+			fs.Local = st.Local
+			fs.Err = st.Err
+		}
+		out = append(out, fs)
+	}
+	return out
 }
 
 // record merges a status for a source (several fetches to one source

@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TreeNode is anything renderable as an ASCII tree: span trees, EXPLAIN
+// operator trees. The renderer is shared so every tree-shaped diagnostic
+// the system prints (traces, plans) reads the same way.
+type TreeNode interface {
+	// TreeLabel is the one-line description of this node.
+	TreeLabel() string
+	// TreeChildren returns the ordered children.
+	TreeChildren() []TreeNode
+}
+
+// RenderTree renders the node and its descendants as an indented tree
+// using box-drawing connectors:
+//
+//	root
+//	├─ child one
+//	│  └─ grandchild
+//	└─ child two
+func RenderTree(root TreeNode) string {
+	var b strings.Builder
+	b.WriteString(root.TreeLabel())
+	b.WriteByte('\n')
+	renderChildren(&b, root, "")
+	return b.String()
+}
+
+func renderChildren(b *strings.Builder, n TreeNode, prefix string) {
+	children := n.TreeChildren()
+	for i, c := range children {
+		connector, extend := "├─ ", "│  "
+		if i == len(children)-1 {
+			connector, extend = "└─ ", "   "
+		}
+		b.WriteString(prefix)
+		b.WriteString(connector)
+		b.WriteString(c.TreeLabel())
+		b.WriteByte('\n')
+		renderChildren(b, c, prefix+extend)
+	}
+}
+
+// TreeLabel implements TreeNode: the span name, duration, and attributes.
+func (s *Span) TreeLabel() string {
+	if s == nil {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString(s.Name())
+	fmt.Fprintf(&b, " %.3fms", float64(s.Duration())/1e6)
+	for _, a := range s.Attrs() {
+		b.WriteByte(' ')
+		b.WriteString(a.Key)
+		b.WriteByte('=')
+		b.WriteString(a.Value)
+	}
+	return b.String()
+}
+
+// TreeChildren implements TreeNode.
+func (s *Span) TreeChildren() []TreeNode {
+	children := s.Children()
+	out := make([]TreeNode, len(children))
+	for i, c := range children {
+		out[i] = c
+	}
+	return out
+}
+
+// RenderText renders the span tree as indented text — the plain-text
+// sibling of the JSON/XML trace formats.
+func (s *Span) RenderText() string {
+	if s == nil {
+		return ""
+	}
+	return RenderTree(s)
+}

@@ -71,8 +71,20 @@ type Plan struct {
 	Fetches []FetchSpec
 	// Explain describes the chosen access paths, one line per fragment.
 	Explain []string
+	// Labels attaches the access-path description to the leaf operator
+	// that performs it, for EXPLAIN trees (algebra.Instrument consumes
+	// it to annotate plan leaves with their source or SQL fragment).
+	Labels map[algebra.Operator]string
 	// Sources lists the distinct sources/schemas the plan touches.
 	Sources []string
+}
+
+// label records an access-path description for an operator.
+func (p *Plan) label(op algebra.Operator, desc string) {
+	if p.Labels == nil {
+		p.Labels = make(map[algebra.Operator]string)
+	}
+	p.Labels[op] = desc
 }
 
 // Planner compiles rewrites into plans.
@@ -200,6 +212,7 @@ func (p *Planner) planSourceGroup(plan *Plan, g *mediator.Group, pending *[]xmlq
 					plan.OrderPushed = true
 				}
 				leaf = fragmentScan(p.Access, spec, frag)
+				plan.label(leaf, fmt.Sprintf("pushdown %s: %s", g.Source, frag.SQL))
 			}
 		}
 		if leaf == nil {
@@ -219,6 +232,7 @@ func (p *Planner) planSourceGroup(plan *Plan, g *mediator.Group, pending *[]xmlq
 					return access.Roots(spec.Source, spec.Req)
 				},
 			}
+			plan.label(leaf, fmt.Sprintf("%s %s", what, g.Source))
 		}
 		markBound(bound, patVars)
 		if groupPlan == nil {

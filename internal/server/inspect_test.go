@@ -1,0 +1,133 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+const custQL = `WHERE <cust><who>$w</who></cust> IN "customers" CONSTRUCT <r>$w</r>`
+
+func TestQueryExplainEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	code, body := get(t, ts.URL+"/query?explain=1&q="+url.QueryEscape(custQL))
+	if code != 200 {
+		t.Fatalf("code = %d: %s", code, body)
+	}
+	for _, part := range []string{"<r>Ada</r>", "<explain", "Query [rewrites=1]", "Fetch [crmdb", "out=", "time="} {
+		if !strings.Contains(body, part) {
+			t.Errorf("body missing %q:\n%s", part, body)
+		}
+	}
+	// POST with ?explain works the same.
+	code, body = post(t, ts.URL+"/query?explain=true", custQL)
+	if code != 200 || !strings.Contains(body, "<explain") {
+		t.Errorf("POST explain code = %d body:\n%s", code, body)
+	}
+}
+
+func TestDebugQueriesAndSlowlog(t *testing.T) {
+	_, ts := newTestServer(t)
+	if code, body := post(t, ts.URL+"/query", custQL); code != 200 {
+		t.Fatalf("query code = %d: %s", code, body)
+	}
+
+	code, body := get(t, ts.URL+"/debug/queries")
+	if code != 200 {
+		t.Fatalf("debug/queries code = %d", code)
+	}
+	var dq struct {
+		Active []core.ActiveQueryInfo `json:"active"`
+		Slow   []core.SlowEntry       `json:"slow"`
+	}
+	if err := json.Unmarshal([]byte(body), &dq); err != nil {
+		t.Fatalf("debug/queries JSON: %v\n%s", err, body)
+	}
+	if len(dq.Active) != 0 {
+		t.Errorf("active = %+v, want none in flight", dq.Active)
+	}
+	if len(dq.Slow) != 1 || !strings.Contains(dq.Slow[0].Query, "<cust>") {
+		t.Fatalf("slow = %+v", dq.Slow)
+	}
+	if !strings.Contains(dq.Slow[0].Plan, "Query [rewrites=1]") {
+		t.Errorf("slow plan = %q", dq.Slow[0].Plan)
+	}
+
+	code, body = get(t, ts.URL+"/debug/slowlog")
+	if code != 200 {
+		t.Fatalf("debug/slowlog code = %d", code)
+	}
+	var sl struct {
+		ThresholdMS float64          `json:"threshold_ms"`
+		Entries     []core.SlowEntry `json:"entries"`
+	}
+	if err := json.Unmarshal([]byte(body), &sl); err != nil {
+		t.Fatalf("debug/slowlog JSON: %v\n%s", err, body)
+	}
+	if len(sl.Entries) != 1 || sl.Entries[0].DurationMS <= 0 {
+		t.Errorf("entries = %+v", sl.Entries)
+	}
+}
+
+// TestDebugQueriesUnderLoad polls the inspector while instrumented
+// queries run concurrently across both engine instances — the data-race
+// check for the active registry, the slow log, and the per-operator
+// statistics (run with -race).
+func TestDebugQueriesUnderLoad(t *testing.T) {
+	_, ts := newTestServer(t)
+	const workers, polls = 4, 8
+	fetch := func(method, url, body string) (int, error) {
+		req, err := http.NewRequest(method, url, strings.NewReader(body))
+		if err != nil {
+			return 0, err
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return 0, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, nil
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				// Distinct texts bypass the result cache so every
+				// iteration executes an instrumented plan.
+				q := fmt.Sprintf(`WHERE <cust><who>$w</who></cust> IN "customers", $w != "nobody%d_%d" CONSTRUCT <r>$w</r>`, w, i)
+				if code, err := fetch(http.MethodPost, ts.URL+"/query?explain=1", q); err != nil || code != 200 {
+					t.Errorf("query code = %d err = %v", code, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < polls; i++ {
+			if code, err := fetch(http.MethodGet, ts.URL+"/debug/queries", ""); err != nil || code != 200 {
+				t.Errorf("debug/queries code = %d err = %v", code, err)
+			}
+			if code, err := fetch(http.MethodGet, ts.URL+"/debug/slowlog", ""); err != nil || code != 200 {
+				t.Errorf("debug/slowlog code = %d err = %v", code, err)
+			}
+		}
+	}()
+	wg.Wait()
+
+	code, body := get(t, ts.URL+"/debug/slowlog")
+	if code != 200 || !strings.Contains(body, "Query [rewrites=1]") {
+		t.Errorf("slowlog after load: code=%d body=%s", code, body)
+	}
+}

@@ -143,6 +143,11 @@ type Server struct {
 	Metrics *obs.Registry
 	// Tracer, when set, feeds /debug/trace/last.
 	Tracer *obs.Tracer
+	// Slow and Active feed /debug/slowlog and /debug/queries; wire them
+	// to the same instances the engines report into (core.SetIntrospection).
+	// Both are nil-safe.
+	Slow   *core.SlowLog
+	Active *core.ActiveRegistry
 }
 
 func (s *Server) registry() *obs.Registry {
@@ -171,6 +176,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/stats", s.instrument("stats", s.handleStats))
 	mux.HandleFunc("/metrics", s.instrument("metrics", s.handleMetrics))
 	mux.HandleFunc("/debug/trace/last", s.instrument("trace", s.handleTraceLast))
+	mux.HandleFunc("/debug/queries", s.instrument("debug_queries", s.handleDebugQueries))
+	mux.HandleFunc("/debug/slowlog", s.instrument("slowlog", s.handleSlowLog))
 	mux.HandleFunc("/admin/materialize", s.instrument("admin", s.adminOnly(s.handleMaterialize)))
 	mux.HandleFunc("/admin/refresh", s.instrument("admin", s.adminOnly(s.handleRefresh)))
 	mux.HandleFunc("/admin/schema", s.instrument("admin", s.adminOnly(s.handleDefineSchema)))
@@ -217,6 +224,38 @@ func (s *Server) handleTraceLast(w http.ResponseWriter, r *http.Request) {
 		traces = []*obs.Span{}
 	}
 	json.NewEncoder(w).Encode(traces)
+}
+
+// handleDebugQueries is the query inspector: what is running right now
+// (pg_stat_activity style) plus the recent slow queries, as JSON.
+func (s *Server) handleDebugQueries(w http.ResponseWriter, _ *http.Request) {
+	active := s.Active.Snapshot()
+	if active == nil {
+		active = []core.ActiveQueryInfo{}
+	}
+	slow := s.Slow.Entries()
+	if slow == nil {
+		slow = []core.SlowEntry{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		Active []core.ActiveQueryInfo `json:"active"`
+		Slow   []core.SlowEntry       `json:"slow"`
+	}{active, slow})
+}
+
+// handleSlowLog serves the retained slow-query entries (slowest first,
+// each with its rendered EXPLAIN ANALYZE plan) as JSON.
+func (s *Server) handleSlowLog(w http.ResponseWriter, _ *http.Request) {
+	entries := s.Slow.Entries()
+	if entries == nil {
+		entries = []core.SlowEntry{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		ThresholdMS float64          `json:"threshold_ms"`
+		Entries     []core.SlowEntry `json:"entries"`
+	}{float64(s.Slow.Threshold()) / float64(time.Millisecond), entries})
 }
 
 // spanNode converts a span tree to XML for profile embedding and the
@@ -276,42 +315,62 @@ func (s *Server) adminOnly(h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-// handleQuery runs a raw XML-QL query (POST body) and returns XML.
-// ?profile=1 embeds the execution span tree as a <profile> element
-// (profiled queries bypass the result cache so the trace reflects a
-// real execution).
+// handleQuery runs a raw XML-QL query (POST body, or GET ?q=) and
+// returns XML. ?profile=1 embeds the execution span tree as a <profile>
+// element; ?explain=1 embeds the per-operator EXPLAIN ANALYZE report as
+// an <explain> element. Both bypass the result cache so the report
+// reflects a real execution.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST an XML-QL query", http.StatusMethodNotAllowed)
+	var q string
+	switch r.Method {
+	case http.MethodPost:
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		q = strings.TrimSpace(string(body))
+	case http.MethodGet:
+		q = strings.TrimSpace(r.URL.Query().Get("q"))
+	default:
+		http.Error(w, "POST an XML-QL query, or GET /query?q=...", http.StatusMethodNotAllowed)
 		return
 	}
-	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	q := strings.TrimSpace(string(body))
 	if q == "" {
 		http.Error(w, "empty query", http.StatusBadRequest)
 		return
 	}
+	flag := func(name string) bool {
+		v := r.URL.Query().Get(name)
+		return v == "1" || v == "true"
+	}
+	profile, explain := flag("profile"), flag("explain")
 	var doc *xmldm.Node
-	if p := r.URL.Query().Get("profile"); p == "1" || p == "true" {
-		res, err := s.Balancer.QueryOpt(r.Context(), q, core.QueryOptions{Profile: true})
+	if profile || explain {
+		res, err := s.Balancer.QueryOpt(r.Context(), q, core.QueryOptions{Profile: profile, Explain: explain})
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
 		doc = res.Document()
-		if res.Trace != nil {
+		if explain && res.Explain != nil {
+			ex := &xmldm.Node{Name: "explain", Parent: doc}
+			ex.Attrs = append(ex.Attrs,
+				xmldm.Attr{Name: "operators", Value: strconv.FormatInt(res.Stats.OperatorsRun, 10)},
+				xmldm.Attr{Name: "drain_ms", Value: fmt.Sprintf("%.3f", float64(res.Stats.DrainNanos)/1e6)})
+			ex.Children = append(ex.Children, xmldm.String("\n"+res.Explain.Render()))
+			doc.Children = append(doc.Children, ex)
+		}
+		if profile && res.Trace != nil {
 			prof := &xmldm.Node{Name: "profile", Parent: doc}
 			sn := spanNode(res.Trace)
 			sn.Parent = prof
 			prof.Children = append(prof.Children, sn)
 			doc.Children = append(doc.Children, prof)
-			xmldm.Finalize(doc)
 		}
+		xmldm.Finalize(doc)
 	} else {
+		var err error
 		doc, err = s.runQuery(r.Context(), q)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)

@@ -37,6 +37,10 @@ func newTestServer(t testing.TB) (*Server, *httptest.Server) {
 	}
 	e1 := core.New(cat)
 	e2 := core.New(cat)
+	slow := core.NewSlowLog(8, 0)
+	active := core.NewActiveRegistry()
+	e1.SetIntrospection(slow, active)
+	e2.SetIntrospection(slow, active)
 	reg := lens.NewRegistry()
 	if err := reg.Publish(&lens.Lens{
 		Name:  "by-city",
@@ -60,6 +64,8 @@ func newTestServer(t testing.TB) (*Server, *httptest.Server) {
 		Cache:      qcache.New(16, 0),
 		Views:      matview.NewManager(e1),
 		AdminToken: "admin",
+		Slow:       slow,
+		Active:     active,
 	}
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
@@ -102,8 +108,22 @@ func TestQueryEndpoint(t *testing.T) {
 
 func TestQueryEndpointErrors(t *testing.T) {
 	_, ts := newTestServer(t)
-	if code, _ := get(t, ts.URL+"/query"); code != http.StatusMethodNotAllowed {
+	// GET without q is an empty query, not a method error (GET ?q= is the
+	// explain-friendly form).
+	if code, _ := get(t, ts.URL+"/query"); code != http.StatusBadRequest {
 		t.Errorf("GET code = %d", code)
+	}
+	req, err := http.NewRequest(http.MethodPut, ts.URL+"/query", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("PUT code = %d", resp.StatusCode)
 	}
 	if code, _ := post(t, ts.URL+"/query", ""); code != http.StatusBadRequest {
 		t.Errorf("empty code = %d", code)

@@ -89,6 +89,12 @@ type (
 	Completeness = exec.Completeness
 	// DirectorySource is the hierarchical (LDAP-style) source.
 	DirectorySource = sources.DirectorySource
+	// ExplainTree is the per-operator EXPLAIN ANALYZE statistics tree.
+	ExplainTree = core.ExplainTree
+	// SlowEntry is one retained slow-query record.
+	SlowEntry = core.SlowEntry
+	// ActiveQueryInfo is a snapshot of one in-flight query.
+	ActiveQueryInfo = core.ActiveQueryInfo
 )
 
 // Devices.
@@ -124,6 +130,12 @@ type Config struct {
 	// for /debug/trace/last (0 = obs.DefaultTraceBuffer, negative
 	// disables tracing entirely; ?profile=1 still works).
 	TraceBuffer int
+	// SlowLogSize is how many slow queries the system retains with their
+	// EXPLAIN ANALYZE plans (0 = core.DefaultSlowLogSize).
+	SlowLogSize int
+	// SlowLogThreshold drops queries faster than this from the slow log
+	// (0 retains the slowest queries regardless of absolute duration).
+	SlowLogThreshold time.Duration
 }
 
 // Result is a query answer.
@@ -140,6 +152,9 @@ type Result struct {
 	Completeness Completeness
 	// Stats summarizes the execution.
 	Stats core.Stats
+	// Explain is the per-operator EXPLAIN ANALYZE tree (nil for cache
+	// hits, which run no operators).
+	Explain *ExplainTree
 }
 
 // XML renders the result document (indented).
@@ -166,6 +181,8 @@ type System struct {
 	lin      *lineage.Log
 	metrics  *obs.Registry
 	tracer   *obs.Tracer
+	slow     *core.SlowLog
+	active   *core.ActiveRegistry
 	cfg      Config
 }
 
@@ -195,8 +212,11 @@ func New(cfg Config) *System {
 		lin:      lineage.New(),
 		metrics:  reg,
 		tracer:   tracer,
+		slow:     core.NewSlowLog(cfg.SlowLogSize, cfg.SlowLogThreshold),
+		active:   core.NewActiveRegistry(),
 		cfg:      cfg,
 	}
+	reg.GaugeFunc("nimble_active_queries", func() float64 { return float64(s.active.Len()) })
 	for i := 0; i < cfg.Instances; i++ {
 		e := core.New(cat)
 		if cfg.FailOnUnavailable {
@@ -207,6 +227,7 @@ func New(cfg Config) *System {
 		}
 		e.SetMetrics(reg)
 		e.SetTracer(tracer)
+		e.SetIntrospection(s.slow, s.active)
 		s.engines = append(s.engines, e)
 	}
 	s.balancer = server.NewBalancer(server.LeastLoaded, s.engines...)
@@ -346,6 +367,7 @@ func (s *System) Query(ctx context.Context, q string) (*Result, error) {
 		FailedSources: cr.Completeness.FailedSources(),
 		Completeness:  cr.Completeness,
 		Stats:         cr.Stats,
+		Explain:       cr.Explain,
 	}
 	if s.cache != nil && res.Complete {
 		s.cache.Put(q, qcache.Result{Values: cr.Values, Sources: cacheTags(q, cr)})
@@ -489,6 +511,8 @@ func (s *System) HTTPHandler(adminToken string) http.Handler {
 		AdminToken: adminToken,
 		Metrics:    s.metrics,
 		Tracer:     s.tracer,
+		Slow:       s.slow,
+		Active:     s.active,
 	}
 	return srv.Handler()
 }
@@ -501,6 +525,14 @@ func (s *System) Metrics() *obs.Registry { return s.metrics }
 // Tracer returns the span-tree retention ring behind /debug/trace/last
 // (nil when Config.TraceBuffer is negative).
 func (s *System) Tracer() *obs.Tracer { return s.tracer }
+
+// SlowQueries lists the retained slow-query entries, slowest first, each
+// with its rendered EXPLAIN ANALYZE plan (the /debug/slowlog view).
+func (s *System) SlowQueries() []SlowEntry { return s.slow.Entries() }
+
+// ActiveQueries snapshots the queries executing right now across all
+// instances (the /debug/queries view).
+func (s *System) ActiveQueries() []ActiveQueryInfo { return s.active.Snapshot() }
 
 // InstrumentSources wraps every currently registered source with
 // source-side fetch metrics (nimble_source_* series, distinct from the
