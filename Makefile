@@ -6,7 +6,7 @@ GO ?= go
 # installed, so `make check` stays green on offline builders.
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: all build test race vet lint vulncheck check bench explain-smoke
+.PHONY: all build test race vet lint vulncheck check bench explain-smoke chaos-smoke
 
 all: build
 
@@ -44,6 +44,13 @@ check: vet lint race vulncheck
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# chaos-smoke runs the extended fault-injection soak (1000 mixed
+# queries per seed under a seeded fault schedule, each seed replayed
+# twice with byte-identical-report verification) plus the short soak.
+# See DESIGN.md §8 for the methodology.
+chaos-smoke:
+	$(GO) test -tags soak -run 'TestChaosSoak' -count=1 -v .
 
 # explain-smoke runs one federated two-source query through
 # `nimble-cli -explain` and asserts the EXPLAIN ANALYZE operator tree

@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"time"
 
 	nimble "repro"
 	"repro/internal/server"
@@ -33,6 +34,9 @@ func main() {
 	traces := flag.Int("traces", 16, "recent query traces kept for /debug/trace/last (-1 disables)")
 	slowN := flag.Int("slowlog", 16, "slow queries retained with EXPLAIN plans for /debug/slowlog")
 	slowAfter := flag.Duration("slow-threshold", 0, "record queries at least this slow (0 keeps the slowest overall)")
+	fetchTimeout := flag.Duration("fetch-timeout", 10*time.Second, "per-attempt remote fetch timeout (0 disables)")
+	fetchRetries := flag.Int("fetch-retries", 2, "retries after a transient fetch failure, with exponential backoff (0 disables)")
+	breakerThreshold := flag.Int("breaker-threshold", 5, "consecutive transient failures that open a source's circuit breaker (0 disables)")
 	flag.Parse()
 
 	sys := nimble.New(nimble.Config{
@@ -41,6 +45,9 @@ func main() {
 		TraceBuffer:      *traces,
 		SlowLogSize:      *slowN,
 		SlowLogThreshold: *slowAfter,
+		FetchTimeout:     *fetchTimeout,
+		FetchRetries:     *fetchRetries,
+		BreakerThreshold: *breakerThreshold,
 	})
 	if err := boot(sys, *customers); err != nil {
 		log.Fatal(err)

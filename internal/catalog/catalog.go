@@ -154,6 +154,20 @@ func (c *Catalog) ReplaceSource(s Source) error {
 	return nil
 }
 
+// WrapAll replaces every registered source with wrap(source) — the bulk
+// entry point instrumentation and fault-injection wrappers use. wrap
+// must return a source reporting the same Name (lookups key on the
+// registered name); returning nil keeps the original unwrapped.
+func (c *Catalog) WrapAll(wrap func(Source) Source) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for key, s := range c.sources {
+		if w := wrap(s); w != nil {
+			c.sources[key] = w
+		}
+	}
+}
+
 // Source returns the named source.
 func (c *Catalog) Source(name string) (Source, error) {
 	c.mu.RLock()

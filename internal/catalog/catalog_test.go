@@ -146,6 +146,41 @@ func TestSchemaAndSourceNames(t *testing.T) {
 	}
 }
 
+// renamingSource wraps a source for the WrapAll test.
+type renamingSource struct{ Source }
+
+func TestWrapAll(t *testing.T) {
+	c := New()
+	doc := xmldm.NewBuilder().Elem("d")
+	c.AddSource(NewStaticSource("a", doc))
+	c.AddSource(NewStaticSource("b", doc))
+	// Wrap only "a"; returning nil keeps "b" untouched.
+	c.WrapAll(func(s Source) Source {
+		if s.Name() == "a" {
+			return renamingSource{s}
+		}
+		return nil
+	})
+	a, err := c.Source("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := a.(renamingSource); !ok {
+		t.Errorf("source a = %T, want the wrapper", a)
+	}
+	b, err := c.Source("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := b.(*StaticSource); !ok {
+		t.Errorf("source b = %T, want the original", b)
+	}
+	// Lookups still key on the registered name after wrapping.
+	if got := c.SourceNames(); len(got) != 2 {
+		t.Errorf("SourceNames = %v", got)
+	}
+}
+
 func TestDefineViewValidation(t *testing.T) {
 	c := New()
 	if err := c.DefineView("s", nil); err == nil {

@@ -1,0 +1,192 @@
+// Package chaos is the deterministic fault-injection harness: a source
+// wrapper that makes sources flap, hang, slow down, and return
+// truncated or garbled documents on a seeded, replayable schedule. It
+// exists to *provoke* the conditions §3.4 promises the system handles
+// ("sources may be offline, or network connectivity may not be
+// available") so the resilience layer — retries, per-attempt timeouts,
+// circuit breakers, partial results — can be proven rather than hoped:
+// the soak harness replays a fault schedule and asserts every query
+// succeeds, degrades to a correctly-flagged partial result, or fails
+// cleanly, and that the same seed reproduces the identical completeness
+// report byte for byte.
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/sources"
+	"repro/internal/xmldm"
+)
+
+// Kind is one injected failure mode.
+type Kind int
+
+const (
+	// Pass forwards the fetch untouched.
+	Pass Kind = iota
+	// Slow adds latency before forwarding.
+	Slow
+	// Unavailable fails with sources.ErrUnavailable (offline source).
+	Unavailable
+	// Malformed performs the fetch but delivers a truncated document
+	// together with sources.ErrMalformed — a transfer cut mid-stream.
+	Malformed
+	// Garbage fails with an opaque, non-transient error (a source-side
+	// rejection retrying cannot cure).
+	Garbage
+	// Hang blocks until the context is cancelled — the failure mode
+	// only a per-attempt timeout can bound.
+	Hang
+)
+
+// String names the kind for stats and logs.
+func (k Kind) String() string {
+	switch k {
+	case Slow:
+		return "slow"
+	case Unavailable:
+		return "unavailable"
+	case Malformed:
+		return "malformed"
+	case Garbage:
+		return "garbage"
+	case Hang:
+		return "hang"
+	}
+	return "pass"
+}
+
+// Fault is the injected behaviour of a single fetch.
+type Fault struct {
+	Kind Kind
+	// Latency is waited before the outcome is produced (Slow sets it;
+	// any kind may carry it).
+	Latency time.Duration
+}
+
+// Schedule decides the fault for the n-th fetch (0-based call index).
+// Implementations must be deterministic functions of the call index so
+// a replayed run injects the identical fault sequence.
+type Schedule interface {
+	Fault(call int) Fault
+}
+
+// Source wraps an inner source with fault injection. Faults are chosen
+// by the schedule from a per-source call counter, so a sequential
+// workload replays byte-identically. Safe for concurrent use (the
+// counter is atomic under the lock; concurrent fetches to one source
+// race only over which call index each receives).
+type Source struct {
+	inner catalog.Source
+	sched Schedule
+	sleep func(ctx context.Context, d time.Duration) error
+
+	mu       sync.Mutex
+	calls    int          // guarded by mu
+	injected map[Kind]int // guarded by mu
+}
+
+// Wrap makes inner chaotic per the schedule (nil schedule passes
+// everything through).
+func Wrap(inner catalog.Source, sched Schedule) *Source {
+	return &Source{inner: inner, sched: sched, injected: make(map[Kind]int)}
+}
+
+// WithSleep injects the latency sleeper (a FakeClock's Sleep makes Slow
+// faults free of wall-clock time) and returns the source for chaining.
+func (s *Source) WithSleep(fn func(ctx context.Context, d time.Duration) error) *Source {
+	s.sleep = fn
+	return s
+}
+
+// Name implements catalog.Source.
+func (s *Source) Name() string { return s.inner.Name() }
+
+// Capabilities implements catalog.Source.
+func (s *Source) Capabilities() catalog.Capabilities { return s.inner.Capabilities() }
+
+// Inner returns the wrapped source (the optimizer unwraps through this
+// to reach relational descriptors, so pushdown survives wrapping).
+func (s *Source) Inner() catalog.Source { return s.inner }
+
+// Stats reports the total fetch calls and the per-kind injection
+// counts.
+func (s *Source) Stats() (calls int, injected map[Kind]int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[Kind]int, len(s.injected))
+	for k, v := range s.injected {
+		out[k] = v
+	}
+	return s.calls, out
+}
+
+// Fetch implements catalog.Source with the scheduled fault applied.
+func (s *Source) Fetch(ctx context.Context, req catalog.Request) (*xmldm.Node, catalog.Cost, error) {
+	var f Fault
+	s.mu.Lock()
+	call := s.calls
+	s.calls++
+	if s.sched != nil {
+		f = s.sched.Fault(call)
+	}
+	s.injected[f.Kind]++
+	s.mu.Unlock()
+
+	if f.Latency > 0 {
+		if err := s.doSleep(ctx, f.Latency); err != nil {
+			return nil, catalog.Cost{}, err
+		}
+	}
+	switch f.Kind {
+	case Unavailable:
+		return nil, catalog.Cost{}, fmt.Errorf("%w: chaos: %s offline", sources.ErrUnavailable, s.inner.Name())
+	case Garbage:
+		return nil, catalog.Cost{}, fmt.Errorf("chaos: %s returned garbage", s.inner.Name())
+	case Hang:
+		<-ctx.Done()
+		return nil, catalog.Cost{}, ctx.Err()
+	case Malformed:
+		doc, cost, err := s.inner.Fetch(ctx, req)
+		if err != nil {
+			return nil, cost, err
+		}
+		// The transfer was cut mid-document: deliver what made it over
+		// the wire alongside the decode failure.
+		return truncateDoc(doc), cost,
+			fmt.Errorf("%w: chaos: %s response truncated", sources.ErrMalformed, s.inner.Name())
+	}
+	return s.inner.Fetch(ctx, req)
+}
+
+// doSleep waits via the injected sleeper or the wall clock.
+func (s *Source) doSleep(ctx context.Context, d time.Duration) error {
+	if s.sleep != nil {
+		return s.sleep(ctx, d)
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// truncateDoc models a transfer cut mid-stream: a shallow root copy
+// holding only the first half of the children. The shared child nodes
+// keep their original parent pointers — the document is malformed by
+// construction and always accompanied by ErrMalformed, never matched.
+func truncateDoc(doc *xmldm.Node) *xmldm.Node {
+	if doc == nil {
+		return nil
+	}
+	cp := &xmldm.Node{Name: doc.Name, Attrs: doc.Attrs}
+	cp.Children = doc.Children[:len(doc.Children)/2]
+	return cp
+}

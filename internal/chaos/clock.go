@@ -1,0 +1,66 @@
+package chaos
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// FakeClock is a deterministic clock for the resilience layer and the
+// latency faults: Sleep advances virtual time instantly (so backoff
+// schedules and latency injection cost no wall-clock time), and
+// Advance moves time forward manually (so breaker cooldowns elapse on
+// demand). It satisfies exec.Clock structurally. Safe for concurrent
+// use.
+type FakeClock struct {
+	mu     sync.Mutex
+	now    time.Time     // guarded by mu
+	sleeps int           // guarded by mu
+	slept  time.Duration // guarded by mu
+}
+
+// NewFakeClock starts virtual time at a fixed epoch so two runs observe
+// identical timestamps.
+func NewFakeClock() *FakeClock {
+	return &FakeClock{now: time.Unix(1_000_000_000, 0)}
+}
+
+// Now returns the current virtual time.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves virtual time forward.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+// Sleep advances virtual time by d and returns immediately; a done
+// context returns its error without advancing (matching the real
+// clock's cancellation contract).
+func (c *FakeClock) Sleep(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if d < 0 {
+		d = 0
+	}
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.sleeps++
+	c.slept += d
+	c.mu.Unlock()
+	return nil
+}
+
+// Slept reports how many sleeps ran and their accumulated virtual
+// duration.
+func (c *FakeClock) Slept() (int, time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sleeps, c.slept
+}

@@ -1,0 +1,90 @@
+package chaos
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Script replays an explicit fault sequence, then keeps returning Then
+// (zero Then = Pass). Use it for exact scenarios: "fail twice, then
+// recover".
+type Script struct {
+	Faults []Fault
+	Then   Fault
+}
+
+// Fault implements Schedule.
+func (s Script) Fault(call int) Fault {
+	if call >= 0 && call < len(s.Faults) {
+		return s.Faults[call]
+	}
+	return s.Then
+}
+
+// Fail builds the Script for a source that fails the first n fetches
+// with Unavailable and answers afterwards — the canonical
+// retry-recovers scenario.
+func Fail(n int) Script {
+	faults := make([]Fault, n)
+	for i := range faults {
+		faults[i] = Fault{Kind: Unavailable}
+	}
+	return Script{Faults: faults}
+}
+
+// Flap alternates availability cyclically: Up passing calls, then Down
+// unavailable calls, starting Offset calls into the cycle. A flapping
+// source is what drives a breaker through its full
+// closed→open→half-open→closed life.
+type Flap struct {
+	Up, Down int
+	Offset   int
+}
+
+// Fault implements Schedule.
+func (f Flap) Fault(call int) Fault {
+	period := f.Up + f.Down
+	if period <= 0 || call < 0 {
+		return Fault{}
+	}
+	if pos := (call + f.Offset) % period; pos >= f.Up {
+		return Fault{Kind: Unavailable}
+	}
+	return Fault{}
+}
+
+// Mix injects faults at fixed per-kind probabilities. Every decision is
+// drawn from a PRNG derived from the seed and the call index alone —
+// not from shared generator state — so the schedule is deterministic
+// per call even when calls interleave, and a replay with the same seed
+// reproduces the identical fault sequence.
+type Mix struct {
+	Seed                                      int64
+	PUnavailable, PMalformed, PGarbage, PHang float64
+	// MaxLatency, when positive, adds uniform [0, MaxLatency) latency
+	// to passing fetches (Slow faults).
+	MaxLatency time.Duration
+}
+
+// Fault implements Schedule.
+func (m Mix) Fault(call int) Fault {
+	rng := rand.New(rand.NewSource(m.Seed ^ int64(uint64(call+1)*0x9E3779B97F4A7C15)))
+	p := rng.Float64()
+	cut := m.PUnavailable
+	if p < cut {
+		return Fault{Kind: Unavailable}
+	}
+	if cut += m.PMalformed; p < cut {
+		return Fault{Kind: Malformed}
+	}
+	if cut += m.PGarbage; p < cut {
+		return Fault{Kind: Garbage}
+	}
+	if cut += m.PHang; p < cut {
+		return Fault{Kind: Hang}
+	}
+	if m.MaxLatency > 0 {
+		return Fault{Kind: Slow, Latency: time.Duration(rng.Int63n(int64(m.MaxLatency)))}
+	}
+	return Fault{}
+}

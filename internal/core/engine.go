@@ -97,6 +97,22 @@ func (e *Engine) SetIntrospection(slow *SlowLog, active *ActiveRegistry) {
 	e.active = active
 }
 
+// SetResilience installs the fetch resilience configuration: per-attempt
+// timeouts and retry/backoff (res), the per-source circuit-breaker set
+// (breakers, shareable across engine instances so all queries agree on
+// which sources are quarantined; nil disables breakers), and the clock
+// backoff sleeps run on (nil keeps the current clock — real time by
+// default; tests inject fake time for determinism).
+func (e *Engine) SetResilience(res exec.Resilience, breakers *exec.BreakerSet, clock exec.Clock) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.runner.Resilience = res
+	e.runner.Breakers = breakers
+	if clock != nil {
+		e.runner.Clock = clock
+	}
+}
+
 // Catalog returns the engine's catalog.
 func (e *Engine) Catalog() *catalog.Catalog { return e.cat }
 
@@ -337,6 +353,12 @@ func attachFetchStats(ex *ExplainTree, fetches []exec.SourceFetchStat, elapsed t
 		detail := fmt.Sprintf("%s fetches=%d", fs.Source, fs.Fetches)
 		if fs.Bytes > 0 {
 			detail += fmt.Sprintf(" bytes=%d", fs.Bytes)
+		}
+		if fs.Retries > 0 {
+			detail += fmt.Sprintf(" retries=%d", fs.Retries)
+		}
+		if fs.Breaker != "" {
+			detail += " breaker=" + fs.Breaker
 		}
 		if fs.Local {
 			detail += " local"

@@ -47,6 +47,12 @@ type SourceStatus struct {
 	Rows   int
 	Bytes  int
 	Local  bool // answered from the local materialized store
+	// Retries counts fetch attempts beyond the first across this query
+	// (transient failures that were retried with backoff).
+	Retries int
+	// Breaker notes circuit-breaker involvement: "open" when the fetch
+	// was skipped fail-fast, "half-open" when it was the probe.
+	Breaker string
 }
 
 // Completeness is the per-query report of which sources answered.
@@ -85,6 +91,33 @@ type Runner struct {
 	// Metrics, if set, receives per-source fetch counters and latency
 	// histograms (nil disables recording; all metric calls are nil-safe).
 	Metrics *obs.Registry
+	// Resilience tunes per-attempt timeouts and retry/backoff for
+	// remote fetches; the zero value disables both.
+	Resilience Resilience
+	// Breakers, if set, quarantines persistently failing sources behind
+	// per-source circuit breakers; one set may be shared across several
+	// runners (every engine instance of a deployment).
+	Breakers *BreakerSet
+	// Clock abstracts time for backoff sleeps and jitter; nil uses the
+	// real clock (tests inject fake time for determinism).
+	Clock Clock
+}
+
+// clock returns the runner's clock, defaulting to real time.
+func (r *Runner) clock() Clock {
+	if r.Clock != nil {
+		return r.Clock
+	}
+	return realClock{}
+}
+
+// breakerFor returns the source's breaker, or nil when breakers are
+// disabled.
+func (r *Runner) breakerFor(source string) *Breaker {
+	if r.Breakers == nil {
+		return nil
+	}
+	return r.Breakers.For(source)
 }
 
 // Access is the per-execution fetch state: it memoizes fetches (a plan
@@ -136,7 +169,7 @@ func specKey(source string, req catalog.Request) string {
 func (a *Access) Roots(source string, req catalog.Request) ([]xmldm.Value, error) {
 	doc, err := a.fetch(source, req)
 	if err != nil {
-		if a.policy == PolicyPartial && errors.Is(err, sources.ErrUnavailable) {
+		if a.policy == PolicyPartial && sources.Transient(err) {
 			return nil, nil
 		}
 		return nil, err
@@ -175,7 +208,7 @@ func (a *Access) Prefetch(specs []FetchSpec) error {
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			if a.policy == PolicyPartial && errors.Is(err, sources.ErrUnavailable) {
+			if a.policy == PolicyPartial && sources.Transient(err) {
 				continue
 			}
 			return err
@@ -264,20 +297,133 @@ func (a *Access) doFetch(source string, req catalog.Request, sp *obs.Span) (*xml
 		return nil, err
 	}
 	start := time.Now()
-	doc, cost, err := src.Fetch(a.ctx, req)
-	// The remote-only histogram isolates the source round trip from the
-	// memoization/local-store/materialization paths that share
-	// nimble_fetch_seconds.
+	doc, cost, retries, breaker, err := a.fetchResilient(src, source, req)
+	// The remote-only histogram isolates the source round trip (all
+	// attempts plus backoff) from the memoization/local-store/
+	// materialization paths that share nimble_fetch_seconds.
 	m.Histogram("nimble_remote_fetch_seconds", "source", label).Observe(time.Since(start).Seconds())
+	if retries > 0 {
+		sp.SetInt("retries", int64(retries))
+	}
+	if breaker != "" {
+		sp.SetAttr("breaker", breaker)
+	}
 	if a.runner.Observe != nil {
 		a.runner.Observe(source, req, cost, err)
 	}
 	if err != nil {
-		record(SourceStatus{Source: source, Err: err.Error()})
+		record(SourceStatus{Source: source, Err: err.Error(), Retries: retries, Breaker: breaker})
 		return nil, err
 	}
-	record(SourceStatus{Source: source, Rows: cost.RowsReturned, Bytes: cost.BytesMoved})
+	record(SourceStatus{Source: source, Rows: cost.RowsReturned, Bytes: cost.BytesMoved, Retries: retries, Breaker: breaker})
 	return doc, nil
+}
+
+// fetchResilient runs one remote fetch through the resilience layer:
+// circuit-breaker admission, per-attempt timeout, and bounded retry
+// with jittered exponential backoff for transient failures. It returns
+// the retry count and the breaker involvement ("open" fail-fast,
+// "half-open" probe) for completeness/EXPLAIN attribution.
+func (a *Access) fetchResilient(src catalog.Source, source string, req catalog.Request) (*xmldm.Node, catalog.Cost, int, string, error) {
+	r := a.runner
+	res := r.Resilience
+	br := r.breakerFor(source)
+	attempts := 1 + res.Retries
+	if attempts < 1 {
+		attempts = 1
+	}
+	var (
+		retries int
+		breaker string
+		lastErr error
+	)
+	for attempt := 1; attempt <= attempts; attempt++ {
+		if err := a.ctx.Err(); err != nil {
+			return nil, catalog.Cost{}, retries, breaker, err
+		}
+		if br != nil {
+			ok, probe := br.Allow()
+			if !ok {
+				return nil, catalog.Cost{}, retries, "open",
+					fmt.Errorf("%w: %s: circuit breaker open", sources.ErrUnavailable, source)
+			}
+			if probe {
+				breaker = "half-open"
+			}
+		}
+		doc, cost, err := a.attempt(src, req)
+		if br != nil {
+			// An answer — even a source-side rejection of the request —
+			// proves the source alive; only transient transport/decode
+			// failures count against its health.
+			if err == nil || !sources.Transient(err) {
+				br.Success()
+			} else {
+				br.Failure()
+			}
+		}
+		if err == nil {
+			return doc, cost, retries, breaker, nil
+		}
+		lastErr = err
+		if !sources.Transient(err) || attempt == attempts {
+			break
+		}
+		retries++
+		if m := r.Metrics; m != nil {
+			m.Counter("nimble_fetch_retries_total", "source", strings.ToLower(source)).Inc()
+		}
+		delay := BackoffDelay(res.RetryBase, res.RetryMax, attempt,
+			jitterNoise(source, attempt, r.clock().Now()))
+		if err := r.clock().Sleep(a.ctx, delay); err != nil {
+			return nil, catalog.Cost{}, retries, breaker, err
+		}
+	}
+	return nil, catalog.Cost{}, retries, breaker, lastErr
+}
+
+// attempt performs one fetch attempt under the per-attempt timeout. The
+// fetch runs in its own goroutine selected against the attempt context,
+// so even a source that ignores cancellation cannot hang the query — it
+// costs at most FetchTimeout (the abandoned goroutine drains into a
+// buffered channel). An attempt-deadline expiry is reported as a
+// transient unavailability; caller cancellation is passed through.
+func (a *Access) attempt(src catalog.Source, req catalog.Request) (*xmldm.Node, catalog.Cost, error) {
+	timeout := a.runner.Resilience.FetchTimeout
+	if timeout <= 0 {
+		return src.Fetch(a.ctx, req)
+	}
+	actx, cancel := context.WithTimeout(a.ctx, timeout)
+	defer cancel()
+	type outcome struct {
+		doc  *xmldm.Node
+		cost catalog.Cost
+		err  error
+	}
+	ch := make(chan outcome, 1)
+	if err := actx.Err(); err != nil {
+		return nil, catalog.Cost{}, err
+	}
+	go func() {
+		doc, cost, err := src.Fetch(actx, req)
+		ch <- outcome{doc, cost, err}
+	}()
+	timedOut := func() error {
+		return fmt.Errorf("%w: %s: fetch attempt timed out after %v", sources.ErrUnavailable, src.Name(), timeout)
+	}
+	select {
+	case o := <-ch:
+		if o.err != nil && actx.Err() != nil && a.ctx.Err() == nil {
+			// The attempt deadline fired inside the source: transient.
+			return nil, o.cost, timedOut()
+		}
+		return o.doc, o.cost, o.err
+	case <-actx.Done():
+		if err := a.ctx.Err(); err != nil {
+			return nil, catalog.Cost{}, err
+		}
+		return nil, catalog.Cost{}, timedOut()
+	}
 }
 
 // addTiming accumulates one fetch's wall time for the source.
@@ -304,6 +450,8 @@ type SourceFetchStat struct {
 	Bytes   int
 	Local   bool
 	Err     string
+	Retries int
+	Breaker string
 }
 
 // FetchStats reports per-source fetch timing merged with the
@@ -326,6 +474,8 @@ func (a *Access) FetchStats() []SourceFetchStat {
 			fs.Bytes = st.Bytes
 			fs.Local = st.Local
 			fs.Err = st.Err
+			fs.Retries = st.Retries
+			fs.Breaker = st.Breaker
 		}
 		out = append(out, fs)
 	}
@@ -346,8 +496,12 @@ func (a *Access) record(source string, st SourceStatus) {
 	}
 	cur.Rows += st.Rows
 	cur.Bytes += st.Bytes
+	cur.Retries += st.Retries
 	if st.Err != "" {
 		cur.Err = st.Err
+	}
+	if st.Breaker != "" {
+		cur.Breaker = st.Breaker
 	}
 	cur.Local = cur.Local && st.Local
 }

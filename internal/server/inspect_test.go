@@ -44,11 +44,15 @@ func TestDebugQueriesAndSlowlog(t *testing.T) {
 		t.Fatalf("debug/queries code = %d", code)
 	}
 	var dq struct {
-		Active []core.ActiveQueryInfo `json:"active"`
-		Slow   []core.SlowEntry       `json:"slow"`
+		Active   []core.ActiveQueryInfo `json:"active"`
+		Slow     []core.SlowEntry       `json:"slow"`
+		Breakers map[string]string      `json:"breakers"`
 	}
 	if err := json.Unmarshal([]byte(body), &dq); err != nil {
 		t.Fatalf("debug/queries JSON: %v\n%s", err, body)
+	}
+	if dq.Breakers == nil {
+		t.Errorf("debug/queries missing breakers map:\n%s", body)
 	}
 	if len(dq.Active) != 0 {
 		t.Errorf("active = %+v, want none in flight", dq.Active)
@@ -129,5 +133,68 @@ func TestDebugQueriesUnderLoad(t *testing.T) {
 	code, body := get(t, ts.URL+"/debug/slowlog")
 	if code != 200 || !strings.Contains(body, "Query [rewrites=1]") {
 		t.Errorf("slowlog after load: code=%d body=%s", code, body)
+	}
+}
+
+// TestBreakerStormUnderLoad hammers the flapping chaos source from
+// concurrent workers — driving the shared breaker and the retry path
+// from both engine instances at once — while a poller reads
+// /debug/queries. Run with -race: the contested state is the breaker
+// set, the memoized Access, and the inspector snapshot.
+func TestBreakerStormUnderLoad(t *testing.T) {
+	_, ts := newTestServer(t)
+	const workers = 6
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				// Distinct texts bypass the result cache; the default
+				// partial policy turns flap-induced failures into 200s
+				// with an incompleteness flag rather than errors.
+				q := fmt.Sprintf(`WHERE <t>$x</t> IN "flaky", $x != "no%d_%d" CONSTRUCT <r>$x</r>`, w, i)
+				req, err := http.NewRequest(http.MethodPost, ts.URL+"/query", strings.NewReader(q))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp, err := http.DefaultClient.Do(req)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != 200 {
+					t.Errorf("worker %d query %d: code = %d", w, i, resp.StatusCode)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			code, body := get(t, ts.URL+"/debug/queries")
+			if code != 200 || !strings.Contains(body, `"breakers"`) {
+				t.Errorf("poll %d: code=%d body=%s", i, code, body)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	// After the storm the breaker has tracked the flapping source.
+	_, body := get(t, ts.URL+"/debug/queries")
+	var dq struct {
+		Breakers map[string]string `json:"breakers"`
+	}
+	if err := json.Unmarshal([]byte(body), &dq); err != nil {
+		t.Fatalf("debug/queries JSON: %v\n%s", err, body)
+	}
+	if st := dq.Breakers["flaky"]; st == "" {
+		t.Errorf("breakers = %v, want an entry for the flaky source", dq.Breakers)
 	}
 }

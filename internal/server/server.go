@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/lens"
 	"repro/internal/matview"
 	"repro/internal/obs"
@@ -148,6 +149,10 @@ type Server struct {
 	// Both are nil-safe.
 	Slow   *core.SlowLog
 	Active *core.ActiveRegistry
+	// Breakers, when set, adds per-source circuit-breaker states to
+	// /debug/queries (wire the same set the engines fetch through).
+	// Nil-safe.
+	Breakers *exec.BreakerSet
 }
 
 func (s *Server) registry() *obs.Registry {
@@ -227,7 +232,8 @@ func (s *Server) handleTraceLast(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleDebugQueries is the query inspector: what is running right now
-// (pg_stat_activity style) plus the recent slow queries, as JSON.
+// (pg_stat_activity style), the recent slow queries, and the per-source
+// circuit-breaker states, as JSON.
 func (s *Server) handleDebugQueries(w http.ResponseWriter, _ *http.Request) {
 	active := s.Active.Snapshot()
 	if active == nil {
@@ -239,9 +245,10 @@ func (s *Server) handleDebugQueries(w http.ResponseWriter, _ *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(struct {
-		Active []core.ActiveQueryInfo `json:"active"`
-		Slow   []core.SlowEntry       `json:"slow"`
-	}{active, slow})
+		Active   []core.ActiveQueryInfo `json:"active"`
+		Slow     []core.SlowEntry       `json:"slow"`
+		Breakers map[string]string      `json:"breakers"`
+	}{active, slow, s.Breakers.States()})
 }
 
 // handleSlowLog serves the retained slow-query entries (slowest first,

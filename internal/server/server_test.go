@@ -9,9 +9,12 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/catalog"
+	"repro/internal/chaos"
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/lens"
 	"repro/internal/matview"
 	"repro/internal/qcache"
@@ -30,6 +33,17 @@ func newTestServer(t testing.TB) (*Server, *httptest.Server) {
 	if err := cat.AddSource(sources.NewRelationalSource("crmdb", db)); err != nil {
 		t.Fatal(err)
 	}
+	// A chaos-wrapped source that flaps availability: two fetches up,
+	// two down. With one retry per fetch the breaker sees occasional
+	// failures without permanently opening, which is exactly the storm
+	// the inspector race test wants.
+	flaky, err := sources.NewXMLSource("flaky", `<flaky><t>one</t><t>two</t></flaky>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.AddSource(chaos.Wrap(flaky, chaos.Flap{Up: 2, Down: 2})); err != nil {
+		t.Fatal(err)
+	}
 	if err := cat.DefineViewQL("customers", `
 		WHERE <customer><name>$n</name><city>$c</city></customer> IN "crmdb"
 		CONSTRUCT <cust><who>$n</who><where>$c</where></cust>`); err != nil {
@@ -41,6 +55,11 @@ func newTestServer(t testing.TB) (*Server, *httptest.Server) {
 	active := core.NewActiveRegistry()
 	e1.SetIntrospection(slow, active)
 	e2.SetIntrospection(slow, active)
+	// One breaker set shared by both instances, like a deployment.
+	breakers := exec.NewBreakerSet(3, 10*time.Millisecond, nil, nil)
+	res := exec.Resilience{FetchTimeout: 2 * time.Second, Retries: 1, RetryBase: time.Millisecond, RetryMax: 5 * time.Millisecond}
+	e1.SetResilience(res, breakers, nil)
+	e2.SetResilience(res, breakers, nil)
 	reg := lens.NewRegistry()
 	if err := reg.Publish(&lens.Lens{
 		Name:  "by-city",
@@ -66,6 +85,7 @@ func newTestServer(t testing.TB) (*Server, *httptest.Server) {
 		AdminToken: "admin",
 		Slow:       slow,
 		Active:     active,
+		Breakers:   breakers,
 	}
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)

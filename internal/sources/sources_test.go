@@ -3,6 +3,7 @@ package sources
 import (
 	"context"
 	"errors"
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -239,22 +240,53 @@ func TestNetworkSimLatencyAccounting(t *testing.T) {
 	}
 }
 
-func TestNetworkSimRealSleep(t *testing.T) {
+// TestNetworkSimInjectedSleep pins the sleep path to an injected
+// sleeper instead of racing real wall-clock deadlines (the old version
+// compared a 5ms context against a 2ms sleep and flaked under load).
+func TestNetworkSimInjectedSleep(t *testing.T) {
 	base := catalog.NewStaticSource("s", mustElem())
 	sim := NewNetworkSim(base, 2*time.Millisecond, 1.0, 1)
-	start := time.Now()
+	var slept []time.Duration
+	sim.SleepFn = func(ctx context.Context, d time.Duration) error {
+		slept = append(slept, d)
+		return ctx.Err()
+	}
 	if _, _, err := sim.Fetch(context.Background(), catalog.Request{}); err != nil {
 		t.Fatal(err)
 	}
-	if time.Since(start) < 2*time.Millisecond {
-		t.Error("sleep not applied")
+	if len(slept) != 1 || slept[0] != 2*time.Millisecond {
+		t.Errorf("slept = %v, want one 2ms sleep", slept)
 	}
-	// Context cancellation interrupts the sleep.
+	// A sleeper observing cancellation aborts the fetch with the
+	// context's error — no wall-clock wait involved.
 	sim.Latency = time.Second
-	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
-	defer cancel()
-	if _, _, err := sim.Fetch(ctx, catalog.Request{}); !errors.Is(err, context.DeadlineExceeded) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := sim.Fetch(ctx, catalog.Request{}); !errors.Is(err, context.Canceled) {
 		t.Errorf("cancel err = %v", err)
+	}
+	if len(slept) != 2 || slept[1] != time.Second {
+		t.Errorf("slept = %v, want the 1s attempt recorded", slept)
+	}
+}
+
+func TestTransient(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{ErrUnavailable, true},
+		{ErrMalformed, true},
+		{fmt.Errorf("wrapped: %w", ErrUnavailable), true},
+		{fmt.Errorf("wrapped: %w", ErrMalformed), true},
+		{errors.New("schema mismatch"), false},
+		{context.Canceled, false},
+	}
+	for _, c := range cases {
+		if got := Transient(c.err); got != c.want {
+			t.Errorf("Transient(%v) = %v, want %v", c.err, got, c.want)
+		}
 	}
 }
 

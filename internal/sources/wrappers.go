@@ -22,6 +22,21 @@ import (
 // partial-results event rather than a query failure.
 var ErrUnavailable = errors.New("sources: source unavailable")
 
+// ErrMalformed marks a source whose answer could not be used — a
+// truncated transfer or a garbled document. Like unavailability it is
+// transient (the next attempt may decode cleanly), so the execution
+// layer retries it and, under PolicyPartial, degrades it to a flagged
+// partial result instead of failing the query.
+var ErrMalformed = errors.New("sources: malformed response")
+
+// Transient reports whether err is a transient transport/decode
+// failure — one a retry might cure and the partial-results policy may
+// absorb. Anything else (bad SQL, unknown collection) is a deterministic
+// request error that retrying cannot fix.
+func Transient(err error) bool {
+	return errors.Is(err, ErrUnavailable) || errors.Is(err, ErrMalformed)
+}
+
 // XMLSource is a source over a parsed XML document. It cannot evaluate
 // queries (Capabilities zero), so every fetch returns the document.
 type XMLSource struct {
@@ -90,6 +105,10 @@ type NetworkSim struct {
 	// only accounted (fast benches use accounting, latency-sensitive
 	// experiments use real sleeps).
 	Sleep bool
+	// SleepFn, when set, replaces the real wall-clock sleep — tests
+	// inject a fake clock here so latency behaviour is exercised without
+	// wall-clock waits (set before first use; not synchronized).
+	SleepFn func(ctx context.Context, d time.Duration) error
 
 	mu        sync.Mutex
 	rng       *rand.Rand
@@ -140,13 +159,27 @@ func (n *NetworkSim) Fetch(ctx context.Context, req catalog.Request) (*xmldm.Nod
 	n.simulated += delay
 	n.mu.Unlock()
 	if n.Sleep && delay > 0 {
-		select {
-		case <-time.After(delay):
-		case <-ctx.Done():
-			return nil, cost, ctx.Err()
+		if err := n.doSleep(ctx, delay); err != nil {
+			return nil, cost, err
 		}
 	}
 	return doc, cost, nil
+}
+
+// doSleep waits for the simulated delay, honouring cancellation, via
+// SleepFn when injected and the wall clock otherwise.
+func (n *NetworkSim) doSleep(ctx context.Context, d time.Duration) error {
+	if n.SleepFn != nil {
+		return n.SleepFn(ctx, d)
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // Stats reports calls, simulated failures, and accumulated simulated

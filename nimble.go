@@ -136,6 +136,25 @@ type Config struct {
 	// SlowLogThreshold drops queries faster than this from the slow log
 	// (0 retains the slowest queries regardless of absolute duration).
 	SlowLogThreshold time.Duration
+	// FetchTimeout bounds each remote fetch attempt: a hung source
+	// costs at most this per attempt instead of hanging the query
+	// (0 disables the per-attempt timeout).
+	FetchTimeout time.Duration
+	// FetchRetries retries transient fetch failures — source
+	// unavailable, malformed response, attempt timeout — with jittered
+	// exponential backoff (0 disables retries).
+	FetchRetries int
+	// RetryBackoff is the first backoff step between retries
+	// (0 = 50ms default).
+	RetryBackoff time.Duration
+	// BreakerThreshold opens a per-source circuit breaker after this
+	// many consecutive transient failures; while open, fetches to the
+	// source fail fast, so queries under the partial policy skip it
+	// without paying its timeout (0 disables breakers).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker waits before letting
+	// one half-open probe through (0 = 5s default).
+	BreakerCooldown time.Duration
 }
 
 // Result is a query answer.
@@ -183,6 +202,7 @@ type System struct {
 	tracer   *obs.Tracer
 	slow     *core.SlowLog
 	active   *core.ActiveRegistry
+	breakers *exec.BreakerSet
 	cfg      Config
 }
 
@@ -217,6 +237,14 @@ func New(cfg Config) *System {
 		cfg:      cfg,
 	}
 	reg.GaugeFunc("nimble_active_queries", func() float64 { return float64(s.active.Len()) })
+	if cfg.BreakerThreshold > 0 {
+		s.breakers = exec.NewBreakerSet(cfg.BreakerThreshold, cfg.BreakerCooldown, nil, reg)
+	}
+	res := exec.Resilience{
+		FetchTimeout: cfg.FetchTimeout,
+		Retries:      cfg.FetchRetries,
+		RetryBase:    cfg.RetryBackoff,
+	}
 	for i := 0; i < cfg.Instances; i++ {
 		e := core.New(cat)
 		if cfg.FailOnUnavailable {
@@ -228,6 +256,7 @@ func New(cfg Config) *System {
 		e.SetMetrics(reg)
 		e.SetTracer(tracer)
 		e.SetIntrospection(s.slow, s.active)
+		e.SetResilience(res, s.breakers, nil)
 		s.engines = append(s.engines, e)
 	}
 	s.balancer = server.NewBalancer(server.LeastLoaded, s.engines...)
@@ -513,6 +542,7 @@ func (s *System) HTTPHandler(adminToken string) http.Handler {
 		Tracer:     s.tracer,
 		Slow:       s.slow,
 		Active:     s.active,
+		Breakers:   s.breakers,
 	}
 	return srv.Handler()
 }
@@ -539,15 +569,32 @@ func (s *System) ActiveQueries() []ActiveQueryInfo { return s.active.Snapshot() 
 // execution layer's nimble_fetch_* series, which also count local-store
 // answers).
 func (s *System) InstrumentSources() {
-	for _, name := range s.cat.SourceNames() {
-		src, err := s.cat.Source(name)
-		if err != nil {
-			continue
-		}
+	s.cat.WrapAll(func(src Source) Source {
 		if _, already := src.(*sources.Instrumented); already {
-			continue
+			return nil
 		}
-		s.cat.ReplaceSource(sources.Instrument(src, s.metrics))
+		return sources.Instrument(src, s.metrics)
+	})
+}
+
+// WrapSources replaces every registered source with wrap(source) — the
+// entry point the chaos harness uses to make a whole deployment's
+// sources misbehave (internal/chaos.Wrap). wrap must preserve the
+// source's name; returning nil keeps a source unwrapped.
+func (s *System) WrapSources(wrap func(Source) Source) { s.cat.WrapAll(wrap) }
+
+// BreakerStates snapshots every source circuit breaker's position
+// ("closed", "half-open", "open"); empty when Config.BreakerThreshold
+// left breakers disabled. Also served on /debug/queries.
+func (s *System) BreakerStates() map[string]string { return s.breakers.States() }
+
+// setResilience rewires every engine's resilience layer and breaker set
+// (tests inject fake clocks and virtual cooldowns for deterministic
+// chaos soaks).
+func (s *System) setResilience(res exec.Resilience, breakers *exec.BreakerSet, clock exec.Clock) {
+	s.breakers = breakers
+	for _, e := range s.engines {
+		e.SetResilience(res, breakers, clock)
 	}
 }
 

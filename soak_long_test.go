@@ -1,0 +1,20 @@
+//go:build soak
+
+package nimble
+
+import "testing"
+
+// TestChaosSoakLong is the extended chaos soak behind the soak build
+// tag (make chaos-smoke): 1000 mixed queries per seed, each seed
+// replayed twice with the byte-identical-report requirement. The fault
+// schedules and backoff sleeps run on virtual time, so the wall cost is
+// dominated by the hang faults' real per-attempt timeouts.
+func TestChaosSoakLong(t *testing.T) {
+	for _, seed := range []int64{1, 20260806} {
+		first := runChaosSoak(t, seed, 1000)
+		second := runChaosSoak(t, seed, 1000)
+		if first != second {
+			t.Errorf("seed %d: same-seed replay diverged:\n--- first ---\n%s\n--- second ---\n%s", seed, first, second)
+		}
+	}
+}

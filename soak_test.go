@@ -3,10 +3,16 @@ package nimble
 import (
 	"context"
 	"fmt"
+	"sort"
+	"strings"
 	"sync"
 	"testing"
+	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/clean"
+	"repro/internal/exec"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -110,5 +116,235 @@ func TestConcurrentMixedWorkload(t *testing.T) {
 	}
 	if len(res.Values) == 0 {
 		t.Error("no results after soak")
+	}
+}
+
+// buildSoakSystem assembles the three-source chaos-soak deployment:
+// a relational CRM, an XML ticket feed, and a source that is (in the
+// chaos variant) permanently offline. With withChaos=false it is the
+// fault-free twin used as the correctness oracle. The chaos variant
+// wraps every source in a seeded fault schedule, injects a fake clock
+// into backoff and latency sleeps, and arms retries plus breakers.
+func buildSoakSystem(t testing.TB, withChaos bool, seed int64) (*System, map[string]*chaos.Source) {
+	t.Helper()
+	sys := New(Config{Instances: 1, CacheEntries: 0, TraceBuffer: -1, Metrics: obs.NewRegistry()})
+	if err := sys.AddRelationalSource("crmdb", workload.CustomerDB("crm", 120, 2, 7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddXMLSource("tickets", `<tickets>
+		<ticket pri="high"><cust>1</cust><subject>Integration escalation</subject></ticket>
+		<ticket pri="low"><cust>2</cust><subject>Question about lenses</subject></ticket>
+	</tickets>`); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddXMLSource("dead", `<dead><item>alpha</item><item>beta</item></dead>`); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.DefineSchema("customers", `
+		WHERE <customer><id>$i</id><name>$n</name><city>$c</city><tier>$t</tier></customer> IN "crmdb"
+		CONSTRUCT <cust><cid>$i</cid><who>$n</who><where>$c</where><tier>$t</tier></cust>`); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.DefineSchema("goldcust", `
+		WHERE <cust><who>$w</who><where>$c</where><tier>"gold"</tier></cust> IN "customers"
+		CONSTRUCT <vip><name>$w</name><city>$c</city></vip>`); err != nil {
+		t.Fatal(err)
+	}
+	if !withChaos {
+		return sys, nil
+	}
+	clk := chaos.NewFakeClock()
+	wrapped := map[string]*chaos.Source{}
+	sys.WrapSources(func(src Source) Source {
+		var sched chaos.Schedule
+		switch src.Name() {
+		case "crmdb":
+			sched = chaos.Mix{Seed: seed, PUnavailable: 0.12, PMalformed: 0.08,
+				PGarbage: 0.04, PHang: 0.04, MaxLatency: 20 * time.Millisecond}
+		case "tickets":
+			sched = chaos.Flap{Up: 3, Down: 2}
+		case "dead":
+			sched = chaos.Script{Then: chaos.Fault{Kind: chaos.Unavailable}}
+		default:
+			return nil
+		}
+		cs := chaos.Wrap(src, sched).WithSleep(clk.Sleep)
+		wrapped[src.Name()] = cs
+		return cs
+	})
+	breakers := exec.NewBreakerSet(4, 200*time.Millisecond, clk, sys.Metrics())
+	sys.setResilience(exec.Resilience{
+		FetchTimeout: 150 * time.Millisecond, // real time: only Hang faults pay it
+		Retries:      2,
+		RetryBase:    10 * time.Millisecond, // virtual time: FakeClock sleeps
+		RetryMax:     80 * time.Millisecond,
+	}, breakers, clk)
+	return sys, wrapped
+}
+
+// soakQueries is the deterministic mixed workload: city lookups over
+// the mediated schema (→ crmdb), the raw ticket feed, the second-level
+// gold-tier schema, and the permanently dead source, round-robin.
+func soakQueries(n int) []string {
+	cities := workload.Cities()
+	qs := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		switch i % 4 {
+		case 0:
+			qs = append(qs, fmt.Sprintf(
+				`WHERE <cust><who>$w</who><where>$p</where></cust> IN "customers", $p = "%s" CONSTRUCT <hit>$w</hit>`,
+				cities[i%len(cities)]))
+		case 1:
+			qs = append(qs, `WHERE <ticket><subject>$s</subject></ticket> IN "tickets" CONSTRUCT <r>$s</r>`)
+		case 2:
+			qs = append(qs, `WHERE <vip><name>$n</name></vip> IN "goldcust" CONSTRUCT <g>$n</g>`)
+		default:
+			qs = append(qs, `WHERE <item>$x</item> IN "dead" CONSTRUCT <r>$x</r>`)
+		}
+	}
+	return qs
+}
+
+// runChaosSoak executes n mixed queries against a freshly built chaos
+// deployment and returns the full run report. It enforces the soak
+// invariants: no query hangs or panics, every Complete result is
+// byte-identical to the fault-free twin's answer, every incomplete
+// result names its failed sources, and the dead source is quarantined
+// by its breaker (fetched far fewer times than it is queried).
+func runChaosSoak(t *testing.T, seed int64, n int) string {
+	t.Helper()
+	baseline, _ := buildSoakSystem(t, false, 0)
+	sys, wrapped := buildSoakSystem(t, true, seed)
+	ctx := context.Background()
+
+	oracle := map[string]string{}
+	var report strings.Builder
+	fmt.Fprintf(&report, "chaos soak seed=%d queries=%d\n", seed, n)
+	deadQueries := 0
+	for i, q := range soakQueries(n) {
+		if _, ok := oracle[q]; !ok {
+			res, err := baseline.Query(ctx, q)
+			if err != nil || !res.Complete {
+				t.Fatalf("baseline query %d failed: complete=%v err=%v", i, res != nil && res.Complete, err)
+			}
+			oracle[q] = res.XML()
+		}
+		if strings.Contains(q, `"dead"`) {
+			deadQueries++
+		}
+		start := time.Now()
+		res, err := sys.Query(ctx, q)
+		if elapsed := time.Since(start); elapsed > 2*time.Second {
+			t.Errorf("query %d took %v — resilience layer failed to bound it", i, elapsed)
+		}
+		switch {
+		case err != nil:
+			// A clean failure (e.g. a Garbage fault under the partial
+			// policy) is acceptable; a panic or hang is not.
+			fmt.Fprintf(&report, "q%03d error %v\n", i, err)
+		case res.Complete:
+			if got := res.XML(); got != oracle[q] {
+				t.Errorf("query %d reported Complete but differs from the fault-free answer:\n got %s\nwant %s", i, got, oracle[q])
+			}
+			fmt.Fprintf(&report, "q%03d ok\n", i)
+		default:
+			if len(res.FailedSources) == 0 {
+				t.Errorf("query %d incomplete without failed sources: %+v", i, res.Completeness)
+			}
+			fmt.Fprintf(&report, "q%03d partial failed=%v\n", i, res.FailedSources)
+		}
+	}
+
+	// The breaker must have quarantined the dead source: without it
+	// every dead query costs 1+Retries fetches; with it most are
+	// skipped before touching the source.
+	deadCalls, _ := wrapped["dead"].Stats()
+	if deadCalls >= deadQueries {
+		t.Errorf("dead source fetched %d times across %d queries — breaker did not quarantine it", deadCalls, deadQueries)
+	}
+
+	// Close the report with the final breaker positions and the injected
+	// fault census (sorted: the report is compared byte-for-byte).
+	states := sys.BreakerStates()
+	keys := make([]string, 0, len(states))
+	for k := range states {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&report, "breaker %s=%s\n", k, states[k])
+	}
+	for _, name := range []string{"crmdb", "dead", "tickets"} {
+		calls, injected := wrapped[name].Stats()
+		fmt.Fprintf(&report, "%s calls=%d", name, calls)
+		for k := chaos.Pass; k <= chaos.Hang; k++ {
+			if injected[k] > 0 {
+				fmt.Fprintf(&report, " %s=%d", k, injected[k])
+			}
+		}
+		report.WriteString("\n")
+	}
+	return report.String()
+}
+
+// TestChaosSoak runs 200 mixed queries under a seeded fault schedule,
+// twice, and demands byte-identical run reports — the determinism
+// contract that makes any chaos failure replayable — on top of the
+// per-query soak invariants (no hangs, no falsely-Complete results,
+// clean degradation). The -tags soak build runs the longer variant.
+func TestChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	const seed, n = 20260806, 200
+	first := runChaosSoak(t, seed, n)
+	second := runChaosSoak(t, seed, n)
+	if first != second {
+		t.Errorf("same-seed replay diverged:\n--- first ---\n%s\n--- second ---\n%s", first, second)
+	}
+	// The schedule must actually have exercised degradation paths.
+	for _, want := range []string{"q000 ok", "partial", "failed=[dead]"} {
+		if !strings.Contains(first, want) {
+			t.Errorf("report missing %q:\n%s", want, first)
+		}
+	}
+}
+
+// TestRetryRecoversEndToEnd: a source that fails twice then recovers is
+// healed by the retry layer — the query completes, the retries show up
+// in the EXPLAIN fetch node, and the retry counter advances.
+func TestRetryRecoversEndToEnd(t *testing.T) {
+	reg := obs.NewRegistry()
+	sys := New(Config{Instances: 1, TraceBuffer: -1, Metrics: reg})
+	if err := sys.AddXMLSource("feed", `<feed><a>one</a><a>two</a></feed>`); err != nil {
+		t.Fatal(err)
+	}
+	clk := chaos.NewFakeClock()
+	var cs *chaos.Source
+	sys.WrapSources(func(src Source) Source {
+		cs = chaos.Wrap(src, chaos.Fail(2)).WithSleep(clk.Sleep)
+		return cs
+	})
+	sys.setResilience(exec.Resilience{Retries: 2, RetryBase: 5 * time.Millisecond}, nil, clk)
+
+	res, err := sys.Query(context.Background(), `WHERE <a>$x</a> IN "feed" CONSTRUCT <r>$x</r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete || len(res.Values) != 2 {
+		t.Fatalf("result = complete=%v values=%d", res.Complete, len(res.Values))
+	}
+	if calls, _ := cs.Stats(); calls != 3 {
+		t.Errorf("source fetched %d times, want 3 (two failures + recovery)", calls)
+	}
+	if res.Explain == nil || !strings.Contains(res.Explain.Render(), "retries=2") {
+		var plan string
+		if res.Explain != nil {
+			plan = res.Explain.Render()
+		}
+		t.Errorf("EXPLAIN missing retry attribution:\n%s", plan)
+	}
+	if n := reg.Counter("nimble_fetch_retries_total", "source", "feed").Value(); n != 2 {
+		t.Errorf("nimble_fetch_retries_total = %d, want 2", n)
 	}
 }
