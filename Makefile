@@ -6,7 +6,7 @@ GO ?= go
 # installed, so `make check` stays green on offline builders.
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: all build test race vet lint vulncheck check bench explain-smoke chaos-smoke
+.PHONY: all build test race vet lint vulncheck check bench explain-smoke chaos-smoke cluster-smoke
 
 all: build
 
@@ -51,6 +51,15 @@ bench:
 # See DESIGN.md §8 for the methodology.
 chaos-smoke:
 	$(GO) test -tags soak -run 'TestChaosSoak' -count=1 -v .
+
+# cluster-smoke runs the cluster front end end to end under every
+# routing policy: a chaos-faulted instance is ejected by health probes,
+# traffic keeps flowing with zero failures, the instance is readmitted
+# after recovery, and a drained instance leaves gracefully. Plus the
+# -race storm over queries, probes, drains, and inspector reads.
+cluster-smoke:
+	$(GO) test -run 'TestClusterSmoke' -count=1 -v ./internal/cluster
+	$(GO) test -race -run 'TestClusterStorm' -count=1 ./internal/cluster
 
 # explain-smoke runs one federated two-source query through
 # `nimble-cli -explain` and asserts the EXPLAIN ANALYZE operator tree

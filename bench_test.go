@@ -77,6 +77,40 @@ func BenchmarkE7_LoadBalance(b *testing.B) {
 	}
 }
 
+// BenchmarkE7_PolicySweep drives the cluster front end directly: one
+// sub-benchmark per routing policy × fleet size over the zipf city
+// workload, with per-instance caches so the affinity rows show their
+// warm-cache advantage. Compare with:
+//
+//	go test -bench 'E7_PolicySweep' -benchtime 1000x
+func BenchmarkE7_PolicySweep(b *testing.B) {
+	for _, policy := range []string{"rr", "least", "p2c", "affinity"} {
+		for _, instances := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("%s-%d", policy, instances), func(b *testing.B) {
+				sys := benchSystem(b, 500, nimble.Config{
+					Instances:        instances,
+					RoutePolicy:      policy,
+					InstanceCapacity: 2,
+					CacheEntries:     64,
+					CachePerInstance: true,
+				})
+				queries := workload.CityQueries(64, 0.9, 13)
+				ctx := context.Background()
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					i := 0
+					for pb.Next() {
+						if _, err := sys.Query(ctx, queries[i%len(queries)]); err != nil {
+							b.Fatal(err)
+						}
+						i++
+					}
+				})
+			})
+		}
+	}
+}
+
 func BenchmarkE8_Algebra(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		experiments.E8Algebra(benchScale())

@@ -4,20 +4,30 @@
 // deployment (three sources, two mediated schemas, two lenses) so the
 // server is explorable immediately:
 //
-//	nimbled -addr :8080 -instances 2 &
+//	nimbled -addr :8080 -cluster 4 -route affinity -cap 8 -queue 64 &
 //	curl -XPOST -d 'WHERE <cust><who>$w</who></cust> IN "customers" CONSTRUCT <r>$w</r>' localhost:8080/query
 //	curl 'localhost:8080/lens/by-city?city=Seattle&device=web'
 //	curl -XPOST 'localhost:8080/admin/materialize?schema=customers&token=admin'
 //	curl localhost:8080/stats
 //	curl localhost:8080/metrics
+//	curl localhost:8080/debug/cluster
+//	curl -XPOST 'localhost:8080/admin/drain?instance=1&token=admin'
 //	curl 'localhost:8080/debug/trace/last?n=1'
 //	curl -XPOST -d '...' 'localhost:8080/query?profile=1'
+//
+// On SIGINT/SIGTERM the daemon drains the cluster gracefully: routing
+// stops, in-flight queries finish (bounded by -drain-timeout), then the
+// HTTP server shuts down.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	nimble "repro"
@@ -27,8 +37,19 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	instances := flag.Int("instances", 2, "engine instances behind the load balancer")
+	instances := flag.Int("instances", 2, "engine instances behind the cluster front end")
+	clusterN := flag.Int("cluster", 0, "shorthand for -instances (takes precedence when set)")
+	route := flag.String("route", "least", "routing policy: least, rr, p2c, affinity")
+	capPer := flag.Int("cap", 0, "per-instance concurrent query cap (0 unbounded)")
+	queue := flag.Int("queue", 0, "admission queue bound once all instances are saturated; excess sheds 503 + Retry-After (0 unbounded)")
 	cacheSize := flag.Int("cache", 64, "query cache entries (0 disables)")
+	cachePer := flag.Bool("cache-per-instance", false, "give each instance its own cache (pair with -route affinity)")
+	probe := flag.String("probe", `WHERE <cust><who>$w</who></cust> IN "customers" CONSTRUCT <ok>$w</ok>`,
+		"health-probe canary query; failing/incomplete answers eject an instance (empty disables probing)")
+	probeEvery := flag.Duration("probe-interval", 2*time.Second, "health probe spacing")
+	ejectAfter := flag.Int("eject-after", 3, "consecutive probe failures that eject an instance")
+	readmitAfter := flag.Duration("readmit-after", 10*time.Second, "cooldown before an ejected instance is probed for readmission")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful drain bound on shutdown")
 	adminToken := flag.String("admin-token", "admin", "token for /admin endpoints")
 	customers := flag.Int("customers", 500, "demo dataset size")
 	traces := flag.Int("traces", 16, "recent query traces kept for /debug/trace/last (-1 disables)")
@@ -39,9 +60,21 @@ func main() {
 	breakerThreshold := flag.Int("breaker-threshold", 5, "consecutive transient failures that open a source's circuit breaker (0 disables)")
 	flag.Parse()
 
+	n := *instances
+	if *clusterN > 0 {
+		n = *clusterN
+	}
 	sys := nimble.New(nimble.Config{
-		Instances:        *instances,
+		Instances:        n,
 		CacheEntries:     *cacheSize,
+		CachePerInstance: *cachePer,
+		RoutePolicy:      *route,
+		InstanceCapacity: *capPer,
+		AdmissionQueue:   *queue,
+		HealthProbe:      *probe,
+		ProbeInterval:    *probeEvery,
+		EjectAfter:       *ejectAfter,
+		ReadmitAfter:     *readmitAfter,
 		TraceBuffer:      *traces,
 		SlowLogSize:      *slowN,
 		SlowLogThreshold: *slowAfter,
@@ -53,9 +86,31 @@ func main() {
 		log.Fatal(err)
 	}
 	sys.InstrumentSources()
-	log.Printf("nimbled: %d sources, %d schemas, %d engine instances, listening on %s",
-		len(sys.Sources()), len(sys.Schemas()), sys.Instances(), *addr)
-	log.Fatal(server.NewHTTPServer(*addr, sys.HTTPHandler(*adminToken)).ListenAndServe())
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	sys.StartHealthProbes(ctx)
+
+	httpSrv := server.NewHTTPServer(*addr, sys.HTTPHandler(*adminToken))
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("nimbled: %d sources, %d schemas, %d engine instances (%s routing), listening on %s",
+		len(sys.Sources()), len(sys.Schemas()), sys.Instances(), *route, *addr)
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Printf("nimbled: draining cluster (bound %s)", *drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := sys.Cluster().DrainAll(dctx); err != nil {
+		log.Printf("nimbled: drain incomplete: %v", err)
+	}
+	if err := httpSrv.Shutdown(dctx); err != nil {
+		log.Printf("nimbled: http shutdown: %v", err)
+	}
+	log.Print("nimbled: stopped")
 }
 
 // boot assembles the demo deployment.
@@ -118,5 +173,8 @@ func boot(sys *nimble.System, customers int) error {
 	fmt.Println(`  curl -XPOST -d '<query>' 'localhost:8080/query?explain=1'  # embed the EXPLAIN ANALYZE operator tree`)
 	fmt.Println(`  curl localhost:8080/debug/queries                  # active queries + recent slow queries`)
 	fmt.Println(`  curl localhost:8080/debug/slowlog                  # slowest queries with their plans`)
+	fmt.Println("cluster:")
+	fmt.Println(`  curl localhost:8080/debug/cluster                  # instance health, routing, admission queue`)
+	fmt.Println(`  curl -XPOST 'localhost:8080/admin/drain?instance=1&token=admin'  # graceful drain`)
 	return nil
 }

@@ -1,0 +1,684 @@
+// Package cluster is the health-aware front end over a fleet of engine
+// instances — the tier §2.1 sketches when it says "multiple instances of
+// the integration engine can be run simultaneously on one or more
+// servers" behind load balancing. It subsumes the old in-process
+// server.Balancer with a real cluster layer:
+//
+//   - an instance registry: each member wraps a core.Engine with health
+//     state (healthy → ejected → half-open → healthy) driven by probes
+//     on an injectable clock (chaos.FakeClock in tests), so a
+//     chaos-faulted instance is ejected and readmitted after recovery;
+//   - routing policies: round-robin, least-outstanding, power-of-two-
+//     choices, and cache-affinity via rendezvous hashing on the
+//     normalized query text, so repeated queries land on the instance
+//     whose result cache is warm;
+//   - admission control: a bounded global wait queue with deadline-aware
+//     shedding (callers whose deadline would expire while queued are
+//     refused immediately with a Retry-After hint) and per-instance
+//     concurrency caps. Crucially the queue is global: a caller waits
+//     for the first slot to free anywhere, never behind one saturated
+//     instance while others idle (the head-of-line defect of the old
+//     balancer, which picked an instance before acquiring its slot);
+//   - graceful drain: stop routing to an instance, wait for its
+//     in-flight queries, then remove it from the registry.
+//
+// Everything is observable: nimble_cluster_* metrics, and a Status
+// snapshot served on /debug/cluster.
+package cluster
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"math"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/obs"
+	"repro/internal/qcache"
+	"repro/internal/xmlql"
+)
+
+// Clock abstracts time for health probing and queue-wait estimation;
+// chaos.FakeClock satisfies it (it is exec.Clock, shared with the fetch
+// resilience layer so one fake clock drives both).
+type Clock = exec.Clock
+
+// Defaults for the health prober and the admission estimator.
+const (
+	// DefaultProbeInterval spaces health probes of a healthy instance.
+	DefaultProbeInterval = 2 * time.Second
+	// DefaultEjectAfter is how many consecutive probe failures eject an
+	// instance.
+	DefaultEjectAfter = 3
+	// DefaultReadmitAfter is the cooldown before an ejected instance
+	// gets a half-open probe.
+	DefaultReadmitAfter = 10 * time.Second
+	// defaultServiceEstimate seeds the queue-wait estimator before any
+	// query has completed.
+	defaultServiceEstimate = 10 * time.Millisecond
+)
+
+// Config tunes a Cluster.
+type Config struct {
+	// Policy is the routing policy (default RoundRobin).
+	Policy Policy
+	// Capacity caps concurrent queries per instance (0 = unbounded).
+	Capacity int
+	// QueueLimit bounds the global admission queue once every instance
+	// is saturated; excess callers are shed with an OverloadError
+	// (0 = unbounded queue).
+	QueueLimit int
+	// ProbeInterval spaces health probes of healthy instances
+	// (0 = DefaultProbeInterval).
+	ProbeInterval time.Duration
+	// EjectAfter is the consecutive probe failures that eject an
+	// instance (0 = DefaultEjectAfter).
+	EjectAfter int
+	// ReadmitAfter is the cooldown before an ejected instance is probed
+	// half-open (0 = DefaultReadmitAfter).
+	ReadmitAfter time.Duration
+	// Clock drives probe scheduling and wait estimation; nil = real
+	// time. Tests inject chaos.FakeClock for determinism.
+	Clock Clock
+	// Metrics receives the nimble_cluster_* series; nil disables
+	// metrics.
+	Metrics *obs.Registry
+	// Seed seeds the power-of-two-choices sampler (0 = 1), so runs are
+	// reproducible.
+	Seed int64
+}
+
+// OverloadError is returned when admission control sheds a query: the
+// queue is full, or the caller's deadline would expire before a slot
+// could free. The HTTP front end maps it to 503 with a Retry-After
+// header.
+type OverloadError struct {
+	Reason     string
+	RetryAfter time.Duration
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("cluster overloaded (%s): retry after %s", e.Reason, e.RetryAfter)
+}
+
+// RetryAfterSeconds renders the hint for a Retry-After header, rounded
+// up and never below one second.
+func (e *OverloadError) RetryAfterSeconds() int {
+	s := int(math.Ceil(e.RetryAfter.Seconds()))
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// member is one registered engine instance.
+type member struct {
+	id     int
+	name   string
+	engine *core.Engine
+
+	cache    *qcache.Cache    // optional per-instance result cache (affinity's target)
+	probe    Probe            // optional health probe
+	breakers *exec.BreakerSet // optional, surfaced in Status
+
+	capacity int  // guarded by Cluster.mu; 0 = unbounded
+	active   int  // guarded by Cluster.mu; granted slots (queued callers count from grant)
+	draining bool // guarded by Cluster.mu
+	removed  bool // guarded by Cluster.mu
+
+	drainDone chan struct{} // guarded by Cluster.mu; closed when active hits 0 while draining
+
+	// health state machine, guarded by Cluster.mu.
+	ejected   bool
+	fails     int       // consecutive probe failures
+	probing   bool      // a probe for this member is in flight
+	lastProbe time.Time // when the last probe started
+	readmitAt time.Time // when an ejected member may be probed half-open
+	lastErr   string    // last probe failure, for the inspector
+
+	mRequests    *obs.Counter
+	mEjections   *obs.Counter
+	mReadmission *obs.Counter
+}
+
+// waiter is one caller parked in the global admission queue.
+type waiter struct {
+	key     string
+	ch      chan *member // buffered; receives the granted member
+	enq     time.Time
+	granted bool // guarded by Cluster.mu
+}
+
+// Cluster routes queries across registered engine instances.
+type Cluster struct {
+	cfg   Config
+	clock Clock
+
+	mu      sync.Mutex
+	members []*member  // guarded by mu (slice immutable; element state guarded)
+	waiters *list.List // guarded by mu; FIFO of *waiter
+	queued  int        // guarded by mu
+	rr      int        // guarded by mu; round-robin cursor
+	tie     int        // guarded by mu; rotating tie-break offset
+	rng     *splitmix  // guarded by mu; p2c sampler
+	ewmaNs  float64    // guarded by mu; service-time EWMA
+
+	shedQueueFull int64 // guarded by mu
+	shedDeadline  int64 // guarded by mu
+
+	mShedQueueFull *obs.Counter
+	mShedDeadline  *obs.Counter
+	mQueueWait     *obs.Histogram
+}
+
+// New builds a cluster over the given engine instances. Instance names
+// come from core.Engine.ID when set, else the index.
+func New(cfg Config, engines ...*core.Engine) *Cluster {
+	if len(engines) == 0 {
+		panic("cluster: at least one engine instance required")
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = DefaultProbeInterval
+	}
+	if cfg.EjectAfter <= 0 {
+		cfg.EjectAfter = DefaultEjectAfter
+	}
+	if cfg.ReadmitAfter <= 0 {
+		cfg.ReadmitAfter = DefaultReadmitAfter
+	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = realClock{}
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	c := &Cluster{
+		cfg:     cfg,
+		clock:   clock,
+		waiters: list.New(),
+		rng:     newSplitmix(uint64(seed)),
+	}
+	for i, e := range engines {
+		name := e.ID()
+		if name == "" {
+			name = strconv.Itoa(i)
+		}
+		c.members = append(c.members, &member{
+			id:       i,
+			name:     name,
+			engine:   e,
+			capacity: cfg.Capacity,
+		})
+	}
+	if reg := cfg.Metrics; reg != nil {
+		c.mShedQueueFull = reg.Counter("nimble_cluster_shed_total", "reason", "queue_full")
+		c.mShedDeadline = reg.Counter("nimble_cluster_shed_total", "reason", "deadline")
+		c.mQueueWait = reg.Histogram("nimble_cluster_queue_wait_seconds")
+		reg.GaugeFunc("nimble_cluster_queue_depth", func() float64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return float64(c.queued)
+		})
+		for _, m := range c.members {
+			m := m
+			m.mRequests = reg.Counter("nimble_cluster_requests_total", "instance", m.name)
+			m.mEjections = reg.Counter("nimble_cluster_ejections_total", "instance", m.name)
+			m.mReadmission = reg.Counter("nimble_cluster_readmissions_total", "instance", m.name)
+			reg.GaugeFunc("nimble_cluster_inflight", func() float64 {
+				c.mu.Lock()
+				defer c.mu.Unlock()
+				return float64(m.active)
+			}, "instance", m.name)
+			reg.GaugeFunc("nimble_cluster_healthy", func() float64 {
+				c.mu.Lock()
+				defer c.mu.Unlock()
+				if m.ejected || m.draining || m.removed {
+					return 0
+				}
+				return 1
+			}, "instance", m.name)
+		}
+	}
+	return c
+}
+
+// SetCache gives instance i its own result cache: under the
+// CacheAffinity policy, repeated queries rendezvous-hash to the same
+// instance and answer from this cache without touching the engine.
+func (c *Cluster) SetCache(i int, cache *qcache.Cache) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.members[i].cache = cache
+}
+
+// SetProbe installs instance i's health probe (see QueryProbe and
+// BreakerProbe for the common shapes). Without a probe the instance is
+// always considered healthy.
+func (c *Cluster) SetProbe(i int, p Probe) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.members[i].probe = p
+}
+
+// SetBreakers attaches instance i's circuit-breaker set so the
+// inspector can show per-source breaker positions alongside instance
+// health.
+func (c *Cluster) SetBreakers(i int, bs *exec.BreakerSet) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.members[i].breakers = bs
+}
+
+// SetCapacity bounds every instance to n concurrent queries (0 removes
+// the bound). Safe to call concurrently with queries; waiting callers
+// are re-dispatched when capacity grows.
+func (c *Cluster) SetCapacity(n int) {
+	if n < 0 {
+		n = 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cfg.Capacity = n
+	for _, m := range c.members {
+		m.capacity = n
+	}
+	c.dispatchLocked()
+}
+
+// Instances reports the number of registered instances (drained
+// instances included; see Status for their state).
+func (c *Cluster) Instances() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.members)
+}
+
+// Engine exposes instance i's engine (experiments and the management
+// endpoints need per-instance control).
+func (c *Cluster) Engine(i int) *core.Engine {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.members[i].engine
+}
+
+// InFlight reports instance i's outstanding queries: granted slots,
+// counting admitted callers from the moment they are assigned, not just
+// those already executing.
+func (c *Cluster) InFlight(i int) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return int64(c.members[i].active)
+}
+
+// Queued reports the callers currently parked in the admission queue.
+func (c *Cluster) Queued() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.queued
+}
+
+// Loads reports per-instance completed query counts.
+func (c *Cluster) Loads() []int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]int64, len(c.members))
+	for i, m := range c.members {
+		out[i] = m.engine.QueriesRun()
+	}
+	return out
+}
+
+// CacheStats aggregates the per-instance result caches (zero value when
+// no instance has one).
+func (c *Cluster) CacheStats() qcache.Stats {
+	c.mu.Lock()
+	caches := make([]*qcache.Cache, 0, len(c.members))
+	for _, m := range c.members {
+		if m.cache != nil {
+			caches = append(caches, m.cache)
+		}
+	}
+	c.mu.Unlock()
+	var agg qcache.Stats
+	for _, q := range caches {
+		st := q.Stats()
+		agg.Hits += st.Hits
+		agg.Misses += st.Misses
+		agg.Evictions += st.Evictions
+		agg.Entries += st.Entries
+	}
+	return agg
+}
+
+// Query routes one query to an instance per the policy, through
+// admission control and the instance's cache when it has one.
+func (c *Cluster) Query(ctx context.Context, q string) (*core.Result, error) {
+	return c.QueryOpt(ctx, q, core.QueryOptions{})
+}
+
+// QueryOpt is Query with per-query options (the profile/explain path,
+// which bypasses per-instance caches so reports reflect a real
+// execution).
+func (c *Cluster) QueryOpt(ctx context.Context, q string, qo core.QueryOptions) (*core.Result, error) {
+	key := qcache.Key(q)
+	m, err := c.acquire(ctx, key)
+	if err != nil {
+		return nil, err
+	}
+	start := c.clock.Now()
+	defer func() { c.release(m, c.clock.Now().Sub(start)) }()
+	m.mRequests.Inc()
+	bypassCache := qo.Profile || qo.Explain
+	if m.cache != nil && !bypassCache {
+		if hit, ok := m.cache.Get(key); ok {
+			res := &core.Result{Values: hit.Values}
+			res.Completeness.Complete = true
+			return res, nil
+		}
+	}
+	res, err := m.engine.QueryOpt(ctx, q, qo)
+	if err == nil && res.Completeness.Complete && m.cache != nil && !bypassCache {
+		m.cache.Put(key, qcache.Result{Values: res.Values, Sources: cacheTags(q, res)})
+	}
+	return res, err
+}
+
+// cacheTags lists every name a cached result depends on: the sources
+// that actually answered (post-unfolding) plus the schemas the query
+// text references, so invalidating either evicts the entry.
+func cacheTags(q string, res *core.Result) []string {
+	var srcs []string
+	for _, st := range res.Completeness.Statuses {
+		srcs = append(srcs, st.Source)
+	}
+	if parsed, err := xmlql.Parse(q); err == nil {
+		srcs = append(srcs, catalog.QueryDeps(parsed)...)
+	}
+	return srcs
+}
+
+// acquire admits the caller and grants an instance slot: an immediate
+// grant when some eligible instance has capacity, otherwise a wait in
+// the global FIFO queue — unless admission control sheds the request.
+func (c *Cluster) acquire(ctx context.Context, key string) (*member, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	m, w, elem, err := c.admit(ctx, key)
+	if err != nil {
+		return nil, err
+	}
+	if m != nil {
+		return m, nil
+	}
+
+	select {
+	case m := <-w.ch:
+		c.mQueueWait.Observe(c.clock.Now().Sub(w.enq).Seconds())
+		return m, nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		if !w.granted {
+			c.waiters.Remove(elem)
+			c.queued--
+			c.mu.Unlock()
+			return nil, ctx.Err()
+		}
+		c.mu.Unlock()
+		// The grant raced the cancellation: hand the slot back.
+		c.release(<-w.ch, -1)
+		return nil, ctx.Err()
+	}
+}
+
+// admit is acquire's locked half: it returns a granted member, or the
+// waiter it parked in the global queue, or the shed error admission
+// control decided on.
+func (c *Cluster) admit(ctx context.Context, key string) (*member, *waiter, *list.Element, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if m := c.pickLocked(key); m != nil {
+		m.active++
+		return m, nil, nil, nil
+	}
+	// Saturated (or no healthy instance): admission control.
+	est := c.estimateWaitLocked()
+	if c.cfg.QueueLimit > 0 && c.queued >= c.cfg.QueueLimit {
+		c.shedQueueFull++
+		c.mShedQueueFull.Inc()
+		return nil, nil, nil, &OverloadError{Reason: "queue full", RetryAfter: est}
+	}
+	now := c.clock.Now()
+	if dl, ok := ctx.Deadline(); ok && now.Add(est).After(dl) {
+		c.shedDeadline++
+		c.mShedDeadline.Inc()
+		return nil, nil, nil, &OverloadError{Reason: "deadline shorter than queue wait", RetryAfter: est}
+	}
+	w := &waiter{key: key, ch: make(chan *member, 1), enq: now}
+	elem := c.waiters.PushBack(w)
+	c.queued++
+	return nil, w, elem, nil
+}
+
+// release returns a slot and re-dispatches the queue. dur < 0 skips the
+// service-time EWMA (cancelled grants carry no signal).
+func (c *Cluster) release(m *member, dur time.Duration) {
+	c.mu.Lock()
+	m.active--
+	if dur >= 0 {
+		ns := float64(dur.Nanoseconds())
+		if c.ewmaNs == 0 {
+			c.ewmaNs = ns
+		} else {
+			c.ewmaNs = 0.8*c.ewmaNs + 0.2*ns
+		}
+	}
+	if m.draining && m.active == 0 && m.drainDone != nil {
+		close(m.drainDone)
+		m.drainDone = nil
+	}
+	c.dispatchLocked()
+	c.mu.Unlock()
+}
+
+// dispatchLocked grants freed capacity to queued callers in FIFO order.
+func (c *Cluster) dispatchLocked() {
+	for c.waiters.Len() > 0 {
+		front := c.waiters.Front()
+		w := front.Value.(*waiter)
+		m := c.pickLocked(w.key)
+		if m == nil {
+			return
+		}
+		m.active++
+		w.granted = true
+		c.waiters.Remove(front)
+		c.queued--
+		w.ch <- m
+	}
+}
+
+// estimateWaitLocked predicts how long a newly queued caller would wait:
+// queue position times the service-time EWMA, divided by the healthy
+// capacity draining the queue.
+func (c *Cluster) estimateWaitLocked() time.Duration {
+	slots := 0
+	for _, m := range c.members {
+		if m.removed || m.draining || m.ejected {
+			continue
+		}
+		if m.capacity <= 0 {
+			// An unbounded healthy instance never queues callers for
+			// capacity; the only wait is health recovery.
+			return 0
+		}
+		slots += m.capacity
+	}
+	if slots == 0 {
+		// No healthy capacity at all: recovery is bounded below by the
+		// readmission cooldown.
+		return c.cfg.ReadmitAfter
+	}
+	svc := time.Duration(c.ewmaNs)
+	if svc <= 0 {
+		svc = defaultServiceEstimate
+	}
+	turns := (c.queued + slots) / slots // ceil((queued+1)/slots)
+	return time.Duration(turns) * svc
+}
+
+// Drain gracefully removes instance i: stop routing to it, wait for its
+// in-flight queries to finish (or ctx to expire — the instance stays
+// draining and unrouted either way), then drop it from the registry.
+func (c *Cluster) Drain(ctx context.Context, i int) error {
+	c.mu.Lock()
+	m := c.members[i]
+	if m.removed {
+		c.mu.Unlock()
+		return nil
+	}
+	m.draining = true
+	if m.active == 0 {
+		m.removed = true
+		c.mu.Unlock()
+		return nil
+	}
+	if m.drainDone == nil {
+		m.drainDone = make(chan struct{})
+	}
+	done := m.drainDone
+	c.mu.Unlock()
+
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	c.mu.Lock()
+	m.removed = true
+	c.mu.Unlock()
+	return nil
+}
+
+// DrainAll drains every instance (shutdown path).
+func (c *Cluster) DrainAll(ctx context.Context) error {
+	for i, n := 0, c.Instances(); i < n; i++ {
+		if err := c.Drain(ctx, i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Restore re-registers a drained (or ejected) instance as healthy —
+// the rolling-restart counterpart of Drain.
+func (c *Cluster) Restore(i int) {
+	c.mu.Lock()
+	m := c.members[i]
+	m.draining = false
+	m.removed = false
+	m.ejected = false
+	m.probing = false
+	m.fails = 0
+	m.lastErr = ""
+	c.dispatchLocked()
+	c.mu.Unlock()
+}
+
+// InstanceStatus is one instance's row in the /debug/cluster inspector.
+type InstanceStatus struct {
+	ID         int     `json:"id"`
+	Name       string  `json:"name"`
+	State      string  `json:"state"` // healthy | ejected | half-open | draining | removed
+	Active     int     `json:"active"`
+	Capacity   int     `json:"capacity"`
+	QueriesRun int64   `json:"queries_run"`
+	ProbeFails int     `json:"probe_fails,omitempty"`
+	LastProbeE string  `json:"last_probe_error,omitempty"`
+	CacheHits  int64   `json:"cache_hits,omitempty"`
+	CacheRate  float64 `json:"cache_hit_rate,omitempty"`
+	// Breakers maps the instance's per-source circuit breakers to their
+	// position, when a breaker set is attached.
+	Breakers map[string]string `json:"breakers,omitempty"`
+}
+
+// Status is the cluster snapshot served on /debug/cluster.
+type Status struct {
+	Policy        string           `json:"policy"`
+	Capacity      int              `json:"capacity"`
+	QueueLimit    int              `json:"queue_limit"`
+	Queued        int              `json:"queued"`
+	ShedQueueFull int64            `json:"shed_queue_full"`
+	ShedDeadline  int64            `json:"shed_deadline"`
+	AvgServiceMS  float64          `json:"avg_service_ms"`
+	Instances     []InstanceStatus `json:"instances"`
+}
+
+// Status snapshots the registry for the inspector.
+func (c *Cluster) Status() Status {
+	c.mu.Lock()
+	st := Status{
+		Policy:        c.cfg.Policy.String(),
+		Capacity:      c.cfg.Capacity,
+		QueueLimit:    c.cfg.QueueLimit,
+		Queued:        c.queued,
+		ShedQueueFull: c.shedQueueFull,
+		ShedDeadline:  c.shedDeadline,
+		AvgServiceMS:  c.ewmaNs / 1e6,
+	}
+	now := c.clock.Now()
+	type probe struct {
+		cache    *qcache.Cache
+		breakers *exec.BreakerSet
+	}
+	extras := make([]probe, len(c.members))
+	for i, m := range c.members {
+		extras[i] = probe{m.cache, m.breakers}
+		st.Instances = append(st.Instances, InstanceStatus{
+			ID:         m.id,
+			Name:       m.name,
+			State:      m.stateLocked(now),
+			Active:     m.active,
+			Capacity:   m.capacity,
+			QueriesRun: m.engine.QueriesRun(),
+			ProbeFails: m.fails,
+			LastProbeE: m.lastErr,
+		})
+	}
+	c.mu.Unlock()
+	// Cache and breaker snapshots take their own locks; collect outside.
+	for i := range st.Instances {
+		if q := extras[i].cache; q != nil {
+			cs := q.Stats()
+			st.Instances[i].CacheHits = cs.Hits
+			st.Instances[i].CacheRate = cs.HitRate()
+		}
+		if bs := extras[i].breakers; bs != nil {
+			st.Instances[i].Breakers = bs.States()
+		}
+	}
+	return st
+}
+
+// stateLocked names the member's routing state.
+func (m *member) stateLocked(now time.Time) string {
+	switch {
+	case m.removed:
+		return "removed"
+	case m.draining:
+		return "draining"
+	case m.ejected && !now.Before(m.readmitAt):
+		return "half-open"
+	case m.ejected:
+		return "ejected"
+	default:
+		return "healthy"
+	}
+}

@@ -1,0 +1,158 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+)
+
+// Probe checks one instance's health; nil error means healthy. Probes
+// are the only input to the health state machine — user-query failures
+// never eject an instance (a bad query is not a bad instance).
+type Probe func(ctx context.Context) error
+
+// QueryProbe probes an instance by running a canary query on its
+// engine. An error or an incomplete answer (some source did not
+// respond — the shape a chaos-faulted or partitioned instance shows
+// under PolicyPartial) is a probe failure.
+func QueryProbe(e *core.Engine, q string) Probe {
+	return func(ctx context.Context) error {
+		res, err := e.Query(ctx, q)
+		if err != nil {
+			return err
+		}
+		if !res.Completeness.Complete {
+			return fmt.Errorf("probe incomplete: sources %v unavailable", res.Completeness.FailedSources())
+		}
+		return nil
+	}
+}
+
+// BreakerProbe reports failure while any of the listed sources' circuit
+// breakers is open — the integration point with the fetch resilience
+// layer: when chaos (or a real outage) opens an instance's breakers,
+// the cluster ejects the instance rather than routing queries into
+// fail-fast errors. With no sources listed, every tracked breaker is
+// checked.
+func BreakerProbe(bs *exec.BreakerSet, sources ...string) Probe {
+	return func(context.Context) error {
+		states := bs.States()
+		check := sources
+		if len(check) == 0 {
+			for s := range states {
+				check = append(check, s)
+			}
+		}
+		for _, s := range check {
+			if states[s] == exec.BreakerOpen.String() {
+				return fmt.Errorf("breaker open for source %q", s)
+			}
+		}
+		return nil
+	}
+}
+
+// ProbeNow runs every due health probe synchronously and applies the
+// results: a healthy instance accumulates consecutive failures until
+// EjectAfter ejects it; an ejected instance is probed half-open once
+// ReadmitAfter has elapsed, readmitted on success, and re-ejected (with
+// a fresh cooldown) on failure. Deterministic drivers (tests on
+// chaos.FakeClock) advance the clock and call this directly; daemons
+// use StartProbing.
+func (c *Cluster) ProbeNow(ctx context.Context) {
+	now := c.clock.Now()
+	c.mu.Lock()
+	var due []*member
+	for _, m := range c.members {
+		if m.probe == nil || m.removed || m.probing {
+			continue
+		}
+		if m.ejected {
+			if now.Before(m.readmitAt) {
+				continue // still cooling down
+			}
+		} else if !m.lastProbe.IsZero() && now.Sub(m.lastProbe) < c.cfg.ProbeInterval {
+			continue
+		}
+		m.probing = true
+		m.lastProbe = now
+		due = append(due, m)
+	}
+	c.mu.Unlock()
+
+	for _, m := range due {
+		err := m.probe(ctx)
+		c.mu.Lock()
+		m.probing = false
+		if err != nil {
+			m.fails++
+			m.lastErr = err.Error()
+			if m.ejected {
+				// Half-open probe failed: a fresh cooldown.
+				m.readmitAt = c.clock.Now().Add(c.cfg.ReadmitAfter)
+			} else if m.fails >= c.cfg.EjectAfter {
+				m.ejected = true
+				m.readmitAt = c.clock.Now().Add(c.cfg.ReadmitAfter)
+				m.mEjections.Inc()
+			}
+		} else {
+			if m.ejected {
+				m.ejected = false
+				m.mReadmission.Inc()
+				// Readmission created routable capacity.
+				c.dispatchLocked()
+			}
+			m.fails = 0
+			m.lastErr = ""
+		}
+		c.mu.Unlock()
+	}
+}
+
+// StartProbing launches a background prober that runs due probes every
+// ProbeInterval until ctx is done. Meant for daemons on the real clock;
+// tests on chaos.FakeClock (whose Sleep returns immediately) should
+// drive ProbeNow directly instead.
+func (c *Cluster) StartProbing(ctx context.Context) {
+	interval := c.cfg.ProbeInterval
+	go func() {
+		for {
+			if err := c.clock.Sleep(ctx, interval); err != nil {
+				return
+			}
+			c.ProbeNow(ctx)
+		}
+	}()
+}
+
+// Healthy counts instances currently routable (healthy, not draining,
+// not removed).
+func (c *Cluster) Healthy() int {
+	now := c.clock.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, m := range c.members {
+		if m.stateLocked(now) == "healthy" {
+			n++
+		}
+	}
+	return n
+}
+
+// Eject forces instance i out of rotation until cooldown+probe readmit
+// it (operational kill switch; the admin drain endpoint uses Drain for
+// the graceful variant).
+func (c *Cluster) Eject(i int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := c.members[i]
+	if m.ejected {
+		return
+	}
+	m.ejected = true
+	m.readmitAt = c.clock.Now().Add(c.cfg.ReadmitAfter)
+	m.mEjections.Inc()
+}

@@ -48,6 +48,12 @@ type Engine struct {
 
 	queriesRun atomic.Int64
 
+	// id names this instance in the cluster registry, /debug/cluster,
+	// and the per-instance metric labels.
+	idMu sync.RWMutex
+	id   string // guarded by idMu
+
+
 	// inflight guards against cyclic schema materialization: per query
 	// execution (per Access), the set of schemas being materialized.
 	inflightMu sync.Mutex
@@ -88,7 +94,7 @@ func (e *Engine) SetTracer(t *obs.Tracer) {
 
 // SetIntrospection installs the slow-query log and active-query registry
 // this engine reports into. Both may be shared across engine instances
-// (the balancer wires every engine to one pair) and either may be nil to
+// (the cluster front end wires every engine to one pair) and either may be nil to
 // disable that surface.
 func (e *Engine) SetIntrospection(slow *SlowLog, active *ActiveRegistry) {
 	e.mu.Lock()
@@ -157,9 +163,25 @@ func (e *Engine) SetObserver(fn func(source string, req catalog.Request, cost ca
 	e.runner.Observe = fn
 }
 
-// QueriesRun reports the number of top-level queries executed (the load
-// balancer uses it).
+// QueriesRun reports the number of top-level queries executed (the
+// cluster front end uses it for per-instance load accounting).
 func (e *Engine) QueriesRun() int64 { return e.queriesRun.Load() }
+
+// SetID names this engine instance; the cluster registry, inspector,
+// and per-instance metrics use it. Empty (the default) lets the
+// cluster fall back to the registration index.
+func (e *Engine) SetID(id string) {
+	e.idMu.Lock()
+	defer e.idMu.Unlock()
+	e.id = id
+}
+
+// ID reports the instance identity set by SetID.
+func (e *Engine) ID() string {
+	e.idMu.RLock()
+	defer e.idMu.RUnlock()
+	return e.id
+}
 
 // Stats summarizes one query's execution.
 type Stats struct {

@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -11,35 +12,68 @@ import (
 	"repro/internal/workload"
 )
 
+// e7Run is one E7 configuration: a routing policy over a fleet size,
+// with or without per-instance result caches.
+type e7Run struct {
+	instances int
+	policy    string
+	perCache  bool
+}
+
 // E7LoadBalance measures §2.1's scalability claim: "load balancing is
 // provided; multiple instances of the integration engine can be run
-// simultaneously on one or more servers". Each instance has a bounded
-// per-process capacity (2 concurrent queries), clients far exceed it,
-// and every query pays a simulated 2 ms source round trip; throughput
-// should scale with the instance count until clients saturate.
+// simultaneously on one or more servers". It sweeps the cluster's
+// routing policies over fleet sizes: bounded per-instance capacity
+// (2 concurrent queries), clients far exceeding it, and a simulated
+// 2 ms source round trip per query. The cacheless rows show throughput
+// scaling with instances; the per-instance-cache rows show why the
+// cache-affinity policy exists — rendezvous-hashing repeated queries to
+// one owner keeps its cache warm, where round-robin spreads the same
+// workload across every cache and pays the cold misses repeatedly.
 func E7LoadBalance(s Scale) *Table {
 	t := &Table{
 		ID:     "E7",
-		Title:  "Throughput vs engine instances (bounded per-instance capacity)",
-		Header: []string{"instances", "clients", "queries", "throughput (q/s)", "max instance share"},
+		Title:  "Routing policy × instances (bounded capacity, zipf query mix)",
+		Header: []string{"instances", "policy", "cache", "throughput (q/s)", "p95 (ms)", "hit rate", "max instance share"},
 	}
 	const clients = 8
 	const capacity = 2
 	const latency = 2 * time.Millisecond
 	total := s.Queries
 
-	for _, instances := range []int{1, 2, 4} {
-		sys := nimble.New(nimble.Config{Instances: instances})
+	runs := []e7Run{
+		{1, "least", false},
+		{2, "least", false},
+		{4, "least", false},
+		{4, "rr", false},
+		{4, "p2c", false},
+		{4, "rr", true},
+		{4, "affinity", true},
+	}
+	for _, run := range runs {
+		cfg := nimble.Config{
+			Instances:        run.instances,
+			RoutePolicy:      run.policy,
+			InstanceCapacity: capacity,
+		}
+		if run.perCache {
+			cfg.CacheEntries = 256
+			cfg.CachePerInstance = true
+		}
+		sys := nimble.New(cfg)
 		db := workload.CustomerDB("crm", s.Customers/2, 1, 9)
 		sim := sources.NewNetworkSim(sources.NewRelationalSource("crmdb", db), latency, 1.0, 9)
 		if err := sys.AddSource(sim); err != nil {
 			panic(err)
 		}
 		mustDefineCustomerSchema(sys)
-		sys.LoadBalancer().SetCapacity(capacity)
 
+		// Zipf-skewed repeats: the workload where affinity's warm caches
+		// pay off.
 		queries := workload.CityQueries(total, 0.9, 13)
 		var wg sync.WaitGroup
+		var mu sync.Mutex
+		durs := make([]time.Duration, 0, total)
 		work := make(chan string)
 		ctx := context.Background()
 		start := time.Now()
@@ -49,9 +83,13 @@ func E7LoadBalance(s Scale) *Table {
 			go func() {
 				defer wg.Done()
 				for q := range work {
+					qs := time.Now()
 					if _, err := sys.Query(ctx, q); err != nil {
 						panic(err)
 					}
+					mu.Lock()
+					durs = append(durs, time.Since(qs))
+					mu.Unlock()
 				}
 			}()
 		}
@@ -62,7 +100,7 @@ func E7LoadBalance(s Scale) *Table {
 		wg.Wait()
 		elapsed := time.Since(start)
 
-		loads := sys.LoadBalancer().Loads()
+		loads := sys.Cluster().Loads()
 		var sum, max int64
 		for _, l := range loads {
 			sum += l
@@ -74,12 +112,35 @@ func E7LoadBalance(s Scale) *Table {
 		if sum > 0 {
 			share = float64(max) / float64(sum)
 		}
-		t.AddRow(instances, clients, total,
+		cacheCol := "off"
+		hitCol := "-"
+		if run.perCache {
+			cacheCol = "per-inst"
+			hitCol = fmt.Sprintf("%.0f%%", sys.CacheStats().HitRate()*100)
+		}
+		t.AddRow(run.instances, run.policy, cacheCol,
 			float64(total)/elapsed.Seconds(),
+			float64(p95(durs).Microseconds())/1000,
+			hitCol,
 			fmt.Sprintf("%.0f%%", share*100))
 	}
 	t.Notes = append(t.Notes,
-		"per-instance capacity 2 concurrent queries; sources add 2 ms latency per fetch",
-		"max instance share near 1/instances shows the least-loaded dispatcher spreading work evenly")
+		"8 clients, per-instance capacity 2, 2 ms simulated source latency, zipf(0.9) city queries",
+		"cacheless rows: throughput scales with instances; max share near 1/instances shows even spread",
+		"cached rows: affinity pins each repeated query to its rendezvous owner, so its hit rate beats round-robin spreading the same keys over every cache")
 	return t
+}
+
+// p95 is the 95th-percentile duration.
+func p95(durs []time.Duration) time.Duration {
+	if len(durs) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), durs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := (len(sorted) * 95) / 100
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
 }

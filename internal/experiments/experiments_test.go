@@ -254,13 +254,28 @@ func TestE6Shape(t *testing.T) {
 
 func TestE7Shape(t *testing.T) {
 	tbl := E7LoadBalance(QuickScale())
-	if len(tbl.Rows) != 3 {
+	if len(tbl.Rows) != 7 {
 		t.Fatalf("rows = %d", len(tbl.Rows))
 	}
+	// Cacheless throughput scales with the fleet: 4 instances beat 1.
 	tp1 := cellF(t, tbl, 0, 3)
 	tp4 := cellF(t, tbl, 2, 3)
 	if tp4 <= tp1 {
 		t.Errorf("4 instances (%.0f q/s) should beat 1 (%.0f q/s)", tp4, tp1)
+	}
+	// Every policy row at 4 instances keeps load roughly spread: no
+	// instance takes the whole workload.
+	for row := 2; row <= 4; row++ {
+		if share := cell(tbl, row, 6); share == "100%" {
+			t.Errorf("policy %s sent everything to one instance:\n%s", cell(tbl, row, 1), tbl)
+		}
+	}
+	// With per-instance caches, cache-affinity's hit rate beats
+	// round-robin's on the same zipf workload.
+	rrHit := cellF(t, tbl, 5, 5)
+	affHit := cellF(t, tbl, 6, 5)
+	if affHit <= rrHit {
+		t.Errorf("affinity hit rate %.0f%% should beat round-robin %.0f%%:\n%s", affHit, rrHit, tbl)
 	}
 }
 

@@ -111,7 +111,7 @@ func F1Architecture(s Scale) *Table {
 	t.AddRow("dynamic cleaning", fmt.Sprintf("normalize_name() evaluated in-query over %d customers", len(res2.Values)))
 
 	// Load balancing.
-	loads := sys.LoadBalancer().Loads()
+	loads := sys.Cluster().Loads()
 	t.AddRow("load balancing", fmt.Sprintf("%d engine instances, per-instance queries %v", sys.Instances(), loads))
 	return t
 }

@@ -18,6 +18,17 @@ import (
 	"repro/internal/xmldm"
 )
 
+// Key canonicalizes query text into a stable cache key: whitespace
+// runs collapse to single spaces, so differently formatted spellings of
+// one query agree. The cluster front end hashes this same key for
+// cache-affinity routing, which is what makes "route repeats to the
+// instance whose cache is warm" line up with what the cache actually
+// stores — the two layers must agree on the key or affinity wins
+// nothing.
+func Key(query string) string {
+	return strings.Join(strings.Fields(query), " ")
+}
+
 // Result is a cached query answer.
 type Result struct {
 	Values  []xmldm.Value

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/catalog"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/lens"
 	"repro/internal/matview"
@@ -51,7 +52,7 @@ func newObsServer(t testing.TB) (*Server, *httptest.Server, *obs.Registry, *obs.
 	views := matview.NewManager(e1)
 	views.SetMetrics(reg)
 	srv := &Server{
-		Balancer:   NewBalancer(RoundRobin, e1, e2),
+		Cluster:    cluster.New(cluster.Config{Policy: cluster.RoundRobin, Metrics: reg}, e1, e2),
 		Lenses:     lens.NewRegistry(),
 		Cache:      cache,
 		Views:      views,
@@ -107,8 +108,8 @@ func TestMetricsEndpoint(t *testing.T) {
 		"nimble_qcache_misses_total 1",
 		"nimble_matview_refresh_total 1",
 		`nimble_matview_staleness_seconds{schema="customers"}`,
-		`nimble_balancer_inflight{instance="0"} 0`,
-		`nimble_balancer_inflight{instance="1"} 0`,
+		`nimble_cluster_inflight{instance="0"} 0`,
+		`nimble_cluster_inflight{instance="1"} 0`,
 		`nimble_http_requests_total{endpoint="query"} 2`,
 		`nimble_http_request_seconds_count{endpoint="query"} 2`,
 	} {
@@ -223,8 +224,7 @@ func TestSetCapacityBlocksExcessQueries(t *testing.T) {
 	}
 	e := core.New(cat)
 	e.SetMetrics(obs.NewRegistry())
-	b := NewBalancer(RoundRobin, e)
-	b.SetCapacity(1)
+	b := cluster.New(cluster.Config{Policy: cluster.RoundRobin, Capacity: 1}, e)
 	q := `WHERE <a>$x</a> IN "s" CONSTRUCT <r>$x</r>`
 
 	done1 := make(chan error, 1)
@@ -284,7 +284,7 @@ func TestSetCapacityBlocksExcessQueries(t *testing.T) {
 // coverage (run under -race via `make check`).
 func TestConcurrentQueriesUnderCapacity(t *testing.T) {
 	srv, ts, reg, _ := newObsServer(t)
-	srv.Balancer.SetCapacity(2)
+	srv.Cluster.SetCapacity(2)
 	var wg sync.WaitGroup
 	for i := 0; i < 16; i++ {
 		wg.Add(1)

@@ -3,24 +3,28 @@
 // applications that want the integration engine directly, the lens layer
 // with device-targeted formatting, and the management endpoints
 // (materialization, refresh, statistics) that let administrators "set
-// up, monitor, and understand, the system" (§4). Load balancing across
-// engine instances matches §2.1: "multiple instances of the integration
-// engine can be run simultaneously".
+// up, monitor, and understand, the system" (§4). Dispatch across engine
+// instances (§2.1: "multiple instances of the integration engine can be
+// run simultaneously") is delegated entirely to the internal/cluster
+// front end: routing policy, health ejection, admission control with
+// deadline-aware shedding (surfaced here as 503 + Retry-After), and
+// graceful drain (the /admin/drain endpoint).
 package server
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"sort"
 	"strconv"
 	"strings"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/catalog"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/lens"
@@ -32,111 +36,13 @@ import (
 	"repro/internal/xmlql"
 )
 
-// BalanceMode selects the dispatch policy.
-type BalanceMode int
-
-const (
-	// RoundRobin cycles through instances.
-	RoundRobin BalanceMode = iota
-	// LeastLoaded picks the instance with the fewest in-flight queries.
-	LeastLoaded
-)
-
-// Balancer dispatches work across engine instances.
-type Balancer struct {
-	engines  []*core.Engine
-	mode     BalanceMode
-	next     atomic.Uint64
-	inflight []atomic.Int64
-	slots    []chan struct{} // per-instance capacity, nil when unbounded
-}
-
-// NewBalancer creates a balancer over the instances.
-func NewBalancer(mode BalanceMode, engines ...*core.Engine) *Balancer {
-	return &Balancer{
-		engines:  engines,
-		mode:     mode,
-		inflight: make([]atomic.Int64, len(engines)),
-	}
-}
-
-// SetCapacity bounds each instance to n concurrent queries (the per-
-// process capacity a real deployment has); excess callers block until a
-// slot frees. n <= 0 removes the bound. Not safe to call concurrently
-// with Query.
-func (b *Balancer) SetCapacity(n int) {
-	if n <= 0 {
-		b.slots = nil
-		return
-	}
-	b.slots = make([]chan struct{}, len(b.engines))
-	for i := range b.slots {
-		b.slots[i] = make(chan struct{}, n)
-	}
-}
-
-// Pick selects an instance index per the policy.
-func (b *Balancer) Pick() int {
-	switch b.mode {
-	case LeastLoaded:
-		best := 0
-		bestLoad := b.inflight[0].Load()
-		for i := 1; i < len(b.engines); i++ {
-			if l := b.inflight[i].Load(); l < bestLoad {
-				best, bestLoad = i, l
-			}
-		}
-		return best
-	default:
-		return int(b.next.Add(1)-1) % len(b.engines)
-	}
-}
-
-// Query dispatches one query to a chosen instance, waiting for a
-// capacity slot when the instance is bounded.
-func (b *Balancer) Query(ctx context.Context, src string) (*core.Result, error) {
-	return b.QueryOpt(ctx, src, core.QueryOptions{})
-}
-
-// QueryOpt is Query with per-query options (the profile path).
-func (b *Balancer) QueryOpt(ctx context.Context, src string, qo core.QueryOptions) (*core.Result, error) {
-	i := b.Pick()
-	if b.slots != nil {
-		select {
-		case b.slots[i] <- struct{}{}:
-			defer func() { <-b.slots[i] }()
-		case <-ctx.Done():
-			return nil, ctx.Err()
-		}
-	}
-	b.inflight[i].Add(1)
-	defer b.inflight[i].Add(-1)
-	return b.engines[i].QueryOpt(ctx, src, qo)
-}
-
-// InFlight reports instance i's currently executing queries (the
-// balancer in-flight gauge).
-func (b *Balancer) InFlight(i int) int64 { return b.inflight[i].Load() }
-
-// Loads reports per-instance completed query counts.
-func (b *Balancer) Loads() []int64 {
-	out := make([]int64, len(b.engines))
-	for i, e := range b.engines {
-		out[i] = e.QueriesRun()
-	}
-	return out
-}
-
-// Instances returns the number of engine instances.
-func (b *Balancer) Instances() int { return len(b.engines) }
-
-// Server wires the balancer, lenses, cache, and materialized store into
-// an http.Handler.
+// Server wires the cluster front end, lenses, cache, and materialized
+// store into an http.Handler.
 type Server struct {
-	Balancer *Balancer
-	Lenses   *lens.Registry
-	Cache    *qcache.Cache    // optional
-	Views    *matview.Manager // optional
+	Cluster *cluster.Cluster
+	Lenses  *lens.Registry
+	Cache   *qcache.Cache    // optional shared front cache (nil when per-instance caches are in use)
+	Views   *matview.Manager // optional
 	// AdminToken guards the admin endpoints when non-empty.
 	AdminToken string
 	// Metrics is the registry behind /metrics and the per-endpoint
@@ -163,16 +69,10 @@ func (s *Server) registry() *obs.Registry {
 }
 
 // Handler builds the HTTP routing table. Every endpoint is wrapped with
-// request-count and latency instrumentation, and the balancer's
-// per-instance in-flight gauges are registered.
+// request-count and latency instrumentation. (Per-instance in-flight
+// gauges — nimble_cluster_inflight — are registered by the cluster
+// itself when it is built with a metrics registry.)
 func (s *Server) Handler() http.Handler {
-	reg := s.registry()
-	for i := 0; i < s.Balancer.Instances(); i++ {
-		b, i := s.Balancer, i
-		reg.GaugeFunc("nimble_balancer_inflight",
-			func() float64 { return float64(b.InFlight(i)) },
-			"instance", strconv.Itoa(i))
-	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.instrument("query", s.handleQuery))
 	mux.HandleFunc("/lenses", s.instrument("lenses", s.handleLensList))
@@ -183,6 +83,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/debug/trace/last", s.instrument("trace", s.handleTraceLast))
 	mux.HandleFunc("/debug/queries", s.instrument("debug_queries", s.handleDebugQueries))
 	mux.HandleFunc("/debug/slowlog", s.instrument("slowlog", s.handleSlowLog))
+	mux.HandleFunc("/debug/cluster", s.instrument("debug_cluster", s.handleDebugCluster))
+	mux.HandleFunc("/admin/drain", s.instrument("admin", s.adminOnly(s.handleDrain)))
 	mux.HandleFunc("/admin/materialize", s.instrument("admin", s.adminOnly(s.handleMaterialize)))
 	mux.HandleFunc("/admin/refresh", s.instrument("admin", s.adminOnly(s.handleRefresh)))
 	mux.HandleFunc("/admin/schema", s.instrument("admin", s.adminOnly(s.handleDefineSchema)))
@@ -251,6 +153,57 @@ func (s *Server) handleDebugQueries(w http.ResponseWriter, _ *http.Request) {
 	}{active, slow, s.Breakers.States()})
 }
 
+// handleDebugCluster serves the cluster inspector: per-instance health
+// state, outstanding queries, probe failures, cache effectiveness, and
+// breaker positions, plus the admission queue and shed counters.
+func (s *Server) handleDebugCluster(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.Cluster.Status())
+}
+
+// handleDrain gracefully drains an instance: stop routing to it, wait
+// for its in-flight queries (bounded by ?timeout=, default 30s), then
+// remove it from the registry. POST /admin/drain?instance=N&token=...
+func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST /admin/drain?instance=N", http.StatusMethodNotAllowed)
+		return
+	}
+	i, err := strconv.Atoi(r.URL.Query().Get("instance"))
+	if err != nil || i < 0 || i >= s.Cluster.Instances() {
+		http.Error(w, "instance parameter must name a registered instance", http.StatusBadRequest)
+		return
+	}
+	timeout := 30 * time.Second
+	if t := r.URL.Query().Get("timeout"); t != "" {
+		d, err := time.ParseDuration(t)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		timeout = d
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	if err := s.Cluster.Drain(ctx, i); err != nil {
+		http.Error(w, fmt.Sprintf("drain of instance %d did not finish: %v", i, err), http.StatusGatewayTimeout)
+		return
+	}
+	fmt.Fprintf(w, "instance %d drained\n", i)
+}
+
+// writeQueryError maps a dispatch error onto the right status: shed
+// queries become 503 with a Retry-After hint, everything else 400.
+func writeQueryError(w http.ResponseWriter, err error) {
+	var oe *cluster.OverloadError
+	if errors.As(err, &oe) {
+		w.Header().Set("Retry-After", strconv.Itoa(oe.RetryAfterSeconds()))
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	http.Error(w, err.Error(), http.StatusBadRequest)
+}
+
 // handleSlowLog serves the retained slow-query entries (slowest first,
 // each with its rendered EXPLAIN ANALYZE plan) as JSON.
 func (s *Server) handleSlowLog(w http.ResponseWriter, _ *http.Request) {
@@ -301,7 +254,7 @@ func (s *Server) handleDefineSchema(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	cat := s.Balancer.engines[0].Catalog()
+	cat := s.Cluster.Engine(0).Catalog()
 	if err := cat.DefineViewQLChecked(name, string(body)); err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -354,9 +307,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	profile, explain := flag("profile"), flag("explain")
 	var doc *xmldm.Node
 	if profile || explain {
-		res, err := s.Balancer.QueryOpt(r.Context(), q, core.QueryOptions{Profile: profile, Explain: explain})
+		res, err := s.Cluster.QueryOpt(r.Context(), q, core.QueryOptions{Profile: profile, Explain: explain})
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			writeQueryError(w, err)
 			return
 		}
 		doc = res.Document()
@@ -380,7 +333,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		var err error
 		doc, err = s.runQuery(r.Context(), q)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			writeQueryError(w, err)
 			return
 		}
 	}
@@ -411,7 +364,7 @@ func (s *Server) runQuery(ctx context.Context, q string) (*xmldm.Node, error) {
 			return res.Document(), nil
 		}
 	}
-	res, err := s.Balancer.Query(ctx, q)
+	res, err := s.Cluster.Query(ctx, q)
 	if err != nil {
 		return nil, err
 	}
@@ -473,7 +426,7 @@ func (s *Server) handleLens(w http.ResponseWriter, r *http.Request) {
 	for _, q := range queries {
 		doc, err := s.runQuery(r.Context(), q)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			writeQueryError(w, err)
 			return
 		}
 		if v, ok := doc.Attr("complete"); ok && v == "false" {
@@ -502,7 +455,7 @@ func (s *Server) handleLens(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleCatalog(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/xml")
-	cat := s.Balancer.engines[0].Catalog()
+	cat := s.Cluster.Engine(0).Catalog()
 	root := &xmldm.Node{Name: "catalog"}
 	for _, n := range cat.SourceNames() {
 		c := &xmldm.Node{Name: "source", Parent: root, Children: []xmldm.Value{xmldm.String(n)}}
@@ -518,7 +471,7 @@ func (s *Server) handleCatalog(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain")
-	for i, n := range s.Balancer.Loads() {
+	for i, n := range s.Cluster.Loads() {
 		fmt.Fprintf(w, "engine[%d] queries=%d\n", i, n)
 	}
 	if s.Cache != nil {

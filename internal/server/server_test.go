@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -13,6 +14,7 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/chaos"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/lens"
@@ -78,7 +80,7 @@ func newTestServer(t testing.TB) (*Server, *httptest.Server) {
 		t.Fatal(err)
 	}
 	srv := &Server{
-		Balancer:   NewBalancer(RoundRobin, e1, e2),
+		Cluster:    cluster.New(cluster.Config{Policy: cluster.RoundRobin}, e1, e2),
 		Lenses:     reg,
 		Cache:      qcache.New(16, 0),
 		Views:      matview.NewManager(e1),
@@ -293,14 +295,14 @@ func TestAdminDefineSchema(t *testing.T) {
 	}
 }
 
-func TestBalancerRoundRobinSpreadsLoad(t *testing.T) {
+func TestClusterRoundRobinSpreadsLoad(t *testing.T) {
 	srv, ts := newTestServer(t)
 	// Distinct queries so the cache does not absorb them.
 	for i := 0; i < 10; i++ {
 		q := fmt.Sprintf(`WHERE <customer><id>$i</id><name>$n</name></customer> IN "crmdb", $i >= %d CONSTRUCT <r>$n</r>`, i%5)
 		post(t, ts.URL+"/query", q)
 	}
-	loads := srv.Balancer.Loads()
+	loads := srv.Cluster.Loads()
 	// The materialize manager runs on engine 1 too; just require both
 	// engines saw work.
 	if loads[0] == 0 || loads[1] == 0 {
@@ -308,31 +310,125 @@ func TestBalancerRoundRobinSpreadsLoad(t *testing.T) {
 	}
 }
 
-func TestBalancerLeastLoaded(t *testing.T) {
+func TestClusterConcurrentDispatch(t *testing.T) {
 	cat := catalog.New()
 	src, _ := sources.NewXMLSource("s", `<d><a>1</a></d>`)
 	cat.AddSource(src)
 	e1, e2 := core.New(cat), core.New(cat)
-	b := NewBalancer(LeastLoaded, e1, e2)
-	// Simulate one instance busy.
-	b.inflight[0].Store(5)
-	if b.Pick() != 1 {
-		t.Error("least-loaded should pick the idle instance")
-	}
-	b.inflight[1].Store(9)
-	if b.Pick() != 0 {
-		t.Error("least-loaded should flip back")
-	}
+	c := cluster.New(cluster.Config{Policy: cluster.LeastOutstanding}, e1, e2)
 	var wg sync.WaitGroup
 	for i := 0; i < 8; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			b.Query(context.Background(), `WHERE <a>$x</a> IN "s" CONSTRUCT <r>$x</r>`)
+			c.Query(context.Background(), `WHERE <a>$x</a> IN "s" CONSTRUCT <r>$x</r>`)
 		}()
 	}
 	wg.Wait()
-	if b.Instances() != 2 {
+	if c.Instances() != 2 {
 		t.Error("instances")
+	}
+	if got := e1.QueriesRun() + e2.QueriesRun(); got != 8 {
+		t.Errorf("queries run = %d", got)
+	}
+}
+
+// TestShedReturns503RetryAfter: when admission control sheds a query,
+// the HTTP layer answers 503 with a Retry-After hint rather than a
+// generic 400.
+func TestShedReturns503RetryAfter(t *testing.T) {
+	cat := catalog.New()
+	gate := make(chan struct{})
+	if err := cat.AddSource(&gatedSource{name: "s", gate: gate}); err != nil {
+		t.Fatal(err)
+	}
+	e := core.New(cat)
+	srv := &Server{
+		Cluster: cluster.New(cluster.Config{Policy: cluster.RoundRobin, Capacity: 1, QueueLimit: 1}, e),
+		Lenses:  lens.NewRegistry(),
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	q := `WHERE <a>$x</a> IN "s" CONSTRUCT <r>$x</r>`
+
+	// One query holds the only slot, a second fills the queue.
+	results := make(chan int, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			resp, err := http.Post(ts.URL+"/query", "text/plain", strings.NewReader(q))
+			if err != nil {
+				results <- -1
+				return
+			}
+			resp.Body.Close()
+			results <- resp.StatusCode
+		}()
+		deadline := time.Now().Add(2 * time.Second)
+		for srv.Cluster.InFlight(0) != 1 || srv.Cluster.Queued() != i {
+			if time.Now().After(deadline) {
+				t.Fatalf("setup stalled: inflight=%d queued=%d", srv.Cluster.InFlight(0), srv.Cluster.Queued())
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// The third is shed.
+	resp, err := http.Post(ts.URL+"/query", "text/plain", strings.NewReader(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("shed code = %d, body %s", resp.StatusCode, body)
+	}
+	ra := resp.Header.Get("Retry-After")
+	if n, err := strconv.Atoi(ra); err != nil || n < 1 {
+		t.Errorf("Retry-After = %q, want integer >= 1", ra)
+	}
+	if !strings.Contains(string(body), "overloaded") {
+		t.Errorf("shed body = %q", body)
+	}
+
+	close(gate)
+	for i := 0; i < 2; i++ {
+		if code := <-results; code != http.StatusOK {
+			t.Errorf("held query code = %d", code)
+		}
+	}
+}
+
+func TestDebugClusterEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	post(t, ts.URL+"/query", `WHERE <cust><who>$w</who></cust> IN "customers" CONSTRUCT <r>$w</r>`)
+	code, body := get(t, ts.URL+"/debug/cluster")
+	if code != http.StatusOK {
+		t.Fatalf("code = %d", code)
+	}
+	for _, want := range []string{`"policy":"round-robin"`, `"state":"healthy"`, `"instances"`} {
+		if !strings.Contains(body, want) {
+			t.Errorf("missing %s in %s", want, body)
+		}
+	}
+}
+
+func TestAdminDrainEndpoint(t *testing.T) {
+	srv, ts := newTestServer(t)
+	if code, _ := post(t, ts.URL+"/admin/drain?instance=1&token=admin", ""); code != http.StatusOK {
+		t.Fatalf("drain code = %d", code)
+	}
+	st := srv.Cluster.Status()
+	if st.Instances[1].State != "removed" {
+		t.Errorf("instance 1 state = %q after drain", st.Instances[1].State)
+	}
+	// Queries keep working on the remaining instance.
+	if code, _ := post(t, ts.URL+"/query", `WHERE <cust><who>$w</who></cust> IN "customers" CONSTRUCT <r>$w</r>`); code != http.StatusOK {
+		t.Errorf("query after drain = %d", code)
+	}
+	if code, _ := post(t, ts.URL+"/admin/drain?instance=9&token=admin", ""); code != http.StatusBadRequest {
+		t.Errorf("bad instance code = %d", code)
+	}
+	if code, _ := post(t, ts.URL+"/admin/drain?instance=0", ""); code != http.StatusForbidden {
+		t.Errorf("tokenless drain code = %d", code)
 	}
 }

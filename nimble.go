@@ -36,6 +36,7 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/clean"
+	"repro/internal/cluster"
 	"repro/internal/concord"
 	"repro/internal/core"
 	"repro/internal/exec"
@@ -110,8 +111,8 @@ func NewDatabase(name string) *Database { return rdb.NewDatabase(name) }
 
 // Config tunes a System.
 type Config struct {
-	// Instances is the number of engine instances behind the load
-	// balancer (default 1).
+	// Instances is the number of engine instances behind the cluster
+	// front end (default 1).
 	Instances int
 	// CacheEntries sizes the query-result cache (0 disables caching).
 	CacheEntries int
@@ -155,6 +156,35 @@ type Config struct {
 	// BreakerCooldown is how long an open breaker waits before letting
 	// one half-open probe through (0 = 5s default).
 	BreakerCooldown time.Duration
+	// RoutePolicy selects the cluster routing policy: "least" (default),
+	// "rr", "p2c", or "affinity" (see internal/cluster.ParsePolicy).
+	RoutePolicy string
+	// InstanceCapacity caps concurrent queries per engine instance
+	// (0 = unbounded).
+	InstanceCapacity int
+	// AdmissionQueue bounds the cluster's global wait queue once every
+	// instance is saturated; excess callers are shed with 503 +
+	// Retry-After, as are callers whose deadline would expire while
+	// queued (0 = unbounded queue, deadline shedding still applies when
+	// instances are capped).
+	AdmissionQueue int
+	// CachePerInstance gives each instance its own result cache of
+	// CacheEntries entries (instead of one shared front cache), the
+	// layout the cache-affinity policy targets: repeated queries
+	// rendezvous-hash to the instance whose cache is warm.
+	CachePerInstance bool
+	// HealthProbe is a canary query probed against each instance; an
+	// error or incomplete answer counts toward ejecting the instance
+	// from rotation (empty disables health probing).
+	HealthProbe string
+	// ProbeInterval spaces health probes (0 = 2s default).
+	ProbeInterval time.Duration
+	// EjectAfter is the consecutive probe failures that eject an
+	// instance (0 = 3 default).
+	EjectAfter int
+	// ReadmitAfter is the cooldown before an ejected instance is probed
+	// half-open for readmission (0 = 10s default).
+	ReadmitAfter time.Duration
 }
 
 // Result is a query answer.
@@ -191,7 +221,7 @@ func (r *Result) doc() *Node {
 type System struct {
 	cat      *catalog.Catalog
 	engines  []*core.Engine
-	balancer *server.Balancer
+	cluster  *cluster.Cluster
 	cache    *qcache.Cache
 	views    *matview.Manager
 	lenses   *lens.Registry
@@ -247,6 +277,7 @@ func New(cfg Config) *System {
 	}
 	for i := 0; i < cfg.Instances; i++ {
 		e := core.New(cat)
+		e.SetID(fmt.Sprintf("engine-%d", i))
 		if cfg.FailOnUnavailable {
 			e.SetPolicy(exec.PolicyFail)
 		}
@@ -259,10 +290,41 @@ func New(cfg Config) *System {
 		e.SetResilience(res, s.breakers, nil)
 		s.engines = append(s.engines, e)
 	}
-	s.balancer = server.NewBalancer(server.LeastLoaded, s.engines...)
+	policy, err := cluster.ParsePolicy(cfg.RoutePolicy)
+	if err != nil {
+		panic(err) // Config is programmer input; fail loudly, like a bad template
+	}
+	s.cluster = cluster.New(cluster.Config{
+		Policy:        policy,
+		Capacity:      cfg.InstanceCapacity,
+		QueueLimit:    cfg.AdmissionQueue,
+		ProbeInterval: cfg.ProbeInterval,
+		EjectAfter:    cfg.EjectAfter,
+		ReadmitAfter:  cfg.ReadmitAfter,
+		Metrics:       reg,
+	}, s.engines...)
 	if cfg.CacheEntries > 0 {
-		s.cache = qcache.New(cfg.CacheEntries, cfg.CacheTTL)
-		s.cache.SetMetrics(reg)
+		if cfg.CachePerInstance {
+			// Per-instance caches, routed by affinity; no shared front
+			// cache on top (one entry would mask every instance).
+			for i := range s.engines {
+				pc := qcache.New(cfg.CacheEntries, cfg.CacheTTL)
+				s.cluster.SetCache(i, pc)
+			}
+		} else {
+			s.cache = qcache.New(cfg.CacheEntries, cfg.CacheTTL)
+			s.cache.SetMetrics(reg)
+		}
+	}
+	if cfg.HealthProbe != "" {
+		for i, e := range s.engines {
+			s.cluster.SetProbe(i, cluster.QueryProbe(e, cfg.HealthProbe))
+		}
+	}
+	if s.breakers != nil {
+		for i := range s.engines {
+			s.cluster.SetBreakers(i, s.breakers)
+		}
 	}
 	// The materialized store lives on the first instance's engine but
 	// serves all instances through the shared catalog? No — each engine
@@ -377,7 +439,7 @@ func (s *System) DefineSchema(name, viewQL string) error {
 	return s.cat.DefineViewQLChecked(name, viewQL)
 }
 
-// Query runs an XML-QL query through the load balancer and cache.
+// Query runs an XML-QL query through the cluster front end and cache.
 func (s *System) Query(ctx context.Context, q string) (*Result, error) {
 	q = strings.TrimSpace(q)
 	if s.cache != nil {
@@ -386,7 +448,7 @@ func (s *System) Query(ctx context.Context, q string) (*Result, error) {
 				Completeness: Completeness{Complete: true}}, nil
 		}
 	}
-	cr, err := s.balancer.Query(ctx, q)
+	cr, err := s.cluster.Query(ctx, q)
 	if err != nil {
 		return nil, err
 	}
@@ -533,7 +595,7 @@ func (s *System) RunCleaningFlow(f *Flow, records []Record, oracle clean.Oracle,
 // stats, admin).
 func (s *System) HTTPHandler(adminToken string) http.Handler {
 	srv := &server.Server{
-		Balancer:   s.balancer,
+		Cluster:    s.cluster,
 		Lenses:     s.lenses,
 		Cache:      s.cache,
 		Views:      s.views,
@@ -598,11 +660,12 @@ func (s *System) setResilience(res exec.Resilience, breakers *exec.BreakerSet, c
 	}
 }
 
-// CacheStats reports query-cache effectiveness (zero value when caching
-// is disabled).
+// CacheStats reports query-cache effectiveness: the shared front cache,
+// or the aggregate over per-instance caches under Config.CachePerInstance
+// (zero value when caching is disabled).
 func (s *System) CacheStats() qcache.Stats {
 	if s.cache == nil {
-		return qcache.Stats{}
+		return s.cluster.CacheStats()
 	}
 	return s.cache.Stats()
 }
@@ -616,8 +679,22 @@ func (s *System) Schemas() []string { return s.cat.SchemaNames() }
 // Engine exposes instance i (experiments need per-instance control).
 func (s *System) Engine(i int) *core.Engine { return s.engines[i] }
 
+// Cluster exposes the health-aware dispatch layer: routing policy,
+// capacity control, admission queue, health probing, graceful drain,
+// and the /debug/cluster snapshot.
+func (s *System) Cluster() *cluster.Cluster { return s.cluster }
+
 // LoadBalancer exposes the dispatch layer (capacity control, loads).
-func (s *System) LoadBalancer() *server.Balancer { return s.balancer }
+//
+// Deprecated: the in-process balancer grew into the cluster front end;
+// use Cluster. Kept because the dispatch layer is still the same object.
+func (s *System) LoadBalancer() *cluster.Cluster { return s.cluster }
+
+// StartHealthProbes launches background health probing of every
+// instance (no-op unless Config.HealthProbe set probes) until ctx is
+// done. Daemons call this after their sources are registered so the
+// canary query has something to answer from.
+func (s *System) StartHealthProbes(ctx context.Context) { s.cluster.StartProbing(ctx) }
 
 // Views exposes the materialized-view manager (refresh modes, TTL).
 func (s *System) Views() *matview.Manager { return s.views }
