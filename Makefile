@@ -21,7 +21,8 @@ vet:
 
 # lint runs nimble-lint, the repo's own invariant checkers (span
 # lifecycle, operator close discipline, ctx-before-fanout, guarded-by
-# annotations). See internal/analysis and `go run ./cmd/nimble-lint -list`.
+# annotations, lock-order cycles, admission-slot leaks, SQL taint).
+# See internal/analysis and `go run ./cmd/nimble-lint -list`.
 lint:
 	$(GO) run ./cmd/nimble-lint ./...
 

@@ -10,27 +10,47 @@
 //	-list          print the analyzer roster and exit
 //	-only a,b      run only the named analyzers
 //	-show-ignored  also print suppressed findings (marked [suppressed])
+//	-json          print findings as a JSON array on stdout
 //
 // Patterns default to ./... . Findings are silenced per site with
 //
 //	//lint:ignore <analyzer>[,<analyzer>...] <reason>
 //
-// on the flagged line or the line directly above it.
+// on the flagged line or the line directly above it. Directives naming
+// analyzers that do not exist are themselves findings: a typo in a
+// directive must not silently stop suppressing.
+//
+// All targets run inside one analysis.Session, so suite-level analyzers
+// (lockorder's lock-acquisition graph) see the whole program, not one
+// package at a time.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"repro/internal/analysis"
 )
 
+// finding is the JSON shape of one diagnostic.
+type finding struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed,omitempty"`
+}
+
 func main() {
 	listFlag := flag.Bool("list", false, "print the analyzer roster and exit")
 	onlyFlag := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
 	showIgnored := flag.Bool("show-ignored", false, "also print suppressed findings")
+	jsonFlag := flag.Bool("json", false, "print findings as JSON")
 	flag.Parse()
 
 	if *listFlag {
@@ -70,24 +90,75 @@ func main() {
 		os.Exit(2)
 	}
 
-	found := 0
+	// Per-target passes accumulate into one session; suite-level Finish
+	// hooks run once over everything the session saw.
+	session := analysis.NewSession(loader.Fset)
+	var kept, suppressed []analysis.Diagnostic
 	for _, target := range targets {
-		diags, err := analysis.Run(target, analyzers)
+		diags, err := session.RunTarget(target, analyzers)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "nimble-lint: %s: %v\n", target.Path, err)
 			os.Exit(2)
 		}
-		kept, suppressed := analysis.Filter(target.Fset, target.Files, diags)
-		for _, d := range kept {
-			fmt.Printf("%s: %s: %s\n", target.Fset.Position(d.Pos), d.Analyzer, d.Message)
-			found++
+		k, s := analysis.Filter(target.Fset, target.Files, diags)
+		kept = append(kept, k...)
+		suppressed = append(suppressed, s...)
+	}
+	k, s := analysis.Filter(loader.Fset, session.Files(), session.FinishAll(analyzers))
+	kept = append(kept, k...)
+	suppressed = append(suppressed, s...)
+
+	// Malformed suppressions are findings too (never self-suppressible:
+	// they pass through no Filter call).
+	kept = append(kept, analysis.CheckDirectives(loader.Fset, session.Files())...)
+
+	emit := func(ds []analysis.Diagnostic, sup bool) []finding {
+		out := make([]finding, 0, len(ds))
+		for _, d := range ds {
+			p := loader.Fset.Position(d.Pos)
+			out = append(out, finding{
+				File: p.Filename, Line: p.Line, Col: p.Column,
+				Analyzer: d.Analyzer, Message: d.Message, Suppressed: sup,
+			})
 		}
-		if *showIgnored {
-			for _, d := range suppressed {
-				fmt.Printf("%s: %s: %s [suppressed]\n", target.Fset.Position(d.Pos), d.Analyzer, d.Message)
+		return out
+	}
+	all := emit(kept, false)
+	if *showIgnored || *jsonFlag {
+		all = append(all, emit(suppressed, true)...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+
+	if *jsonFlag {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(all); err != nil {
+			fmt.Fprintf(os.Stderr, "nimble-lint: encoding findings: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range all {
+			mark := ""
+			if f.Suppressed {
+				mark = " [suppressed]"
 			}
+			fmt.Printf("%s:%d:%d: %s: %s%s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message, mark)
 		}
 	}
+
+	found := len(kept)
 	if found > 0 {
 		fmt.Fprintf(os.Stderr, "nimble-lint: %d finding(s) in %d package(s)\n", found, len(targets))
 		os.Exit(1)

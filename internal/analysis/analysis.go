@@ -42,6 +42,11 @@ type Analyzer struct {
 	Doc string
 	// Run reports violations on the pass via Pass.Reportf.
 	Run func(*Pass) error
+	// Finish, when set, runs once after every target in a Session has
+	// been analyzed and reports suite-level diagnostics — conclusions
+	// that need facts from more than one package, like lockorder's
+	// lock-acquisition graph.
+	Finish func(*Session) []Diagnostic
 }
 
 // Pass carries one package's syntax and types through one analyzer.
@@ -51,8 +56,77 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Session is the suite run this pass belongs to (never nil); Run
+	// hooks use it to accumulate cross-package state for Finish.
+	Session *Session
 
 	diags []Diagnostic
+}
+
+// Session accumulates state across every target analyzed in one
+// nimble-lint invocation so Finish hooks can draw whole-program
+// conclusions.
+type Session struct {
+	Fset  *token.FileSet
+	files []*ast.File
+
+	state map[*Analyzer]any
+}
+
+// NewSession starts a suite run over targets sharing fset.
+func NewSession(fset *token.FileSet) *Session {
+	return &Session{Fset: fset, state: make(map[*Analyzer]any)}
+}
+
+// Files returns every file analyzed so far, for suite-level suppression
+// filtering.
+func (s *Session) Files() []*ast.File { return s.files }
+
+// State returns the accumulator for a, creating it with mk on first use.
+func (s *Session) State(a *Analyzer, mk func() any) any {
+	v, ok := s.state[a]
+	if !ok {
+		v = mk()
+		s.state[a] = v
+	}
+	return v
+}
+
+// RunTarget executes the analyzers over one loaded package, returning
+// that package's diagnostics sorted by position (suppression directives
+// are NOT applied here; see Filter).
+func (s *Session) RunTarget(t *Target, analyzers []*Analyzer) ([]Diagnostic, error) {
+	s.files = append(s.files, t.Files...)
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      t.Fset,
+			Files:     t.Files,
+			Pkg:       t.Pkg,
+			TypesInfo: t.Info,
+			Session:   s,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %v", a.Name, err)
+		}
+		out = append(out, pass.diags...)
+	}
+	sortDiags(out)
+	return out, nil
+}
+
+// FinishAll runs every Finish hook and returns the suite-level
+// diagnostics, sorted.
+func (s *Session) FinishAll(analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, a := range analyzers {
+		if a.Finish != nil {
+			out = append(out, a.Finish(s)...)
+		}
+	}
+	sortDiags(out)
+	return out
 }
 
 // Diagnostic is one reported violation.
@@ -73,7 +147,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // Analyzers returns the full suite in stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{SpanFinish, OpClose, CtxBefore, GuardedBy}
+	return []*Analyzer{SpanFinish, OpClose, CtxBefore, GuardedBy, LockOrder, SlotLeak, SQLSafe}
 }
 
 // ByName returns the named analyzer, or nil.
@@ -86,29 +160,30 @@ func ByName(name string) *Analyzer {
 	return nil
 }
 
-// Run executes the analyzers over one loaded package and returns the
-// raw diagnostics sorted by position (suppression directives are NOT
-// applied here; see Filter).
+// Run executes the analyzers over one loaded package — including any
+// Finish hooks, scoped to just this target — and returns the raw
+// diagnostics sorted by position (suppression directives are NOT
+// applied here; see Filter). Multi-target callers should drive a
+// Session directly so Finish sees the whole program.
 func Run(t *Target, analyzers []*Analyzer) ([]Diagnostic, error) {
-	var out []Diagnostic
-	for _, a := range analyzers {
-		pass := &Pass{
-			Analyzer:  a,
-			Fset:      t.Fset,
-			Files:     t.Files,
-			Pkg:       t.Pkg,
-			TypesInfo: t.Info,
-		}
-		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("%s: %v", a.Name, err)
-		}
-		out = append(out, pass.diags...)
+	s := NewSession(t.Fset)
+	out, err := s.RunTarget(t, analyzers)
+	if err != nil {
+		return nil, err
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Pos != out[j].Pos {
-			return out[i].Pos < out[j].Pos
-		}
-		return out[i].Analyzer < out[j].Analyzer
-	})
+	out = append(out, s.FinishAll(analyzers)...)
+	sortDiags(out)
 	return out, nil
+}
+
+func sortDiags(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		if ds[i].Pos != ds[j].Pos {
+			return ds[i].Pos < ds[j].Pos
+		}
+		if ds[i].Analyzer != ds[j].Analyzer {
+			return ds[i].Analyzer < ds[j].Analyzer
+		}
+		return ds[i].Message < ds[j].Message
+	})
 }

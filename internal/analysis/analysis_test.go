@@ -24,6 +24,18 @@ func TestGuardedBy(t *testing.T) {
 	atest.Run(t, "testdata/src/guardedby", analysis.GuardedBy)
 }
 
+func TestLockOrder(t *testing.T) {
+	atest.Run(t, "testdata/src/lockorder", analysis.LockOrder)
+}
+
+func TestSlotLeak(t *testing.T) {
+	atest.Run(t, "testdata/src/slotleak", analysis.SlotLeak)
+}
+
+func TestSQLSafe(t *testing.T) {
+	atest.Run(t, "testdata/src/sqlsafe", analysis.SQLSafe)
+}
+
 // TestSuppression checks the //lint:ignore directive end to end: the
 // corpus provokes two identical spanfinish findings, one under a
 // well-formed directive (suppressed) and one under a reasonless
@@ -76,7 +88,7 @@ func TestLoaderTypes(t *testing.T) {
 
 // TestRegistry keeps the suite roster and name lookup honest.
 func TestRegistry(t *testing.T) {
-	want := []string{"spanfinish", "opclose", "ctxbefore", "guardedby"}
+	want := []string{"spanfinish", "opclose", "ctxbefore", "guardedby", "lockorder", "slotleak", "sqlsafe"}
 	var got []string
 	for _, a := range analysis.Analyzers() {
 		got = append(got, a.Name)

@@ -1,0 +1,532 @@
+// Control-flow graphs for one function body. The old analyzers
+// approximated paths by source position ("a Finish between the creation
+// and the return"); the CFG makes paths explicit — branch, loop, defer,
+// and panic edges — so the dataflow analyses in dataflow.go can prove a
+// fact along every path instead of guessing along the straight line.
+//
+// Granularity: blocks hold simple statements and the expressions a
+// branch evaluates (an if condition, a range operand, a switch tag) in
+// execution order. Compound statements never appear as block nodes —
+// the single exception is *ast.RangeStmt, kept whole in its head block
+// so analyses can see the key/value bindings; its Body is walked via
+// the graph, not the node (see visitNode).
+//
+// Edges carry the branch condition that selects them (Cond, with Negate
+// set on the false edge), so an analysis can refine facts per edge —
+// "on the err != nil edge this Open did not succeed" is what makes the
+// acquire/release analyses path-sensitive rather than merely
+// path-insensitive over a graph.
+package analysis
+
+import (
+	"go/ast"
+)
+
+// Edge is one control-flow successor link.
+type Edge struct {
+	To *Block
+	// Cond, when non-nil, is the condition the branch evaluated; the
+	// edge is taken when Cond is true, or false if Negate is set.
+	Cond   ast.Expr
+	Negate bool
+}
+
+// Block is one basic block.
+type Block struct {
+	Index int
+	Kind  string     // builder's label, for debugging and tests
+	Nodes []ast.Node // simple statements and evaluated expressions, in order
+	Succs []Edge
+	// Loop reports that the block executes inside a for/range body
+	// (used by the close-the-opened-prefix idiom detection).
+	Loop bool
+}
+
+// predEdge is an incoming edge, kept per block for the dataflow solver.
+type predEdge struct {
+	From *Block
+	Edge Edge
+}
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	Entry *Block
+	// Exit is the synthetic join of every normal exit: explicit returns
+	// and falling off the end of the body. Deferred calls run on edges
+	// into Exit.
+	Exit *Block
+	// PanicExit is the synthetic join of explicit panic(...) statements.
+	// Only deferred calls run on edges into PanicExit.
+	PanicExit *Block
+	Blocks    []*Block
+
+	preds map[*Block][]predEdge
+}
+
+// Preds returns the incoming edges of b.
+func (g *CFG) Preds(b *Block) []predEdge { return g.preds[b] }
+
+// NewCFG builds the graph for a function body (a FuncDecl's or
+// FuncLit's Body).
+func NewCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{
+		cfg:        &CFG{preds: make(map[*Block][]predEdge)},
+		labelBreak: make(map[string]*Block),
+		labelCont:  make(map[string]*Block),
+		labelGoto:  make(map[string]*Block),
+	}
+	b.cfg.Entry = b.newBlock("entry")
+	b.cfg.Exit = b.newBlock("exit")
+	b.cfg.PanicExit = b.newBlock("panic")
+	b.cur = b.cfg.Entry
+	b.stmt(body)
+	if b.cur != nil {
+		b.link(b.cur, Edge{To: b.cfg.Exit})
+	}
+	return b.cfg
+}
+
+type cfgBuilder struct {
+	cfg *CFG
+	cur *Block // nil when the current point is unreachable
+
+	loopDepth int
+	breakT    []*Block // innermost-last break targets
+	contT     []*Block // innermost-last continue targets
+	fallT     []*Block // fallthrough target inside a switch case
+
+	pendingLabel string
+	labelBreak   map[string]*Block
+	labelCont    map[string]*Block
+	labelGoto    map[string]*Block
+}
+
+func (b *cfgBuilder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.cfg.Blocks), Kind: kind, Loop: b.loopDepth > 0}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) link(from *Block, e Edge) {
+	from.Succs = append(from.Succs, e)
+	b.cfg.preds[e.To] = append(b.cfg.preds[e.To], predEdge{From: from, Edge: e})
+}
+
+// ensure returns the current block, materializing an unreachable one for
+// dead code (statements after a return) so its nodes still exist in the
+// graph; with no predecessors its facts stay at the solver's
+// "unreached" element.
+func (b *cfgBuilder) ensure() *Block {
+	if b.cur == nil {
+		b.cur = b.newBlock("dead")
+	}
+	return b.cur
+}
+
+func (b *cfgBuilder) add(n ast.Node) {
+	blk := b.ensure()
+	blk.Nodes = append(blk.Nodes, n)
+}
+
+// takeLabel consumes the pending loop/switch label.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		for _, inner := range st.List {
+			b.stmt(inner)
+		}
+
+	case *ast.IfStmt:
+		if st.Init != nil {
+			b.stmt(st.Init)
+		}
+		b.add(st.Cond)
+		cond := b.ensure()
+		then := b.newBlock("if.then")
+		b.link(cond, Edge{To: then, Cond: st.Cond})
+		after := b.newBlock("if.done")
+		if st.Else != nil {
+			els := b.newBlock("if.else")
+			b.link(cond, Edge{To: els, Cond: st.Cond, Negate: true})
+			b.cur = then
+			b.stmt(st.Body)
+			if b.cur != nil {
+				b.link(b.cur, Edge{To: after})
+			}
+			b.cur = els
+			b.stmt(st.Else)
+			if b.cur != nil {
+				b.link(b.cur, Edge{To: after})
+			}
+		} else {
+			b.link(cond, Edge{To: after, Cond: st.Cond, Negate: true})
+			b.cur = then
+			b.stmt(st.Body)
+			if b.cur != nil {
+				b.link(b.cur, Edge{To: after})
+			}
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if st.Init != nil {
+			b.stmt(st.Init)
+		}
+		head := b.newBlock("for.head")
+		b.link(b.ensure(), Edge{To: head})
+		after := b.newBlock("for.done")
+		b.loopDepth++
+		body := b.newBlock("for.body")
+		cont := head
+		if st.Post != nil {
+			cont = b.newBlock("for.post")
+		}
+		if st.Cond != nil {
+			head.Nodes = append(head.Nodes, st.Cond)
+			b.link(head, Edge{To: body, Cond: st.Cond})
+			b.link(head, Edge{To: after, Cond: st.Cond, Negate: true})
+		} else {
+			b.link(head, Edge{To: body})
+		}
+		b.pushLoop(label, after, cont)
+		b.cur = body
+		b.stmt(st.Body)
+		if b.cur != nil {
+			b.link(b.cur, Edge{To: cont})
+		}
+		if st.Post != nil {
+			b.cur = cont
+			b.stmt(st.Post)
+			if b.cur != nil {
+				b.link(b.cur, Edge{To: head})
+			}
+		}
+		b.popLoop(label)
+		b.loopDepth--
+		b.cur = after
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newBlock("range.head")
+		b.link(b.ensure(), Edge{To: head})
+		// The whole RangeStmt sits in the head block so analyses see the
+		// key/value bindings; visitNode prunes its Body.
+		head.Nodes = append(head.Nodes, st)
+		after := b.newBlock("range.done")
+		b.loopDepth++
+		body := b.newBlock("range.body")
+		b.link(head, Edge{To: body})
+		b.link(head, Edge{To: after})
+		b.pushLoop(label, after, head)
+		b.cur = body
+		b.stmt(st.Body)
+		if b.cur != nil {
+			b.link(b.cur, Edge{To: head})
+		}
+		b.popLoop(label)
+		b.loopDepth--
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if st.Init != nil {
+			b.stmt(st.Init)
+		}
+		if st.Tag != nil {
+			b.add(st.Tag)
+		}
+		b.switchClauses(label, st.Body, func(cc *ast.CaseClause) ([]ast.Node, []ast.Stmt, bool) {
+			nodes := make([]ast.Node, 0, len(cc.List))
+			for _, e := range cc.List {
+				nodes = append(nodes, e)
+			}
+			return nodes, cc.Body, cc.List == nil
+		})
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if st.Init != nil {
+			b.stmt(st.Init)
+		}
+		b.add(st.Assign)
+		b.switchClauses(label, st.Body, func(cc *ast.CaseClause) ([]ast.Node, []ast.Stmt, bool) {
+			return nil, cc.Body, cc.List == nil
+		})
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		sel := b.ensure()
+		after := b.newBlock("select.done")
+		b.pushBreak(label, after)
+		for _, cl := range st.Body.List {
+			cc := cl.(*ast.CommClause)
+			blk := b.newBlock("select.case")
+			b.link(sel, Edge{To: blk})
+			b.cur = blk
+			if cc.Comm != nil {
+				b.stmt(cc.Comm)
+			}
+			for _, inner := range cc.Body {
+				b.stmt(inner)
+			}
+			if b.cur != nil {
+				b.link(b.cur, Edge{To: after})
+			}
+		}
+		b.popBreak(label)
+		b.cur = after
+
+	case *ast.LabeledStmt:
+		switch st.Stmt.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			b.pendingLabel = st.Label.Name
+			b.stmt(st.Stmt)
+		default:
+			blk := b.gotoBlock(st.Label.Name)
+			if b.cur != nil {
+				b.link(b.cur, Edge{To: blk})
+			}
+			b.cur = blk
+			b.stmt(st.Stmt)
+		}
+
+	case *ast.BranchStmt:
+		b.add(st)
+		cur := b.ensure()
+		name := ""
+		if st.Label != nil {
+			name = st.Label.Name
+		}
+		switch st.Tok.String() {
+		case "break":
+			if t := b.breakTarget(name); t != nil {
+				b.link(cur, Edge{To: t})
+			}
+		case "continue":
+			if t := b.contTarget(name); t != nil {
+				b.link(cur, Edge{To: t})
+			}
+		case "goto":
+			b.link(cur, Edge{To: b.gotoBlock(name)})
+		case "fallthrough":
+			if len(b.fallT) > 0 && b.fallT[len(b.fallT)-1] != nil {
+				b.link(cur, Edge{To: b.fallT[len(b.fallT)-1]})
+			}
+		}
+		b.cur = nil
+
+	case *ast.ReturnStmt:
+		b.add(st)
+		b.link(b.ensure(), Edge{To: b.cfg.Exit})
+		b.cur = nil
+
+	case *ast.ExprStmt:
+		b.add(st)
+		switch terminatorKind(st.X) {
+		case termPanic:
+			b.link(b.ensure(), Edge{To: b.cfg.PanicExit})
+			b.cur = nil
+		case termExit:
+			// os.Exit / log.Fatal*: the process ends, defers do not run;
+			// obligations on this path vanish.
+			b.cur = nil
+		}
+
+	default:
+		// Simple statements: assignments, declarations, defer, go, send,
+		// inc/dec, empty.
+		if s != nil {
+			b.add(s)
+		}
+	}
+}
+
+// switchClauses builds the shared switch/type-switch clause shape.
+func (b *cfgBuilder) switchClauses(label string, body *ast.BlockStmt,
+	split func(*ast.CaseClause) ([]ast.Node, []ast.Stmt, bool)) {
+
+	cond := b.ensure()
+	after := b.newBlock("switch.done")
+	b.pushBreak(label, after)
+
+	clauses := body.List
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, cl := range clauses {
+		cc := cl.(*ast.CaseClause)
+		blocks[i] = b.newBlock("switch.case")
+		nodes, _, isDefault := split(cc)
+		blocks[i].Nodes = append(blocks[i].Nodes, nodes...)
+		if isDefault {
+			hasDefault = true
+		}
+		b.link(cond, Edge{To: blocks[i]})
+	}
+	if !hasDefault {
+		b.link(cond, Edge{To: after})
+	}
+	for i, cl := range clauses {
+		cc := cl.(*ast.CaseClause)
+		_, stmts, _ := split(cc)
+		next := (*Block)(nil)
+		if i+1 < len(blocks) {
+			next = blocks[i+1]
+		}
+		b.fallT = append(b.fallT, next)
+		b.cur = blocks[i]
+		for _, inner := range stmts {
+			b.stmt(inner)
+		}
+		if b.cur != nil {
+			b.link(b.cur, Edge{To: after})
+		}
+		b.fallT = b.fallT[:len(b.fallT)-1]
+	}
+	b.popBreak(label)
+	b.cur = after
+}
+
+func (b *cfgBuilder) pushLoop(label string, brk, cont *Block) {
+	b.breakT = append(b.breakT, brk)
+	b.contT = append(b.contT, cont)
+	if label != "" {
+		b.labelBreak[label] = brk
+		b.labelCont[label] = cont
+	}
+}
+
+func (b *cfgBuilder) popLoop(label string) {
+	b.breakT = b.breakT[:len(b.breakT)-1]
+	b.contT = b.contT[:len(b.contT)-1]
+	if label != "" {
+		delete(b.labelBreak, label)
+		delete(b.labelCont, label)
+	}
+}
+
+func (b *cfgBuilder) pushBreak(label string, brk *Block) {
+	b.breakT = append(b.breakT, brk)
+	if label != "" {
+		b.labelBreak[label] = brk
+	}
+}
+
+func (b *cfgBuilder) popBreak(label string) {
+	b.breakT = b.breakT[:len(b.breakT)-1]
+	if label != "" {
+		delete(b.labelBreak, label)
+	}
+}
+
+func (b *cfgBuilder) breakTarget(label string) *Block {
+	if label != "" {
+		return b.labelBreak[label]
+	}
+	if len(b.breakT) == 0 {
+		return nil
+	}
+	return b.breakT[len(b.breakT)-1]
+}
+
+func (b *cfgBuilder) contTarget(label string) *Block {
+	if label != "" {
+		return b.labelCont[label]
+	}
+	if len(b.contT) == 0 {
+		return nil
+	}
+	return b.contT[len(b.contT)-1]
+}
+
+func (b *cfgBuilder) gotoBlock(name string) *Block {
+	if blk, ok := b.labelGoto[name]; ok {
+		return blk
+	}
+	blk := b.newBlock("label." + name)
+	b.labelGoto[name] = blk
+	return blk
+}
+
+type termKind int
+
+const (
+	termNone termKind = iota
+	termPanic
+	termExit
+)
+
+// terminatorKind classifies calls that never return: the builtin panic
+// (deferred calls still run — PanicExit edge) and os.Exit / log.Fatal*
+// (nothing runs — dead end).
+func terminatorKind(e ast.Expr) termKind {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return termNone
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if fun.Name == "panic" {
+			return termPanic
+		}
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			if id.Name == "os" && fun.Sel.Name == "Exit" {
+				return termExit
+			}
+			if id.Name == "log" && (fun.Sel.Name == "Fatal" || fun.Sel.Name == "Fatalf" || fun.Sel.Name == "Fatalln") {
+				return termExit
+			}
+		}
+	}
+	return termNone
+}
+
+// visitNode walks the executable parts of a CFG block node with the
+// ancestor stack (rooted at the node), pruning nested function literals
+// (they execute elsewhere — analyses that care about defer/go bodies
+// special-case those statements) and a RangeStmt's Body (walked via the
+// graph).
+func visitNode(root ast.Node, fn func(n ast.Node, stack []ast.Node)) {
+	var rangeBody *ast.BlockStmt
+	if rs, ok := root.(*ast.RangeStmt); ok {
+		rangeBody = rs.Body
+	}
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		if _, isLit := n.(*ast.FuncLit); isLit && n != root {
+			return false
+		}
+		if rangeBody != nil && n == ast.Node(rangeBody) {
+			return false
+		}
+		fn(n, stack)
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// funcLitsIn collects function literals appearing anywhere under root
+// that are not nested inside another literal under root (each literal is
+// analyzed as its own unit, which then finds its own nested literals).
+func funcLitsIn(root ast.Node) []*ast.FuncLit {
+	var out []*ast.FuncLit
+	ast.Inspect(root, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && n != root {
+			out = append(out, lit)
+			return false
+		}
+		return true
+	})
+	return out
+}

@@ -210,6 +210,126 @@ func isDeclIdent(id *ast.Ident, stack []ast.Node) bool {
 	return false
 }
 
+// funcUnit is one function body analyzed as its own CFG: a declaration
+// or a function literal (literals run under their own control flow, so
+// each gets its own graph; name is the enclosing declaration's, for
+// diagnostics).
+type funcUnit struct {
+	body *ast.BlockStmt
+	name string
+	decl *ast.FuncDecl
+}
+
+// funcUnits enumerates every function body in the file.
+func funcUnits(f *ast.File) []funcUnit {
+	var out []funcUnit
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		out = append(out, funcUnit{body: fd.Body, name: funcName(fd), decl: fd})
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				out = append(out, funcUnit{body: lit.Body, name: funcName(fd), decl: fd})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// walkUnit visits every node of one function unit with its ancestor
+// stack, pruning nested function literals (they are separate units).
+func walkUnit(body *ast.BlockStmt, fn func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		fn(n, stack)
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// lastNode returns the final node of a block (nil when empty).
+func lastNode(b *Block) ast.Node {
+	if len(b.Nodes) == 0 {
+		return nil
+	}
+	return b.Nodes[len(b.Nodes)-1]
+}
+
+// deferredFuncLit returns the literal directly invoked by a defer
+// statement (`defer func() { ... }()`), or nil.
+func deferredFuncLit(n ast.Node) *ast.FuncLit {
+	d, ok := n.(*ast.DeferStmt)
+	if !ok {
+		return nil
+	}
+	lit, _ := d.Call.Fun.(*ast.FuncLit)
+	return lit
+}
+
+// methodCallOn reports whether the identifier occurrence is the
+// receiver of a method call (`id.M(...)`), returning the selector and
+// call when so.
+func methodCallOn(id *ast.Ident, stack []ast.Node) (*ast.SelectorExpr, *ast.CallExpr, bool) {
+	if len(stack) < 2 {
+		return nil, nil, false
+	}
+	sel, ok := stack[len(stack)-1].(*ast.SelectorExpr)
+	if !ok || sel.X != ast.Expr(id) {
+		return nil, nil, false
+	}
+	call, ok := stack[len(stack)-2].(*ast.CallExpr)
+	if !ok || call.Fun != ast.Expr(sel) {
+		return nil, nil, false
+	}
+	return sel, call, true
+}
+
+// isSelectorNonCall reports whether the identifier is the base of a
+// selector that is not immediately called (a method value or field
+// access handed along).
+func isSelectorNonCall(id *ast.Ident, stack []ast.Node) bool {
+	if len(stack) < 1 {
+		return false
+	}
+	sel, ok := stack[len(stack)-1].(*ast.SelectorExpr)
+	if !ok || sel.X != ast.Expr(id) {
+		return false
+	}
+	if len(stack) >= 2 {
+		if call, ok := stack[len(stack)-2].(*ast.CallExpr); ok && call.Fun == ast.Expr(sel) {
+			return false
+		}
+	}
+	return true
+}
+
+// isAssignLHS reports whether the identifier is an assignment target.
+func isAssignLHS(id *ast.Ident, stack []ast.Node) bool {
+	if len(stack) < 1 {
+		return false
+	}
+	as, ok := stack[len(stack)-1].(*ast.AssignStmt)
+	if !ok {
+		return false
+	}
+	for _, l := range as.Lhs {
+		if l == ast.Expr(id) {
+			return true
+		}
+	}
+	return false
+}
+
 // hasSuffixAny reports whether s ends with any of the suffixes.
 func hasSuffixAny(s string, suffixes ...string) bool {
 	for _, suf := range suffixes {

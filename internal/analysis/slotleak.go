@@ -1,0 +1,498 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// SlotLeak enforces the acquire/release pairing of the cluster front
+// end's admission control along every CFG path — the class of bug the
+// head-of-line fix in the cluster PR was. Three resources are tracked:
+//
+//   - admission slots: `m, err := c.acquire(...)` must reach a
+//     release(m, ...) call (or defer one, or hand m off) on every path
+//     where the acquire succeeded, including cancel and shed paths;
+//   - breaker half-open probe tokens: when `ok, probe := b.Allow()`
+//     returns probe=true, the caller holds the single probe slot and
+//     must resolve it with Success() or Failure() — leaking it wedges
+//     the breaker in half-open forever;
+//   - waiter queue entries: a list.PushBack element must be Remove()d
+//     or retained (stored/returned) on every path, or cancelled waiters
+//     accumulate in the queue.
+//
+// A may-analysis marks each site live from acquisition; edge refinement
+// kills slot sites on `err != nil` branches and probe tokens on
+// `!probe` branches.
+var SlotLeak = &Analyzer{
+	Name: "slotleak",
+	Doc: "check acquire/release pairing along all paths for admission slots, " +
+		"breaker half-open probe tokens, and waiter queue entries",
+	Run: runSlotLeak,
+}
+
+type slotKind int
+
+const (
+	slotAcquire slotKind = iota // m, err := x.acquire(...) -> x.release(m, ...)
+	slotProbe                   // ok, probe := b.Allow() -> b.Success()/b.Failure()
+	slotQueue                   // elem := l.PushBack(v) -> l.Remove(elem)
+)
+
+// slotSite is one tracked acquisition.
+type slotSite struct {
+	idx  int
+	kind slotKind
+	call *ast.CallExpr
+
+	res     *ast.Ident   // the resource variable (slot, element)
+	errObj  types.Object // error guarding a slotAcquire (nil if none)
+	boolObj types.Object // the probe bool of a slotProbe
+	okObj   types.Object // the admit bool of a slotProbe (no admit ⇒ no token)
+	recvObj types.Object // identifier receiver (a nil receiver grants nothing)
+	recvStr string       // receiver expression, for Success/Failure matching
+	relName string       // release method name for messages
+
+	escapeEver bool
+}
+
+func runSlotLeak(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, u := range funcUnits(f) {
+			slotCheckUnit(pass, u)
+		}
+	}
+	return nil
+}
+
+// classifySlotCall recognizes the three acquisition shapes from an
+// assignment. Recognition is type-gated so ordinary methods that happen
+// to share a name stay out: acquire needs a sibling release method on a
+// module-local receiver, Allow needs (bool, bool) results plus
+// Success/Failure siblings, PushBack needs a container/list receiver.
+func classifySlotCall(pass *Pass, as *ast.AssignStmt) *slotSite {
+	if len(as.Rhs) != 1 {
+		return nil
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	recv, name, ok := pass.methodCall(call)
+	if !ok {
+		return nil
+	}
+	recvType := func() types.Type {
+		if pass.TypesInfo == nil {
+			return nil
+		}
+		if tv, ok := pass.TypesInfo.Types[recv]; ok {
+			return tv.Type
+		}
+		return nil
+	}
+	hasMethod := func(t types.Type, method string) bool {
+		if t == nil {
+			return false
+		}
+		obj, _, _ := types.LookupFieldOrMethod(t, true, pass.Pkg, method)
+		_, isFunc := obj.(*types.Func)
+		return isFunc
+	}
+
+	switch {
+	case (name == "acquire" || name == "Acquire") && len(as.Lhs) >= 1:
+		t := recvType()
+		rel := "release"
+		if name == "Acquire" {
+			rel = "Release"
+		}
+		if !hasMethod(t, rel) {
+			return nil
+		}
+		if t != nil && !moduleLocalType(t) {
+			return nil
+		}
+		res, _ := as.Lhs[0].(*ast.Ident)
+		if res == nil || res.Name == "_" {
+			return nil
+		}
+		s := &slotSite{kind: slotAcquire, call: call, res: res, recvStr: exprString(recv), relName: rel}
+		if len(as.Lhs) >= 2 {
+			if errID, ok := as.Lhs[len(as.Lhs)-1].(*ast.Ident); ok && errID.Name != "_" {
+				s.errObj = pass.objectOf(errID)
+			}
+		}
+		return s
+
+	case name == "Allow" && len(as.Lhs) == 2:
+		t := recvType()
+		if !hasMethod(t, "Success") || !hasMethod(t, "Failure") {
+			return nil
+		}
+		probeID, ok := as.Lhs[1].(*ast.Ident)
+		if !ok || probeID.Name == "_" {
+			// Discarding the probe flag means a granted probe token can
+			// never be resolved.
+			pass.Reportf(call.Pos(),
+				"probe result of %s.Allow is discarded: a granted half-open token is never resolved with Success or Failure",
+				exprString(recv))
+			return nil
+		}
+		s := &slotSite{kind: slotProbe, call: call, recvStr: exprString(recv), relName: "Success/Failure"}
+		s.boolObj = pass.objectOf(probeID)
+		if okID, ok := as.Lhs[0].(*ast.Ident); ok && okID.Name != "_" {
+			// Allow's contract: a probe token is only granted alongside
+			// admission, so the ok==false branch holds no token either.
+			s.okObj = pass.objectOf(okID)
+		}
+		if recvID, ok := recv.(*ast.Ident); ok {
+			// `if br != nil { ok, probe := br.Allow() }` ... `if br != nil
+			// { resolve }`: on a br==nil edge no token can be outstanding,
+			// which keeps the correlated-guard idiom clean.
+			s.recvObj = pass.objectOf(recvID)
+		}
+		return s
+
+	case name == "PushBack" && len(as.Lhs) == 1:
+		t := recvType()
+		if t == nil || !strings.Contains(t.String(), "container/list.List") {
+			return nil
+		}
+		res, _ := as.Lhs[0].(*ast.Ident)
+		if res == nil || res.Name == "_" {
+			return nil
+		}
+		return &slotSite{kind: slotQueue, call: call, res: res, recvStr: exprString(recv), relName: "Remove"}
+	}
+	return nil
+}
+
+// moduleLocalType reports whether the (pointer) type is declared in
+// module code — acquire/release pairing is a Nimble contract, not a
+// general Go one.
+func moduleLocalType(t types.Type) bool {
+	for {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return moduleLocalPath(named.Obj().Pkg().Path())
+}
+
+func slotCheckUnit(pass *Pass, u funcUnit) {
+	var sites []*slotSite
+	anyLoopRelease := false
+
+	walkUnit(u.body, func(n ast.Node, stack []ast.Node) {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if s := classifySlotCall(pass, st); s != nil {
+				s.idx = len(sites)
+				sites = append(sites, s)
+			}
+		case *ast.CallExpr:
+			if _, name, ok := pass.methodCall(st); ok && inLoop(stack) {
+				switch name {
+				case "release", "Release", "Remove", "Success", "Failure":
+					anyLoopRelease = true
+				}
+			}
+		}
+	})
+	if len(sites) == 0 {
+		return
+	}
+
+	g := NewCFG(u.body)
+	lat := &slotLattice{p: pass, sites: sites}
+	res := forward(g, lat)
+
+	reported := make(map[int]bool)
+	report := func(pe predEdge, panicPath bool) {
+		out := res.out[pe.From]
+		for _, s := range sites {
+			if !out[s.idx] || s.escapeEver || reported[s.idx] {
+				continue
+			}
+			if anyLoopRelease {
+				continue // a release loop (drain/cleanup) covers the set
+			}
+			reported[s.idx] = true
+			suffix := ""
+			if panicPath {
+				suffix = " (panic path)"
+			}
+			switch s.kind {
+			case slotAcquire:
+				pass.Reportf(s.call.Pos(),
+					"slot %q from %s.%s may not be released on every path%s; pair it with %s or defer the release",
+					s.res.Name, s.recvStr, calledName(s.call), suffix, s.relName)
+			case slotProbe:
+				pass.Reportf(s.call.Pos(),
+					"half-open probe token from %s.Allow may not be resolved on every path%s; call Success or Failure on all outcomes",
+					s.recvStr, suffix)
+			case slotQueue:
+				pass.Reportf(s.call.Pos(),
+					"queue entry %q from %s.PushBack may not be removed on every path%s (cancelled waiters must be Remove()d)",
+					s.res.Name, s.recvStr, suffix)
+			}
+		}
+	}
+	for _, pe := range g.Preds(g.Exit) {
+		report(pe, false)
+	}
+	for _, pe := range g.Preds(g.PanicExit) {
+		report(pe, true)
+	}
+}
+
+// calledName returns the method name of a call (for messages).
+func calledName(call *ast.CallExpr) string {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		return sel.Sel.Name
+	}
+	return "acquire"
+}
+
+type slotLattice struct {
+	p     *Pass
+	sites []*slotSite
+}
+
+func (l *slotLattice) entry() siteFact     { return siteFact{} }
+func (l *slotLattice) unreached() siteFact { return nil }
+
+func (l *slotLattice) join(a, b siteFact) siteFact { return joinSites(a, b) }
+func (l *slotLattice) equal(a, b siteFact) bool    { return equalSites(a, b) }
+
+// edgeFact kills slot sites on branches proving the acquire failed
+// (err != nil) and probe tokens on branches proving probe is false.
+func (l *slotLattice) edgeFact(e Edge, out siteFact) siteFact {
+	if out == nil || e.Cond == nil {
+		return out
+	}
+	var refined siteFact
+	kill := func(idx int) {
+		if refined == nil {
+			refined = out.clone()
+		}
+		delete(refined, idx)
+	}
+	for _, s := range l.sites {
+		valid, live := out[s.idx]
+		if !live || !valid {
+			continue
+		}
+		switch {
+		case s.errObj != nil && edgeImpliesNonNil(l.p, e, s.errObj):
+			kill(s.idx)
+		case s.kind == slotProbe:
+			if val, known := edgeBool(l.p, e, s.boolObj); known && !val {
+				kill(s.idx)
+				continue
+			}
+			if s.okObj != nil {
+				if val, known := edgeBool(l.p, e, s.okObj); known && !val {
+					kill(s.idx)
+					continue
+				}
+			}
+			if s.recvObj != nil && edgeImpliesNil(l.p, e, s.recvObj) {
+				kill(s.idx)
+			}
+		}
+	}
+	if refined != nil {
+		return refined
+	}
+	return out
+}
+
+func (l *slotLattice) transfer(b *Block, in siteFact) siteFact {
+	if in == nil {
+		return nil
+	}
+	fact := in.clone()
+	for _, n := range b.Nodes {
+		for _, s := range l.sites {
+			l.applyNode(n, s, fact)
+		}
+	}
+	return fact
+}
+
+func (l *slotLattice) applyNode(n ast.Node, s *slotSite, fact siteFact) {
+	// Literals: a deferred closure that releases counts as a release on
+	// this path; other captures of the resource hand it off.
+	deferredLit := deferredFuncLit(n)
+	for _, lit := range funcLitsIn(n) {
+		refs, releases := litSlotUse(l.p, lit, s)
+		if releases && lit == deferredLit {
+			delete(fact, s.idx)
+			continue
+		}
+		if refs {
+			if lit == deferredLit && releases {
+				delete(fact, s.idx)
+			} else {
+				s.escapeEver = true
+				delete(fact, s.idx)
+			}
+		}
+	}
+
+	genned := false
+	invalidated := false
+	visitNode(n, func(m ast.Node, stack []ast.Node) {
+		switch mm := m.(type) {
+		case *ast.CallExpr:
+			if mm == s.call {
+				genned = true
+				return
+			}
+			if l.releasesSite(mm, s) {
+				delete(fact, s.idx)
+			}
+		case *ast.Ident:
+			if s.errObj != nil && l.p.objectOf(mm) == s.errObj && isAssignLHS(mm, stack) {
+				invalidated = true
+			}
+			if s.res == nil {
+				return
+			}
+			if mm == s.res || !l.p.sameIdent(mm, s.res) {
+				return
+			}
+			if isDeclIdent(mm, stack) {
+				return
+			}
+			if _, call, isRecv := methodCallOn(mm, stack); isRecv {
+				_ = call
+				return // methods on the resource are neutral
+			}
+			if isAssignLHS(mm, stack) {
+				delete(fact, s.idx) // rebinding
+				return
+			}
+			// Passed as an argument: if the callee is the release, the
+			// releasesSite case above already killed the site — any other
+			// use (return, store, other args) hands the resource off.
+			if isArgOf(mm, stack, func(call *ast.CallExpr) bool { return l.releasesSite(call, s) }) {
+				return
+			}
+			s.escapeEver = true
+			delete(fact, s.idx)
+		}
+	})
+	if genned {
+		fact[s.idx] = true
+	} else if invalidated {
+		if valid, live := fact[s.idx]; live && valid {
+			fact[s.idx] = false
+		}
+	}
+}
+
+// releasesSite reports whether the call releases the site's resource:
+// a release/Release or Remove call taking the resource variable as an
+// argument, or Success/Failure on the probe receiver.
+func (l *slotLattice) releasesSite(call *ast.CallExpr, s *slotSite) bool {
+	_, name, ok := l.p.methodCall(call)
+	if !ok {
+		return false
+	}
+	switch s.kind {
+	case slotAcquire:
+		if name != "release" && name != "Release" {
+			return false
+		}
+	case slotQueue:
+		if name != "Remove" {
+			return false
+		}
+	case slotProbe:
+		if name != "Success" && name != "Failure" {
+			return false
+		}
+		recv, _, _ := l.p.methodCall(call)
+		return exprString(recv) == s.recvStr
+	}
+	for _, arg := range call.Args {
+		if id, ok := arg.(*ast.Ident); ok && l.p.sameIdent(id, s.res) {
+			return true
+		}
+	}
+	return false
+}
+
+// litSlotUse reports whether a literal references the site's resource
+// (or probe receiver) and whether it releases it.
+func litSlotUse(p *Pass, lit *ast.FuncLit, s *slotSite) (refs, releases bool) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch m := n.(type) {
+		case *ast.CallExpr:
+			recv, name, ok := p.methodCall(m)
+			if !ok {
+				return true
+			}
+			switch s.kind {
+			case slotAcquire:
+				if name == "release" || name == "Release" {
+					for _, arg := range m.Args {
+						if id, ok := arg.(*ast.Ident); ok && s.res != nil && p.sameIdent(id, s.res) {
+							releases = true
+						}
+					}
+				}
+			case slotQueue:
+				if name == "Remove" {
+					for _, arg := range m.Args {
+						if id, ok := arg.(*ast.Ident); ok && s.res != nil && p.sameIdent(id, s.res) {
+							releases = true
+						}
+					}
+				}
+			case slotProbe:
+				if (name == "Success" || name == "Failure") && exprString(recv) == s.recvStr {
+					releases = true
+				}
+			}
+		case *ast.Ident:
+			if s.res != nil && p.sameIdent(m, s.res) {
+				refs = true
+			}
+		}
+		return true
+	})
+	if s.kind == slotProbe {
+		// Probe tokens have no resource variable; the literal "refers" to
+		// the token when it resolves it.
+		refs = releases
+	}
+	return refs, releases
+}
+
+// isArgOf reports whether the identifier is an argument of a call
+// matching pred.
+func isArgOf(id *ast.Ident, stack []ast.Node, pred func(*ast.CallExpr) bool) bool {
+	if len(stack) < 1 {
+		return false
+	}
+	call, ok := stack[len(stack)-1].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	for _, arg := range call.Args {
+		if arg == ast.Expr(id) {
+			return pred(call)
+		}
+	}
+	return false
+}

@@ -11,10 +11,16 @@ import (
 // or escape to an owner (returned, stored, or passed along) who takes
 // over that obligation. An unfinished span reports a running duration
 // forever and silently corrupts every trace that contains it.
+//
+// The check is a may-analysis over the function's CFG: a span site is
+// live from its creation until a Finish, a deferred Finish, or an
+// escape kills it on that path. A site still live on an edge into the
+// exit (or the panic exit — only deferred Finishes survive a panic) is
+// a leak on that specific path.
 var SpanFinish = &Analyzer{
 	Name: "spanfinish",
-	Doc: "check that every started obs.Span is Finished on all paths or escapes to an owner; " +
-		"prefer `defer sp.Finish()` when the span covers the whole function",
+	Doc: "check that every started obs.Span is Finished on all paths (including panic paths) " +
+		"or escapes to an owner; prefer `defer sp.Finish()` when the span covers the whole function",
 	Run: runSpanFinish,
 }
 
@@ -25,22 +31,21 @@ var spanCreators = map[string]bool{
 	"StartChild": true, // (*Span).StartChild(name)
 }
 
-// spanCreation describes one tracked `sp := ...` site.
-type spanCreation struct {
-	ident *ast.Ident   // the variable the span is bound to
+// spanSite is one tracked `sp := ...` creation inside one function unit.
+type spanSite struct {
+	idx   int
+	ident *ast.Ident // the variable the span is bound to
 	call  *ast.CallExpr
-	kind  string       // creator name, for messages
-	owner ast.Node     // innermost enclosing function (lit or decl)
+	kind  string // creator name, for messages
+
+	finishEver bool // some path Finishes the span
+	escapeEver bool // the span is handed to another owner somewhere
 }
 
 func runSpanFinish(pass *Pass) error {
 	for _, f := range pass.Files {
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			spanCheckFunc(pass, fd)
+		for _, u := range funcUnits(f) {
+			spanCheckUnit(pass, u)
 		}
 	}
 	return nil
@@ -105,12 +110,12 @@ func spanIdentFor(kind string, lhs []ast.Expr, rhsIndex, rhsLen int) (id *ast.Id
 	return ident, false
 }
 
-func spanCheckFunc(pass *Pass, fd *ast.FuncDecl) {
-	var creations []spanCreation
+func spanCheckUnit(pass *Pass, u funcUnit) {
+	var sites []*spanSite
 
-	// Pass 1: find creations (assignments, var specs, bare expression
-	// statements).
-	walkStack(fd, func(n ast.Node, stack []ast.Node) {
+	// Find creations in this unit (assignments, bare expression
+	// statements); nested literals are their own units.
+	walkUnit(u.body, func(n ast.Node, stack []ast.Node) {
 		switch st := n.(type) {
 		case *ast.AssignStmt:
 			for i, rhs := range st.Rhs {
@@ -128,10 +133,7 @@ func spanCheckFunc(pass *Pass, fd *ast.FuncDecl) {
 					continue
 				}
 				if ident != nil {
-					creations = append(creations, spanCreation{
-						ident: ident, call: call, kind: kind,
-						owner: enclosingFunc(st, stack),
-					})
+					sites = append(sites, &spanSite{idx: len(sites), ident: ident, call: call, kind: kind})
 				}
 			}
 		case *ast.ExprStmt:
@@ -142,85 +144,152 @@ func spanCheckFunc(pass *Pass, fd *ast.FuncDecl) {
 			}
 		}
 	})
+	if len(sites) == 0 {
+		return
+	}
 
-	// Pass 2: for each creation, classify every other use of the variable.
-	for _, c := range creations {
-		var finishPos []ast.Node // Finish call sites
-		deferredFinish := false
-		escapes := false
+	g := NewCFG(u.body)
+	lat := &spanLattice{p: pass, sites: sites}
+	res := forward[siteFact](g, lat)
 
-		walkStack(fd, func(n ast.Node, stack []ast.Node) {
-			id, ok := n.(*ast.Ident)
-			if !ok || id == c.ident || !pass.sameIdent(id, c.ident) {
-				return
-			}
-			if isDeclIdent(id, stack) {
-				return // declaration of the variable: neutral
-			}
-			// Receiver of a method call?
-			if len(stack) >= 2 {
-				if sel, ok := stack[len(stack)-1].(*ast.SelectorExpr); ok && sel.X == ast.Expr(id) {
-					if call, ok := stack[len(stack)-2].(*ast.CallExpr); ok && call.Fun == ast.Expr(sel) {
-						if sel.Sel.Name == "Finish" {
-							finishPos = append(finishPos, call)
-							if inDefer(stack) {
-								deferredFinish = true
-							}
-						}
-						return // method call on the span: neutral
-					}
-					// Selector but not a call (e.g. method value sp.Finish
-					// passed along): treat as escape.
-					escapes = true
-					return
-				}
-			}
-			// LHS of an assignment (rebinding) is neutral; everything else
-			// (argument, return value, composite literal, send, ...) hands
-			// the span to someone else.
-			if len(stack) >= 1 {
-				if as, ok := stack[len(stack)-1].(*ast.AssignStmt); ok {
-					for _, l := range as.Lhs {
-						if l == ast.Expr(id) {
-							return
-						}
-					}
-				}
-			}
-			escapes = true
-		})
-
-		if escapes {
-			continue
+	for _, s := range sites {
+		if s.escapeEver {
+			continue // a new owner takes over the obligation
 		}
-		if len(finishPos) == 0 {
-			pass.Reportf(c.call.Pos(),
+		if !s.finishEver {
+			pass.Reportf(s.call.Pos(),
 				"span %q from %s is never finished (add `defer %s.Finish()` or finish it before every return)",
-				c.ident.Name, c.kind, c.ident.Name)
+				s.ident.Name, s.kind, s.ident.Name)
 			continue
 		}
-		if deferredFinish {
-			continue
-		}
-		// No deferred Finish: every return leaving the creating function
-		// after the creation must have a Finish somewhere between the
-		// creation and the return (straight-line approximation).
-		for _, ret := range returnsIn(fd, c.owner) {
-			if ret.Pos() <= c.call.Pos() {
+		for _, pe := range g.Preds(g.Exit) {
+			if !res.out[pe.From][s.idx] {
 				continue
 			}
-			finished := false
-			for _, fc := range finishPos {
-				if fc.Pos() > c.call.Pos() && fc.Pos() < ret.Pos() {
-					finished = true
-					break
-				}
-			}
-			if !finished {
+			if ret, ok := lastNode(pe.From).(*ast.ReturnStmt); ok {
 				pass.Reportf(ret.Pos(),
 					"span %q (started line %d) may not be finished on this return path; finish it before returning or use defer",
-					c.ident.Name, pass.posLine(c.call.Pos()))
+					s.ident.Name, pass.posLine(s.call.Pos()))
+			} else {
+				pass.Reportf(s.call.Pos(),
+					"span %q (started line %d) may not be finished on every path out of the function; finish it before returning or use defer",
+					s.ident.Name, pass.posLine(s.call.Pos()))
 			}
 		}
+		for _, pe := range g.Preds(g.PanicExit) {
+			if !res.out[pe.From][s.idx] {
+				continue
+			}
+			pos := s.call.Pos()
+			if n := lastNode(pe.From); n != nil {
+				pos = n.Pos()
+			}
+			pass.Reportf(pos,
+				"span %q (started line %d) may not be finished on this panic path; a deferred Finish would survive the panic",
+				s.ident.Name, pass.posLine(s.call.Pos()))
+		}
 	}
+}
+
+// spanLattice: may-analysis of still-unfinished span sites.
+type spanLattice struct {
+	p     *Pass
+	sites []*spanSite
+}
+
+func (l *spanLattice) entry() siteFact         { return siteFact{} }
+func (l *spanLattice) unreached() siteFact     { return nil }
+func (l *spanLattice) join(a, b siteFact) siteFact  { return joinSites(a, b) }
+func (l *spanLattice) equal(a, b siteFact) bool     { return equalSites(a, b) }
+func (l *spanLattice) edgeFact(e Edge, out siteFact) siteFact { return out }
+
+func (l *spanLattice) transfer(b *Block, in siteFact) siteFact {
+	if in == nil {
+		return nil
+	}
+	fact := in.clone()
+	for _, n := range b.Nodes {
+		for _, s := range l.sites {
+			l.applyNode(n, s, fact)
+		}
+	}
+	return fact
+}
+
+// applyNode updates fact for one site across one block node: Finish,
+// deferred Finish, escape, and rebinding all end the obligation on this
+// path; the creation call (re)starts it.
+func (l *spanLattice) applyNode(n ast.Node, s *spanSite, fact siteFact) {
+	// Function literals inside the node: a literal that Finishes the span
+	// under a defer is a (deferred) finish; any other captured use hands
+	// the span to the closure's owner.
+	deferredLit := deferredFuncLit(n)
+	for _, lit := range funcLitsIn(n) {
+		refs, finishes := litSpanUse(l.p, lit, s.ident)
+		if !refs {
+			continue
+		}
+		if lit == deferredLit && finishes {
+			s.finishEver = true
+		} else {
+			s.escapeEver = true
+		}
+		delete(fact, s.idx)
+	}
+
+	genned := false
+	visitNode(n, func(m ast.Node, stack []ast.Node) {
+		if call, ok := m.(*ast.CallExpr); ok && call == s.call {
+			genned = true
+			return
+		}
+		id, ok := m.(*ast.Ident)
+		if !ok || id == s.ident || !l.p.sameIdent(id, s.ident) {
+			return
+		}
+		if isDeclIdent(id, stack) {
+			return
+		}
+		if sel, call, isRecv := methodCallOn(id, stack); isRecv {
+			if sel.Sel.Name == "Finish" {
+				s.finishEver = true
+				delete(fact, s.idx)
+				_ = call
+			}
+			return // other method calls on the span: neutral
+		}
+		if isSelectorNonCall(id, stack) {
+			// Method value (sp.Finish passed along): escapes.
+			s.escapeEver = true
+			delete(fact, s.idx)
+			return
+		}
+		if isAssignLHS(id, stack) {
+			// Rebinding: this variable no longer holds the span.
+			delete(fact, s.idx)
+			return
+		}
+		// Argument, return value, composite literal, send, ...: escape.
+		s.escapeEver = true
+		delete(fact, s.idx)
+	})
+	if genned {
+		fact[s.idx] = true
+	}
+}
+
+// litSpanUse reports whether the literal references the span variable
+// and whether it calls Finish on it.
+func litSpanUse(p *Pass, lit *ast.FuncLit, def *ast.Ident) (refs, finishes bool) {
+	walkStack(lit.Body, func(n ast.Node, stack []ast.Node) {
+		id, ok := n.(*ast.Ident)
+		if !ok || !p.sameIdent(id, def) {
+			return
+		}
+		refs = true
+		if sel, _, isRecv := methodCallOn(id, stack); isRecv && sel.Sel.Name == "Finish" {
+			finishes = true
+		}
+	})
+	return refs, finishes
 }

@@ -1,0 +1,448 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// SQLSafe is a forward taint analysis over the CFG guarding the SQL
+// generation boundary: any string derived from an XML-QL query (fields
+// of internal/xmlql types — variable names, literal text, tags, all of
+// them hostile input) must pass through a quoting/ident helper
+// (sqlString, sqlIdent, Quote*) before it reaches a SQL sink — an
+// assignment to a field named SQL (the compiled Fragment) or an
+// argument to an internal/rdb Exec/Query call. A raw flow is an
+// injection: `WHERE name = '` + hostile + `'`.
+//
+// The policy is deliberately intraprocedural: sqlgen.Compile is the
+// trust boundary, so it must sanitize everything it embeds; its
+// Fragment output is then trusted downstream. Taint propagates through
+// string concatenation, unknown calls (result tainted when any
+// argument or the receiver is), map/slice element reads, and
+// strings.Builder writes; map KEYS carry their own taint bit, picked up
+// by `for k := range m`, so variable-name keys stay hot without
+// poisoning column-value reads.
+var SQLSafe = &Analyzer{
+	Name: "sqlsafe",
+	Doc: "taint analysis: strings derived from XML-QL queries must flow through " +
+		"sqlString/sqlIdent-style quoting helpers before reaching SQL sinks",
+	Run: runSQLSafe,
+}
+
+const (
+	taintVal uint8 = 1 << iota // the value itself is query-derived
+	taintKey                   // a map whose keys are query-derived
+)
+
+// sanitizers are the quoting/ident helpers that launder taint.
+var sanitizers = map[string]bool{
+	"sqlString": true, "sqlIdent": true,
+	"SQLString": true, "SQLIdent": true,
+	"QuoteString": true, "QuoteIdent": true,
+	"quoteString": true, "quoteIdent": true,
+}
+
+// builderWrites are strings.Builder-style methods that taint their
+// receiver when fed a tainted argument.
+var builderWrites = map[string]bool{
+	"WriteString": true, "Write": true, "WriteByte": true, "WriteRune": true,
+}
+
+// taintFact maps variable objects to taint bits; nil is unreached.
+type taintFact map[types.Object]uint8
+
+func (f taintFact) clone() taintFact {
+	if f == nil {
+		return nil
+	}
+	out := make(taintFact, len(f))
+	for k, v := range f {
+		out[k] = v
+	}
+	return out
+}
+
+func runSQLSafe(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, u := range funcUnits(f) {
+			sqlCheckUnit(pass, u)
+		}
+	}
+	return nil
+}
+
+func sqlCheckUnit(pass *Pass, u funcUnit) {
+	// Cheap pre-filter: a unit with no SQL sink needs no fixpoint.
+	hasSink := false
+	walkUnit(u.body, func(n ast.Node, stack []ast.Node) {
+		switch m := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range m.Lhs {
+				if sel, ok := lhs.(*ast.SelectorExpr); ok && sel.Sel.Name == "SQL" {
+					hasSink = true
+				}
+			}
+		case *ast.CallExpr:
+			if isRDBSink(pass, m) {
+				hasSink = true
+			}
+		}
+	})
+	if !hasSink {
+		return
+	}
+
+	g := NewCFG(u.body)
+	lat := &taintLattice{p: pass}
+	res := forward(g, lat)
+
+	// Replay each block from its stable in-fact, reporting sinks.
+	reported := make(map[token.Pos]bool)
+	for _, b := range g.Blocks {
+		in := res.in[b]
+		if in == nil && b != g.Entry {
+			continue
+		}
+		fact := in.clone()
+		if fact == nil {
+			fact = taintFact{}
+		}
+		for _, n := range b.Nodes {
+			lat.applyNode(n, fact, func(pos token.Pos, what string) {
+				if reported[pos] {
+					return
+				}
+				reported[pos] = true
+				pass.Reportf(pos,
+					"query-derived string reaches %s without quoting; route it through sqlString/sqlIdent-style helpers",
+					what)
+			})
+		}
+	}
+}
+
+// isRDBSink reports whether the call executes SQL against a relational
+// source: Exec/Query on a receiver declared in internal/rdb.
+func isRDBSink(pass *Pass, call *ast.CallExpr) bool {
+	recv, name, ok := pass.methodCall(call)
+	if !ok || (name != "Exec" && name != "Query") || len(call.Args) == 0 {
+		return false
+	}
+	ts := pass.typeStringOf(recv)
+	return strings.Contains(ts, "internal/rdb.")
+}
+
+type taintLattice struct {
+	p *Pass
+}
+
+func (l *taintLattice) entry() taintFact     { return taintFact{} }
+func (l *taintLattice) unreached() taintFact { return nil }
+
+func (l *taintLattice) join(a, b taintFact) taintFact {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	out := a.clone()
+	for k, v := range b {
+		out[k] |= v
+	}
+	return out
+}
+
+func (l *taintLattice) equal(a, b taintFact) bool {
+	if (a == nil) != (b == nil) || len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if bv, ok := b[k]; !ok || bv != v {
+			return false
+		}
+	}
+	return true
+}
+
+func (l *taintLattice) edgeFact(e Edge, out taintFact) taintFact { return out }
+
+func (l *taintLattice) transfer(b *Block, in taintFact) taintFact {
+	if in == nil {
+		return nil
+	}
+	fact := in.clone()
+	for _, n := range b.Nodes {
+		l.applyNode(n, fact, nil)
+	}
+	return fact
+}
+
+// applyNode interprets one block node: assignments move taint,
+// builder-writes taint their receiver, and (when report is non-nil)
+// tainted values reaching sinks are flagged.
+func (l *taintLattice) applyNode(n ast.Node, fact taintFact, report func(pos token.Pos, what string)) {
+	switch st := n.(type) {
+	case *ast.AssignStmt:
+		l.applyAssign(st, fact, report)
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					bits := uint8(0)
+					if i < len(vs.Values) {
+						bits = l.exprTaint(vs.Values[i], fact)
+					}
+					l.setIdent(name, bits, fact)
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		// Ranging over a key-tainted map taints the key variable; over a
+		// value-tainted container, the value variable.
+		xBits := l.exprTaint(st.X, fact)
+		keyBits, valBits := uint8(0), xBits&taintVal
+		if _, isMap := l.typeOf(st.X).(*types.Map); isMap {
+			if xBits&taintKey != 0 {
+				keyBits = taintVal
+			}
+		}
+		if id, ok := st.Key.(*ast.Ident); ok {
+			l.setIdent(id, keyBits, fact)
+		}
+		if id, ok := st.Value.(*ast.Ident); ok {
+			l.setIdent(id, valBits, fact)
+		}
+	}
+
+	// Calls with side effects and sinks, anywhere in the node.
+	visitNode(n, func(m ast.Node, stack []ast.Node) {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		if recv, name, isMethod := l.p.methodCall(call); isMethod && builderWrites[name] {
+			if id, ok := baseIdent(recv); ok {
+				for _, arg := range call.Args {
+					if l.exprTaint(arg, fact)&taintVal != 0 {
+						obj := l.p.objectOf(id)
+						if obj != nil {
+							fact[obj] |= taintVal
+						}
+					}
+				}
+			}
+		}
+		if report != nil && isRDBSink(l.p, call) {
+			for _, arg := range call.Args {
+				if l.exprTaint(arg, fact)&taintVal != 0 {
+					report(call.Pos(), "a relational Exec/Query call")
+				}
+			}
+		}
+	})
+}
+
+func (l *taintLattice) applyAssign(st *ast.AssignStmt, fact taintFact, report func(pos token.Pos, what string)) {
+	// RHS taints, evaluated against the pre-assignment fact.
+	var rhsBits []uint8
+	if len(st.Rhs) == 1 && len(st.Lhs) > 1 {
+		// Multi-value call: every binding shares the call's taint.
+		bits := l.exprTaint(st.Rhs[0], fact)
+		for range st.Lhs {
+			rhsBits = append(rhsBits, bits)
+		}
+	} else {
+		for _, rhs := range st.Rhs {
+			rhsBits = append(rhsBits, l.exprTaint(rhs, fact))
+		}
+	}
+	for i, lhs := range st.Lhs {
+		if i >= len(rhsBits) {
+			break
+		}
+		bits := rhsBits[i]
+		if st.Tok == token.ADD_ASSIGN {
+			// s += x: the result carries both sides' taint.
+			bits |= l.exprTaint(lhs, fact)
+		}
+		switch target := lhs.(type) {
+		case *ast.Ident:
+			l.setIdent(target, bits, fact)
+		case *ast.IndexExpr:
+			// m[k] = v: value taint accumulates on the container, key
+			// taint on its key bit.
+			if id, ok := baseIdent(target.X); ok {
+				if obj := l.p.objectOf(id); obj != nil {
+					if bits&taintVal != 0 {
+						fact[obj] |= taintVal
+					}
+					if l.exprTaint(target.Index, fact)&taintVal != 0 {
+						if _, isMap := l.typeOf(target.X).(*types.Map); isMap {
+							fact[obj] |= taintKey
+						}
+					}
+				}
+			}
+		case *ast.SelectorExpr:
+			if target.Sel.Name == "SQL" && bits&taintVal != 0 && report != nil {
+				report(st.Pos(), "the generated SQL statement")
+			}
+			// Struct-carried taint: a tainted field taints the variable.
+			if bits&taintVal != 0 {
+				if id, ok := baseIdent(target.X); ok {
+					if obj := l.p.objectOf(id); obj != nil {
+						fact[obj] |= taintVal
+					}
+				}
+			}
+		}
+	}
+}
+
+func (l *taintLattice) setIdent(id *ast.Ident, bits uint8, fact taintFact) {
+	if id.Name == "_" {
+		return
+	}
+	obj := l.p.objectOf(id)
+	if obj == nil {
+		return
+	}
+	if bits == 0 {
+		delete(fact, obj) // strong update: clean assignment clears taint
+	} else {
+		fact[obj] = bits
+	}
+}
+
+func (l *taintLattice) typeOf(e ast.Expr) types.Type {
+	if l.p.TypesInfo == nil {
+		return nil
+	}
+	if tv, ok := l.p.TypesInfo.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// exprTaint computes the taint bits of an expression under fact.
+func (l *taintLattice) exprTaint(e ast.Expr, fact taintFact) uint8 {
+	switch x := e.(type) {
+	case *ast.Ident:
+		if obj := l.p.objectOf(x); obj != nil {
+			return fact[obj]
+		}
+	case *ast.ParenExpr:
+		return l.exprTaint(x.X, fact)
+	case *ast.SelectorExpr:
+		// A field read off an XML-QL node is THE taint source: every
+		// string in a parsed query is attacker-chosen.
+		if l.isXMLQLField(x) {
+			return taintVal
+		}
+		return l.exprTaint(x.X, fact) & taintVal
+	case *ast.IndexExpr:
+		// Element read: map/slice VALUES carry the value bit; key taint
+		// does not leak through a value read.
+		return l.exprTaint(x.X, fact) & taintVal
+	case *ast.TypeAssertExpr:
+		return l.exprTaint(x.X, fact)
+	case *ast.BinaryExpr:
+		if x.Op == token.ADD {
+			return (l.exprTaint(x.X, fact) | l.exprTaint(x.Y, fact)) & taintVal
+		}
+	case *ast.UnaryExpr:
+		return l.exprTaint(x.X, fact)
+	case *ast.StarExpr:
+		return l.exprTaint(x.X, fact)
+	case *ast.CompositeLit:
+		var bits uint8
+		for _, el := range x.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				bits |= l.exprTaint(kv.Value, fact)
+			} else {
+				bits |= l.exprTaint(el, fact)
+			}
+		}
+		return bits & taintVal
+	case *ast.CallExpr:
+		return l.callTaint(x, fact)
+	}
+	return 0
+}
+
+// callTaint: sanitizers return clean strings; conversions pass taint
+// through; every other call — including closures and unknown module
+// functions — returns taint when the receiver or any argument is
+// value-tainted (strings.Join, append, fmt.Sprintf, sb.String, ...).
+func (l *taintLattice) callTaint(call *ast.CallExpr, fact taintFact) uint8 {
+	name := ""
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	}
+	if sanitizers[name] {
+		return 0
+	}
+	var bits uint8
+	if recv, _, isMethod := l.p.methodCall(call); isMethod {
+		bits |= l.exprTaint(recv, fact)
+	}
+	for _, arg := range call.Args {
+		bits |= l.exprTaint(arg, fact)
+	}
+	return bits & taintVal
+}
+
+// isXMLQLField reports whether the selector reads a field of a type
+// declared in internal/xmlql.
+func (l *taintLattice) isXMLQLField(sel *ast.SelectorExpr) bool {
+	t := l.typeOf(sel.X)
+	for {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	if !strings.HasSuffix(named.Obj().Pkg().Path(), "internal/xmlql") {
+		return false
+	}
+	// Fields only: methods are behavior, not data.
+	if l.p.TypesInfo != nil {
+		if s, ok := l.p.TypesInfo.Selections[sel]; ok {
+			_, isField := s.Obj().(*types.Var)
+			return isField
+		}
+	}
+	return true
+}
+
+// baseIdent unwraps &x / (x) to the base identifier.
+func baseIdent(e ast.Expr) (*ast.Ident, bool) {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			id, ok := e.(*ast.Ident)
+			return id, ok
+		}
+	}
+}

@@ -12,6 +12,7 @@
 package analysis
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"strings"
@@ -21,6 +22,7 @@ const ignorePrefix = "//lint:ignore "
 
 type directive struct {
 	analyzers map[string]bool
+	pos       token.Pos
 	line      int
 	reason    string
 }
@@ -43,6 +45,7 @@ func directives(fset *token.FileSet, files []*ast.File) []directive {
 				}
 				d := directive{
 					analyzers: make(map[string]bool),
+					pos:       c.Pos(),
 					line:      fset.Position(c.Pos()).Line,
 					reason:    strings.TrimSpace(reason),
 				}
@@ -90,4 +93,25 @@ func Filter(fset *token.FileSet, files []*ast.File, diags []Diagnostic) (kept, s
 		kept = append(kept, dg)
 	}
 	return kept, suppressed
+}
+
+// CheckDirectives reports every //lint:ignore directive that names an
+// analyzer not in the suite roster — a typo there silently un-suppresses
+// nothing today and keeps suppressing nothing after the finding it was
+// written for regresses, so it must be loud.
+func CheckDirectives(fset *token.FileSet, files []*ast.File) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range directives(fset, files) {
+		for name := range d.analyzers {
+			if ByName(name) == nil {
+				out = append(out, Diagnostic{
+					Pos:      d.pos,
+					Analyzer: "suppress",
+					Message:  fmt.Sprintf("//lint:ignore names unknown analyzer %q (see nimble-lint -list)", name),
+				})
+			}
+		}
+	}
+	sortDiags(out)
+	return out
 }

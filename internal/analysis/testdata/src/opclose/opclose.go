@@ -76,3 +76,40 @@ func cleanHandoff(ctx *algebra.Context, op algebra.Operator) (algebra.Operator, 
 	}
 	return op, nil
 }
+
+// ---- path-sensitive cases (CFG-based analyzer) ----
+
+func leakPanicPath(ctx *algebra.Context, op algebra.Operator, bad bool) error {
+	if err := op.Open(ctx); err != nil {
+		return err
+	}
+	if bad {
+		panic("invariant violated") // want "not closed on this panic path"
+	}
+	op.Close()
+	return nil
+}
+
+func cleanBothBranches(ctx *algebra.Context, op algebra.Operator, alt bool) error {
+	if err := op.Open(ctx); err != nil {
+		return err
+	}
+	if alt {
+		op.Close()
+		return nil
+	}
+	_, err := op.Next()
+	op.Close()
+	return err
+}
+
+func cleanPanicWithDefer(ctx *algebra.Context, op algebra.Operator, bad bool) error {
+	if err := op.Open(ctx); err != nil {
+		return err
+	}
+	defer op.Close()
+	if bad {
+		panic("invariant violated")
+	}
+	return nil
+}

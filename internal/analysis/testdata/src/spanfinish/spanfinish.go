@@ -81,3 +81,50 @@ func cleanClosureFinish(parent *obs.Span) {
 	defer done()
 	sideEffect()
 }
+
+// ---- path-sensitive cases (CFG-based analyzer) ----
+
+func leakPanicPath(parent *obs.Span, bad bool) {
+	sp := parent.StartChild("work")
+	if bad {
+		panic("invariant violated") // want "may not be finished on this panic path"
+	}
+	sp.Finish()
+}
+
+func leakSwitchReturn(parent *obs.Span, n int) error {
+	sp := parent.StartChild("work")
+	switch n {
+	case 0:
+		sp.Finish()
+		return nil
+	default:
+		return errors.New("odd") // want "may not be finished on this return path"
+	}
+}
+
+func cleanSwitchAllCases(parent *obs.Span, n int) {
+	sp := parent.StartChild("work")
+	switch n {
+	case 0:
+		sp.Finish()
+	default:
+		sp.Finish()
+	}
+}
+
+func cleanLoopPerIteration(parent *obs.Span, n int) {
+	for i := 0; i < n; i++ {
+		sp := parent.StartChild("iter")
+		sp.SetAttr("i", "x")
+		sp.Finish()
+	}
+}
+
+func cleanPanicWithDefer(parent *obs.Span, bad bool) {
+	sp := parent.StartChild("work")
+	defer sp.Finish()
+	if bad {
+		panic("invariant violated") // deferred Finish survives the panic
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/catalog"
@@ -125,9 +126,12 @@ func Compile(descs []catalog.RelationalDescriptor, caps catalog.Capabilities,
 		remaining = preds
 	}
 
-	// Projection: select only the columns variables need.
+	// Projection: select only the columns variables need. Variable names
+	// come straight from the query text, so the alias each one becomes
+	// must pass through sqlIdent before it reaches the SELECT list; two
+	// names may collapse to the same identifier, so collisions get a
+	// numeric suffix.
 	var selectList string
-	aliasOf := func(v string) string { return "v_" + strings.ToLower(v) }
 	if opts.PushProjections && caps.Projection && len(varCol) > 0 {
 		vars := make([]string, 0, len(varCol))
 		for v := range varCol {
@@ -135,8 +139,13 @@ func Compile(descs []catalog.RelationalDescriptor, caps catalog.Capabilities,
 		}
 		sort.Strings(vars)
 		var items []string
+		used := make(map[string]bool, len(vars))
 		for _, v := range vars {
-			alias := aliasOf(v)
+			alias := sqlIdent("v_" + strings.ToLower(v))
+			for n := 2; used[alias]; n++ {
+				alias = sqlIdent("v_"+strings.ToLower(v)) + "_" + strconv.Itoa(n)
+			}
+			used[alias] = true
 			items = append(items, varCol[v]+" AS "+alias)
 			frag.VarColumns[v] = alias
 		}
@@ -351,4 +360,27 @@ func scalarToSQL(e xmlql.Expr, varCol map[string]string) (string, bool) {
 // sqlString quotes a string literal for the SQL dialect.
 func sqlString(s string) string {
 	return "'" + strings.ReplaceAll(s, "'", "''") + "'"
+}
+
+// sqlIdent reduces a query-derived name to a safe SQL identifier:
+// anything outside [a-z A-Z 0-9 _] becomes '_', and a leading digit or
+// empty result gains an underscore prefix. The mapping is lossy — two
+// distinct inputs can collide — so callers minting aliases must dedup.
+func sqlIdent(s string) string {
+	var b strings.Builder
+	b.Grow(len(s) + 1)
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_',
+			c >= '0' && c <= '9' && b.Len() > 0:
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
 }

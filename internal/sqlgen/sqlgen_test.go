@@ -330,3 +330,59 @@ func TestScalarFunctionsInPushedPredicates(t *testing.T) {
 		t.Errorf("SQL = %q", frag.SQL)
 	}
 }
+
+// hostilePattern binds the given raw variable names to the name and
+// city columns, bypassing the parser (which would reject most of these
+// spellings) — the compiler must stay safe even for programmatically
+// built patterns.
+func hostilePattern(vars ...string) *xmlql.ElemPattern {
+	cols := []string{"name", "city"}
+	pat := &xmlql.ElemPattern{Tag: xmlql.TagTest{Name: "customer"}}
+	for i, v := range vars {
+		pat.Content = append(pat.Content, &xmlql.ChildPattern{Elem: &xmlql.ElemPattern{
+			Tag:     xmlql.TagTest{Name: cols[i]},
+			Content: []xmlql.ContentPattern{&xmlql.VarContent{Var: v}},
+		}})
+	}
+	return pat
+}
+
+// TestAliasSanitizesHostileVariableNames is the regression test for the
+// sqlsafe finding at the projection alias: a variable name is query
+// text, and before sqlIdent it flowed into the SELECT list verbatim.
+func TestAliasSanitizesHostileVariableNames(t *testing.T) {
+	frag, _, err := Compile(crmDescs(), sqlCaps(), hostilePattern(`n"; DROP TABLE customers; --`), nil, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.ContainsAny(frag.SQL, `";-`) {
+		t.Errorf("hostile variable name leaked into SQL: %q", frag.SQL)
+	}
+	if !strings.Contains(frag.SQL, " AS v_n") {
+		t.Errorf("SQL = %q, want a v_n... alias", frag.SQL)
+	}
+	alias, ok := frag.VarColumns[`n"; DROP TABLE customers; --`]
+	if !ok {
+		t.Fatalf("VarColumns misses the variable: %v", frag.VarColumns)
+	}
+	if alias != sqlIdent(alias) {
+		t.Errorf("exported alias %q is not itself a clean identifier", alias)
+	}
+}
+
+// TestAliasCollisionsGetDistinctNames: sanitization is lossy, so two
+// different variables may map to the same identifier; each must still
+// get its own alias or one column silently shadows the other.
+func TestAliasCollisionsGetDistinctNames(t *testing.T) {
+	frag, _, err := Compile(crmDescs(), sqlCaps(), hostilePattern("a!", "a?"), nil, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, a2 := frag.VarColumns["a!"], frag.VarColumns["a?"]
+	if a1 == "" || a2 == "" || a1 == a2 {
+		t.Fatalf("aliases not distinct: %q vs %q (SQL %q)", a1, a2, frag.SQL)
+	}
+	if !strings.Contains(frag.SQL, " AS "+a1) || !strings.Contains(frag.SQL, " AS "+a2) {
+		t.Errorf("SQL %q misses an alias", frag.SQL)
+	}
+}
