@@ -6,7 +6,7 @@ GO ?= go
 # installed, so `make check` stays green on offline builders.
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: all build test race vet lint vulncheck check bench explain-smoke chaos-smoke cluster-smoke
+.PHONY: all build test race vet lint vulncheck check bench explain-smoke chaos-smoke cluster-smoke trace-smoke
 
 all: build
 
@@ -61,6 +61,16 @@ chaos-smoke:
 cluster-smoke:
 	$(GO) test -run 'TestClusterSmoke' -count=1 -v ./internal/cluster
 	$(GO) test -race -run 'TestClusterStorm' -count=1 ./internal/cluster
+
+# trace-smoke drives a chaos-faulted query through the full stack
+# (HTTP front end -> cluster -> engine -> per-attempt fetch) and
+# asserts one tail-kept trace links every tier under a single TraceID,
+# that the id appears on the slow log, structured log lines, exporter
+# batches, and histogram exemplars, and that a fixed TraceSeed keeps a
+# deterministic trace set. Plus the -race pass over internal/obs.
+trace-smoke:
+	$(GO) test -run 'TestTraceSmokeEndToEnd|TestKeptTraceSetDeterministic' -count=1 -v .
+	$(GO) test -race -count=1 ./internal/obs
 
 # explain-smoke runs one federated two-source query through
 # `nimble-cli -explain` and asserts the EXPLAIN ANALYZE operator tree

@@ -25,12 +25,14 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	nimble "repro"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/workload"
 )
@@ -52,7 +54,12 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful drain bound on shutdown")
 	adminToken := flag.String("admin-token", "admin", "token for /admin endpoints")
 	customers := flag.Int("customers", 500, "demo dataset size")
-	traces := flag.Int("traces", 16, "recent query traces kept for /debug/trace/last (-1 disables)")
+	traces := flag.Int("traces", 16, "kept query traces retained for /debug/traces and /debug/trace/last (-1 disables tracing)")
+	traceSample := flag.Float64("trace-sample", 1, "head-sampling rate: fraction of traces kept regardless of outcome (errored/slow traces are always kept; negative = tail-only)")
+	traceSlow := flag.Duration("trace-slow", 250*time.Millisecond, "tail-keep traces at least this slow even when head sampling drops them (0 disables)")
+	traceSeed := flag.Int64("trace-seed", 0, "trace/span id generator seed; a fixed seed makes the head-sampled set reproducible (0 = random)")
+	traceExport := flag.String("trace-export", "", "append kept traces as OTLP-style JSON lines to this file (empty disables export)")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	slowN := flag.Int("slowlog", 16, "slow queries retained with EXPLAIN plans for /debug/slowlog")
 	slowAfter := flag.Duration("slow-threshold", 0, "record queries at least this slow (0 keeps the slowest overall)")
 	fetchTimeout := flag.Duration("fetch-timeout", 10*time.Second, "per-attempt remote fetch timeout (0 disables)")
@@ -64,6 +71,7 @@ func main() {
 	if *clusterN > 0 {
 		n = *clusterN
 	}
+	logger := obs.NewLogger(os.Stderr, slog.LevelInfo)
 	sys := nimble.New(nimble.Config{
 		Instances:        n,
 		CacheEntries:     *cacheSize,
@@ -76,12 +84,27 @@ func main() {
 		EjectAfter:       *ejectAfter,
 		ReadmitAfter:     *readmitAfter,
 		TraceBuffer:      *traces,
+		TraceSample:      *traceSample,
+		TraceSlow:        *traceSlow,
+		TraceSeed:        *traceSeed,
+		Logger:           logger,
+		Pprof:            *pprofOn,
 		SlowLogSize:      *slowN,
 		SlowLogThreshold: *slowAfter,
 		FetchTimeout:     *fetchTimeout,
 		FetchRetries:     *fetchRetries,
 		BreakerThreshold: *breakerThreshold,
 	})
+	obs.RegisterRuntimeMetrics(sys.Metrics())
+	var fileExp *obs.FileExporter
+	if *traceExport != "" {
+		var err error
+		fileExp, err = obs.NewFileExporter(*traceExport, "nimbled")
+		if err != nil {
+			log.Fatal(err)
+		}
+		sys.SetTraceExporter(fileExp)
+	}
 	if err := boot(sys, *customers); err != nil {
 		log.Fatal(err)
 	}
@@ -93,24 +116,31 @@ func main() {
 	httpSrv := server.NewHTTPServer(*addr, sys.HTTPHandler(*adminToken))
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("nimbled: %d sources, %d schemas, %d engine instances (%s routing), listening on %s",
-		len(sys.Sources()), len(sys.Schemas()), sys.Instances(), *route, *addr)
+	logger.Info("nimbled listening",
+		"sources", len(sys.Sources()), "schemas", len(sys.Schemas()),
+		"instances", sys.Instances(), "route", *route, "addr", *addr)
 
 	select {
 	case err := <-errc:
 		log.Fatal(err)
 	case <-ctx.Done():
 	}
-	log.Printf("nimbled: draining cluster (bound %s)", *drainTimeout)
+	logger.Info("draining cluster", "bound", drainTimeout.String())
 	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := sys.Cluster().DrainAll(dctx); err != nil {
-		log.Printf("nimbled: drain incomplete: %v", err)
+		logger.Warn("drain incomplete", "error", err.Error())
 	}
 	if err := httpSrv.Shutdown(dctx); err != nil {
-		log.Printf("nimbled: http shutdown: %v", err)
+		logger.Warn("http shutdown", "error", err.Error())
 	}
-	log.Print("nimbled: stopped")
+	sys.Close()
+	if fileExp != nil {
+		if err := fileExp.Close(); err != nil {
+			logger.Warn("trace export close", "error", err.Error())
+		}
+	}
+	logger.Info("nimbled stopped")
 }
 
 // boot assembles the demo deployment.
@@ -167,8 +197,9 @@ func boot(sys *nimble.System, customers int) error {
 	fmt.Println(`  curl 'localhost:8080/lens/by-city?city=Seattle&device=web'`)
 	fmt.Println(`  curl 'localhost:8080/lens/vips?auth=vip-secret&device=plain'`)
 	fmt.Println("observability:")
-	fmt.Println(`  curl localhost:8080/metrics                        # Prometheus exposition`)
-	fmt.Println(`  curl 'localhost:8080/debug/trace/last?n=1'         # last query span tree (add &format=xml)`)
+	fmt.Println(`  curl localhost:8080/metrics                        # Prometheus exposition (+ nimble_runtime_* gauges)`)
+	fmt.Println(`  curl 'localhost:8080/debug/traces?min_ms=50&err=1' # search kept traces (add &format=text&depth=4)`)
+	fmt.Println(`  curl 'localhost:8080/debug/trace/last?n=1'         # last kept span tree (add &format=xml)`)
 	fmt.Println(`  curl -XPOST -d '<query>' 'localhost:8080/query?profile=1'  # embed the span tree in the answer`)
 	fmt.Println(`  curl -XPOST -d '<query>' 'localhost:8080/query?explain=1'  # embed the EXPLAIN ANALYZE operator tree`)
 	fmt.Println(`  curl localhost:8080/debug/queries                  # active queries + recent slow queries`)

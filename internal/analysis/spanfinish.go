@@ -26,9 +26,11 @@ var SpanFinish = &Analyzer{
 
 // span-creating callees, keyed by selector name.
 var spanCreators = map[string]bool{
-	"NewSpan":    true, // obs.NewSpan(name)
-	"StartSpan":  true, // obs.StartSpan(ctx, name) -> (ctx, *Span)
-	"StartChild": true, // (*Span).StartChild(name)
+	"NewSpan":     true, // obs.NewSpan(name)
+	"NewRootSpan": true, // obs.NewRootSpan(name, tc)
+	"StartSpan":   true, // obs.StartSpan(ctx, name) -> (ctx, *Span)
+	"StartChild":  true, // (*Span).StartChild(name)
+	"NewRoot":     true, // (*TraceStore).NewRoot(name, tc)
 }
 
 // spanSite is one tracked `sp := ...` creation inside one function unit.
@@ -70,9 +72,16 @@ func spanCreatorKind(pass *Pass, call *ast.CallExpr) string {
 			return ""
 		}
 	}
-	if name == "StartChild" {
+	switch name {
+	case "StartChild":
 		// Method form: when types resolve, the receiver must be *obs.Span.
 		if ts := pass.typeStringOf(sel.X); ts != "" && !strings.HasSuffix(ts, "internal/obs.Span") {
+			return ""
+		}
+		return name
+	case "NewRoot":
+		// Method form: the receiver must be *obs.TraceStore.
+		if ts := pass.typeStringOf(sel.X); ts != "" && !strings.HasSuffix(ts, "internal/obs.TraceStore") {
 			return ""
 		}
 		return name

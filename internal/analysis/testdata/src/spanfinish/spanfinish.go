@@ -128,3 +128,35 @@ func cleanPanicWithDefer(parent *obs.Span, bad bool) {
 		panic("invariant violated") // deferred Finish survives the panic
 	}
 }
+
+// ---- root-span creators (trace store + traceparent joins) ----
+
+func leakRootSpan() {
+	sp := obs.NewRootSpan("request", obs.TraceContext{}) // want "never finished"
+	sp.SetAttr("k", "v")
+}
+
+func leakStoreRoot(store *obs.TraceStore) {
+	sp := store.NewRoot("request", obs.TraceContext{}) // want "never finished"
+	sp.SetAttr("k", "v")
+}
+
+func leakStoreRootEarlyReturn(store *obs.TraceStore, fail bool) error {
+	sp := store.NewRoot("request", obs.TraceContext{})
+	if fail {
+		return errors.New("boom") // want "may not be finished on this return path"
+	}
+	sp.Finish()
+	return nil
+}
+
+func cleanStoreRootRecorded(store *obs.TraceStore) {
+	sp := store.NewRoot("request", obs.TraceContext{})
+	defer sp.Finish()
+	sideEffect()
+}
+
+func cleanRootSpanEscapes(store *obs.TraceStore) *obs.Span {
+	sp := store.NewRoot("request", obs.TraceContext{})
+	return sp // caller owns the Finish obligation
+}

@@ -29,7 +29,9 @@ package cluster
 import (
 	"container/list"
 	"context"
+	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"strconv"
 	"sync"
@@ -91,6 +93,9 @@ type Config struct {
 	// Seed seeds the power-of-two-choices sampler (0 = 1), so runs are
 	// reproducible.
 	Seed int64
+	// Logger receives structured admission/health/drain events with
+	// trace correlation (nil discards them).
+	Logger *slog.Logger
 }
 
 // OverloadError is returned when admission control sheds a query: the
@@ -158,6 +163,7 @@ type waiter struct {
 type Cluster struct {
 	cfg   Config
 	clock Clock
+	log   *slog.Logger // immutable after New; never nil
 
 	mu      sync.Mutex
 	members []*member  // guarded by mu (slice immutable; element state guarded)
@@ -199,9 +205,14 @@ func New(cfg Config, engines ...*core.Engine) *Cluster {
 	if seed == 0 {
 		seed = 1
 	}
+	log := cfg.Logger
+	if log == nil {
+		log = obs.NopLogger()
+	}
 	c := &Cluster{
 		cfg:     cfg,
 		clock:   clock,
+		log:     log,
 		waiters: list.New(),
 		rng:     newSplitmix(uint64(seed)),
 	}
@@ -368,20 +379,30 @@ func (c *Cluster) Query(ctx context.Context, q string) (*core.Result, error) {
 // execution).
 func (c *Cluster) QueryOpt(ctx context.Context, q string, qo core.QueryOptions) (*core.Result, error) {
 	key := qcache.Key(q)
+	// The cluster hop hangs under the caller's span (nil-safe: without a
+	// front-end trace the whole chain degrades to no-ops) and records
+	// the routing decision and cache outcome.
+	ctx, sp := obs.StartSpan(ctx, "cluster")
+	defer sp.Finish()
 	m, err := c.acquire(ctx, key)
 	if err != nil {
+		sp.SetAttr("error", err.Error())
 		return nil, err
 	}
+	sp.SetAttr("route_policy", c.cfg.Policy.String())
+	sp.SetAttr("instance", m.name)
 	start := c.clock.Now()
 	defer func() { c.release(m, c.clock.Now().Sub(start)) }()
 	m.mRequests.Inc()
 	bypassCache := qo.Profile || qo.Explain
 	if m.cache != nil && !bypassCache {
 		if hit, ok := m.cache.Get(key); ok {
+			sp.SetBool("cache_hit", true)
 			res := &core.Result{Values: hit.Values}
 			res.Completeness.Complete = true
 			return res, nil
 		}
+		sp.SetBool("cache_hit", false)
 	}
 	res, err := m.engine.QueryOpt(ctx, q, qo)
 	if err == nil && res.Completeness.Complete && m.cache != nil && !bypassCache {
@@ -411,17 +432,35 @@ func (c *Cluster) acquire(ctx context.Context, key string) (*member, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	// The admission span brackets the whole wait, so queue time shows up
+	// as a distinct segment of the trace rather than vanishing into the
+	// cluster span.
+	spAdm := obs.FromContext(ctx).StartChild("admission")
+	defer spAdm.Finish()
 	m, w, elem, err := c.admit(ctx, key)
 	if err != nil {
+		var oe *OverloadError
+		if errors.As(err, &oe) {
+			spAdm.SetAttr("shed", oe.Reason)
+			c.log.WarnContext(ctx, "admission shed",
+				"reason", oe.Reason, "retry_after", oe.RetryAfter.String())
+		}
+		spAdm.SetAttr("error", err.Error())
 		return nil, err
 	}
 	if m != nil {
+		spAdm.SetAttr("outcome", "immediate")
 		return m, nil
 	}
+	spAdm.AddEvent("enqueued")
+	spAdm.SetAttr("outcome", "queued")
 
 	select {
 	case m := <-w.ch:
-		c.mQueueWait.Observe(c.clock.Now().Sub(w.enq).Seconds())
+		wait := c.clock.Now().Sub(w.enq)
+		c.mQueueWait.Observe(wait.Seconds())
+		spAdm.AddEvent("granted", "instance", m.name)
+		spAdm.SetInt("wait_us", wait.Microseconds())
 		return m, nil
 	case <-ctx.Done():
 		c.mu.Lock()
@@ -429,11 +468,13 @@ func (c *Cluster) acquire(ctx context.Context, key string) (*member, error) {
 			c.waiters.Remove(elem)
 			c.queued--
 			c.mu.Unlock()
+			spAdm.SetAttr("error", ctx.Err().Error())
 			return nil, ctx.Err()
 		}
 		c.mu.Unlock()
 		// The grant raced the cancellation: hand the slot back.
 		c.release(<-w.ch, -1)
+		spAdm.SetAttr("error", ctx.Err().Error())
 		return nil, ctx.Err()
 	}
 }
@@ -545,9 +586,12 @@ func (c *Cluster) Drain(ctx context.Context, i int) error {
 		return nil
 	}
 	m.draining = true
+	active := m.active
 	if m.active == 0 {
 		m.removed = true
 		c.mu.Unlock()
+		obs.FromContext(ctx).AddEvent("drain", "instance", m.name, "waited_for", "0")
+		c.log.InfoContext(ctx, "instance drained", "instance", m.name, "waited_for", 0)
 		return nil
 	}
 	if m.drainDone == nil {
@@ -555,15 +599,20 @@ func (c *Cluster) Drain(ctx context.Context, i int) error {
 	}
 	done := m.drainDone
 	c.mu.Unlock()
+	obs.FromContext(ctx).AddEvent("drain wait", "instance", m.name, "active", strconv.Itoa(active))
+	c.log.InfoContext(ctx, "draining instance", "instance", m.name, "active", active)
 
 	select {
 	case <-done:
 	case <-ctx.Done():
+		c.log.WarnContext(ctx, "drain interrupted", "instance", m.name, "error", ctx.Err().Error())
 		return ctx.Err()
 	}
 	c.mu.Lock()
 	m.removed = true
 	c.mu.Unlock()
+	obs.FromContext(ctx).AddEvent("drain", "instance", m.name, "waited_for", strconv.Itoa(active))
+	c.log.InfoContext(ctx, "instance drained", "instance", m.name, "waited_for", active)
 	return nil
 }
 
@@ -590,6 +639,7 @@ func (c *Cluster) Restore(i int) {
 	m.lastErr = ""
 	c.dispatchLocked()
 	c.mu.Unlock()
+	c.log.Info("instance restored", "instance", m.name)
 }
 
 // InstanceStatus is one instance's row in the /debug/cluster inspector.

@@ -3,9 +3,11 @@ package cluster
 import (
 	"context"
 	"fmt"
+	"strconv"
 
 	"repro/internal/core"
 	"repro/internal/exec"
+	"repro/internal/obs"
 )
 
 // Probe checks one instance's health; nil error means healthy. Probes
@@ -84,30 +86,52 @@ func (c *Cluster) ProbeNow(ctx context.Context) {
 
 	for _, m := range due {
 		err := m.probe(ctx)
+		// The probe ran under the caller's context: when an admin drives
+		// ProbeNow from a traced request, the outcome lands on that span.
+		sp := obs.FromContext(ctx)
 		c.mu.Lock()
 		m.probing = false
 		if err != nil {
 			m.fails++
 			m.lastErr = err.Error()
+			fails := m.fails
 			if m.ejected {
 				// Half-open probe failed: a fresh cooldown.
 				m.readmitAt = c.clock.Now().Add(c.cfg.ReadmitAfter)
-			} else if m.fails >= c.cfg.EjectAfter {
+				c.mu.Unlock()
+				sp.AddEvent("probe failed", "instance", m.name, "state", "ejected")
+				c.log.WarnContext(ctx, "half-open probe failed", "instance", m.name, "error", err.Error())
+			} else if fails >= c.cfg.EjectAfter {
 				m.ejected = true
 				m.readmitAt = c.clock.Now().Add(c.cfg.ReadmitAfter)
 				m.mEjections.Inc()
+				c.mu.Unlock()
+				sp.AddEvent("instance ejected", "instance", m.name)
+				c.log.WarnContext(ctx, "instance ejected", "instance", m.name,
+					"fails", fails, "error", err.Error())
+			} else {
+				c.mu.Unlock()
+				sp.AddEvent("probe failed", "instance", m.name, "fails", strconv.Itoa(fails))
+				c.log.InfoContext(ctx, "probe failed", "instance", m.name,
+					"fails", fails, "error", err.Error())
 			}
 		} else {
+			readmitted := false
 			if m.ejected {
 				m.ejected = false
 				m.mReadmission.Inc()
+				readmitted = true
 				// Readmission created routable capacity.
 				c.dispatchLocked()
 			}
 			m.fails = 0
 			m.lastErr = ""
+			c.mu.Unlock()
+			if readmitted {
+				sp.AddEvent("instance readmitted", "instance", m.name)
+				c.log.InfoContext(ctx, "instance readmitted", "instance", m.name)
+			}
 		}
-		c.mu.Unlock()
 	}
 }
 

@@ -42,7 +42,7 @@ type Engine struct {
 	funcs      map[string]func([]xmldm.Value) (xmldm.Value, error) // guarded by mu
 	skipUnfold func(string) bool                                   // guarded by mu
 	metrics    *obs.Registry                                       // guarded by mu
-	tracer     *obs.Tracer                                         // guarded by mu
+	traces     *obs.TraceStore                                     // guarded by mu
 	slow       *SlowLog                                            // guarded by mu
 	active     *ActiveRegistry                                     // guarded by mu
 
@@ -83,13 +83,15 @@ func (e *Engine) SetMetrics(reg *obs.Registry) {
 	e.runner.Metrics = reg
 }
 
-// SetTracer installs a query tracer: every query's span tree is
-// recorded into its retention ring (nil disables retention; ?profile
-// still works without one).
-func (e *Engine) SetTracer(t *obs.Tracer) {
+// SetTraceStore installs the trace store: when the engine starts its
+// own trace (no caller span in the context), the finished span tree is
+// offered to the store's sampler. When a front end already owns the
+// trace, the engine only hangs its work under the caller's span and the
+// owner records it. Nil disables recording; ?profile still works.
+func (e *Engine) SetTraceStore(t *obs.TraceStore) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.tracer = t
+	e.traces = t
 }
 
 // SetIntrospection installs the slow-query log and active-query registry
@@ -279,7 +281,7 @@ func (e *Engine) queryAST(ctx context.Context, q *xmlql.Query, qo QueryOptions, 
 	policy := e.policy
 	funcs := e.funcs
 	metrics := e.metrics
-	tracer := e.tracer
+	traces := e.traces
 	slow := e.slow
 	activeReg := e.active
 	e.mu.RUnlock()
@@ -298,10 +300,24 @@ func (e *Engine) queryAST(ctx context.Context, q *xmlql.Query, qo QueryOptions, 
 	start := time.Now()
 	aq := activeReg.Register(text)
 	defer activeReg.Finish(aq)
+	// When a caller (the HTTP front end, via the cluster hop) already
+	// carries a span, the engine's work hangs under it — one TraceID end
+	// to end — and the caller records the finished trace. Only when the
+	// engine is the outermost tier does it start (and record) its own
+	// root trace.
 	var root *obs.Span
-	if qo.Profile || tracer != nil {
-		root = obs.NewSpan("query")
+	ownRoot := false
+	if parent := obs.FromContext(ctx); parent != nil {
+		root = parent.StartChild("engine")
+	} else if qo.Profile || traces != nil {
+		root = traces.NewRoot("engine", obs.TraceContext{})
+		ownRoot = true
+	}
+	if root != nil {
 		root.SetAttr("policy", policy.String())
+		if id := e.ID(); id != "" {
+			root.SetAttr("instance", id)
+		}
 		ctx = obs.ContextWithSpan(ctx, root)
 	}
 
@@ -315,22 +331,25 @@ func (e *Engine) queryAST(ctx context.Context, q *xmlql.Query, qo QueryOptions, 
 	elapsed := time.Since(start)
 
 	metrics.Counter("nimble_queries_total").Inc()
-	metrics.Histogram("nimble_query_seconds").Observe(elapsed.Seconds())
+	// The latency observation carries the trace id as a bucket exemplar:
+	// a bad percentile on the histogram links straight to a kept trace.
+	metrics.Histogram("nimble_query_seconds").ObserveExemplar(elapsed.Seconds(), root.TraceID().String())
 	if err != nil {
 		metrics.Counter("nimble_query_errors_total").Inc()
 		res.Explain.Finalize()
 		attachFetchStats(res.Explain, access.FetchStats(), elapsed)
 		slow.Record(SlowEntry{
 			Query:      text,
+			TraceID:    root.TraceID().String(),
 			Start:      start,
 			DurationMS: float64(elapsed) / float64(time.Millisecond),
 			Error:      err.Error(),
 			Plan:       res.Explain.Render(),
 		})
-		if root != nil {
-			root.SetAttr("error", err.Error())
-			root.Finish()
-			tracer.Record(root)
+		root.SetAttr("error", err.Error())
+		root.Finish()
+		if ownRoot {
+			traces.Record(root)
 		}
 		return nil, err
 	}
@@ -346,6 +365,7 @@ func (e *Engine) queryAST(ctx context.Context, q *xmlql.Query, qo QueryOptions, 
 	attachFetchStats(res.Explain, access.FetchStats(), elapsed)
 	slow.Record(SlowEntry{
 		Query:      text,
+		TraceID:    root.TraceID().String(),
 		Start:      start,
 		DurationMS: float64(elapsed) / float64(time.Millisecond),
 		Tuples:     snap.TuplesEmitted,
@@ -357,7 +377,9 @@ func (e *Engine) queryAST(ctx context.Context, q *xmlql.Query, qo QueryOptions, 
 		root.SetInt("tuples", snap.TuplesEmitted)
 		root.SetBool("complete", res.Completeness.Complete)
 		root.Finish()
-		tracer.Record(root)
+		if ownRoot {
+			traces.Record(root)
+		}
 		if qo.Profile {
 			res.Trace = root
 		}

@@ -136,7 +136,11 @@ func (r *ActiveRegistry) Snapshot() []ActiveQueryInfo {
 
 // SlowEntry is one retained slow-query record.
 type SlowEntry struct {
-	Query      string    `json:"query"`
+	Query string `json:"query"`
+	// TraceID joins the entry to its trace: when the execution was
+	// traced and kept, /debug/traces and the structured log stream carry
+	// the same id.
+	TraceID    string    `json:"trace_id,omitempty"`
 	Start      time.Time `json:"start"`
 	DurationMS float64   `json:"duration_ms"`
 	Tuples     int64     `json:"tuples"`

@@ -23,8 +23,11 @@ func TestProfileSpanTree(t *testing.T) {
 		t.Fatal(err)
 	}
 	root := res.Trace
-	if root == nil || root.Name() != "query" {
+	if root == nil || root.Name() != "engine" {
 		t.Fatalf("trace root = %v", root)
+	}
+	if root.TraceID().IsZero() || root.SpanID().IsZero() {
+		t.Error("profile root should carry trace identity")
 	}
 	if root.Duration() <= 0 {
 		t.Error("root span should be finished")
@@ -69,14 +72,14 @@ func TestProfileSpanTree(t *testing.T) {
 	}
 }
 
-// TestTracerRetainsQueries checks that an installed tracer records every
-// query even without Profile, and that metrics count them.
+// TestTracerRetainsQueries checks that an installed trace store records
+// every query even without Profile, and that metrics count them.
 func TestTracerRetainsQueries(t *testing.T) {
 	eng, _ := newTestEngine(t)
 	reg := obs.NewRegistry()
 	eng.SetMetrics(reg)
-	tr := obs.NewTracer(4)
-	eng.SetTracer(tr)
+	tr := obs.NewTraceStore(obs.StoreConfig{Limit: 4})
+	eng.SetTraceStore(tr)
 	q := `WHERE <cust><who>$w</who></cust> IN "customers" CONSTRUCT <r>$w</r>`
 	for i := 0; i < 3; i++ {
 		res, err := eng.Query(context.Background(), q)

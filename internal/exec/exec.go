@@ -297,7 +297,7 @@ func (a *Access) doFetch(source string, req catalog.Request, sp *obs.Span) (*xml
 		return nil, err
 	}
 	start := time.Now()
-	doc, cost, retries, breaker, err := a.fetchResilient(src, source, req)
+	doc, cost, retries, breaker, err := a.fetchResilient(src, source, req, sp)
 	// The remote-only histogram isolates the source round trip (all
 	// attempts plus backoff) from the memoization/local-store/
 	// materialization paths that share nimble_fetch_seconds.
@@ -323,8 +323,11 @@ func (a *Access) doFetch(source string, req catalog.Request, sp *obs.Span) (*xml
 // circuit-breaker admission, per-attempt timeout, and bounded retry
 // with jittered exponential backoff for transient failures. It returns
 // the retry count and the breaker involvement ("open" fail-fast,
-// "half-open" probe) for completeness/EXPLAIN attribution.
-func (a *Access) fetchResilient(src catalog.Source, source string, req catalog.Request) (*xmldm.Node, catalog.Cost, int, string, error) {
+// "half-open" probe) for completeness/EXPLAIN attribution. Each attempt
+// runs under its own child of sp (the fetch span) carrying the breaker
+// decision and the attempt's error; backoff sleeps land on sp as
+// events, so a kept trace shows the full retry history.
+func (a *Access) fetchResilient(src catalog.Source, source string, req catalog.Request, sp *obs.Span) (*xmldm.Node, catalog.Cost, int, string, error) {
 	r := a.runner
 	res := r.Resilience
 	br := r.breakerFor(source)
@@ -341,14 +344,19 @@ func (a *Access) fetchResilient(src catalog.Source, source string, req catalog.R
 		if err := a.ctx.Err(); err != nil {
 			return nil, catalog.Cost{}, retries, breaker, err
 		}
+		spAtt := sp.StartChild(fmt.Sprintf("attempt[%d]", attempt))
 		if br != nil {
 			ok, probe := br.Allow()
 			if !ok {
+				spAtt.SetAttr("breaker", "open")
+				spAtt.SetAttr("error", "circuit breaker open")
+				spAtt.Finish()
 				return nil, catalog.Cost{}, retries, "open",
 					fmt.Errorf("%w: %s: circuit breaker open", sources.ErrUnavailable, source)
 			}
 			if probe {
 				breaker = "half-open"
+				spAtt.SetAttr("breaker", "half-open")
 			}
 		}
 		doc, cost, err := a.attempt(src, req)
@@ -363,9 +371,12 @@ func (a *Access) fetchResilient(src catalog.Source, source string, req catalog.R
 			}
 		}
 		if err == nil {
+			spAtt.Finish()
 			return doc, cost, retries, breaker, nil
 		}
 		lastErr = err
+		spAtt.SetAttr("error", err.Error())
+		spAtt.Finish()
 		if !sources.Transient(err) || attempt == attempts {
 			break
 		}
@@ -375,6 +386,7 @@ func (a *Access) fetchResilient(src catalog.Source, source string, req catalog.R
 		}
 		delay := BackoffDelay(res.RetryBase, res.RetryMax, attempt,
 			jitterNoise(source, attempt, r.clock().Now()))
+		sp.AddEvent("retry backoff", "attempt", fmt.Sprint(attempt), "delay", delay.String())
 		if err := r.clock().Sleep(a.ctx, delay); err != nil {
 			return nil, catalog.Cost{}, retries, breaker, err
 		}

@@ -11,8 +11,10 @@ package exec
 import (
 	"context"
 	"hash/fnv"
+	"log/slog"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -251,6 +253,10 @@ type BreakerSet struct {
 	clock     Clock
 	metrics   *obs.Registry
 
+	// log is swapped atomically (recordState fires under breaker locks,
+	// so it must not take the set lock); never nil after NewBreakerSet.
+	log atomic.Pointer[slog.Logger]
+
 	mu       sync.Mutex
 	breakers map[string]*Breaker // guarded by mu
 }
@@ -268,13 +274,27 @@ func NewBreakerSet(threshold int, cooldown time.Duration, clock Clock, metrics *
 	if clock == nil {
 		clock = realClock{}
 	}
-	return &BreakerSet{
+	s := &BreakerSet{
 		threshold: threshold,
 		cooldown:  cooldown,
 		clock:     clock,
 		metrics:   metrics,
 		breakers:  make(map[string]*Breaker),
 	}
+	s.log.Store(obs.NopLogger())
+	return s
+}
+
+// SetLogger routes breaker state transitions to log (nil restores the
+// discard logger).
+func (s *BreakerSet) SetLogger(log *slog.Logger) {
+	if s == nil {
+		return
+	}
+	if log == nil {
+		log = obs.NopLogger()
+	}
+	s.log.Store(log)
 }
 
 // For returns (creating if needed) the source's breaker.
@@ -298,8 +318,12 @@ func (s *BreakerSet) For(source string) *Breaker {
 }
 
 // recordState exports a transition: the nimble_breaker_state gauge
-// (0 closed, 1 half-open, 2 open) and a transition counter.
+// (0 closed, 1 half-open, 2 open), a transition counter, and a
+// structured log line.
 func (s *BreakerSet) recordState(source string, state BreakerState) {
+	if log := s.log.Load(); log != nil {
+		log.Info("breaker transition", "source", source, "state", state.String())
+	}
 	if s.metrics == nil {
 		return
 	}

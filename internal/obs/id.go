@@ -1,0 +1,186 @@
+// Trace identity and W3C Trace Context propagation. Every span carries a
+// 128-bit TraceID shared by the whole query (across the HTTP front end,
+// the cluster admission/routing hop, the engine phases, and each fetch
+// attempt) and a 64-bit SpanID of its own, so one user request is
+// followable end to end and joinable against structured logs and metric
+// exemplars. The wire form is the W3C `traceparent` header
+// (https://www.w3.org/TR/trace-context/):
+//
+//	traceparent: 00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01
+//
+// so external callers can hand the system a trace to join, and the
+// system hands the identity back on every response.
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sync"
+)
+
+// TraceID is the 128-bit identity shared by every span of one trace.
+type TraceID [16]byte
+
+// SpanID is the 64-bit identity of one span.
+type SpanID [8]byte
+
+// IsZero reports the invalid all-zero trace id (the W3C spec forbids it
+// on the wire; internally it marks "no identity assigned").
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// IsZero reports the invalid all-zero span id.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// String renders the id as 32 lowercase hex digits ("" when zero).
+func (t TraceID) String() string {
+	if t.IsZero() {
+		return ""
+	}
+	return hex.EncodeToString(t[:])
+}
+
+// String renders the id as 16 lowercase hex digits ("" when zero).
+func (s SpanID) String() string {
+	if s.IsZero() {
+		return ""
+	}
+	return hex.EncodeToString(s[:])
+}
+
+// TraceContext is the propagated identity of an in-progress trace: the
+// trace id, the id of the calling span (the parent of whatever span is
+// started next), and the sampled flag from the wire.
+type TraceContext struct {
+	TraceID TraceID
+	SpanID  SpanID
+	Sampled bool
+}
+
+// IsZero reports an empty context (no incoming trace).
+func (tc TraceContext) IsZero() bool { return tc.TraceID.IsZero() }
+
+// ParseTraceparent parses a W3C traceparent header. It accepts the
+// version-00 format `00-<32 hex>-<16 hex>-<2 hex>` and, per the spec's
+// forward-compatibility rule, any higher known-length version except ff.
+// A malformed header (wrong lengths, bad hex, all-zero ids, version ff)
+// returns ok=false: the caller starts a fresh trace rather than
+// propagating garbage.
+func ParseTraceparent(h string) (TraceContext, bool) {
+	var tc TraceContext
+	// 2+1+32+1+16+1+2 = 55; future versions may append fields after
+	// another dash, which version-00 parsers must tolerate.
+	if len(h) < 55 {
+		return tc, false
+	}
+	if h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return tc, false
+	}
+	var ver [1]byte
+	if _, err := hex.Decode(ver[:], []byte(h[0:2])); err != nil || ver[0] == 0xff {
+		return tc, false
+	}
+	if ver[0] == 0 && len(h) != 55 {
+		return tc, false // version 00 is exactly 55 chars
+	}
+	if len(h) > 55 && h[55] != '-' {
+		return tc, false // a higher version must separate extra fields
+	}
+	if _, err := hex.Decode(tc.TraceID[:], []byte(h[3:35])); err != nil {
+		return TraceContext{}, false
+	}
+	if _, err := hex.Decode(tc.SpanID[:], []byte(h[36:52])); err != nil {
+		return TraceContext{}, false
+	}
+	var flags [1]byte
+	if _, err := hex.Decode(flags[:], []byte(h[53:55])); err != nil {
+		return TraceContext{}, false
+	}
+	if tc.TraceID.IsZero() || tc.SpanID.IsZero() {
+		return TraceContext{}, false
+	}
+	tc.Sampled = flags[0]&0x01 != 0
+	return tc, true
+}
+
+// FormatTraceparent renders the context as a version-00 traceparent
+// header ("" when the context carries no trace).
+func FormatTraceparent(tc TraceContext) string {
+	if tc.TraceID.IsZero() || tc.SpanID.IsZero() {
+		return ""
+	}
+	flags := "00"
+	if tc.Sampled {
+		flags = "01"
+	}
+	return fmt.Sprintf("00-%s-%s-%s", tc.TraceID.String(), tc.SpanID.String(), flags)
+}
+
+// IDGen generates trace and span ids. A seeded generator replays the
+// same id sequence (chaos runs pin the seed so the set of head-sampled
+// traces is deterministic); the zero seed draws a random one. Safe for
+// concurrent use.
+type IDGen struct {
+	mu    sync.Mutex
+	state uint64 // guarded by mu; SplitMix64 state
+}
+
+// NewIDGen creates a generator. seed 0 draws a random seed (production);
+// any other seed replays deterministically (chaos and tests).
+func NewIDGen(seed int64) *IDGen {
+	if seed == 0 {
+		var b [8]byte
+		if _, err := rand.Read(b[:]); err == nil {
+			seed = int64(binary.LittleEndian.Uint64(b[:]))
+		}
+		if seed == 0 {
+			seed = 1
+		}
+	}
+	return &IDGen{state: uint64(seed)}
+}
+
+// next is SplitMix64 (the same generator the cluster's power-of-two
+// sampler uses), held under the mutex.
+func (g *IDGen) nextLocked() uint64 {
+	g.state += 0x9e3779b97f4a7c15
+	z := g.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// TraceID draws a fresh non-zero trace id.
+func (g *IDGen) TraceID() TraceID {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var t TraceID
+	for t.IsZero() {
+		binary.BigEndian.PutUint64(t[0:8], g.nextLocked())
+		binary.BigEndian.PutUint64(t[8:16], g.nextLocked())
+	}
+	return t
+}
+
+// SpanID draws a fresh non-zero span id.
+func (g *IDGen) SpanID() SpanID {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var s SpanID
+	for s.IsZero() {
+		binary.BigEndian.PutUint64(s[:], g.nextLocked())
+	}
+	return s
+}
+
+// defaultIDGen serves spans created without an explicit generator.
+var defaultIDGen = NewIDGen(0)
+
+// sampleHash maps a trace id onto [0,1) deterministically: the head-
+// sampling decision depends only on the id, so every tier (and every
+// replay with a seeded IDGen) agrees on whether a trace is sampled.
+func sampleHash(t TraceID) float64 {
+	v := binary.BigEndian.Uint64(t[8:16])
+	return float64(v>>11) / float64(1<<53)
+}

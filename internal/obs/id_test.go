@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	g := NewIDGen(42)
+	tc := TraceContext{TraceID: g.TraceID(), SpanID: g.SpanID(), Sampled: true}
+	h := FormatTraceparent(tc)
+	if !strings.HasPrefix(h, "00-") || !strings.HasSuffix(h, "-01") || len(h) != 55 {
+		t.Fatalf("header = %q", h)
+	}
+	got, ok := ParseTraceparent(h)
+	if !ok || got != tc {
+		t.Fatalf("round trip: got %+v ok=%v, want %+v", got, ok, tc)
+	}
+	// Unsampled flag round-trips too.
+	tc.Sampled = false
+	got, ok = ParseTraceparent(FormatTraceparent(tc))
+	if !ok || got != tc {
+		t.Fatalf("unsampled round trip: %+v ok=%v", got, ok)
+	}
+	// A zero context formats to nothing.
+	if h := FormatTraceparent(TraceContext{}); h != "" {
+		t.Errorf("zero context header = %q", h)
+	}
+}
+
+func TestTraceparentMalformed(t *testing.T) {
+	valid := "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	if _, ok := ParseTraceparent(valid); !ok {
+		t.Fatal("spec example rejected")
+	}
+	for name, h := range map[string]string{
+		"empty":            "",
+		"short":            "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-0",
+		"bad version hex":  "zz-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+		"version ff":       "ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+		"v00 with suffix":  valid + "-extra",
+		"missing dash":     "00x4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+		"bad trace hex":    "00-Xbf92f3577b34da6a3ce929d0e0e4736X-00f067aa0ba902b7-01",
+		"bad span hex":     "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902bX-01",
+		"bad flags hex":    "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-zz",
+		"zero trace id":    "00-00000000000000000000000000000000-00f067aa0ba902b7-01",
+		"zero span id":     "00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01",
+		"v01 glued suffix": "01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01x",
+	} {
+		if tc, ok := ParseTraceparent(h); ok {
+			t.Errorf("%s: accepted %q as %+v", name, h, tc)
+		}
+	}
+	// A higher version with a dash-separated extension is accepted per the
+	// forward-compatibility rule.
+	if _, ok := ParseTraceparent("01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-whatever"); !ok {
+		t.Error("future version with extension rejected")
+	}
+}
+
+// FuzzParseTraceparent asserts the parser's safety contract on arbitrary
+// input: it never panics, and anything it accepts re-formats to a header
+// carrying the same identity.
+func FuzzParseTraceparent(f *testing.F) {
+	f.Add("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	f.Add("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00")
+	f.Add("01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-ext")
+	f.Add("ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	f.Add("00-00000000000000000000000000000000-0000000000000000-00")
+	f.Add("")
+	f.Add("00--")
+	f.Add(strings.Repeat("-", 60))
+	f.Add("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-")
+	f.Fuzz(func(t *testing.T, h string) {
+		tc, ok := ParseTraceparent(h)
+		if !ok {
+			if !tc.TraceID.IsZero() || !tc.SpanID.IsZero() {
+				t.Fatalf("rejected header leaked identity: %+v", tc)
+			}
+			return
+		}
+		if tc.TraceID.IsZero() || tc.SpanID.IsZero() {
+			t.Fatalf("accepted header with zero id: %q", h)
+		}
+		back, ok2 := ParseTraceparent(FormatTraceparent(tc))
+		if !ok2 || back != tc {
+			t.Fatalf("reformat of %q did not round-trip: %+v vs %+v", h, back, tc)
+		}
+	})
+}
+
+func TestIDGenDeterminism(t *testing.T) {
+	a, b := NewIDGen(7), NewIDGen(7)
+	for i := 0; i < 10; i++ {
+		if a.TraceID() != b.TraceID() || a.SpanID() != b.SpanID() {
+			t.Fatal("same seed should replay the same id sequence")
+		}
+	}
+	c := NewIDGen(8)
+	if NewIDGen(7).TraceID() == c.TraceID() {
+		t.Error("different seeds should diverge")
+	}
+	if NewIDGen(0).TraceID() == NewIDGen(0).TraceID() {
+		t.Error("random-seed generators should not collide")
+	}
+}
+
+func TestSampleHashRange(t *testing.T) {
+	g := NewIDGen(3)
+	for i := 0; i < 1000; i++ {
+		v := sampleHash(g.TraceID())
+		if v < 0 || v >= 1 {
+			t.Fatalf("sampleHash out of [0,1): %v", v)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestLoggerCorrelatesWithSpan(t *testing.T) {
+	var out strings.Builder
+	log := NewLogger(&out, slog.LevelInfo)
+
+	root := NewRootSpan("request", TraceContext{})
+	ctx := ContextWithSpan(context.Background(), root)
+	log.InfoContext(ctx, "query served", "rows", 3)
+	log.InfoContext(context.Background(), "no trace here")
+	root.Finish()
+
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out.String())
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("invalid JSON log line: %v", err)
+	}
+	if rec["trace_id"] != root.TraceID().String() {
+		t.Errorf("trace_id = %v, want %s", rec["trace_id"], root.TraceID())
+	}
+	if rec["span_id"] != root.SpanID().String() {
+		t.Errorf("span_id = %v, want %s", rec["span_id"], root.SpanID())
+	}
+	if rec["msg"] != "query served" || rec["rows"] != float64(3) {
+		t.Errorf("record = %v", rec)
+	}
+	// The untraced line must not carry identity fields.
+	if strings.Contains(lines[1], "trace_id") {
+		t.Errorf("untraced line has trace_id: %s", lines[1])
+	}
+}
+
+func TestLoggerChildSpanIdentity(t *testing.T) {
+	var out strings.Builder
+	log := NewLogger(&out, slog.LevelInfo).With("tier", "cluster").WithGroup("g")
+
+	root := NewRootSpan("request", TraceContext{})
+	ctx := ContextWithSpan(context.Background(), root)
+	ctx, child := StartSpan(ctx, "admission")
+	log.InfoContext(ctx, "granted")
+	child.Finish()
+	root.Finish()
+
+	line := out.String()
+	if !strings.Contains(line, child.SpanID().String()) {
+		t.Errorf("log line should carry the innermost span id: %s", line)
+	}
+	if !strings.Contains(line, root.TraceID().String()) {
+		t.Errorf("log line should carry the trace id: %s", line)
+	}
+	if !strings.Contains(line, `"tier":"cluster"`) {
+		t.Errorf("WithAttrs lost: %s", line)
+	}
+}
+
+func TestNopLogger(t *testing.T) {
+	log := NopLogger()
+	if log == nil {
+		t.Fatal("NopLogger returned nil")
+	}
+	// Must be callable without output or panic, including wrapped forms.
+	log.Info("dropped")
+	log.With("k", "v").WithGroup("g").WarnContext(context.Background(), "dropped")
+	if log.Enabled(context.Background(), slog.LevelError) {
+		t.Error("nop logger should report disabled")
+	}
+}

@@ -90,14 +90,24 @@ func (g *Gauge) Value() float64 {
 	return math.Float64frombits(g.bits.Load())
 }
 
+// exemplar is one sampled observation pinned to a histogram bucket: the
+// trace that produced the value, so a bad percentile links straight to
+// a kept trace.
+type exemplar struct {
+	traceID string
+	value   float64
+}
+
 // Histogram is a fixed-bucket latency histogram. Observations and reads
 // are atomic per bucket; quantiles are estimated by linear interpolation
-// within the bucket holding the target rank.
+// within the bucket holding the target rank. Each bucket retains the
+// last trace-tagged observation as an OpenMetrics-style exemplar.
 type Histogram struct {
-	bounds   []float64 // upper bounds, ascending; an implicit +Inf follows
-	buckets  []atomic.Int64
-	count    atomic.Int64
-	sumNanos atomic.Int64
+	bounds    []float64 // upper bounds, ascending; an implicit +Inf follows
+	buckets   []atomic.Int64
+	exemplars []atomic.Pointer[exemplar] // per-bucket last exemplar
+	count     atomic.Int64
+	sumNanos  atomic.Int64
 }
 
 func newHistogram(bounds []float64) *Histogram {
@@ -105,13 +115,20 @@ func newHistogram(bounds []float64) *Histogram {
 		bounds = DefaultLatencyBuckets
 	}
 	return &Histogram{
-		bounds:  bounds,
-		buckets: make([]atomic.Int64, len(bounds)+1),
+		bounds:    bounds,
+		buckets:   make([]atomic.Int64, len(bounds)+1),
+		exemplars: make([]atomic.Pointer[exemplar], len(bounds)+1),
 	}
 }
 
 // Observe records one value (seconds, for latency histograms).
 func (h *Histogram) Observe(v float64) {
+	h.ObserveExemplar(v, "")
+}
+
+// ObserveExemplar records one value and, when traceID is non-empty,
+// pins it to the value's bucket as that bucket's exemplar.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
 	if h == nil {
 		return
 	}
@@ -119,6 +136,24 @@ func (h *Histogram) Observe(v float64) {
 	h.buckets[i].Add(1)
 	h.count.Add(1)
 	h.sumNanos.Add(int64(v * 1e9))
+	if traceID != "" {
+		h.exemplars[i].Store(&exemplar{traceID: traceID, value: v})
+	}
+}
+
+// ExemplarTraceIDs returns the trace ids currently pinned to buckets,
+// ascending by bucket.
+func (h *Histogram) ExemplarTraceIDs() []string {
+	if h == nil {
+		return nil
+	}
+	var out []string
+	for i := range h.exemplars {
+		if e := h.exemplars[i].Load(); e != nil {
+			out = append(out, e.traceID)
+		}
+	}
+	return out
 }
 
 // Count returns the number of observations.
@@ -418,12 +453,12 @@ func writeHistogram(w io.Writer, s *series) error {
 	var cum int64
 	for i, bound := range h.bounds {
 		cum += h.buckets[i].Load()
-		if err := writeBucket(w, s, formatFloat(bound), cum); err != nil {
+		if err := writeBucket(w, s, formatFloat(bound), cum, h.exemplars[i].Load()); err != nil {
 			return err
 		}
 	}
 	cum += h.buckets[len(h.bounds)].Load()
-	if err := writeBucket(w, s, "+Inf", cum); err != nil {
+	if err := writeBucket(w, s, "+Inf", cum, h.exemplars[len(h.bounds)].Load()); err != nil {
 		return err
 	}
 	sep := ""
@@ -437,10 +472,18 @@ func writeHistogram(w io.Writer, s *series) error {
 	return err
 }
 
-func writeBucket(w io.Writer, s *series, le string, cum int64) error {
+// writeBucket renders one cumulative bucket line, appending the
+// bucket's exemplar in OpenMetrics style (` # {trace_id="..."} value`)
+// when one is pinned.
+func writeBucket(w io.Writer, s *series, le string, cum int64, e *exemplar) error {
 	labels := s.labels
 	if labels != "" {
 		labels += ","
+	}
+	if e != nil {
+		_, err := fmt.Fprintf(w, "%s_bucket{%sle=%q} %d # {trace_id=%q} %s\n",
+			s.name, labels, le, cum, e.traceID, formatFloat(e.value))
+		return err
 	}
 	_, err := fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", s.name, labels, le, cum)
 	return err

@@ -49,10 +49,17 @@ func TestNilSafety(t *testing.T) {
 	if s.Duration() != 0 || s.Name() != "" {
 		t.Error("nil span accessors")
 	}
-	var tr *Tracer
+	var tr *TraceStore
 	tr.Record(nil)
 	if tr.Last(5) != nil || tr.Len() != 0 {
-		t.Error("nil tracer accessors")
+		t.Error("nil trace store accessors")
+	}
+	if tr.NewRoot("q", TraceContext{}) == nil {
+		t.Error("nil store NewRoot should still mint a span")
+	}
+	tr.SetExporter(nil)
+	if tr.HeadSampled(TraceID{1}) {
+		t.Error("nil store should not head-sample")
 	}
 }
 
@@ -202,10 +209,10 @@ func TestSpanContextThreading(t *testing.T) {
 	}
 }
 
-func TestTracerRing(t *testing.T) {
-	tr := NewTracer(3)
+func TestTraceStoreRing(t *testing.T) {
+	tr := NewTraceStore(StoreConfig{Limit: 3})
 	for i := 0; i < 5; i++ {
-		s := NewSpan("query")
+		s := tr.NewRoot("query", TraceContext{})
 		s.SetInt("i", int64(i))
 		s.Finish()
 		tr.Record(s)

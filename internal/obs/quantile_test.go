@@ -80,7 +80,7 @@ func TestQuantileNilHistogram(t *testing.T) {
 // proves the no-op paths are genuinely state-free.
 func TestNilSpanConcurrent(t *testing.T) {
 	var sp *Span
-	var tr *Tracer
+	var tr *TraceStore
 	var wg sync.WaitGroup
 	for i := 0; i < 8; i++ {
 		wg.Add(1)

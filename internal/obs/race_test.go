@@ -14,7 +14,7 @@ import (
 
 func TestConcurrentMetricsAndTracing(t *testing.T) {
 	r := NewRegistry()
-	tr := NewTracer(8)
+	tr := NewTraceStore(StoreConfig{Limit: 8})
 	root := NewSpan("query")
 
 	const workers = 8
@@ -76,6 +76,6 @@ func TestConcurrentMetricsAndTracing(t *testing.T) {
 		t.Errorf("root children = %d, want %d", n, workers*iters)
 	}
 	if tr.Len() != 8 {
-		t.Errorf("tracer retained %d", tr.Len())
+		t.Errorf("trace store retained %d", tr.Len())
 	}
 }

@@ -23,16 +23,58 @@ type TreeNode interface {
 //	│  └─ grandchild
 //	└─ child two
 func RenderTree(root TreeNode) string {
+	return RenderTreeLimited(root, 0, 0)
+}
+
+// RenderTreeLimited renders like RenderTree but truncates: maxDepth
+// bounds how deep children are expanded (0 = unlimited; 1 = root only)
+// and maxNodes bounds total rendered nodes (0 = unlimited). Elided
+// subtrees and siblings leave a `… (n more)` marker so a truncated
+// rendering is visibly truncated — deep fan-out traces stay readable on
+// the debug surface instead of scrolling for pages.
+func RenderTreeLimited(root TreeNode, maxDepth, maxNodes int) string {
 	var b strings.Builder
 	b.WriteString(root.TreeLabel())
 	b.WriteByte('\n')
-	renderChildren(&b, root, "")
+	budget := maxNodes - 1 // root already rendered
+	if maxNodes == 0 {
+		budget = -1 // unlimited
+	}
+	renderChildren(&b, root, "", 1, maxDepth, &budget)
 	return b.String()
 }
 
-func renderChildren(b *strings.Builder, n TreeNode, prefix string) {
+// countNodes sizes a subtree for elision markers.
+func countNodes(n TreeNode) int {
+	total := 1
+	for _, c := range n.TreeChildren() {
+		total += countNodes(c)
+	}
+	return total
+}
+
+func renderChildren(b *strings.Builder, n TreeNode, prefix string, depth, maxDepth int, budget *int) {
 	children := n.TreeChildren()
+	if len(children) == 0 {
+		return
+	}
+	if maxDepth > 0 && depth >= maxDepth {
+		hidden := 0
+		for _, c := range children {
+			hidden += countNodes(c)
+		}
+		fmt.Fprintf(b, "%s└─ … (%d more)\n", prefix, hidden)
+		return
+	}
 	for i, c := range children {
+		if *budget == 0 {
+			hidden := 0
+			for _, rest := range children[i:] {
+				hidden += countNodes(rest)
+			}
+			fmt.Fprintf(b, "%s└─ … (%d more)\n", prefix, hidden)
+			return
+		}
 		connector, extend := "├─ ", "│  "
 		if i == len(children)-1 {
 			connector, extend = "└─ ", "   "
@@ -41,7 +83,10 @@ func renderChildren(b *strings.Builder, n TreeNode, prefix string) {
 		b.WriteString(connector)
 		b.WriteString(c.TreeLabel())
 		b.WriteByte('\n')
-		renderChildren(b, c, prefix+extend)
+		if *budget > 0 {
+			*budget--
+		}
+		renderChildren(b, c, prefix+extend, depth+1, maxDepth, budget)
 	}
 }
 

@@ -1,0 +1,128 @@
+// Runtime telemetry: Go runtime health exported as nimble_runtime_*
+// gauges (goroutine count, heap bytes, GC pause and scheduler latency
+// quantiles). The values come from the runtime/metrics package and are
+// sampled lazily at exposition time, with a short cache so one /metrics
+// scrape reads the runtime once rather than once per gauge.
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+	"sync"
+	"time"
+)
+
+// The runtime/metrics series the collector reads.
+const (
+	rmGoroutines = "/sched/goroutines:goroutines"
+	rmHeapBytes  = "/memory/classes/heap/objects:bytes"
+	rmGCPauses   = "/sched/pauses/total/gc:seconds"
+	rmSchedLat   = "/sched/latencies:seconds"
+)
+
+// runtimeSampler batches runtime/metrics reads behind a freshness cache.
+type runtimeSampler struct {
+	mu      sync.Mutex
+	samples []metrics.Sample // guarded by mu
+	readAt  time.Time        // guarded by mu; zero until first read
+}
+
+func newRuntimeSampler() *runtimeSampler {
+	names := []string{rmGoroutines, rmHeapBytes, rmGCPauses, rmSchedLat}
+	s := &runtimeSampler{samples: make([]metrics.Sample, len(names))}
+	for i, n := range names {
+		s.samples[i].Name = n
+	}
+	return s
+}
+
+// get returns the (possibly cached) sample for name.
+func (s *runtimeSampler) get(name string) metrics.Value {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if time.Since(s.readAt) > 100*time.Millisecond {
+		metrics.Read(s.samples)
+		s.readAt = time.Now()
+	}
+	for i := range s.samples {
+		if s.samples[i].Name == name {
+			return s.samples[i].Value
+		}
+	}
+	return metrics.Value{}
+}
+
+// scalar renders a uint64 or float64 sample as float64 (0 when the
+// runtime does not publish the series).
+func (s *runtimeSampler) scalar(name string) float64 {
+	v := s.get(name)
+	switch v.Kind() {
+	case metrics.KindUint64:
+		return float64(v.Uint64())
+	case metrics.KindFloat64:
+		return v.Float64()
+	default:
+		return 0
+	}
+}
+
+// quantile estimates q from a runtime Float64Histogram sample.
+func (s *runtimeSampler) quantile(name string, q float64) float64 {
+	v := s.get(name)
+	if v.Kind() != metrics.KindFloat64Histogram {
+		return 0
+	}
+	h := v.Float64Histogram()
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if float64(cum) >= rank {
+			// Buckets has len(Counts)+1 boundaries; the first/last can
+			// be ±Inf, so clamp to the nearest finite edge.
+			lo, hi := h.Buckets[i], h.Buckets[i+1]
+			if math.IsInf(hi, 1) {
+				return lo
+			}
+			if math.IsInf(lo, -1) {
+				return hi
+			}
+			return hi
+		}
+	}
+	for i := len(h.Buckets) - 1; i >= 0; i-- {
+		if !math.IsInf(h.Buckets[i], 0) {
+			return h.Buckets[i]
+		}
+	}
+	return 0
+}
+
+// RegisterRuntimeMetrics wires the runtime telemetry gauges into reg:
+// nimble_runtime_goroutines, nimble_runtime_heap_bytes, and
+// p50/p99 quantile gauges for GC pause and scheduler latency.
+func RegisterRuntimeMetrics(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	s := newRuntimeSampler()
+	reg.GaugeFunc("nimble_runtime_goroutines", func() float64 { return s.scalar(rmGoroutines) })
+	reg.GaugeFunc("nimble_runtime_heap_bytes", func() float64 { return s.scalar(rmHeapBytes) })
+	for _, q := range []struct {
+		label string
+		v     float64
+	}{{"0.5", 0.5}, {"0.99", 0.99}} {
+		q := q
+		reg.GaugeFunc("nimble_runtime_gc_pause_seconds",
+			func() float64 { return s.quantile(rmGCPauses, q.v) }, "quantile", q.label)
+		reg.GaugeFunc("nimble_runtime_sched_latency_seconds",
+			func() float64 { return s.quantile(rmSchedLat, q.v) }, "quantile", q.label)
+	}
+}

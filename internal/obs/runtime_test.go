@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestRuntimeMetricsExposition(t *testing.T) {
+	reg := NewRegistry()
+	RegisterRuntimeMetrics(reg)
+	// Force a GC so pause histograms have content.
+	runtime.GC()
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"nimble_runtime_goroutines",
+		"nimble_runtime_heap_bytes",
+		`nimble_runtime_gc_pause_seconds{quantile="0.5"}`,
+		`nimble_runtime_gc_pause_seconds{quantile="0.99"}`,
+		`nimble_runtime_sched_latency_seconds{quantile="0.5"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	if strings.Contains(out, "Inf") || strings.Contains(out, "NaN") {
+		t.Errorf("runtime gauges leaked a non-finite value:\n%s", out)
+	}
+}
+
+func TestRuntimeSamplerValues(t *testing.T) {
+	s := newRuntimeSampler()
+	if g := s.scalar(rmGoroutines); g < 1 {
+		t.Errorf("goroutines = %v", g)
+	}
+	if h := s.scalar(rmHeapBytes); h <= 0 {
+		t.Errorf("heap bytes = %v", h)
+	}
+	if q := s.quantile(rmSchedLat, 0.5); q < 0 {
+		t.Errorf("sched latency p50 = %v", q)
+	}
+}
+
+func TestHistogramExemplars(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("nimble_query_seconds")
+	h.ObserveExemplar(0.004, "4bf92f3577b34da6a3ce929d0e0e4736")
+	h.Observe(0.004) // no exemplar: must not clear the stored one
+	h.ObserveExemplar(0.5, "00f067aa0ba902b7aabbccdd00112233")
+
+	ids := h.ExemplarTraceIDs()
+	found := 0
+	for _, id := range ids {
+		if id != "" {
+			found++
+		}
+	}
+	if found != 2 {
+		t.Fatalf("stored exemplars = %d (%v)", found, ids)
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `# {trace_id="4bf92f3577b34da6a3ce929d0e0e4736"}`) {
+		t.Errorf("bucket exemplar missing:\n%s", out)
+	}
+	if !strings.Contains(out, `# {trace_id="00f067aa0ba902b7aabbccdd00112233"}`) {
+		t.Errorf("second exemplar missing:\n%s", out)
+	}
+}

@@ -1,0 +1,271 @@
+// TraceStore: retention and sampling for completed traces. The store
+// replaces PR 1's last-N Tracer with a real sampling pipeline: a head
+// decision (deterministic hash of the TraceID against a sample rate)
+// plus tail-based keeps that always retain the traces worth keeping —
+// errored traces and traces slower than a threshold — regardless of the
+// head coin flip. Kept traces land in a bounded ring searchable from
+// /debug/traces and stream to an optional batching exporter.
+package obs
+
+import (
+	"strings"
+	"sync"
+	"time"
+)
+
+// DefaultTraceBuffer is the trace retention used when no limit is given.
+const DefaultTraceBuffer = 16
+
+// StoreConfig configures a TraceStore.
+type StoreConfig struct {
+	// Limit bounds the ring of kept traces (< 1 uses DefaultTraceBuffer).
+	Limit int
+	// SampleRate is the head-sampling rate: the fraction of traces kept
+	// regardless of outcome. 0 means unset and defaults to 1 (keep all);
+	// negative means tail-only (keep nothing on the head decision, only
+	// errored/slow traces survive); values above 1 clamp to 1.
+	SampleRate float64
+	// SlowThreshold tail-keeps any trace at least this slow (0 disables
+	// the slow keep).
+	SlowThreshold time.Duration
+	// Seed seeds the id generator. 0 draws a random seed; a fixed seed
+	// replays the same id sequence, making the head-sampled set
+	// deterministic for chaos runs.
+	Seed int64
+	// Metrics receives nimble_traces_kept_total{reason} and
+	// nimble_traces_dropped_total (nil records nowhere).
+	Metrics *Registry
+}
+
+// TraceStore retains completed traces for the management surface
+// (/debug/traces) and feeds the exporter pipeline. Safe for concurrent
+// use; nil-receiver safe so tracing stays optional.
+type TraceStore struct {
+	limit int           // immutable after NewTraceStore
+	rate  float64       // immutable: effective head-sampling rate [0,1]
+	slow  time.Duration // immutable: tail slow-keep threshold
+	gen   *IDGen        // immutable: id generator for NewRoot
+
+	keptHead *Counter // kept by the head coin flip alone
+	keptErr  *Counter // tail-kept: the trace errored
+	keptSlow *Counter // tail-kept: the trace was slow
+	dropped  *Counter // completed but not kept
+
+	mu     sync.Mutex
+	traces []*Span     // guarded by mu
+	queue  *BatchQueue // guarded by mu; nil until SetExporter
+}
+
+// NewTraceStore creates a store from cfg.
+func NewTraceStore(cfg StoreConfig) *TraceStore {
+	limit := cfg.Limit
+	if limit < 1 {
+		limit = DefaultTraceBuffer
+	}
+	rate := cfg.SampleRate
+	switch {
+	case rate == 0:
+		rate = 1
+	case rate < 0:
+		rate = 0
+	case rate > 1:
+		rate = 1
+	}
+	// Without a registry the counters still count (Kept/Dropped work),
+	// they just are not exposed on /metrics.
+	counter := func(name string, labels ...string) *Counter {
+		if cfg.Metrics == nil {
+			return &Counter{}
+		}
+		return cfg.Metrics.Counter(name, labels...)
+	}
+	return &TraceStore{
+		limit:    limit,
+		rate:     rate,
+		slow:     cfg.SlowThreshold,
+		gen:      NewIDGen(cfg.Seed),
+		keptHead: counter("nimble_traces_kept_total", "reason", "head"),
+		keptErr:  counter("nimble_traces_kept_total", "reason", "error"),
+		keptSlow: counter("nimble_traces_kept_total", "reason", "slow"),
+		dropped:  counter("nimble_traces_dropped_total"),
+	}
+}
+
+// NewRoot starts a root span with ids drawn from the store's (possibly
+// seeded) generator, joining tc when non-zero. On a nil store it
+// degrades to NewRootSpan with the package default generator.
+func (t *TraceStore) NewRoot(name string, tc TraceContext) *Span {
+	if t == nil {
+		return NewRootSpan(name, tc)
+	}
+	return newRootSpan(name, tc, t.gen)
+}
+
+// HeadSampled reports the head-sampling decision for a trace id: a
+// deterministic hash of the id against the configured rate, so every
+// tier agrees without coordination.
+func (t *TraceStore) HeadSampled(id TraceID) bool {
+	if t == nil {
+		return false
+	}
+	if t.rate >= 1 {
+		return true
+	}
+	if t.rate <= 0 {
+		return false
+	}
+	return sampleHash(id) < t.rate
+}
+
+// SetExporter routes kept traces into q (nil detaches). The store does
+// not own the queue's lifecycle; callers Close it on shutdown.
+func (t *TraceStore) SetExporter(q *BatchQueue) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.queue = q
+	t.mu.Unlock()
+}
+
+// errored reports whether any span in the tree recorded an error attr.
+func errored(root *Span) bool {
+	found := false
+	root.Walk(func(sp *Span) {
+		if _, ok := sp.Attr("error"); ok {
+			found = true
+		}
+	})
+	return found
+}
+
+// Record applies the sampling policy to a finished root span: tail keeps
+// (error, then slow) win over the head decision; anything kept enters
+// the ring and the exporter queue, anything else counts as dropped.
+func (t *TraceStore) Record(root *Span) {
+	if t == nil || root == nil {
+		return
+	}
+	switch {
+	case errored(root):
+		t.keptErr.Inc()
+	case t.slow > 0 && root.Duration() >= t.slow:
+		t.keptSlow.Inc()
+	case t.HeadSampled(root.TraceID()):
+		t.keptHead.Inc()
+	default:
+		t.dropped.Inc()
+		return
+	}
+	t.mu.Lock()
+	t.traces = append(t.traces, root)
+	if n := len(t.traces) - t.limit; n > 0 {
+		t.traces = append([]*Span(nil), t.traces[n:]...)
+	}
+	q := t.queue
+	t.mu.Unlock()
+	q.Enqueue(root)
+}
+
+// Query filters a trace search.
+type Query struct {
+	// MinDuration keeps only traces at least this slow.
+	MinDuration time.Duration
+	// ErrOnly keeps only traces with an error attr somewhere in the tree.
+	ErrOnly bool
+	// Source keeps only traces that fetched the named source (a span
+	// named "fetch <source>" or carrying a source attr).
+	Source string
+	// Limit bounds the result count (< 1 means all retained).
+	Limit int
+}
+
+// touchesSource reports whether the trace fetched the named source.
+func touchesSource(root *Span, source string) bool {
+	found := false
+	root.Walk(func(sp *Span) {
+		if sp.Name() == "fetch "+source {
+			found = true
+		}
+		if v, ok := sp.Attr("source"); ok && v == source {
+			found = true
+		}
+	})
+	return found
+}
+
+// Search returns the kept traces matching q, most recent first.
+func (t *TraceStore) Search(q Query) []*Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	snap := make([]*Span, len(t.traces))
+	copy(snap, t.traces)
+	t.mu.Unlock()
+	var out []*Span
+	for i := len(snap) - 1; i >= 0; i-- {
+		root := snap[i]
+		if q.MinDuration > 0 && root.Duration() < q.MinDuration {
+			continue
+		}
+		if q.ErrOnly && !errored(root) {
+			continue
+		}
+		if q.Source != "" && !touchesSource(root, strings.TrimSpace(q.Source)) {
+			continue
+		}
+		out = append(out, root)
+		if q.Limit > 0 && len(out) >= q.Limit {
+			break
+		}
+	}
+	return out
+}
+
+// Find returns the kept trace with the given id, or nil.
+func (t *TraceStore) Find(id TraceID) *Span {
+	if t == nil || id.IsZero() {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := len(t.traces) - 1; i >= 0; i-- {
+		if t.traces[i].TraceID() == id {
+			return t.traces[i]
+		}
+	}
+	return nil
+}
+
+// Last returns up to n kept traces, most recent first (n < 1 means all
+// retained) — the PR 1 Tracer surface, preserved for /debug/trace/last.
+func (t *TraceStore) Last(n int) []*Span {
+	return t.Search(Query{Limit: n})
+}
+
+// Len reports the number of kept traces currently retained.
+func (t *TraceStore) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.traces)
+}
+
+// Kept reports how many traces have been kept, by reason, since start.
+func (t *TraceStore) Kept() (head, err, slow int64) {
+	if t == nil {
+		return 0, 0, 0
+	}
+	return t.keptHead.Value(), t.keptErr.Value(), t.keptSlow.Value()
+}
+
+// Dropped reports how many completed traces the sampler discarded.
+func (t *TraceStore) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped.Value()
+}

@@ -15,38 +15,147 @@ type Attr struct {
 	Value string
 }
 
+// Event is one timestamped point annotation inside a span — the shape
+// for things that happen during a span without deserving a child span of
+// their own (admission enqueue/grant, retry backoff, probe outcomes,
+// drain progress).
+type Event struct {
+	Time  time.Time
+	Name  string
+	Attrs []Attr
+}
+
 // Span is one timed step of a query's execution. Spans form a tree: the
-// engine opens a root "query" span, and each layer (unfolding, planning,
-// prefetching, per-source fetches, operator evaluation) hangs children
-// off it. All methods are safe on a nil receiver, so code instruments
-// unconditionally and pays nothing when tracing is off, and safe for
-// concurrent use (parallel prefetches add children from goroutines).
+// front end opens a root span per request, and each layer (cluster
+// admission and routing, engine unfolding/planning/prefetching,
+// per-source fetch attempts, operator evaluation) hangs children off it.
+// Every span carries the trace identity: the TraceID shared by the whole
+// tree, its own SpanID, and its parent's SpanID, so traces survive
+// flattening (exporters) and joining (logs, exemplars). All methods are
+// safe on a nil receiver, so code instruments unconditionally and pays
+// nothing when tracing is off, and safe for concurrent use (parallel
+// prefetches add children from goroutines).
 type Span struct {
-	name  string
-	start time.Time
+	name   string
+	start  time.Time
+	tid    TraceID
+	sid    SpanID
+	parent SpanID // zero for a trace-local root
+	gen    *IDGen // id generator children inherit (nil = package default)
 
 	mu       sync.Mutex
 	end      time.Time // guarded by mu
 	attrs    []Attr    // guarded by mu
+	events   []Event   // guarded by mu
 	children []*Span   // guarded by mu
 }
 
-// NewSpan starts a root span.
+// NewSpan starts a root span with a fresh trace identity.
 func NewSpan(name string) *Span {
-	return &Span{name: name, start: time.Now()}
+	return NewRootSpan(name, TraceContext{})
+}
+
+// NewRootSpan starts a root span joining the given trace context: with a
+// non-zero context the span adopts the incoming TraceID and records the
+// remote caller's span as its parent (the W3C traceparent hop); with a
+// zero context a fresh trace begins.
+func NewRootSpan(name string, tc TraceContext) *Span {
+	return newRootSpan(name, tc, defaultIDGen)
+}
+
+// newRootSpan is NewRootSpan with an explicit id generator (the
+// TraceStore's, when the store owns id assignment).
+func newRootSpan(name string, tc TraceContext, gen *IDGen) *Span {
+	if gen == nil {
+		gen = defaultIDGen
+	}
+	s := &Span{name: name, start: time.Now(), gen: gen, sid: gen.SpanID()}
+	if tc.TraceID.IsZero() {
+		s.tid = gen.TraceID()
+	} else {
+		s.tid = tc.TraceID
+		s.parent = tc.SpanID
+	}
+	return s
 }
 
 // StartChild starts and attaches a child span; on a nil receiver it
-// returns nil (the no-op span).
+// returns nil (the no-op span). The child shares the trace id and
+// records this span as its parent.
 func (s *Span) StartChild(name string) *Span {
 	if s == nil {
 		return nil
 	}
-	c := NewSpan(name)
+	gen := s.gen
+	if gen == nil {
+		gen = defaultIDGen
+	}
+	c := &Span{name: name, start: time.Now(), tid: s.tid, sid: gen.SpanID(), parent: s.sid, gen: gen}
 	s.mu.Lock()
 	s.children = append(s.children, c)
 	s.mu.Unlock()
 	return c
+}
+
+// TraceID returns the trace identity shared by the span's whole tree.
+func (s *Span) TraceID() TraceID {
+	if s == nil {
+		return TraceID{}
+	}
+	return s.tid
+}
+
+// SpanID returns the span's own identity.
+func (s *Span) SpanID() SpanID {
+	if s == nil {
+		return SpanID{}
+	}
+	return s.sid
+}
+
+// ParentID returns the parent span's identity (zero for a root that
+// started its own trace).
+func (s *Span) ParentID() SpanID {
+	if s == nil {
+		return SpanID{}
+	}
+	return s.parent
+}
+
+// TraceContext returns the span's identity in propagation form: inject
+// it with FormatTraceparent so the next hop records this span as its
+// parent.
+func (s *Span) TraceContext() TraceContext {
+	if s == nil {
+		return TraceContext{}
+	}
+	return TraceContext{TraceID: s.tid, SpanID: s.sid, Sampled: true}
+}
+
+// AddEvent records a timestamped point annotation with key/value pairs.
+func (s *Span) AddEvent(name string, kv ...string) {
+	if s == nil {
+		return
+	}
+	ev := Event{Time: time.Now(), Name: name}
+	for i := 0; i+1 < len(kv); i += 2 {
+		ev.Attrs = append(ev.Attrs, Attr{Key: kv[i], Value: kv[i+1]})
+	}
+	s.mu.Lock()
+	s.events = append(s.events, ev)
+	s.mu.Unlock()
+}
+
+// Events returns a copy of the recorded events.
+func (s *Span) Events() []Event {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Event, len(s.events))
+	copy(out, s.events)
+	return out
 }
 
 // SetAttr records a key/value annotation.
@@ -176,10 +285,20 @@ func (s *Span) FindAll(prefix string) []*Span {
 // README.md's Observability section.
 type spanJSON struct {
 	Name       string            `json:"name"`
+	TraceID    string            `json:"trace_id,omitempty"`
+	SpanID     string            `json:"span_id,omitempty"`
+	ParentID   string            `json:"parent_span_id,omitempty"`
 	Start      time.Time         `json:"start"`
 	DurationMS float64           `json:"duration_ms"`
 	Attrs      map[string]string `json:"attrs,omitempty"`
+	Events     []eventJSON       `json:"events,omitempty"`
 	Children   []*Span           `json:"children,omitempty"`
+}
+
+type eventJSON struct {
+	Name  string            `json:"name"`
+	Time  time.Time         `json:"time"`
+	Attrs map[string]string `json:"attrs,omitempty"`
 }
 
 // MarshalJSON implements json.Marshaler.
@@ -189,6 +308,9 @@ func (s *Span) MarshalJSON() ([]byte, error) {
 	}
 	v := spanJSON{
 		Name:       s.Name(),
+		TraceID:    s.TraceID().String(),
+		SpanID:     s.SpanID().String(),
+		ParentID:   s.ParentID().String(),
 		Start:      s.Start(),
 		DurationMS: float64(s.Duration()) / float64(time.Millisecond),
 		Children:   s.Children(),
@@ -199,70 +321,17 @@ func (s *Span) MarshalJSON() ([]byte, error) {
 			v.Attrs[a.Key] = a.Value
 		}
 	}
+	for _, ev := range s.Events() {
+		ej := eventJSON{Name: ev.Name, Time: ev.Time}
+		if len(ev.Attrs) > 0 {
+			ej.Attrs = make(map[string]string, len(ev.Attrs))
+			for _, a := range ev.Attrs {
+				ej.Attrs[a.Key] = a.Value
+			}
+		}
+		v.Events = append(v.Events, ej)
+	}
 	return json.Marshal(v)
-}
-
-// Tracer retains the most recent N query traces for the management
-// surface (/debug/trace/last). Safe for concurrent use; nil-receiver
-// safe so tracing stays optional.
-type Tracer struct {
-	mu     sync.Mutex
-	limit  int     // immutable after NewTracer
-	traces []*Span // guarded by mu
-}
-
-// DefaultTraceBuffer is the trace retention used when no limit is given.
-const DefaultTraceBuffer = 16
-
-// NewTracer creates a tracer retaining the last limit traces (limit < 1
-// uses DefaultTraceBuffer).
-func NewTracer(limit int) *Tracer {
-	if limit < 1 {
-		limit = DefaultTraceBuffer
-	}
-	return &Tracer{limit: limit}
-}
-
-// Record retains a finished root span, evicting the oldest beyond the
-// retention limit.
-func (t *Tracer) Record(root *Span) {
-	if t == nil || root == nil {
-		return
-	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.traces = append(t.traces, root)
-	if n := len(t.traces) - t.limit; n > 0 {
-		t.traces = append([]*Span(nil), t.traces[n:]...)
-	}
-}
-
-// Last returns up to n retained traces, most recent first (n < 1 means
-// all retained).
-func (t *Tracer) Last(n int) []*Span {
-	if t == nil {
-		return nil
-	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if n < 1 || n > len(t.traces) {
-		n = len(t.traces)
-	}
-	out := make([]*Span, 0, n)
-	for i := len(t.traces) - 1; i >= len(t.traces)-n; i-- {
-		out = append(out, t.traces[i])
-	}
-	return out
-}
-
-// Len reports the number of retained traces.
-func (t *Tracer) Len() int {
-	if t == nil {
-		return 0
-	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return len(t.traces)
 }
 
 type spanCtxKey struct{}

@@ -24,9 +24,9 @@ import (
 )
 
 // newObsServer builds a deployment with an isolated metrics registry and
-// tracer, so assertions do not race with other tests through the default
-// registry.
-func newObsServer(t testing.TB) (*Server, *httptest.Server, *obs.Registry, *obs.Tracer) {
+// trace store, so assertions do not race with other tests through the
+// default registry.
+func newObsServer(t testing.TB) (*Server, *httptest.Server, *obs.Registry, *obs.TraceStore) {
 	t.Helper()
 	db := rdb.NewDatabase("crm")
 	db.MustExec(`CREATE TABLE customers (id INT PRIMARY KEY, name VARCHAR, city VARCHAR)`)
@@ -41,11 +41,11 @@ func newObsServer(t testing.TB) (*Server, *httptest.Server, *obs.Registry, *obs.
 		t.Fatal(err)
 	}
 	reg := obs.NewRegistry()
-	tr := obs.NewTracer(8)
+	tr := obs.NewTraceStore(obs.StoreConfig{Limit: 8})
 	e1, e2 := core.New(cat), core.New(cat)
 	for _, e := range []*core.Engine{e1, e2} {
 		e.SetMetrics(reg)
-		e.SetTracer(tr)
+		e.SetTraceStore(tr)
 	}
 	cache := qcache.New(16, 0)
 	cache.SetMetrics(reg)
@@ -58,7 +58,7 @@ func newObsServer(t testing.TB) (*Server, *httptest.Server, *obs.Registry, *obs.
 		Views:      views,
 		AdminToken: "admin",
 		Metrics:    reg,
-		Tracer:     tr,
+		Traces:     tr,
 	}
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
@@ -134,9 +134,9 @@ func httpPost(url string) (int, error) {
 func TestTraceLastEndpoint(t *testing.T) {
 	_, ts, _, tr := newObsServer(t)
 	post(t, ts.URL+"/query", obsQuery)
-	post(t, ts.URL+"/query", obsQuery) // cache hit: no engine trace
-	if tr.Len() != 1 {
-		t.Fatalf("tracer retained %d traces", tr.Len())
+	post(t, ts.URL+"/query", obsQuery) // cache hit: root span only, no engine subtree
+	if tr.Len() != 2 {
+		t.Fatalf("trace store retained %d traces", tr.Len())
 	}
 	code, body := get(t, ts.URL+"/debug/trace/last")
 	if code != 200 {
@@ -144,25 +144,34 @@ func TestTraceLastEndpoint(t *testing.T) {
 	}
 	var spans []struct {
 		Name     string            `json:"name"`
+		TraceID  string            `json:"trace_id"`
 		Attrs    map[string]string `json:"attrs"`
 		Children []json.RawMessage `json:"children"`
 	}
 	if err := json.Unmarshal([]byte(body), &spans); err != nil {
 		t.Fatalf("invalid JSON: %v\n%s", err, body)
 	}
-	if len(spans) != 1 || spans[0].Name != "query" {
+	if len(spans) != 2 || spans[0].Name != "request" || spans[1].Name != "request" {
 		t.Fatalf("spans = %+v", spans)
 	}
-	if spans[0].Attrs["complete"] != "true" {
-		t.Errorf("root attrs = %v", spans[0].Attrs)
+	if spans[0].TraceID == "" || spans[0].TraceID == spans[1].TraceID {
+		t.Errorf("trace ids not distinct: %q %q", spans[0].TraceID, spans[1].TraceID)
 	}
-	if len(spans[0].Children) == 0 {
-		t.Error("root span has no children")
+	// Most recent first: the cache hit has no engine subtree, the real
+	// execution underneath it does.
+	if len(spans[0].Children) != 0 {
+		t.Error("cache-hit trace should have no children")
+	}
+	if len(spans[1].Children) == 0 {
+		t.Error("executed trace has no children")
+	}
+	if !strings.Contains(body, `"complete":"true"`) {
+		t.Errorf("engine span attrs missing from trace:\n%s", body)
 	}
 	// XML format and the n limit.
 	post(t, ts.URL+"/query", obsQuery+" ORDER-BY $w")
 	_, xmlBody := get(t, ts.URL+"/debug/trace/last?n=1&format=xml")
-	if !strings.Contains(xmlBody, `<span name="query"`) || strings.Count(xmlBody, `name="query"`) != 1 {
+	if !strings.Contains(xmlBody, `<span name="request"`) || strings.Count(xmlBody, `name="request"`) != 1 {
 		t.Errorf("xml traces = %s", xmlBody)
 	}
 }
@@ -178,7 +187,7 @@ func TestProfileQueryOption(t *testing.T) {
 	if !strings.Contains(body, "<r>Ada</r>") {
 		t.Errorf("profiled query lost its results:\n%s", body)
 	}
-	if !strings.Contains(body, "<profile>") || !strings.Contains(body, `<span name="query"`) {
+	if !strings.Contains(body, "<profile>") || !strings.Contains(body, `<span name="engine"`) {
 		t.Errorf("no embedded profile:\n%s", body)
 	}
 	// The per-source fetch span agrees with the completeness report:

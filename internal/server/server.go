@@ -17,7 +17,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -48,8 +50,17 @@ type Server struct {
 	// Metrics is the registry behind /metrics and the per-endpoint
 	// latency series; nil falls back to obs.Default().
 	Metrics *obs.Registry
-	// Tracer, when set, feeds /debug/trace/last.
-	Tracer *obs.Tracer
+	// Traces, when set, makes the server the trace origin: every query
+	// request gets a root span (joining an incoming W3C traceparent
+	// header when present), the whole tier chain hangs under it, and the
+	// finished trace is offered to the store's sampler. Feeds
+	// /debug/traces and /debug/trace/last.
+	Traces *obs.TraceStore
+	// Logger receives structured request/error logs with trace
+	// correlation (nil discards them).
+	Logger *slog.Logger
+	// Pprof mounts net/http/pprof under /debug/pprof/ when true.
+	Pprof bool
 	// Slow and Active feed /debug/slowlog and /debug/queries; wire them
 	// to the same instances the engines report into (core.SetIntrospection).
 	// Both are nil-safe.
@@ -68,6 +79,40 @@ func (s *Server) registry() *obs.Registry {
 	return obs.Default()
 }
 
+func (s *Server) logger() *slog.Logger {
+	if s.Logger != nil {
+		return s.Logger
+	}
+	return obs.NopLogger()
+}
+
+// startTrace opens the root span for a query-path request when tracing
+// is configured: an incoming W3C traceparent header joins the caller's
+// trace, and the response carries this span's identity back so the
+// caller can fetch the kept trace by id. Returns the original context
+// and a nil span when tracing is off (the chain degrades to no-ops).
+func (s *Server) startTrace(w http.ResponseWriter, r *http.Request, name string) (context.Context, *obs.Span) {
+	if s.Traces == nil {
+		return r.Context(), nil
+	}
+	tc, _ := obs.ParseTraceparent(r.Header.Get("traceparent"))
+	sp := s.Traces.NewRoot(name, tc)
+	sp.SetAttr("method", r.Method)
+	sp.SetAttr("path", r.URL.Path)
+	w.Header().Set("traceparent", obs.FormatTraceparent(sp.TraceContext()))
+	return obs.ContextWithSpan(r.Context(), sp), sp
+}
+
+// finishTrace completes the request's root span and offers it to the
+// sampler (nil-safe for untraced requests).
+func (s *Server) finishTrace(sp *obs.Span) {
+	if sp == nil {
+		return
+	}
+	sp.Finish()
+	s.Traces.Record(sp)
+}
+
 // Handler builds the HTTP routing table. Every endpoint is wrapped with
 // request-count and latency instrumentation. (Per-instance in-flight
 // gauges — nimble_cluster_inflight — are registered by the cluster
@@ -81,6 +126,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/stats", s.instrument("stats", s.handleStats))
 	mux.HandleFunc("/metrics", s.instrument("metrics", s.handleMetrics))
 	mux.HandleFunc("/debug/trace/last", s.instrument("trace", s.handleTraceLast))
+	mux.HandleFunc("/debug/traces", s.instrument("traces", s.handleTraces))
 	mux.HandleFunc("/debug/queries", s.instrument("debug_queries", s.handleDebugQueries))
 	mux.HandleFunc("/debug/slowlog", s.instrument("slowlog", s.handleSlowLog))
 	mux.HandleFunc("/debug/cluster", s.instrument("debug_cluster", s.handleDebugCluster))
@@ -88,6 +134,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/admin/materialize", s.instrument("admin", s.adminOnly(s.handleMaterialize)))
 	mux.HandleFunc("/admin/refresh", s.instrument("admin", s.adminOnly(s.handleRefresh)))
 	mux.HandleFunc("/admin/schema", s.instrument("admin", s.adminOnly(s.handleDefineSchema)))
+	if s.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -109,11 +162,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	s.registry().WritePrometheus(w)
 }
 
-// handleTraceLast serves the most recent query traces:
-// GET /debug/trace/last?n=5&format=json|xml (default: all retained, JSON).
+// handleTraceLast serves the most recent kept traces:
+// GET /debug/trace/last?n=5&format=json|xml (default: all retained,
+// JSON). Retained as the PR 1 surface; /debug/traces is the searchable
+// successor.
 func (s *Server) handleTraceLast(w http.ResponseWriter, r *http.Request) {
 	n, _ := strconv.Atoi(r.URL.Query().Get("n"))
-	traces := s.Tracer.Last(n)
+	traces := s.Traces.Last(n)
 	if r.URL.Query().Get("format") == "xml" {
 		root := &xmldm.Node{Name: "traces"}
 		for _, t := range traces {
@@ -124,6 +179,39 @@ func (s *Server) handleTraceLast(w http.ResponseWriter, r *http.Request) {
 		xmldm.Finalize(root)
 		w.Header().Set("Content-Type", "application/xml")
 		io.WriteString(w, xmlparse.SerializeString(root, 2))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if traces == nil {
+		traces = []*obs.Span{}
+	}
+	json.NewEncoder(w).Encode(traces)
+}
+
+// handleTraces is the searchable trace store:
+// GET /debug/traces?min_ms=50&err=1&source=crmdb&n=5&format=json|text.
+// JSON returns the matching span trees (most recent first); format=text
+// renders each as an ASCII tree, with ?depth= and ?nodes= bounding the
+// rendering of deep fan-out traces.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	qv := r.URL.Query()
+	var q obs.Query
+	if ms, err := strconv.ParseFloat(qv.Get("min_ms"), 64); err == nil && ms > 0 {
+		q.MinDuration = time.Duration(ms * float64(time.Millisecond))
+	}
+	q.ErrOnly = qv.Get("err") == "1" || qv.Get("err") == "true"
+	q.Source = qv.Get("source")
+	if n, err := strconv.Atoi(qv.Get("n")); err == nil && n > 0 {
+		q.Limit = n
+	}
+	traces := s.Traces.Search(q)
+	if qv.Get("format") == "text" {
+		depth, _ := strconv.Atoi(qv.Get("depth"))
+		nodes, _ := strconv.Atoi(qv.Get("nodes"))
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, t := range traces {
+			fmt.Fprintf(w, "trace %s\n%s\n", t.TraceID(), obs.RenderTreeLimited(t, depth, nodes))
+		}
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -305,10 +393,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return v == "1" || v == "true"
 	}
 	profile, explain := flag("profile"), flag("explain")
+	ctx, sp := s.startTrace(w, r, "request")
+	defer s.finishTrace(sp)
+	start := time.Now()
 	var doc *xmldm.Node
 	if profile || explain {
-		res, err := s.Cluster.QueryOpt(r.Context(), q, core.QueryOptions{Profile: profile, Explain: explain})
+		res, err := s.Cluster.QueryOpt(ctx, q, core.QueryOptions{Profile: profile, Explain: explain})
 		if err != nil {
+			sp.SetAttr("error", err.Error())
+			s.logger().WarnContext(ctx, "query failed", "query", q, "error", err.Error())
 			writeQueryError(w, err)
 			return
 		}
@@ -331,12 +424,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		xmldm.Finalize(doc)
 	} else {
 		var err error
-		doc, err = s.runQuery(r.Context(), q)
+		doc, err = s.runQuery(ctx, q)
 		if err != nil {
+			sp.SetAttr("error", err.Error())
+			s.logger().WarnContext(ctx, "query failed", "query", q, "error", err.Error())
 			writeQueryError(w, err)
 			return
 		}
 	}
+	s.logger().InfoContext(ctx, "query served", "query", q,
+		"elapsed_ms", float64(time.Since(start))/float64(time.Millisecond))
 	w.Header().Set("Content-Type", "application/xml")
 	io.WriteString(w, xmlparse.SerializeString(doc, 2))
 }
@@ -419,13 +516,18 @@ func (s *Server) handleLens(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	ctx, sp := s.startTrace(w, r, "lens")
+	defer s.finishTrace(sp)
+	sp.SetAttr("lens", name)
 	// A lens may hold several queries; their results concatenate under
 	// one document.
 	combined := &xmldm.Node{Name: "results"}
 	complete := true
 	for _, q := range queries {
-		doc, err := s.runQuery(r.Context(), q)
+		doc, err := s.runQuery(ctx, q)
 		if err != nil {
+			sp.SetAttr("error", err.Error())
+			s.logger().WarnContext(ctx, "lens query failed", "lens", name, "error", err.Error())
 			writeQueryError(w, err)
 			return
 		}

@@ -30,6 +30,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strings"
 	"time"
@@ -128,9 +129,25 @@ type Config struct {
 	// process-wide default registry.
 	Metrics *obs.Registry
 	// TraceBuffer is how many recent query span trees the system retains
-	// for /debug/trace/last (0 = obs.DefaultTraceBuffer, negative
-	// disables tracing entirely; ?profile=1 still works).
+	// for /debug/traces and /debug/trace/last (0 = obs.DefaultTraceBuffer,
+	// negative disables tracing entirely; ?profile=1 still works).
 	TraceBuffer int
+	// TraceSample is the head-sampling rate: the fraction of traces kept
+	// regardless of outcome (0 = keep all, negative = tail-only; errored
+	// and slow traces are always kept).
+	TraceSample float64
+	// TraceSlow tail-keeps any trace at least this slow even when head
+	// sampling would drop it (0 disables the slow keep).
+	TraceSlow time.Duration
+	// TraceSeed seeds trace/span id generation; a fixed seed replays the
+	// same id sequence so the head-sampled set is deterministic (0 draws
+	// a random seed).
+	TraceSeed int64
+	// Logger receives trace-correlated structured logs from the front
+	// end, cluster, and breaker layers (nil discards them).
+	Logger *slog.Logger
+	// Pprof mounts net/http/pprof on the front end under /debug/pprof/.
+	Pprof bool
 	// SlowLogSize is how many slow queries the system retains with their
 	// EXPLAIN ANALYZE plans (0 = core.DefaultSlowLogSize).
 	SlowLogSize int
@@ -229,7 +246,9 @@ type System struct {
 	cdb      *concord.DB
 	lin      *lineage.Log
 	metrics  *obs.Registry
-	tracer   *obs.Tracer
+	traces   *obs.TraceStore
+	traceQ   *obs.BatchQueue // set by SetTraceExporter before serving
+	log      *slog.Logger    // never nil after New
 	slow     *core.SlowLog
 	active   *core.ActiveRegistry
 	breakers *exec.BreakerSet
@@ -246,13 +265,19 @@ func New(cfg Config) *System {
 	if reg == nil {
 		reg = obs.Default()
 	}
-	var tracer *obs.Tracer
+	var traces *obs.TraceStore
 	if cfg.TraceBuffer >= 0 {
-		n := cfg.TraceBuffer
-		if n == 0 {
-			n = obs.DefaultTraceBuffer
-		}
-		tracer = obs.NewTracer(n)
+		traces = obs.NewTraceStore(obs.StoreConfig{
+			Limit:         cfg.TraceBuffer,
+			SampleRate:    cfg.TraceSample,
+			SlowThreshold: cfg.TraceSlow,
+			Seed:          cfg.TraceSeed,
+			Metrics:       reg,
+		})
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = obs.NopLogger()
 	}
 	s := &System{
 		cat:      cat,
@@ -261,7 +286,8 @@ func New(cfg Config) *System {
 		cdb:      concord.New(),
 		lin:      lineage.New(),
 		metrics:  reg,
-		tracer:   tracer,
+		traces:   traces,
+		log:      logger,
 		slow:     core.NewSlowLog(cfg.SlowLogSize, cfg.SlowLogThreshold),
 		active:   core.NewActiveRegistry(),
 		cfg:      cfg,
@@ -269,6 +295,7 @@ func New(cfg Config) *System {
 	reg.GaugeFunc("nimble_active_queries", func() float64 { return float64(s.active.Len()) })
 	if cfg.BreakerThreshold > 0 {
 		s.breakers = exec.NewBreakerSet(cfg.BreakerThreshold, cfg.BreakerCooldown, nil, reg)
+		s.breakers.SetLogger(logger)
 	}
 	res := exec.Resilience{
 		FetchTimeout: cfg.FetchTimeout,
@@ -285,7 +312,7 @@ func New(cfg Config) *System {
 			e.SetPlannerOptions(opt.Options{})
 		}
 		e.SetMetrics(reg)
-		e.SetTracer(tracer)
+		e.SetTraceStore(traces)
 		e.SetIntrospection(s.slow, s.active)
 		e.SetResilience(res, s.breakers, nil)
 		s.engines = append(s.engines, e)
@@ -302,6 +329,7 @@ func New(cfg Config) *System {
 		EjectAfter:    cfg.EjectAfter,
 		ReadmitAfter:  cfg.ReadmitAfter,
 		Metrics:       reg,
+		Logger:        logger,
 	}, s.engines...)
 	if cfg.CacheEntries > 0 {
 		if cfg.CachePerInstance {
@@ -601,7 +629,9 @@ func (s *System) HTTPHandler(adminToken string) http.Handler {
 		Views:      s.views,
 		AdminToken: adminToken,
 		Metrics:    s.metrics,
-		Tracer:     s.tracer,
+		Traces:     s.traces,
+		Logger:     s.log,
+		Pprof:      s.cfg.Pprof,
 		Slow:       s.slow,
 		Active:     s.active,
 		Breakers:   s.breakers,
@@ -614,9 +644,36 @@ func (s *System) HTTPHandler(adminToken string) http.Handler {
 // Registry.WritePrometheus, or via the front end's /metrics endpoint.
 func (s *System) Metrics() *obs.Registry { return s.metrics }
 
-// Tracer returns the span-tree retention ring behind /debug/trace/last
-// (nil when Config.TraceBuffer is negative).
-func (s *System) Tracer() *obs.Tracer { return s.tracer }
+// Traces returns the sampled-trace store behind /debug/traces and
+// /debug/trace/last (nil when Config.TraceBuffer is negative).
+func (s *System) Traces() *obs.TraceStore { return s.traces }
+
+// SetTraceExporter attaches a batching exporter to the trace store:
+// every kept trace is offered to a bounded queue drained by a
+// background worker (full queue = drop with counter, never blocking
+// the query path). Call before serving; Close flushes and stops the
+// worker. No-op when tracing is disabled or exp is nil.
+func (s *System) SetTraceExporter(exp obs.Exporter) {
+	if s.traces == nil || exp == nil {
+		return
+	}
+	s.traceQ = obs.NewBatchQueue(exp, 0, 0, s.metrics)
+	s.traces.SetExporter(s.traceQ)
+}
+
+// FlushTraces blocks until every trace kept before the call has been
+// handed to the exporter (no-op without an exporter).
+func (s *System) FlushTraces() { s.traceQ.Flush() }
+
+// Close releases background machinery: the trace export queue is
+// flushed and stopped. The System remains queryable (later kept traces
+// simply stop exporting).
+func (s *System) Close() {
+	if s.traceQ != nil {
+		s.traces.SetExporter(nil)
+		s.traceQ.Close()
+	}
+}
 
 // SlowQueries lists the retained slow-query entries, slowest first, each
 // with its rendered EXPLAIN ANALYZE plan (the /debug/slowlog view).
