@@ -6,7 +6,7 @@ GO ?= go
 # installed, so `make check` stays green on offline builders.
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: all build test race vet lint vulncheck check bench explain-smoke chaos-smoke cluster-smoke trace-smoke
+.PHONY: all build test race vet lint vulncheck check bench explain-smoke chaos-smoke cluster-smoke trace-smoke parallel-race
 
 all: build
 
@@ -37,11 +37,22 @@ vulncheck:
 race:
 	$(GO) test -race ./...
 
+# parallel-race exercises the intra-query parallel execution machinery
+# under the race detector: the serial-vs-parallel differential suite,
+# the exchange/partitioned-join unit and fuzz seeds, and the concurrent
+# storm through the cluster front end under chaos faults (dead + slow
+# sources) asserting byte-identical results — no lost or duplicated
+# tuples.
+parallel-race:
+	$(GO) test -race -run 'TestParallelEquivalence|TestExplainParallelPlanShape' -count=1 ./internal/core
+	$(GO) test -race -run 'TestExchange|TestParallelHashJoin|TestParallelMatch|TestStableSort|FuzzPartition' -count=1 ./internal/algebra
+	$(GO) test -race -run 'TestParallelStormUnderChaos' -count=1 .
+
 # check is the full gate: go vet, the nimble-lint invariant suite, the
 # race-enabled tests (includes the dedicated concurrency tests in
-# internal/obs and internal/server), and a vulnerability scan when the
-# tooling is available.
-check: vet lint race vulncheck
+# internal/obs and internal/server), the parallel-execution race suite,
+# and a vulnerability scan when the tooling is available.
+check: vet lint race parallel-race vulncheck
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -65,6 +65,7 @@ func main() {
 	fetchTimeout := flag.Duration("fetch-timeout", 10*time.Second, "per-attempt remote fetch timeout (0 disables)")
 	fetchRetries := flag.Int("fetch-retries", 2, "retries after a transient fetch failure, with exponential backoff (0 disables)")
 	breakerThreshold := flag.Int("breaker-threshold", 5, "consecutive transient failures that open a source's circuit breaker (0 disables)")
+	parallelism := flag.Int("parallelism", 0, "intra-query worker goroutines per query pipeline (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
 	n := *instances
@@ -94,6 +95,7 @@ func main() {
 		FetchTimeout:     *fetchTimeout,
 		FetchRetries:     *fetchRetries,
 		BreakerThreshold: *breakerThreshold,
+		Parallelism:      *parallelism,
 	})
 	obs.RegisterRuntimeMetrics(sys.Metrics())
 	var fileExp *obs.FileExporter

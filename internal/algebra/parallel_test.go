@@ -1,0 +1,328 @@
+package algebra
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/xmldm"
+	"repro/internal/xmlql"
+)
+
+// randTuples builds n deterministic tuples with a join key k (small
+// domain, so joins and partitions collide) and a payload p.
+func randTuples(n int, seed int64) []Binding {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Binding, n)
+	for i := range out {
+		out[i] = xmldm.NewTuple().
+			With("k", xmldm.String(fmt.Sprintf("key%d", rng.Intn(7)))).
+			With("p", xmldm.Int(int64(i)))
+	}
+	return out
+}
+
+func drainAll(t *testing.T, ctx *Context, op Operator) []Binding {
+	t.Helper()
+	out, err := Drain(ctx, op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func bindingsEqual(a, b []Binding) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			return false
+		}
+	}
+	return true
+}
+
+// TestExchangeMatchesSerial: an Exchange running a cloned Select stage
+// produces exactly the serial stage's output, in order, for every
+// worker count and both routing modes.
+func TestExchangeMatchesSerial(t *testing.T) {
+	pred := &xmlql.BinExpr{Op: ">", L: &xmlql.VarExpr{Name: "p"}, R: &xmlql.LitExpr{Value: int64(20)}}
+	tuples := randTuples(200, 1)
+	want := drainAll(t, &Context{}, &Select{Input: &TupleScan{Tuples: tuples}, Pred: pred})
+
+	for _, workers := range []int{1, 2, 3, 8} {
+		for _, partition := range [][]string{nil, {"k"}} {
+			ex := &Exchange{
+				Input:       &TupleScan{Tuples: tuples},
+				Workers:     workers,
+				PartitionBy: partition,
+				Build:       func(src Operator) Operator { return &Select{Input: src, Pred: pred} },
+			}
+			got := drainAll(t, &Context{}, ex)
+			if !bindingsEqual(got, want) {
+				t.Errorf("workers=%d partition=%v: %d rows, want %d (or order differs)",
+					workers, partition, len(got), len(want))
+			}
+		}
+	}
+}
+
+// TestExchangeWorkerStats: per-worker row counts must sum to the output
+// and the context counters must record spawn and busy time.
+func TestExchangeWorkerStats(t *testing.T) {
+	tuples := randTuples(100, 2)
+	ctx := &Context{}
+	var deltas []int
+	ctx.OnWorkers = func(d int) { deltas = append(deltas, d) }
+	ex := &Exchange{
+		Input:   &TupleScan{Tuples: tuples},
+		Workers: 4,
+		Build:   func(src Operator) Operator { return &Project{Input: src, Vars: []string{"p"}} },
+	}
+	got := drainAll(t, ctx, ex)
+	if len(got) != len(tuples) {
+		t.Fatalf("rows = %d", len(got))
+	}
+	var sum int64
+	for _, ws := range ex.WorkerStats() {
+		sum += ws.Rows
+	}
+	if sum != int64(len(tuples)) {
+		t.Errorf("worker rows sum = %d, want %d", sum, len(tuples))
+	}
+	snap := ctx.Snapshot()
+	if snap.WorkersSpawned != 4 {
+		t.Errorf("WorkersSpawned = %d, want 4", snap.WorkersSpawned)
+	}
+	if !reflect.DeepEqual(deltas, []int{4, -4}) {
+		t.Errorf("OnWorkers deltas = %v, want [4 -4]", deltas)
+	}
+}
+
+// errAfterScan yields tuples then fails, exercising the producer error
+// path (error must surface after all earlier tuples, like serial).
+type errAfterScan struct {
+	tuples []Binding
+	err    error
+	pos    int
+	open   bool
+}
+
+func (s *errAfterScan) Open(*Context) error { s.open = true; s.pos = 0; return nil }
+func (s *errAfterScan) Next() (Binding, error) {
+	if !s.open {
+		return nil, ErrNotOpen
+	}
+	if s.pos >= len(s.tuples) {
+		return nil, s.err
+	}
+	b := s.tuples[s.pos]
+	s.pos++
+	return b, nil
+}
+func (s *errAfterScan) Close() error { s.open = false; return nil }
+
+func TestExchangeUpstreamErrorInOrder(t *testing.T) {
+	boom := errors.New("upstream boom")
+	tuples := randTuples(50, 3)
+	ex := &Exchange{
+		Input:   &errAfterScan{tuples: tuples, err: boom},
+		Workers: 3,
+		Build:   func(src Operator) Operator { return &Project{Input: src, Vars: []string{"k", "p"}} },
+	}
+	ctx := &Context{}
+	if err := ex.Open(ctx); err != nil {
+		t.Fatal(err)
+	}
+	var rows int
+	var err error
+	for {
+		var b Binding
+		b, err = ex.Next()
+		if b == nil {
+			break
+		}
+		rows++
+	}
+	if rows != len(tuples) {
+		t.Errorf("rows before error = %d, want %d (error must arrive in input order)", rows, len(tuples))
+	}
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v, want %v", err, boom)
+	}
+	if err := ex.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExchangeWorkerErrorPropagates(t *testing.T) {
+	// Predicate fails on an unknown function — every tuple errors; the
+	// first Next must surface it and Close must terminate cleanly.
+	pred := &xmlql.FuncExpr{Name: "no_such_fn", Args: []xmlql.Expr{&xmlql.VarExpr{Name: "p"}}}
+	ex := &Exchange{
+		Input:   &TupleScan{Tuples: randTuples(40, 4)},
+		Workers: 4,
+		Build:   func(src Operator) Operator { return &Select{Input: src, Pred: pred} },
+	}
+	if _, err := Drain(&Context{}, ex); err == nil {
+		t.Fatal("expected worker error to propagate")
+	}
+}
+
+// TestExchangeEarlyClose: a Limit above an Exchange closes it long
+// before the stream is drained; the pool must tear down without
+// deadlock and the upstream must still be closed.
+func TestExchangeEarlyClose(t *testing.T) {
+	tuples := randTuples(5000, 5)
+	ex := &Exchange{
+		Input:   &TupleScan{Tuples: tuples},
+		Workers: 4,
+		Build:   func(src Operator) Operator { return &Project{Input: src, Vars: []string{"p"}} },
+	}
+	out := drainAll(t, &Context{}, &Limit{Input: ex, N: 3})
+	if len(out) != 3 {
+		t.Fatalf("rows = %d, want 3", len(out))
+	}
+	for i, b := range out {
+		p, _ := b.Get("p")
+		if xmldm.Stringify(p) != fmt.Sprintf("%d", i) {
+			t.Errorf("row %d = %v, want p=%d (input order)", i, b, i)
+		}
+	}
+}
+
+// TestParallelHashJoinMatchesSerial: the partitioned join is
+// byte-identical to HashJoin for explicit and inferred join variables.
+func TestParallelHashJoinMatchesSerial(t *testing.T) {
+	left := randTuples(120, 6)
+	right := make([]Binding, 0, 40)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 40; i++ {
+		right = append(right, xmldm.NewTuple().
+			With("k", xmldm.String(fmt.Sprintf("key%d", rng.Intn(7)))).
+			With("r", xmldm.Int(int64(i))))
+	}
+	for _, on := range [][]string{nil, {"k"}} {
+		want := drainAll(t, &Context{}, &HashJoin{
+			Left: &TupleScan{Tuples: left}, Right: &TupleScan{Tuples: right}, On: on})
+		for _, workers := range []int{1, 2, 8} {
+			got := drainAll(t, &Context{}, &ParallelHashJoin{
+				Left: &TupleScan{Tuples: left}, Right: &TupleScan{Tuples: right},
+				On: on, Workers: workers})
+			if !bindingsEqual(got, want) {
+				t.Errorf("on=%v workers=%d: %d rows vs serial %d (or order differs)",
+					on, workers, len(got), len(want))
+			}
+		}
+	}
+}
+
+func TestParallelHashJoinEmptySides(t *testing.T) {
+	tuples := randTuples(10, 8)
+	for _, tc := range []struct {
+		name        string
+		left, right []Binding
+	}{
+		{"empty left", nil, tuples},
+		{"empty right", tuples, nil},
+		{"both empty", nil, nil},
+	} {
+		j := &ParallelHashJoin{
+			Left:    &TupleScan{Tuples: tc.left},
+			Right:   &TupleScan{Tuples: tc.right},
+			On:      []string{"k"},
+			Workers: 4,
+		}
+		out := drainAll(t, &Context{}, j)
+		if len(out) != 0 {
+			t.Errorf("%s: rows = %d, want 0", tc.name, len(out))
+		}
+	}
+}
+
+// TestStableSortIndicesMatchesSliceStable: the parallel permutation sort
+// equals sort.SliceStable for data with heavy key duplication.
+func TestStableSortIndicesMatchesSliceStable(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, n := range []int{0, 1, 5, 64, 500} {
+		keys := make([]int, n)
+		for i := range keys {
+			keys[i] = rng.Intn(9)
+		}
+		type pair struct{ key, orig int }
+		want := make([]pair, n)
+		for i := range want {
+			want[i] = pair{keys[i], i}
+		}
+		sort.SliceStable(want, func(a, b int) bool { return want[a].key < want[b].key })
+		for _, workers := range []int{1, 3, 8} {
+			perm := StableSortIndices(n, workers, func(i, j int) int { return keys[i] - keys[j] })
+			if len(perm) != n {
+				t.Fatalf("n=%d workers=%d: perm len %d", n, workers, len(perm))
+			}
+			for i, p := range perm {
+				if p != want[i].orig {
+					t.Fatalf("n=%d workers=%d: perm[%d]=%d, want %d (stability broken)",
+						n, workers, i, p, want[i].orig)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelMatchMatchesSerial: a leaf Match with Workers set emits
+// the same bindings, in the same order, as the serial candidate loop.
+func TestParallelMatchMatchesSerial(t *testing.T) {
+	doc := mustDoc(t, bibXML)
+	pat := patOf(t, `WHERE <book><title>$t</title><author>$a</author></book> IN "b" CONSTRUCT <r/>`)
+	roots := func(*Context) ([]xmldm.Value, error) { return []xmldm.Value{doc}, nil }
+	want := drainAll(t, &Context{}, &Match{Input: &Singleton{}, Pattern: pat, Roots: roots})
+	for _, workers := range []int{2, 4} {
+		m := &Match{Input: &Singleton{}, Pattern: pat, Roots: roots, Workers: workers}
+		got := drainAll(t, &Context{}, m)
+		if !bindingsEqual(got, want) {
+			t.Errorf("workers=%d: %d rows vs serial %d (or order differs)", workers, len(got), len(want))
+		}
+		if len(m.WorkerStats()) != workers {
+			t.Errorf("workers=%d: stats = %+v", workers, m.WorkerStats())
+		}
+	}
+}
+
+// FuzzPartition: the hash partitioner must place every tuple in exactly
+// one partition (0 <= p < n) and co-locate equal join keys — the
+// invariant ParallelHashJoin's correctness rests on.
+func FuzzPartition(f *testing.F) {
+	f.Add("", "", 2)
+	f.Add("héllo wörld 💾", "héllo wörld 💾", 4)
+	// "costarring"/"liquid" collide under 32-bit FNV-1a; hostile input
+	// for the 64-bit path too.
+	f.Add("costarring", "liquid", 8)
+	f.Add("a", "b", 1)
+	f.Add("key0", "key0", 3)
+	f.Fuzz(func(t *testing.T, k1, k2 string, n int) {
+		if n < 1 || n > 64 {
+			return
+		}
+		b1 := xmldm.NewTuple().With("k", xmldm.String(k1)).With("x", xmldm.Int(1))
+		b2 := xmldm.NewTuple().With("k", xmldm.String(k2)).With("x", xmldm.Int(2))
+		p1 := PartitionOf(PartitionKey(b1, []string{"k"}), n)
+		p2 := PartitionOf(PartitionKey(b2, []string{"k"}), n)
+		if p1 < 0 || p1 >= n || p2 < 0 || p2 >= n {
+			t.Fatalf("partition out of range: %d, %d (n=%d)", p1, p2, n)
+		}
+		if k1 == k2 && p1 != p2 {
+			t.Fatalf("equal keys %q split across partitions %d and %d", k1, p1, p2)
+		}
+		// The non-key payload must not influence routing: a tuple's
+		// partition is a function of the partition variables only.
+		b1b := xmldm.NewTuple().With("k", xmldm.String(k1)).With("x", xmldm.Int(99))
+		if p := PartitionOf(PartitionKey(b1b, []string{"k"}), n); p != p1 {
+			t.Fatalf("payload changed partition: %d vs %d", p, p1)
+		}
+	})
+}

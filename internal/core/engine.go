@@ -9,7 +9,7 @@ package core
 import (
 	"context"
 	"fmt"
-	"sort"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -38,6 +38,7 @@ type Engine struct {
 
 	mu         sync.RWMutex
 	opts       opt.Options                                         // guarded by mu
+	par        int                                                 // guarded by mu
 	policy     exec.Policy                                         // guarded by mu
 	funcs      map[string]func([]xmldm.Value) (xmldm.Value, error) // guarded by mu
 	skipUnfold func(string) bool                                   // guarded by mu
@@ -138,6 +139,18 @@ func (e *Engine) SetPlannerOptions(o opt.Options) {
 	e.opts = o
 }
 
+// SetParallelism sets the intra-query degree of parallelism: n > 1
+// makes the planner place exchange operators and partitioned joins so a
+// single query's pipelines run on n worker goroutines; 1 forces serial
+// plans (the pre-parallelism behavior); 0 — the default — resolves to
+// runtime.GOMAXPROCS(0) at query time. Parallel plans produce output
+// byte-identical to their serial twins.
+func (e *Engine) SetParallelism(n int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.par = n
+}
+
 // RegisterFunc adds a scalar function visible to queries — the hook
 // through which the cleaning subsystem exposes normalization functions
 // for dynamic, query-time cleaning (§3.2).
@@ -195,7 +208,12 @@ type Stats struct {
 	// time and tree sizes across the query (including subqueries).
 	DrainNanos   int64
 	OperatorsRun int64
-	Explain      []string
+	// ParallelWorkers / WorkerNanos count the parallel workers spawned
+	// by exchange-style operators during the query and their cumulative
+	// busy wall time (0 / 0 for serial plans).
+	ParallelWorkers int64
+	WorkerNanos     int64
+	Explain         []string
 }
 
 // ExplainTree is the per-operator statistics tree of one execution (the
@@ -323,6 +341,8 @@ func (e *Engine) queryAST(ctx context.Context, q *xmlql.Query, qo QueryOptions, 
 
 	access := e.runner.NewAccess(ctx, policy)
 	actx := &algebra.Context{Funcs: funcs, Trace: root}
+	workersGauge := metrics.Gauge("nimble_parallel_workers")
+	actx.OnWorkers = func(delta int) { workersGauge.Add(float64(delta)) }
 	res := &Result{Explain: &ExplainTree{Op: "Query"}}
 	actx.SubqueryEval = func(subq *xmlql.Query, outer algebra.Binding) ([]xmldm.Value, error) {
 		return e.run(ctx, subq, outer, access, actx, 1, nil, nil, nil)
@@ -360,6 +380,8 @@ func (e *Engine) queryAST(ctx context.Context, q *xmlql.Query, qo QueryOptions, 
 	res.Stats.PatternMatches = snap.PatternMatches
 	res.Stats.DrainNanos = snap.DrainNanos
 	res.Stats.OperatorsRun = snap.OperatorsRun
+	res.Stats.ParallelWorkers = snap.WorkersSpawned
+	res.Stats.WorkerNanos = snap.WorkerNanos
 	res.Explain.RowsOut = int64(len(values))
 	res.Explain.Finalize()
 	attachFetchStats(res.Explain, access.FetchStats(), elapsed)
@@ -437,7 +459,15 @@ func (e *Engine) run(ctx context.Context, q *xmlql.Query, outer algebra.Binding,
 	e.mu.RLock()
 	skip := e.skipUnfold
 	opts := e.opts
+	par := e.par
 	e.mu.RUnlock()
+	if par == 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par < 1 {
+		par = 1
+	}
+	opts.Parallelism = par
 
 	sp := obs.FromContext(ctx)
 	aq.SetPhase("unfold")
@@ -566,22 +596,31 @@ func (e *Engine) run(ctx context.Context, q *xmlql.Query, outer algebra.Binding,
 		for i, k := range q.OrderBy {
 			descs[i] = k.Desc
 		}
-		sort.SliceStable(items, func(i, j int) bool {
+		// Keys were precomputed serially during construction, so the
+		// comparator only reads them — safe for the parallel chunk sorts
+		// of StableSortIndices, whose index tie-break reproduces exactly
+		// the sort.SliceStable order.
+		perm := algebra.StableSortIndices(len(items), par, func(i, j int) int {
 			for k := range descs {
 				if k >= len(items[i].keys) || k >= len(items[j].keys) {
-					return false
+					return 0
 				}
 				c := xmldm.Compare(items[i].keys[k], items[j].keys[k])
 				if c == 0 {
 					continue
 				}
 				if descs[k] {
-					return c > 0
+					return -c
 				}
-				return c < 0
+				return c
 			}
-			return false
+			return 0
 		})
+		sorted := make([]item, len(items))
+		for i, p := range perm {
+			sorted[i] = items[p]
+		}
+		items = sorted
 	}
 
 	out := make([]xmldm.Value, len(items))

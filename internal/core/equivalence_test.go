@@ -137,6 +137,105 @@ func TestUnfoldingEquivalence_Property(t *testing.T) {
 	}
 }
 
+// The serial/parallel differential property: for any query, a plan run
+// at parallelism N must produce output byte-identical to the serial
+// plan — same XML, same order, same completeness, same work counters.
+// Serial execution is the oracle; the generator reuses the randomized
+// deployment/query space of the unfolding property above.
+
+// parallelDegrees are the degrees the differential suite exercises:
+// serial oracle, minimal parallelism, and more workers than cores.
+var parallelDegrees = []int{1, 2, 8}
+
+// runAt executes q on e at the given degree of parallelism and returns
+// the serialized result document plus the result itself.
+func runAt(t *testing.T, e *Engine, q string, par int) (string, *Result) {
+	t.Helper()
+	e.SetParallelism(par)
+	res, err := e.Query(context.Background(), q)
+	if err != nil {
+		t.Fatalf("parallelism %d: %v\nquery: %s", par, err, q)
+	}
+	return res.Document().String(), res
+}
+
+func TestParallelEquivalence_Differential(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		e, view := randomDeployment(t, rng)
+		q := randomQuery(rng, false)
+
+		oracle, ores := runAt(t, e, q, 1)
+		for _, par := range parallelDegrees[1:] {
+			got, res := runAt(t, e, q, par)
+			if got != oracle {
+				t.Fatalf("seed %d parallelism %d: output differs from serial\nquery: %s\nview: %s\ngot:  %s\nwant: %s",
+					seed, par, q, view, got, oracle)
+			}
+			if res.Completeness.Complete != ores.Completeness.Complete {
+				t.Fatalf("seed %d parallelism %d: completeness %v vs serial %v",
+					seed, par, res.Completeness.Complete, ores.Completeness.Complete)
+			}
+			if res.Stats.TuplesEmitted != ores.Stats.TuplesEmitted ||
+				res.Stats.PatternMatches != ores.Stats.PatternMatches {
+				t.Fatalf("seed %d parallelism %d: stats (tuples=%d matches=%d) vs serial (tuples=%d matches=%d)",
+					seed, par, res.Stats.TuplesEmitted, res.Stats.PatternMatches,
+					ores.Stats.TuplesEmitted, ores.Stats.PatternMatches)
+			}
+		}
+	}
+}
+
+// TestParallelEquivalence_Workload runs the fixed multi-source workload
+// queries (joins across relational and XML sources, IN-$var chaining,
+// residual predicates, ORDER-BY) through every parallel degree.
+func TestParallelEquivalence_Workload(t *testing.T) {
+	workload := []string{
+		// Two-source join with a residual cross-source predicate.
+		`WHERE <cust><cid>$i</cid><who>$w</who></cust> IN "customers",
+		       <ticket><cust>$i</cust><subject>$s</subject></ticket> IN "tickets"
+		 CONSTRUCT <r><who>$w</who><subject>$s</subject></r>`,
+		// Relational-relational join with ORDER-BY (exercises the
+		// parallel final sort) and a selection.
+		`WHERE <customer><id>$i</id><name>$n</name></customer> IN "crmdb",
+		       <order><cust>$i</cust><total>$t</total></order> IN "salesdb",
+		       $t > 100
+		 CONSTRUCT <big><who>$n</who><total>$t</total></big> ORDER-BY $t DESCENDING`,
+		// Mediated-schema scan with attribute pattern and predicate.
+		`WHERE <ticket pri=$p><subject>$s</subject></ticket> IN "tickets", $p = "high"
+		 CONSTRUCT <hot>$s</hot>`,
+		// Three-way join across all sources.
+		`WHERE <cust><cid>$i</cid><who>$w</who><where>$c</where></cust> IN "customers",
+		       <order><cust>$i</cust><total>$t</total></order> IN "salesdb",
+		       <ticket><cust>$i</cust></ticket> IN "tickets"
+		 CONSTRUCT <row><who>$w</who><city>$c</city><total>$t</total></row> ORDER-BY $w, $t`,
+	}
+	e, _ := newTestEngine(t)
+	for qi, q := range workload {
+		oracle, ores := runAt(t, e, q, 1)
+		if len(ores.Values) == 0 {
+			t.Fatalf("workload %d: oracle produced no rows (weak test)", qi)
+		}
+		for _, par := range parallelDegrees[1:] {
+			got, res := runAt(t, e, q, par)
+			if got != oracle {
+				t.Fatalf("workload %d parallelism %d: output differs from serial\ngot:  %s\nwant: %s",
+					qi, par, got, oracle)
+			}
+			if res.Completeness.Complete != ores.Completeness.Complete {
+				t.Fatalf("workload %d parallelism %d: completeness differs", qi, par)
+			}
+			if res.Stats.TuplesEmitted != ores.Stats.TuplesEmitted {
+				t.Fatalf("workload %d parallelism %d: tuples %d vs serial %d",
+					qi, par, res.Stats.TuplesEmitted, ores.Stats.TuplesEmitted)
+			}
+			if par > 1 && res.Stats.ParallelWorkers == 0 {
+				t.Fatalf("workload %d parallelism %d: no parallel workers spawned (plan not parallelized?)", qi, par)
+			}
+		}
+	}
+}
+
 func containsAttrKey(view string) bool {
 	return false // randomQuery always uses the element-key form; kept for clarity
 }

@@ -27,6 +27,7 @@ const twoSourceJoinQL = `
 
 func TestExplainGoldenTwoSourceJoin(t *testing.T) {
 	e, _ := newTestEngine(t)
+	e.SetParallelism(1) // pin the serial plan shape on multi-core runners
 	slow := NewSlowLog(4, 0)
 	active := NewActiveRegistry()
 	e.SetIntrospection(slow, active)
@@ -76,6 +77,71 @@ Query [rewrites=1] out=3 in=3 time=?ms
 	}
 	if res.Stats.OperatorsRun <= 0 || res.Stats.DrainNanos <= 0 {
 		t.Errorf("stats = %+v (drain accounting missing)", res.Stats)
+	}
+}
+
+// TestExplainParallelPlanShape: at parallelism 2 the planner lifts the
+// residual Select into an Exchange and swaps the join for its
+// partitioned variant; the answer (and its EXPLAIN row counts) must
+// match the serial plan exactly, and the parallel operators must report
+// per-worker stats.
+func TestExplainParallelPlanShape(t *testing.T) {
+	e, _ := newTestEngine(t)
+	e.SetParallelism(2)
+
+	res, err := e.Query(context.Background(), twoSourceJoinQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Values) != 3 {
+		t.Fatalf("values = %d, want 3", len(res.Values))
+	}
+	ex := res.Explain.Find("Exchange")
+	if ex == nil {
+		t.Fatalf("no Exchange node in:\n%s", res.Explain.Render())
+	}
+	if !strings.Contains(ex.Detail, "runs Select") || !strings.Contains(ex.Detail, "workers=2") {
+		t.Errorf("Exchange detail = %q", ex.Detail)
+	}
+	if ex.RowsOut != 3 {
+		t.Errorf("Exchange rows out = %d, want 3", ex.RowsOut)
+	}
+	phj := res.Explain.Find("ParallelHashJoin")
+	if phj == nil {
+		t.Fatalf("no ParallelHashJoin node in:\n%s", res.Explain.Render())
+	}
+	if phj.RowsOut != 9 {
+		t.Errorf("ParallelHashJoin rows out = %d, want 9 (serial HashJoin count)", phj.RowsOut)
+	}
+	if len(phj.Workers) != 2 {
+		t.Errorf("ParallelHashJoin worker stats = %+v, want 2 workers", phj.Workers)
+	}
+	var rows int64
+	for _, w := range phj.Workers {
+		rows += w.Rows
+	}
+	if rows != 9 {
+		t.Errorf("worker rows sum = %d, want 9", rows)
+	}
+	if res.Stats.ParallelWorkers == 0 {
+		t.Error("Stats.ParallelWorkers = 0, want > 0")
+	}
+	if !strings.Contains(res.Explain.Render(), "rows/worker=") {
+		t.Errorf("rendered tree lacks per-worker rows:\n%s", res.Explain.Render())
+	}
+
+	// Same answer as the serial engine, byte for byte.
+	serial, _ := newTestEngine(t)
+	serial.SetParallelism(1)
+	sres, err := serial.Query(context.Background(), twoSourceJoinQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := res.Document().String(), sres.Document().String(); got != want {
+		t.Errorf("parallel result differs from serial:\n%s\nwant:\n%s", got, want)
+	}
+	if res.Stats.TuplesEmitted != sres.Stats.TuplesEmitted {
+		t.Errorf("TuplesEmitted = %d, serial %d", res.Stats.TuplesEmitted, sres.Stats.TuplesEmitted)
 	}
 }
 

@@ -135,9 +135,15 @@ type Access struct {
 }
 
 // fetchTiming accumulates per-source fetch wall time for EXPLAIN
-// attribution (distinct fetches to the same source aggregate).
+// attribution (distinct fetches to the same source aggregate). reads
+// counts logical read-throughs — every fetch() call, including ones
+// served from the memo when an operator re-Opens its child or an
+// exchange worker re-reads a prefetched buffer — while fetches counts
+// only physical source fetches, so attribution never double-counts a
+// re-read as new source work.
 type fetchTiming struct {
 	fetches int
+	reads   int
 	nanos   int64
 }
 
@@ -252,6 +258,15 @@ func (a *Access) fetch(source string, req catalog.Request) (*xmldm.Node, error) 
 			m.Histogram("nimble_fetch_seconds", "source", strings.ToLower(source)).Observe(elapsed.Seconds())
 		}
 	})
+	a.mu.Lock()
+	key = strings.ToLower(source)
+	t := a.timings[key]
+	if t == nil {
+		t = &fetchTiming{}
+		a.timings[key] = t
+	}
+	t.reads++
+	a.mu.Unlock()
 	return fr.doc, fr.err
 }
 
@@ -457,10 +472,15 @@ func (a *Access) addTiming(source string, d time.Duration) {
 type SourceFetchStat struct {
 	Source  string
 	Fetches int
-	Nanos   int64
-	Rows    int
-	Bytes   int
-	Local   bool
+	// Reads counts logical read-throughs of the memoized result; a
+	// Reads higher than Fetches means plan operators re-read the
+	// prefetched buffer (re-Open, exchange workers) without new source
+	// work — Fetches and Rows stay single-counted.
+	Reads int
+	Nanos int64
+	Rows  int
+	Bytes int
+	Local bool
 	Err     string
 	Retries int
 	Breaker string
@@ -479,7 +499,7 @@ func (a *Access) FetchStats() []SourceFetchStat {
 	out := make([]SourceFetchStat, 0, len(keys))
 	for _, k := range keys {
 		t := a.timings[k]
-		fs := SourceFetchStat{Source: k, Fetches: t.fetches, Nanos: t.nanos}
+		fs := SourceFetchStat{Source: k, Fetches: t.fetches, Reads: t.reads, Nanos: t.nanos}
 		if st, ok := a.statuses[k]; ok {
 			fs.Source = st.Source
 			fs.Rows = st.Rows

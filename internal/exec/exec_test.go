@@ -44,6 +44,57 @@ func newRunner(t *testing.T, srcs ...catalog.Source) *Runner {
 	return &Runner{Cat: cat}
 }
 
+// TestFetchStatsSingleCountOnReRead: when plan operators re-read a
+// prefetched buffer (an operator re-Opening its child, exchange workers
+// pulling the same memoized document), FetchStats must keep Fetches at
+// the physical count and attribute the re-reads to Reads instead —
+// never double-counting source work.
+func TestFetchStatsSingleCountOnReRead(t *testing.T) {
+	src := &countingSource{name: "s"}
+	r := newRunner(t, src)
+	a := r.NewAccess(context.Background(), PolicyFail)
+
+	// Prefetch, then re-read the buffer several times, as a re-Opened
+	// operator subtree or parallel workers would.
+	if err := a.Prefetch([]FetchSpec{{Source: "s", Req: catalog.Request{Native: "q1"}}}); err != nil {
+		t.Fatal(err)
+	}
+	const reReads = 6
+	for i := 0; i < reReads; i++ {
+		if _, err := a.Roots("s", catalog.Request{Native: "q1"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if src.fetches.Load() != 1 {
+		t.Fatalf("physical fetches = %d, want 1", src.fetches.Load())
+	}
+	stats := a.FetchStats()
+	if len(stats) != 1 {
+		t.Fatalf("stats = %+v, want one source", stats)
+	}
+	fs := stats[0]
+	if fs.Fetches != 1 {
+		t.Errorf("Fetches = %d, want 1 (re-reads must not count as new fetches)", fs.Fetches)
+	}
+	if fs.Rows != 1 {
+		t.Errorf("Rows = %d, want 1 (re-reads must not double-count rows)", fs.Rows)
+	}
+	if fs.Reads != 1+reReads {
+		t.Errorf("Reads = %d, want %d (prefetch + re-reads)", fs.Reads, 1+reReads)
+	}
+
+	// A distinct request to the same source is real new work: both
+	// counters advance.
+	if _, err := a.Roots("s", catalog.Request{Native: "q2"}); err != nil {
+		t.Fatal(err)
+	}
+	fs = a.FetchStats()[0]
+	if fs.Fetches != 2 || fs.Reads != 2+reReads {
+		t.Errorf("after second spec: Fetches = %d Reads = %d, want 2 and %d", fs.Fetches, fs.Reads, 2+reReads)
+	}
+}
+
 func TestRootsAndMemoization(t *testing.T) {
 	src := &countingSource{name: "s"}
 	r := newRunner(t, src)

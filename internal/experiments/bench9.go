@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	nimble "repro"
+	"repro/internal/sources"
+	"repro/internal/workload"
+)
+
+// Bench9Schema names the BENCH_9.json layout so future runs can detect
+// an incompatible report before comparing numbers. Bump on any field
+// change.
+const Bench9Schema = "nimble/bench9/v1"
+
+// Bench9Report is the machine-readable payload `nimble-bench -bench9`
+// writes to BENCH_9.json: one run per parallelism degree over the E7
+// city workload, plus the serial-vs-parallel ratios future PRs compare
+// against. The schema is documented in EXPERIMENTS.md.
+type Bench9Report struct {
+	Schema     string      `json:"schema"`
+	Scale      string      `json:"scale"` // "quick" or "full"
+	Customers  int         `json:"customers"`
+	Queries    int         `json:"queries"`
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	Runs       []Bench9Run `json:"runs"`
+	// SpeedupP50 and SpeedupRows compare the last run (highest
+	// parallelism) against the first (serial): serial p50 / parallel
+	// p50, and parallel rows/sec / serial rows/sec. >1 means the
+	// parallel plans won; near 1 is expected on a single-core runner.
+	SpeedupP50  float64 `json:"speedup_p50"`
+	SpeedupRows float64 `json:"speedup_rows_per_sec"`
+}
+
+// Bench9Run is one parallelism degree's measurements.
+type Bench9Run struct {
+	Parallelism int     `json:"parallelism"`
+	Queries     int     `json:"queries"`
+	Rows        int64   `json:"rows"`
+	P50Ms       float64 `json:"p50_ms"`
+	P95Ms       float64 `json:"p95_ms"`
+	RowsPerSec  float64 `json:"rows_per_sec"`
+	WallMs      float64 `json:"wall_ms"`
+}
+
+// bench9Degrees: serial baseline vs a fixed fan-out. The degree is
+// fixed (not GOMAXPROCS) so the parallel plan shape is exercised even
+// on one core and reports stay comparable across runners.
+var bench9Degrees = []int{1, 4}
+
+// Bench9Parallel measures intra-query parallel execution on the E7
+// workload: zipf-skewed city queries over a simulated 2 ms-latency
+// relational source, one sequential client (intra-query speedup, not
+// throughput — E7 covers inter-query scaling). Each degree gets its own
+// system so no cache or fetch state leaks between runs.
+func Bench9Parallel(s Scale, scaleLabel string) *Bench9Report {
+	rep := &Bench9Report{
+		Schema:     Bench9Schema,
+		Scale:      scaleLabel,
+		Customers:  s.Customers,
+		Queries:    s.Queries,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	const latency = 2 * time.Millisecond
+	queries := workload.CityQueries(s.Queries, 0.9, 13)
+	ctx := context.Background()
+
+	for _, par := range bench9Degrees {
+		sys := nimble.New(nimble.Config{Parallelism: par})
+		db := workload.CustomerDB("crm", s.Customers/2, 1, 9)
+		sim := sources.NewNetworkSim(sources.NewRelationalSource("crmdb", db), latency, 1.0, 9)
+		if err := sys.AddSource(sim); err != nil {
+			panic(err)
+		}
+		mustDefineCustomerSchema(sys)
+
+		var rows int64
+		durs := make([]time.Duration, 0, len(queries))
+		start := time.Now()
+		for _, q := range queries {
+			qs := time.Now()
+			res, err := sys.Query(ctx, q)
+			if err != nil {
+				panic(err)
+			}
+			durs = append(durs, time.Since(qs))
+			rows += int64(len(res.Values))
+		}
+		elapsed := time.Since(start)
+		sys.Close()
+
+		rep.Runs = append(rep.Runs, Bench9Run{
+			Parallelism: par,
+			Queries:     len(queries),
+			Rows:        rows,
+			P50Ms:       float64(pctl(durs, 50).Microseconds()) / 1000,
+			P95Ms:       float64(pctl(durs, 95).Microseconds()) / 1000,
+			RowsPerSec:  float64(rows) / elapsed.Seconds(),
+			WallMs:      float64(elapsed.Microseconds()) / 1000,
+		})
+	}
+
+	first, last := rep.Runs[0], rep.Runs[len(rep.Runs)-1]
+	if last.P50Ms > 0 {
+		rep.SpeedupP50 = first.P50Ms / last.P50Ms
+	}
+	if first.RowsPerSec > 0 {
+		rep.SpeedupRows = last.RowsPerSec / first.RowsPerSec
+	}
+	return rep
+}
+
+// Table renders the report as a nimble-bench table for the console.
+func (r *Bench9Report) Table() *Table {
+	t := &Table{
+		ID:     "B9",
+		Title:  "Intra-query parallelism: latency and rows/sec vs degree (E7 city workload)",
+		Header: []string{"parallelism", "p50 (ms)", "p95 (ms)", "rows/sec", "wall (ms)"},
+	}
+	for _, run := range r.Runs {
+		t.AddRow(run.Parallelism, run.P50Ms, run.P95Ms, run.RowsPerSec, run.WallMs)
+	}
+	t.Notes = append(t.Notes,
+		"one sequential client, 2 ms simulated source latency, zipf(0.9) city queries",
+		"speedups (last vs first run): p50 "+trimFloat(r.SpeedupP50)+"x, rows/sec "+trimFloat(r.SpeedupRows)+"x",
+		"written to BENCH_9.json by `nimble-bench -bench9`; schema in EXPERIMENTS.md")
+	return t
+}
+
+func trimFloat(f float64) string { return fmt.Sprintf("%.2f", f) }
+
+// pctl is the p-th percentile duration (nearest-rank).
+func pctl(durs []time.Duration, p int) time.Duration {
+	if len(durs) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), durs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := (len(sorted) * p) / 100
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

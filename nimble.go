@@ -125,6 +125,12 @@ type Config struct {
 	// DisablePushdown turns off fragment compilation into sources (for
 	// ablation; the answer is unchanged, only slower).
 	DisablePushdown bool
+	// Parallelism is the intra-query degree of parallelism: how many
+	// worker goroutines one query's operator pipelines may use. 0 (the
+	// default) resolves to runtime.GOMAXPROCS(0) at query time; 1 keeps
+	// plans serial. Parallel plans produce byte-identical output to
+	// serial ones, so this is purely a throughput knob.
+	Parallelism int
 	// Metrics is the registry observing this deployment; nil uses the
 	// process-wide default registry.
 	Metrics *obs.Registry
@@ -311,6 +317,7 @@ func New(cfg Config) *System {
 		if cfg.DisablePushdown {
 			e.SetPlannerOptions(opt.Options{})
 		}
+		e.SetParallelism(cfg.Parallelism)
 		e.SetMetrics(reg)
 		e.SetTraceStore(traces)
 		e.SetIntrospection(s.slow, s.active)
