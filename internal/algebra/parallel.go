@@ -358,7 +358,12 @@ func (x *Exchange) WorkerStats() []WorkerStat {
 
 // Close implements Operator.
 func (x *Exchange) Close() error {
-	if x.fan != nil {
+	// x.ctx doubles as the "already closed" marker: a second Close (a
+	// defensive caller, or an error path that already tore down the
+	// tree) must not stop the fanout again or re-credit the worker
+	// gauge. x.fan stays set so WorkerStats remains readable after
+	// Close.
+	if x.fan != nil && x.ctx != nil {
 		x.fan.stop()
 		var busy int64
 		for _, ws := range x.fan.stats {
@@ -563,7 +568,10 @@ func (j *ParallelHashJoin) WorkerStats() []WorkerStat {
 
 // Close implements Operator.
 func (j *ParallelHashJoin) Close() error {
-	if j.fan != nil {
+	// As with Exchange.Close, j.ctx marks "not yet closed": double
+	// Close must neither stop the fanout twice nor unbalance the
+	// worker gauge.
+	if j.fan != nil && j.ctx != nil {
 		j.fan.stop()
 		var busy int64
 		for _, ws := range j.fan.stats {

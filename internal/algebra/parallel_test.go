@@ -244,6 +244,65 @@ func TestParallelHashJoinEmptySides(t *testing.T) {
 	}
 }
 
+// TestParallelCloseIdempotent: closing a parallel operator twice (a
+// defensive caller, or an error path that already tore the tree down)
+// must not panic, must not stop the fanout twice, and must leave the
+// worker gauge balanced at zero — the cancel-path invariant the storm
+// tests assert end to end.
+func TestParallelCloseIdempotent(t *testing.T) {
+	tuples := randTuples(50, 11)
+
+	var workers int
+	ctx := &Context{}
+	ctx.OnWorkers = func(d int) { workers += d }
+
+	ex := &Exchange{
+		Input:   &TupleScan{Tuples: tuples},
+		Workers: 3,
+		Build:   func(src Operator) Operator { return &Project{Input: src, Vars: []string{"p"}} },
+	}
+	if err := ex.Open(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ex.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.Close(); err != nil { // second close: no panic, no double credit
+		t.Fatal(err)
+	}
+	if workers != 0 {
+		t.Fatalf("worker gauge = %d after double Exchange close, want 0", workers)
+	}
+	if len(ex.WorkerStats()) != 3 {
+		t.Fatalf("WorkerStats lost after close: %v", ex.WorkerStats())
+	}
+
+	j := &ParallelHashJoin{
+		Left:    &TupleScan{Tuples: tuples},
+		Right:   &TupleScan{Tuples: tuples},
+		On:      []string{"k"},
+		Workers: 3,
+	}
+	if err := j.Open(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if workers != 0 {
+		t.Fatalf("worker gauge = %d after double join close, want 0", workers)
+	}
+}
+
 // TestStableSortIndicesMatchesSliceStable: the parallel permutation sort
 // equals sort.SliceStable for data with heavy key duplication.
 func TestStableSortIndicesMatchesSliceStable(t *testing.T) {

@@ -17,7 +17,10 @@ import (
 // struct. Helper methods whose name ends in "Locked" are exempt by
 // convention (their contract is "caller holds the lock"). A deferred
 // Unlock does not count as a release; an inline Unlock before the
-// access does.
+// access does. The guard may be a dotted path rooted at the receiver —
+// `guarded by s.mu` on a handle's field demands `h.s.mu.Lock()` — which
+// covers handles protected by their owning object's mutex (the
+// scheduler's Grant, the cluster's instance records).
 var GuardedBy = &Analyzer{
 	Name: "guardedby",
 	Doc: "check that fields annotated `// guarded by <mu>` are only accessed while <mu> is held " +
@@ -25,7 +28,7 @@ var GuardedBy = &Analyzer{
 	Run: runGuardedBy,
 }
 
-var guardedByRe = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_]*)`)
+var guardedByRe = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_]*(?:\.[A-Za-z_][A-Za-z0-9_]*)*)`)
 
 // guardedField records one annotation: structName.fieldName needs mu.
 type guardedField struct {
@@ -148,6 +151,30 @@ func unlockExitsFunc(call *ast.CallExpr, stack []ast.Node) bool {
 	return false
 }
 
+// recvRelPath flattens a selector chain rooted at the receiver into its
+// dotted field path: for receiver g, `g.s.mu` -> "s.mu"; for receiver
+// s, `s.mu` -> "mu". Chains not rooted at the receiver report false.
+func recvRelPath(e ast.Expr, recvName string) (string, bool) {
+	var parts []string
+	for {
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			parts = append(parts, x.Sel.Name)
+			e = x.X
+		case *ast.Ident:
+			if x.Name != recvName || len(parts) == 0 {
+				return "", false
+			}
+			for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
+				parts[i], parts[j] = parts[j], parts[i]
+			}
+			return strings.Join(parts, "."), true
+		default:
+			return "", false
+		}
+	}
+}
+
 // lockEvent is one non-deferred Lock/Unlock call on the receiver's
 // mutex, in source order.
 type lockEvent struct {
@@ -182,12 +209,8 @@ func guardCheckFunc(pass *Pass, fd *ast.FuncDecl, recvName string, fields map[st
 			default:
 				return
 			}
-			inner, ok := sel.X.(*ast.SelectorExpr)
+			path, ok := recvRelPath(sel.X, recvName)
 			if !ok {
-				return
-			}
-			base, ok := inner.X.(*ast.Ident)
-			if !ok || base.Name != recvName {
 				return
 			}
 			if !isLock && inDefer(stack) {
@@ -196,7 +219,7 @@ func guardCheckFunc(pass *Pass, fd *ast.FuncDecl, recvName string, fields map[st
 			if !isLock && unlockExitsFunc(x, stack) {
 				return // unlock-then-return: no code after it runs unlocked
 			}
-			events = append(events, lockEvent{pos: x, lock: isLock, mu: inner.Sel.Name})
+			events = append(events, lockEvent{pos: x, lock: isLock, mu: path})
 		case *ast.SelectorExpr:
 			base, ok := x.X.(*ast.Ident)
 			if !ok || base.Name != recvName {

@@ -37,6 +37,7 @@ const (
 	slotAcquire slotKind = iota // m, err := x.acquire(...) -> x.release(m, ...)
 	slotProbe                   // ok, probe := b.Allow() -> b.Success()/b.Failure()
 	slotQueue                   // elem := l.PushBack(v) -> l.Remove(elem)
+	slotGrant                   // g := s.Acquire(...) -> g.Release()
 )
 
 // slotSite is one tracked acquisition.
@@ -102,28 +103,38 @@ func classifySlotCall(pass *Pass, as *ast.AssignStmt) *slotSite {
 
 	switch {
 	case (name == "acquire" || name == "Acquire") && len(as.Lhs) >= 1:
+		res, _ := as.Lhs[0].(*ast.Ident)
+		if res == nil || res.Name == "_" {
+			return nil
+		}
 		t := recvType()
 		rel := "release"
 		if name == "Acquire" {
 			rel = "Release"
 		}
-		if !hasMethod(t, rel) {
-			return nil
+		if hasMethod(t, rel) {
+			if t != nil && !moduleLocalType(t) {
+				return nil
+			}
+			s := &slotSite{kind: slotAcquire, call: call, res: res, recvStr: exprString(recv), relName: rel}
+			if len(as.Lhs) >= 2 {
+				if errID, ok := as.Lhs[len(as.Lhs)-1].(*ast.Ident); ok && errID.Name != "_" {
+					s.errObj = pass.objectOf(errID)
+				}
+			}
+			return s
 		}
-		if t != nil && !moduleLocalType(t) {
-			return nil
-		}
-		res, _ := as.Lhs[0].(*ast.Ident)
-		if res == nil || res.Name == "_" {
-			return nil
-		}
-		s := &slotSite{kind: slotAcquire, call: call, res: res, recvStr: exprString(recv), relName: rel}
-		if len(as.Lhs) >= 2 {
-			if errID, ok := as.Lhs[len(as.Lhs)-1].(*ast.Ident); ok && errID.Name != "_" {
-				s.errObj = pass.objectOf(errID)
+		// The scheduler grant shape: the receiver has no release sibling;
+		// instead Acquire hands back a module-local handle that carries
+		// its own Release method (sched.Scheduler.Acquire -> *sched.Grant).
+		if name == "Acquire" && len(as.Lhs) == 1 && pass.TypesInfo != nil {
+			if tv, ok := pass.TypesInfo.Types[call]; ok &&
+				moduleLocalType(tv.Type) && hasMethod(tv.Type, "Release") {
+				return &slotSite{kind: slotGrant, call: call, res: res,
+					recvStr: exprString(recv), relName: "Release"}
 			}
 		}
-		return s
+		return nil
 
 	case name == "Allow" && len(as.Lhs) == 2:
 		t := recvType()
@@ -234,6 +245,10 @@ func slotCheckUnit(pass *Pass, u funcUnit) {
 				pass.Reportf(s.call.Pos(),
 					"slot %q from %s.%s may not be released on every path%s; pair it with %s or defer the release",
 					s.res.Name, s.recvStr, calledName(s.call), suffix, s.relName)
+			case slotGrant:
+				pass.Reportf(s.call.Pos(),
+					"grant %q from %s.Acquire may not be released on every path%s; defer %s.Release()",
+					s.res.Name, s.recvStr, suffix, s.res.Name)
 			case slotProbe:
 				pass.Reportf(s.call.Pos(),
 					"half-open probe token from %s.Allow may not be resolved on every path%s; call Success or Failure on all outcomes",
@@ -413,6 +428,15 @@ func (l *slotLattice) releasesSite(call *ast.CallExpr, s *slotSite) bool {
 		if name != "release" && name != "Release" {
 			return false
 		}
+	case slotGrant:
+		// The grant releases itself: g.Release(), a method on the
+		// resource rather than on the granting scheduler.
+		if name != "Release" {
+			return false
+		}
+		recv, _, _ := l.p.methodCall(call)
+		id, ok := recv.(*ast.Ident)
+		return ok && s.res != nil && l.p.sameIdent(id, s.res)
 	case slotQueue:
 		if name != "Remove" {
 			return false
@@ -449,6 +473,12 @@ func litSlotUse(p *Pass, lit *ast.FuncLit, s *slotSite) (refs, releases bool) {
 						if id, ok := arg.(*ast.Ident); ok && s.res != nil && p.sameIdent(id, s.res) {
 							releases = true
 						}
+					}
+				}
+			case slotGrant:
+				if name == "Release" {
+					if id, ok := recv.(*ast.Ident); ok && s.res != nil && p.sameIdent(id, s.res) {
+						releases = true
 					}
 				}
 			case slotQueue:

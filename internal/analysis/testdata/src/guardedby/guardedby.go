@@ -64,3 +64,31 @@ func (s *store) snapshotFunc() func() int {
 		return s.n
 	}
 }
+
+// ---- dotted guard paths: a handle guarded by its owner's mutex ----
+
+type owner struct {
+	mu sync.Mutex
+}
+
+type handle struct {
+	o     *owner
+	state int // guarded by o.mu
+}
+
+func (h *handle) badNoOwnerLock() int {
+	return h.state // want "without holding"
+}
+
+func (h *handle) goodOwnerLock() int {
+	h.o.mu.Lock()
+	defer h.o.mu.Unlock()
+	return h.state
+}
+
+func (h *handle) badOwnerUnlocked() {
+	h.o.mu.Lock()
+	h.state = 1
+	h.o.mu.Unlock()
+	h.state = 2 // want "without holding"
+}

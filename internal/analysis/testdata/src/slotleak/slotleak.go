@@ -80,6 +80,48 @@ func cleanHandoff(ctx context.Context, p *pool) (*slot, error) {
 	return s, nil // the caller owns the slot now
 }
 
+// ---- scheduler grants (g := s.Acquire(...) -> g.Release()) ----
+
+type grant struct{ n int }
+
+func (g *grant) Release()        {}
+func (g *grant) Checkpoint() int { return g.n }
+
+type scheduler struct{}
+
+func (s *scheduler) Acquire(desired int) *grant { return &grant{n: desired} }
+
+func grantLeakOnErrorPath(s *scheduler, work func() error) error {
+	g := s.Acquire(4) // want "grant \"g\" from s.Acquire may not be released on every path"
+	if err := work(); err != nil {
+		return err // grant leaks here
+	}
+	g.Release()
+	return nil
+}
+
+func grantCleanDeferred(s *scheduler, work func() error) error {
+	g := s.Acquire(4)
+	defer g.Release()
+	_ = g.Checkpoint() // other methods on the grant are neutral
+	return work()
+}
+
+func grantCleanAllPaths(s *scheduler, work func() error) error {
+	g := s.Acquire(2)
+	if err := work(); err != nil {
+		g.Release()
+		return err
+	}
+	g.Release()
+	return nil
+}
+
+func grantHandoff(s *scheduler) *grant {
+	g := s.Acquire(1)
+	return g // the caller owns the grant now
+}
+
 // ---- breaker half-open probe tokens ----
 
 type breaker struct{ state int }

@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 	"testing"
 
 	"repro/internal/catalog"
 	"repro/internal/rdb"
+	"repro/internal/sched"
 	"repro/internal/sources"
 	"repro/internal/xmldm"
 )
@@ -233,6 +235,96 @@ func TestParallelEquivalence_Workload(t *testing.T) {
 				t.Fatalf("workload %d parallelism %d: no parallel workers spawned (plan not parallelized?)", qi, par)
 			}
 		}
+	}
+}
+
+// The scheduler differential property: whatever degree the shared
+// scheduler grants — full, downgraded to the floor, or upgraded at a
+// rewrite boundary — the answer must stay byte-identical to the serial
+// oracle, and every grant must be back in the pool when the query
+// completes. Serial execution (no scheduler involvement beyond the free
+// floor) is the oracle; budgets bracket the interesting regimes: 1
+// (everything downgraded), 2 (partial grants), 8 (demand fully met).
+func TestSchedulerGrantEquivalence_Differential(t *testing.T) {
+	for _, budget := range []int{1, 2, 8} {
+		for seed := int64(0); seed < 8; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			e, view := randomDeployment(t, rng)
+			q := randomQuery(rng, false)
+			oracle, ores := runAt(t, e, q, 1)
+
+			schd := sched.New(sched.Config{Budget: budget})
+			e.SetScheduler(schd)
+			// 0 = auto (resolves to the budget), then explicit degrees
+			// below, at, and above what the budget can grant.
+			for _, desired := range []int{0, 2, 8} {
+				got, res := runAt(t, e, q, desired)
+				if got != oracle {
+					t.Fatalf("budget %d seed %d desired %d: output differs from serial\nquery: %s\nview: %s\ngot:  %s\nwant: %s",
+						budget, seed, desired, q, view, got, oracle)
+				}
+				if res.Stats.TuplesEmitted != ores.Stats.TuplesEmitted {
+					t.Fatalf("budget %d seed %d desired %d: tuples %d vs serial %d",
+						budget, seed, desired, res.Stats.TuplesEmitted, ores.Stats.TuplesEmitted)
+				}
+				snap := schd.Snap()
+				if snap.Granted != 0 || snap.Queries != 0 || snap.Waiting != 0 {
+					t.Fatalf("budget %d seed %d desired %d: scheduler not idle after query: %+v",
+						budget, seed, desired, snap)
+				}
+				if snap.Free != snap.Budget {
+					t.Fatalf("budget %d seed %d desired %d: %d of %d slots leaked",
+						budget, seed, desired, snap.Budget-snap.Free, snap.Budget)
+				}
+			}
+		}
+	}
+}
+
+// Mixed classes over one shared scheduler: concurrent interactive and
+// batch queries racing for a tiny budget must each still produce the
+// serial answer, and the pool must balance to zero when they all finish.
+func TestSchedulerGrantEquivalence_MixedClasses(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	e, _ := randomDeployment(t, rng)
+	q := randomQuery(rng, false)
+	oracle, _ := runAt(t, e, q, 1)
+
+	schd := sched.New(sched.Config{Budget: 2})
+	e.SetScheduler(schd)
+	e.SetParallelism(4)
+	classes := []string{"interactive", "batch", "", "batch", "interactive", "batch"}
+	results := make([]string, len(classes))
+	errs := make([]error, len(classes))
+	var wg sync.WaitGroup
+	for i, class := range classes {
+		wg.Add(1)
+		go func(i int, class string) {
+			defer wg.Done()
+			res, err := e.QueryOpt(context.Background(), q, QueryOptions{Class: class})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			results[i] = res.Document().String()
+		}(i, class)
+	}
+	wg.Wait()
+	for i := range classes {
+		if errs[i] != nil {
+			t.Fatalf("query %d (%q): %v", i, classes[i], errs[i])
+		}
+		if results[i] != oracle {
+			t.Fatalf("query %d (%q): output differs from serial\ngot:  %s\nwant: %s",
+				i, classes[i], results[i], oracle)
+		}
+	}
+	snap := schd.Snap()
+	if snap.Granted != 0 || snap.Queries != 0 || snap.Waiting != 0 || snap.Free != snap.Budget {
+		t.Fatalf("scheduler not idle after mixed-class run: %+v", snap)
+	}
+	if snap.Starved != 0 {
+		t.Fatalf("interactive starvation detected: %+v", snap)
 	}
 }
 

@@ -6,6 +6,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/sched"
 )
 
 // scrubTimes replaces wall-clock figures and the unfolder's process-
@@ -14,10 +16,18 @@ import (
 var (
 	timeRE = regexp.MustCompile(`time=[0-9.]+ms`)
 	unfRE  = regexp.MustCompile(`_u[0-9]+_`)
+	// Leaf Match workers claim candidate elements atomically, so their
+	// per-worker row split is scheduling-dependent even though the output
+	// is deterministic; golden comparisons scrub the split.
+	rowsPerWorkerRE = regexp.MustCompile(`rows/worker=\[[^\]]*\]`)
 )
 
 func scrubTimes(s string) string {
 	return unfRE.ReplaceAllString(timeRE.ReplaceAllString(s, "time=?ms"), "_uN_")
+}
+
+func scrubWorkerRows(s string) string {
+	return rowsPerWorkerRE.ReplaceAllString(s, "rows/worker=[?]")
 }
 
 const twoSourceJoinQL = `
@@ -142,6 +152,62 @@ func TestExplainParallelPlanShape(t *testing.T) {
 	}
 	if res.Stats.TuplesEmitted != sres.Stats.TuplesEmitted {
 		t.Errorf("TuplesEmitted = %d, serial %d", res.Stats.TuplesEmitted, sres.Stats.TuplesEmitted)
+	}
+}
+
+// TestExplainGoldenSchedulerBudgetWorkers: SetParallelism(0) — "use the
+// machine" — resolves through the shared scheduler's budget, not
+// through GOMAXPROCS at query time. With a budget of 2, a lone query's
+// EXPLAIN must show workers=2 regardless of the host's core count, and
+// the granted degree must return to the pool at completion. This is the
+// regression test for the granted-vs-requested EXPLAIN contract.
+func TestExplainGoldenSchedulerBudgetWorkers(t *testing.T) {
+	e, _ := newTestEngine(t)
+	schd := sched.New(sched.Config{Budget: 2})
+	e.SetScheduler(schd)
+	e.SetParallelism(0) // auto: whatever the scheduler grants
+
+	res, err := e.Query(context.Background(), twoSourceJoinQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Values) != 3 {
+		t.Fatalf("values = %d, want 3", len(res.Values))
+	}
+	got := scrubWorkerRows(scrubTimes(res.Explain.Render()))
+	want := strings.TrimPrefix(`
+Query [rewrites=1] out=3 in=3 time=?ms
+├─ Exchange [runs Select(($i = $_uN_i)) workers=2 round-robin] out=3 in=9 time=?ms workers=2 rows/worker=[?]
+│  └─ ParallelHashJoin [workers=2] out=9 in=6 time=?ms peak=5 workers=2 rows/worker=[?]
+│     ├─ FuncScan [pushdown crmdb: SELECT city AS v__uN_c, id AS v__uN_i, name AS v__uN_n FROM customers] out=3 time=?ms
+│     └─ Match [fetch tickets <ticket>] out=3 in=1 time=?ms peak=2 workers=2 rows/worker=[?]
+│        └─ Singleton out=1 time=?ms
+├─ Fetch [crmdb fetches=1 bytes=144] out=3 time=?ms
+└─ Fetch [tickets fetches=1 bytes=240] out=10 time=?ms
+`, "\n")
+	if got != want {
+		t.Errorf("explain tree:\n%s\nwant:\n%s", got, want)
+	}
+
+	// The grant went back at completion: the whole budget is free again
+	// and nothing is queued.
+	snap := schd.Snap()
+	if snap.Granted != 0 || snap.Queries != 0 || snap.Waiting != 0 {
+		t.Errorf("scheduler not idle after query: %+v", snap)
+	}
+	if snap.Budget != 2 || snap.Free != 2 {
+		t.Errorf("budget accounting = %+v, want budget 2 fully free", snap)
+	}
+
+	// Same answer as the serial twin, byte for byte.
+	serial, _ := newTestEngine(t)
+	serial.SetParallelism(1)
+	sres, err := serial.Query(context.Background(), twoSourceJoinQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotDoc, wantDoc := res.Document().String(), sres.Document().String(); gotDoc != wantDoc {
+		t.Errorf("budget-granted result differs from serial:\n%s\nwant:\n%s", gotDoc, wantDoc)
 	}
 }
 

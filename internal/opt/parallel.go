@@ -1,5 +1,11 @@
 // Parallelization pass: after a plan is built, the planner replaces its
 // hot operators with parallel variants when Options.Parallelism > 1.
+// The degree is not static configuration: the engine stamps
+// Options.Parallelism per query, per rewrite, from the degree the
+// shared inter-query scheduler (internal/sched) granted at that operator
+// boundary — so concurrent queries divide a global worker budget instead
+// of each claiming the configured maximum, and EXPLAIN's workers=N
+// reflects the granted, not requested, degree.
 // Hash joins become ParallelHashJoin (partitioned build+probe, routed by
 // join-key hash so equal keys co-locate); maximal chains of per-tuple
 // stages — Select, Project, Match over a bound variable — are lifted

@@ -1,0 +1,430 @@
+package sched
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/obs"
+)
+
+// checkInvariants asserts the core accounting invariants on a snapshot:
+// granted never exceeds the budget, and granted + free covers the budget
+// exactly (no slot minted, no slot lost).
+func checkInvariants(t *testing.T, snap Snapshot) {
+	t.Helper()
+	if snap.Granted < 0 || snap.Free < 0 {
+		t.Fatalf("negative accounting: %+v", snap)
+	}
+	if snap.Granted > snap.Budget {
+		t.Fatalf("granted %d exceeds budget %d: %+v", snap.Granted, snap.Budget, snap)
+	}
+	if snap.Granted+snap.Free != snap.Budget {
+		t.Fatalf("granted %d + free %d != budget %d: %+v", snap.Granted, snap.Free, snap.Budget, snap)
+	}
+}
+
+func TestAcquireGrantsUpToBudget(t *testing.T) {
+	s := New(Config{Budget: 4})
+	g := s.Acquire(3, Interactive)
+	if got := g.Degree(); got != 3 {
+		t.Fatalf("degree = %d, want 3 (budget 4 has room)", got)
+	}
+	if got := g.Desired(); got != 3 {
+		t.Fatalf("desired = %d, want 3", got)
+	}
+	snap := s.Snap()
+	checkInvariants(t, snap)
+	if snap.Granted != 2 || snap.Queries != 1 || snap.Waiting != 0 {
+		t.Fatalf("snap = %+v, want granted 2 (degree 3 costs 2 slots)", snap)
+	}
+	g.Release()
+	snap = s.Snap()
+	checkInvariants(t, snap)
+	if snap.Granted != 0 || snap.Queries != 0 {
+		t.Fatalf("after release: %+v, want all zero", snap)
+	}
+}
+
+func TestAcquireNeverBlocksAtFloorOne(t *testing.T) {
+	s := New(Config{Budget: 1})
+	// Exhaust the budget, then keep admitting: every further query gets
+	// the serial floor immediately — Acquire never blocks.
+	first := s.Acquire(2, Batch)
+	if first.Degree() != 2 {
+		t.Fatalf("first degree = %d, want 2", first.Degree())
+	}
+	var rest []*Grant
+	for i := 0; i < 8; i++ {
+		g := s.Acquire(4, Interactive)
+		if g.Degree() != 1 {
+			t.Fatalf("grant %d degree = %d, want serial floor 1", i, g.Degree())
+		}
+		rest = append(rest, g)
+	}
+	checkInvariants(t, s.Snap())
+	if got := s.Snap().Downgrades; got != 8 {
+		t.Fatalf("downgrades = %d, want 8", got)
+	}
+	first.Release()
+	for _, g := range rest {
+		g.Release()
+	}
+	if snap := s.Snap(); snap.Granted != 0 || snap.Waiting != 0 {
+		t.Fatalf("idle snap = %+v, want zero granted/waiting", snap)
+	}
+}
+
+func TestAutoDesiredResolvesToBudget(t *testing.T) {
+	s := New(Config{Budget: 3})
+	g := s.Acquire(0, Interactive)
+	if g.Desired() != 3 || g.Degree() != 3 {
+		t.Fatalf("auto grant = desired %d degree %d, want 3/3 (budget)", g.Desired(), g.Degree())
+	}
+	g.Release()
+}
+
+func TestDesiredCappedAtBudgetPlusOne(t *testing.T) {
+	s := New(Config{Budget: 2})
+	g := s.Acquire(100, Interactive)
+	if g.Desired() != 3 {
+		t.Fatalf("desired = %d, want cap at budget+1 = 3", g.Desired())
+	}
+	if g.Degree() != 3 {
+		t.Fatalf("degree = %d, want 3", g.Degree())
+	}
+	// Fully satisfied: must not sit in the upgrade queue forever.
+	if w := s.Snap().Waiting; w != 0 {
+		t.Fatalf("waiting = %d, want 0", w)
+	}
+	g.Release()
+}
+
+func TestReleaseIsIdempotent(t *testing.T) {
+	s := New(Config{Budget: 2})
+	g := s.Acquire(3, Interactive)
+	g.Release()
+	g.Release() // double release must not mint slots
+	g.Release()
+	snap := s.Snap()
+	checkInvariants(t, snap)
+	if snap.Free != 2 {
+		t.Fatalf("free = %d after double release, want 2", snap.Free)
+	}
+	if g.Degree() != 1 {
+		t.Fatalf("released grant degree = %d, want serial 1", g.Degree())
+	}
+}
+
+func TestNilGrantIsSerial(t *testing.T) {
+	var g *Grant
+	if g.Degree() != 1 || g.Checkpoint() != 1 || g.Desired() != 1 {
+		t.Fatal("nil grant must behave as serial degree 1")
+	}
+	g.Release() // must not panic
+}
+
+func TestUpgradeAtCheckpointAfterRelease(t *testing.T) {
+	s := New(Config{Budget: 4})
+	hog := s.Acquire(5, Interactive) // takes the whole budget
+	late := s.Acquire(3, Interactive)
+	if late.Degree() != 1 {
+		t.Fatalf("late degree = %d, want floor 1", late.Degree())
+	}
+	hog.Release()
+	// The released slots were dispatched to the waiter; the next
+	// operator boundary observes the upgrade.
+	if got := late.Checkpoint(); got != 3 {
+		t.Fatalf("late degree after release+checkpoint = %d, want 3", got)
+	}
+	if w := s.Snap().Waiting; w != 0 {
+		t.Fatalf("waiting = %d, want 0 after upgrade", w)
+	}
+	late.Release()
+	checkInvariants(t, s.Snap())
+}
+
+func TestInteractiveWaitersServedBeforeBatch(t *testing.T) {
+	s := New(Config{Budget: 2})
+	hog := s.Acquire(3, Interactive)
+	bat := s.Acquire(3, Batch)         // waits
+	inter := s.Acquire(3, Interactive) // waits, arrived later than batch
+	hog.Release()
+	// Freed slots must go to the interactive waiter even though the
+	// batch waiter is older.
+	if got := inter.Degree(); got != 3 {
+		t.Fatalf("interactive degree after release = %d, want 3", got)
+	}
+	if got := bat.Degree(); got != 1 {
+		t.Fatalf("batch degree = %d, want still 1", got)
+	}
+	inter.Release()
+	if got := bat.Checkpoint(); got != 3 {
+		t.Fatalf("batch degree after interactive release = %d, want 3", got)
+	}
+	bat.Release()
+	checkInvariants(t, s.Snap())
+}
+
+// TestBatchYieldsToInteractiveWithinOneBoundary is the starvation test:
+// on a FakeClock, an interactive query arriving while a batch query
+// holds the whole budget is granted workers at the very next operator
+// boundary — it is never queued behind batch longer than that.
+func TestBatchYieldsToInteractiveWithinOneBoundary(t *testing.T) {
+	fc := chaos.NewFakeClock()
+	reg := obs.NewRegistry()
+	s := New(Config{Budget: 2, Clock: fc, Metrics: reg})
+
+	bat := s.Acquire(3, Batch)
+	if bat.Degree() != 3 {
+		t.Fatalf("batch degree = %d, want 3 (whole budget)", bat.Degree())
+	}
+
+	fc.Advance(10 * time.Millisecond)
+	inter := s.Acquire(2, Interactive)
+	if inter.Degree() != 1 {
+		t.Fatalf("interactive admitted at degree %d, want floor 1 while batch holds budget", inter.Degree())
+	}
+
+	// One batch operator boundary: the batch grant yields its slack to
+	// the unmet interactive demand.
+	fc.Advance(10 * time.Millisecond)
+	if got := bat.Checkpoint(); got != 2 {
+		t.Fatalf("batch degree after yield = %d, want 2 (yielded 1 slot)", got)
+	}
+	if got := inter.Degree(); got != 2 {
+		t.Fatalf("interactive degree after one batch boundary = %d, want desired 2", got)
+	}
+
+	snap := s.Snap()
+	checkInvariants(t, snap)
+	if snap.Reclaimed != 1 {
+		t.Fatalf("reclaimed = %d, want 1", snap.Reclaimed)
+	}
+	if snap.Starved != 0 {
+		t.Fatalf("starved = %d, want 0", snap.Starved)
+	}
+
+	// The interactive waiter's queue time ran on the virtual clock.
+	h := reg.Histogram("nimble_sched_wait_seconds")
+	if h.Count() != 1 {
+		t.Fatalf("wait histogram count = %d, want 1", h.Count())
+	}
+	if got := h.Sum(); got < 0.009 || got > 0.011 {
+		t.Fatalf("wait histogram sum = %v, want ~0.010 (10ms of virtual time)", got)
+	}
+
+	inter.Release()
+	if got := bat.Checkpoint(); got != 3 {
+		t.Fatalf("batch degree after interactive done = %d, want regrown to 3", got)
+	}
+	bat.Release()
+	snap = s.Snap()
+	checkInvariants(t, snap)
+	if snap.Granted != 0 || snap.Waiting != 0 || snap.Queries != 0 {
+		t.Fatalf("idle snap = %+v, want zeros", snap)
+	}
+}
+
+func TestBatchKeepsSlackWithoutInteractiveDemand(t *testing.T) {
+	s := New(Config{Budget: 4})
+	bat := s.Acquire(4, Batch)
+	// No interactive demand: checkpoints must not shed workers.
+	for i := 0; i < 3; i++ {
+		if got := bat.Checkpoint(); got != 4 {
+			t.Fatalf("checkpoint %d degree = %d, want 4", i, got)
+		}
+	}
+	// A batch waiter does not trigger reclaim either (same class).
+	other := s.Acquire(2, Batch)
+	if got := bat.Checkpoint(); got != 4 {
+		t.Fatalf("degree after batch-only demand = %d, want 4", got)
+	}
+	bat.Release()
+	other.Release()
+}
+
+func promText(t *testing.T, reg *obs.Registry) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	return buf.String()
+}
+
+func TestMetricsGaugesBalance(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := New(Config{Budget: 3, Metrics: reg})
+	g1 := s.Acquire(3, Interactive)
+	g2 := s.Acquire(3, Batch)
+	text := promText(t, reg)
+	for _, want := range []string{
+		"nimble_sched_budget 3",
+		"nimble_sched_granted 3",
+		"nimble_sched_waiting 1",
+		"nimble_sched_downgrades_total 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	g1.Release()
+	g2.Release()
+	text = promText(t, reg)
+	for _, want := range []string{"nimble_sched_granted 0", "nimble_sched_waiting 0"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("idle exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestParseClass(t *testing.T) {
+	for in, want := range map[string]Class{"": Interactive, "interactive": Interactive, "batch": Batch} {
+		got, err := ParseClass(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseClass(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseClass("bulk"); err == nil {
+		t.Fatal("ParseClass(bulk) should fail")
+	}
+	if Interactive.String() != "interactive" || Batch.String() != "batch" {
+		t.Fatal("Class.String mismatch")
+	}
+}
+
+// TestGrantReleaseProperty drives seeded random acquire / checkpoint /
+// release sequences and asserts the accounting invariants after every
+// step: no double-release effects, no leaked slots, waiters served once
+// capacity exists.
+func TestGrantReleaseProperty(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		budget := 1 + rng.Intn(8)
+		s := New(Config{Budget: budget})
+		var live []*Grant
+		for step := 0; step < 400; step++ {
+			switch op := rng.Intn(10); {
+			case op < 4: // acquire
+				class := Interactive
+				if rng.Intn(2) == 0 {
+					class = Batch
+				}
+				live = append(live, s.Acquire(rng.Intn(budget+3), class))
+			case op < 7 && len(live) > 0: // release (sometimes double)
+				i := rng.Intn(len(live))
+				live[i].Release()
+				if rng.Intn(3) == 0 {
+					live[i].Release()
+				}
+				live = append(live[:i], live[i+1:]...)
+			case len(live) > 0: // checkpoint
+				live[rng.Intn(len(live))].Checkpoint()
+			}
+			checkInvariants(t, s.Snap())
+		}
+		for _, g := range live {
+			g.Release()
+		}
+		snap := s.Snap()
+		checkInvariants(t, snap)
+		if snap.Granted != 0 || snap.Waiting != 0 || snap.Queries != 0 {
+			t.Fatalf("seed %d: idle snap = %+v, want zeros", seed, snap)
+		}
+		// Waiters eventually served: with the pool fully free, a maximal
+		// request is granted in full immediately.
+		g := s.Acquire(budget+1, Interactive)
+		if g.Degree() != budget+1 {
+			t.Fatalf("seed %d: post-drain full acquire degree = %d, want %d", seed, g.Degree(), budget+1)
+		}
+		g.Release()
+	}
+}
+
+// TestReleaseOnPanicPath mirrors the engine's contract: Release is
+// deferred, so a panic mid-query still returns the slots.
+func TestReleaseOnPanicPath(t *testing.T) {
+	s := New(Config{Budget: 2})
+	func() {
+		defer func() { recover() }()
+		g := s.Acquire(3, Interactive)
+		defer g.Release()
+		panic("query exploded")
+	}()
+	snap := s.Snap()
+	checkInvariants(t, snap)
+	if snap.Granted != 0 || snap.Queries != 0 {
+		t.Fatalf("slots leaked across panic: %+v", snap)
+	}
+}
+
+// TestConcurrentStorm hammers the scheduler from many goroutines under
+// -race while a sampler thread asserts the budget invariant at every
+// observed instant.
+func TestConcurrentStorm(t *testing.T) {
+	s := New(Config{Budget: 4})
+	stop := make(chan struct{})
+	var samplerWG sync.WaitGroup
+	samplerWG.Add(1)
+	go func() {
+		defer samplerWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			snap := s.Snap()
+			if snap.Granted > snap.Budget || snap.Granted+snap.Free != snap.Budget {
+				panic("budget invariant violated under storm")
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 300; i++ {
+				class := Interactive
+				if w%2 == 0 {
+					class = Batch
+				}
+				g := s.Acquire(rng.Intn(6), class)
+				for c := 0; c < rng.Intn(3); c++ {
+					g.Checkpoint()
+				}
+				g.Release()
+				if rng.Intn(4) == 0 {
+					g.Release() // racing double release must stay a no-op
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	samplerWG.Wait()
+
+	snap := s.Snap()
+	checkInvariants(t, snap)
+	if snap.Granted != 0 || snap.Waiting != 0 || snap.Queries != 0 {
+		t.Fatalf("storm left residue: %+v", snap)
+	}
+}
+
+func TestDefaultSchedulerSingleton(t *testing.T) {
+	a, b := Default(), Default()
+	if a == nil || a != b {
+		t.Fatal("Default must return one shared scheduler")
+	}
+	if a.Budget() < 1 {
+		t.Fatalf("default budget = %d, want >= 1", a.Budget())
+	}
+}

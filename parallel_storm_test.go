@@ -22,11 +22,12 @@ import (
 	"repro/internal/workload"
 )
 
-func buildStormSystem(t *testing.T, reg *obs.Registry, parallelism int) *System {
+func buildStormSystem(t *testing.T, reg *obs.Registry, parallelism, budget int) *System {
 	t.Helper()
 	sys := New(Config{
 		Instances:    2,
 		Parallelism:  parallelism,
+		WorkerBudget: budget,
 		Metrics:      reg,
 		TraceBuffer:  -1,
 		FetchRetries: 1,
@@ -69,7 +70,7 @@ func buildStormSystem(t *testing.T, reg *obs.Registry, parallelism int) *System 
 
 func TestParallelStormUnderChaos(t *testing.T) {
 	reg := obs.NewRegistry()
-	sys := buildStormSystem(t, reg, 4)
+	sys := buildStormSystem(t, reg, 4, 0)
 	defer sys.Close()
 	ts := httptest.NewServer(sys.HTTPHandler("admin"))
 	defer ts.Close()
@@ -77,7 +78,7 @@ func TestParallelStormUnderChaos(t *testing.T) {
 	// The oracle comes from a serial twin (same deterministic dataset,
 	// parallelism 1): the storm's parallel answers must match it byte
 	// for byte.
-	serial := buildStormSystem(t, obs.NewRegistry(), 1)
+	serial := buildStormSystem(t, obs.NewRegistry(), 1, 0)
 	defer serial.Close()
 	tsSerial := httptest.NewServer(serial.HTTPHandler("admin"))
 	defer tsSerial.Close()

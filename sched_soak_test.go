@@ -1,0 +1,126 @@
+//go:build soak
+
+package nimble
+
+import (
+	"context"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/sched"
+)
+
+// TestSchedSoakMixedClasses is the extended scheduler soak behind the
+// soak build tag (make sched-race runs the short storm; this one runs
+// 64 concurrent queries per budget). A fixed seed draws each query's
+// class, shape, and desired degree; a FakeClock drives the scheduler's
+// wait accounting so the run is wall-clock independent. Every answer
+// must be byte-identical to a serial twin's, the starvation detector
+// must stay at zero, and the budget must drain completely.
+func TestSchedSoakMixedClasses(t *testing.T) {
+	const queries = 64
+	shapes := []string{
+		`WHERE <cust><cid>$i</cid><who>$w</who></cust> IN "customers",
+		 <ticket><cust>$i</cust><subject>$s</subject></ticket> IN "tickets"
+		 CONSTRUCT <r><who>$w</who><subject>$s</subject></r> ORDER-BY $w`,
+		`WHERE <cust><who>$w</who><where>$c</where></cust> IN "customers"
+		 CONSTRUCT <loc><who>$w</who><city>$c</city></loc> ORDER-BY $c, $w`,
+		`WHERE <ticket pri=$p><subject>$s</subject></ticket> IN "tickets", $p = "high"
+		 CONSTRUCT <hot>$s</hot>`,
+	}
+
+	// Serial twin: same deterministic deployment, degree pinned to 1.
+	serial := buildStormSystem(t, obs.NewRegistry(), 1, 1)
+	defer serial.Close()
+	oracles := make([]string, len(shapes))
+	for i, q := range shapes {
+		res, err := serial.Cluster().QueryOpt(context.Background(), q, core.QueryOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracles[i] = res.Document().String()
+		if oracles[i] == "" {
+			t.Fatalf("shape %d: empty oracle (weak test)", i)
+		}
+	}
+
+	for _, budget := range []int{2, 8} {
+		reg := obs.NewRegistry()
+		sys := buildStormSystem(t, reg, 4, budget)
+		// Replace the system scheduler with one on virtual time, shared
+		// by every engine so the queries genuinely contend.
+		clock := chaos.NewFakeClock()
+		schd := sched.New(sched.Config{Budget: budget, Clock: clock, Metrics: reg})
+		for i := 0; i < sys.Instances(); i++ {
+			sys.Engine(i).SetScheduler(schd)
+		}
+
+		rng := rand.New(rand.NewSource(20260808))
+		type job struct {
+			shape   int
+			class   string
+			desired int
+		}
+		jobs := make([]job, queries)
+		classes := []string{"interactive", "batch", ""}
+		for i := range jobs {
+			jobs[i] = job{
+				shape:   rng.Intn(len(shapes)),
+				class:   classes[rng.Intn(len(classes))],
+				desired: rng.Intn(9), // 0 = auto through 8 = over-ask
+			}
+		}
+
+		var wg sync.WaitGroup
+		errs := make(chan string, queries)
+		for i, j := range jobs {
+			wg.Add(1)
+			go func(i int, j job) {
+				defer wg.Done()
+				// Desired degree is per-engine state, so concurrent jobs
+				// on one instance race to set it — harmless here, since
+				// the property under test is that EVERY granted degree
+				// yields the serial answer.
+				e := sys.Engine(i % sys.Instances())
+				e.SetParallelism(j.desired)
+				res, err := e.QueryOpt(context.Background(), shapes[j.shape],
+					core.QueryOptions{Class: j.class})
+				if err != nil {
+					errs <- "query " + shapes[j.shape] + ": " + err.Error()
+					return
+				}
+				if got := res.Document().String(); got != oracles[j.shape] {
+					errs <- "result differs from serial twin:\n" + got + "\nwant:\n" + oracles[j.shape]
+				}
+			}(i, j)
+		}
+		wg.Wait()
+		close(errs)
+		for e := range errs {
+			t.Fatal(e)
+		}
+
+		snap := schd.Snap()
+		if snap.Granted != 0 || snap.Waiting != 0 || snap.Queries != 0 || snap.Free != snap.Budget {
+			t.Fatalf("budget %d: scheduler not idle after soak: %+v", budget, snap)
+		}
+		if snap.Starved != 0 {
+			t.Fatalf("budget %d: %d starvation events (interactive queued past an operator boundary)",
+				budget, snap.Starved)
+		}
+		var buf strings.Builder
+		if err := reg.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(buf.String(), "nimble_sched_granted 0") {
+			t.Fatalf("budget %d: exposition should report nimble_sched_granted 0 at idle:\n%s",
+				budget, buf.String())
+		}
+		sys.Close()
+	}
+}

@@ -1,0 +1,163 @@
+package nimble
+
+// Scheduler storm: mixed-class queries race for a shared worker budget
+// across the cluster's engines while chaos keeps one source dead and
+// another slow, and some callers abandon their queries mid-flight. A
+// sampler goroutine asserts the budget invariants at every instant —
+// granted never exceeds the budget, accounting always balances — and
+// the end state must drain to zero: no granted slots, no waiters, no
+// leaked parallel workers, even on the cancellation paths. Healthy
+// answers must stay byte-identical to a serial oracle at every budget.
+// CI runs this under -race (the sched-race step).
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+func TestSchedStormBudgets(t *testing.T) {
+	const healthyQL = `WHERE <cust><cid>$i</cid><who>$w</who></cust> IN "customers",
+		<ticket><cust>$i</cust><subject>$s</subject></ticket> IN "tickets"
+		CONSTRUCT <r><who>$w</who><subject>$s</subject></r> ORDER-BY $w`
+	const slowQL = `WHERE <item>$x</item> IN "slowsrc" CONSTRUCT <r>$x</r>`
+	const deadQL = `WHERE <item>$x</item> IN "dead" CONSTRUCT <r>$x</r>`
+
+	// Serial oracle, computed once: the deterministic dataset is the
+	// same at every budget.
+	serial := buildStormSystem(t, obs.NewRegistry(), 1, 1)
+	defer serial.Close()
+	ores, err := serial.Cluster().QueryOpt(context.Background(), healthyQL, core.QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := ores.Document().String()
+	if !strings.Contains(oracle, "<subject>") {
+		t.Fatalf("oracle unexpected: %s", oracle)
+	}
+
+	for _, budget := range []int{1, 2, 8} {
+		t.Run(fmt.Sprintf("budget=%d", budget), func(t *testing.T) {
+			reg := obs.NewRegistry()
+			sys := buildStormSystem(t, reg, 4, budget)
+			defer sys.Close()
+			schd := sys.Scheduler()
+			if schd.Budget() != budget {
+				t.Fatalf("scheduler budget = %d, want %d", schd.Budget(), budget)
+			}
+
+			// Invariant sampler: at every sampled instant the grant
+			// accounting must balance against the configured budget.
+			stop := make(chan struct{})
+			var samples atomic.Int64
+			var samplerWG sync.WaitGroup
+			samplerWG.Add(1)
+			go func() {
+				defer samplerWG.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					snap := schd.Snap()
+					if snap.Granted < 0 || snap.Granted > snap.Budget {
+						t.Errorf("granted = %d outside [0,%d]", snap.Granted, snap.Budget)
+					}
+					if snap.Granted+snap.Free != snap.Budget {
+						t.Errorf("accounting broken: granted %d + free %d != budget %d",
+							snap.Granted, snap.Free, snap.Budget)
+					}
+					samples.Add(1)
+				}
+			}()
+
+			const (
+				goroutines = 8
+				iterations = 10
+			)
+			classes := []string{"interactive", "batch", ""}
+			var wg sync.WaitGroup
+			errs := make(chan string, goroutines*iterations)
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := 0; i < iterations; i++ {
+						class := classes[(g+i)%len(classes)]
+						switch (g + i) % 4 {
+						case 0, 1:
+							res, err := sys.Cluster().QueryOpt(context.Background(),
+								healthyQL, core.QueryOptions{Class: class})
+							if err != nil {
+								errs <- "healthy query: " + err.Error()
+								continue
+							}
+							if got := res.Document().String(); got != oracle {
+								errs <- "healthy query result differs from oracle (lost or duplicated tuples):\n" + got
+							}
+						case 2:
+							// Abandoned mid-flight: the caller walks away
+							// while the slow source stalls the plan. The
+							// grant and every spawned worker must still be
+							// returned — this is the cancel-path audit for
+							// both nimble_sched_granted and
+							// nimble_parallel_workers.
+							ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+							_, _ = sys.Cluster().QueryOpt(ctx, slowQL, core.QueryOptions{Class: class})
+							cancel()
+						case 3:
+							// Fault traffic: the dead source yields flagged
+							// partial answers, never a torn scheduler.
+							if _, err := sys.Cluster().QueryOpt(context.Background(),
+								deadQL, core.QueryOptions{Class: class}); err != nil {
+								errs <- "dead-source query failed hard: " + err.Error()
+							}
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			close(stop)
+			samplerWG.Wait()
+			close(errs)
+			for e := range errs {
+				t.Fatal(e)
+			}
+			if samples.Load() == 0 {
+				t.Fatal("sampler never ran (weak test)")
+			}
+
+			// Everything drained: grants back, no waiters, no starvation,
+			// and the operator worker pools all tore down — including on
+			// the cancelled queries.
+			snap := schd.Snap()
+			if snap.Granted != 0 || snap.Waiting != 0 || snap.Queries != 0 {
+				t.Fatalf("scheduler not idle after storm: %+v", snap)
+			}
+			if snap.Free != snap.Budget {
+				t.Fatalf("%d of %d slots leaked: %+v", snap.Budget-snap.Free, snap.Budget, snap)
+			}
+			if snap.Starved != 0 {
+				t.Fatalf("interactive starvation detected: %+v", snap)
+			}
+			if v := reg.Gauge("nimble_parallel_workers").Value(); v != 0 {
+				t.Fatalf("nimble_parallel_workers = %v after storm, want 0 (leaked on cancel path)", v)
+			}
+			var buf strings.Builder
+			if err := reg.WritePrometheus(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(buf.String(), "nimble_sched_granted 0") {
+				t.Fatalf("exposition should report nimble_sched_granted 0 at idle:\n%s", buf.String())
+			}
+		})
+	}
+}
